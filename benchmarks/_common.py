@@ -1,0 +1,68 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_fig*.py`` regenerates one of the paper's experiments: it runs all
+five tuners under the simulated Swing backend and prints (a) the
+"autotuning process" summary (Figures 4/6/8/10/12) and (b) the "minimum
+runtimes" table (Figures 5/7/9/11/13), next to the paper's reported values.
+
+Budget control: benches default to a reduced evaluation budget so the full
+suite stays fast; set ``REPRO_FULL=1`` to run the paper's exact 100-evaluation
+protocol.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.common.tabulate import format_table
+from repro.experiments import (
+    min_runtime_table,
+    process_summary_table,
+    run_experiment,
+)
+from repro.experiments.runner import ExperimentResult
+from repro.kernels.registry import PAPER_BEST_CONFIGS, PAPER_BEST_RUNTIMES
+
+#: The paper's protocol ("we set just 100 evaluations").
+PAPER_EVALS = 100
+
+
+def bench_evals(default: int = 40) -> int:
+    """Evaluation budget: the paper's 100 under REPRO_FULL=1, else reduced."""
+    if os.environ.get("REPRO_FULL", "").strip() in ("1", "true", "yes"):
+        return PAPER_EVALS
+    return int(os.environ.get("REPRO_EVALS", default))
+
+
+def run_paper_experiment(kernel: str, size: str, seed: int = 0) -> ExperimentResult:
+    return run_experiment(kernel, size, max_evals=bench_evals(), seed=seed)
+
+
+def report(result: ExperimentResult, figures: str) -> None:
+    """Print the paper-vs-measured comparison for one experiment."""
+    key = (result.kernel, result.size_name)
+    print()
+    print(f"================ {figures}: {result.kernel} / {result.size_name} "
+          f"({result.max_evals} evals/tuner) ================")
+    print(process_summary_table(result))
+    print()
+    print(min_runtime_table(result))
+    paper_rt = PAPER_BEST_RUNTIMES.get(key)
+    paper_cfg = PAPER_BEST_CONFIGS.get(key)
+    winner = result.winner()
+    rows = [
+        ["best runtime (s)", f"{paper_rt}" if paper_rt else "n/a", f"{winner.best_runtime:.4g}"],
+        ["found by", paper_cfg or "n/a", f"{winner.tuner}"],
+        ["fastest process", "ytopt (paper claim)", result.fastest_process().tuner],
+        [
+            "GridSearch worst?",
+            "yes (paper claim)",
+            "yes"
+            if max(result.runs.values(), key=lambda r: r.best_runtime).tuner
+            == "AutoTVM-GridSearch"
+            else "no",
+        ],
+    ]
+    print()
+    print(format_table(rows, headers=["quantity", "paper", "measured"],
+                       title="Paper vs measured"))

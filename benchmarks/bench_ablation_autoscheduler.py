@@ -1,0 +1,30 @@
+"""Ablation: AutoScheduler (auto-generated space) vs ytopt (Table 1 space).
+
+The paper skipped this comparison because AutoScheduler's space "is not
+explicit"; with both searches priced by the same calibrated model, the
+question is answerable here. Run on the paper's hardest search (3mm
+extralarge).
+"""
+
+from _common import bench_evals
+
+from repro.common.tabulate import format_table
+from repro.experiments.ablations import autoscheduler_comparison
+
+
+def test_ablation_autoscheduler(benchmark):
+    rows = benchmark.pedantic(
+        autoscheduler_comparison,
+        kwargs={"max_evals": bench_evals(), "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(
+        [[r.setting, f"{r.best_runtime:.4g}", f"{r.total_time:,.0f}", r.n_evals]
+         for r in rows],
+        headers=["search", "best runtime (s)", "process time (s)", "evals"],
+        title="Ablation: search-space generation (3mm/extralarge)",
+    ))
+    assert len(rows) == 2
+    assert all(r.best_runtime > 0 for r in rows)

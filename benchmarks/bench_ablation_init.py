@@ -1,0 +1,22 @@
+"""Ablation: number of initial random samples before the surrogate kicks in."""
+
+from _common import bench_evals
+
+from repro.common.tabulate import format_table
+from repro.experiments.ablations import initial_points_sweep
+
+
+def test_ablation_initial_points(benchmark):
+    rows = benchmark.pedantic(
+        initial_points_sweep,
+        kwargs={"max_evals": bench_evals(), "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(
+        [[r.setting, f"{r.best_runtime:.4g}", f"{r.total_time:.1f}"] for r in rows],
+        headers=["setting", "best runtime (s)", "process time (s)"],
+        title="Ablation: initial random design size (cholesky/large)",
+    ))
+    assert len(rows) == 4

@@ -1,0 +1,26 @@
+"""Ablation: LCB exploration weight (kappa) on LU-large.
+
+Not in the paper; quantifies the exploration/exploitation balance §2.2
+attributes to the LCB acquisition.
+"""
+
+from _common import bench_evals
+
+from repro.common.tabulate import format_table
+from repro.experiments.ablations import kappa_sweep
+
+
+def test_ablation_kappa(benchmark):
+    rows = benchmark.pedantic(
+        kappa_sweep,
+        kwargs={"max_evals": bench_evals(), "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(
+        [[r.setting, f"{r.best_runtime:.4g}", f"{r.total_time:.1f}", r.n_evals] for r in rows],
+        headers=["setting", "best runtime (s)", "process time (s)", "evals"],
+        title="Ablation: LCB kappa sweep (lu/large)",
+    ))
+    assert all(r.best_runtime > 0 for r in rows)

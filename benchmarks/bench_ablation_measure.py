@@ -1,0 +1,28 @@
+"""Ablation: AutoTVM measurement semantics (number of runs, parallel builds).
+
+Isolates the mechanism behind the paper's process-time observations: repeated
+runs per configuration dominate at big problem sizes; parallel builds amortize
+compile time at small ones.
+"""
+
+from _common import bench_evals
+
+from repro.common.tabulate import format_table
+from repro.experiments.ablations import measure_option_ablation
+
+
+def test_ablation_measure_option(benchmark):
+    rows = benchmark.pedantic(
+        measure_option_ablation,
+        kwargs={"max_evals": min(bench_evals(), 40), "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(
+        [[r.setting, f"{r.best_runtime:.4g}", f"{r.total_time:.1f}"] for r in rows],
+        headers=["setting", "best runtime (s)", "process time (s)"],
+        title="Ablation: AutoTVM measure options (3mm/large, RandomTuner)",
+    ))
+    by = {r.setting: r for r in rows}
+    assert by["number=3, n_parallel=1"].total_time > by["number=1, n_parallel=1"].total_time

@@ -1,0 +1,26 @@
+"""Ablation: surrogate model choice (RF vs GBT vs none) on LU-large.
+
+"none" collapses BO to random search — the measured gap is the value of the
+paper's Random-Forest surrogate.
+"""
+
+from _common import bench_evals
+
+from repro.common.tabulate import format_table
+from repro.experiments.ablations import surrogate_comparison
+
+
+def test_ablation_surrogate(benchmark):
+    rows = benchmark.pedantic(
+        surrogate_comparison,
+        kwargs={"max_evals": bench_evals(), "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(
+        [[r.setting, f"{r.best_runtime:.4g}", f"{r.total_time:.1f}"] for r in rows],
+        headers=["setting", "best runtime (s)", "process time (s)"],
+        title="Ablation: surrogate model (lu/large)",
+    ))
+    assert {r.setting for r in rows} == {"surrogate=rf", "surrogate=gbt", "surrogate=none"}

@@ -1,0 +1,74 @@
+"""Microbenchmarks of the substrate itself: lowering, codegen, executors,
+surrogate fitting, and the Swing model's pricing rate.
+
+These are not paper artifacts; they document the cost structure of the
+reproduction (e.g. that simulated measurement is ~10⁴× cheaper than real
+execution, which is what makes the full protocol tractable on a laptop).
+"""
+
+import numpy as np
+
+import repro.te as te
+from repro.kernels import problem_size, threemm_tuned
+from repro.kernels.extra import gemm_tuned
+from repro.ml import RandomForestRegressor
+from repro.runtime import build
+from repro.swing import SwingPerformanceModel
+from repro.kernels import get_benchmark
+from repro.tir import lower, simplify_func
+from repro.tir.interp import TIRInterpreter
+from repro.tir.codegen_py import build_callable
+
+
+def test_lower_3mm(benchmark):
+    """Lowering the full three-stage 3mm graph."""
+    size = problem_size("3mm", "mini")
+    params = {p: 4 for p in ("P0", "P1", "P2", "P3", "P4", "P5")}
+
+    def make_and_lower():
+        sched, args = threemm_tuned(size, params)
+        return simplify_func(lower(sched, args))
+
+    func = benchmark(make_and_lower)
+    assert func.attrs["num_stages"] == 3
+
+
+def test_build_gemm(benchmark):
+    """Full build (lower + passes + codegen compile)."""
+    mod = benchmark(lambda: build(*gemm_tuned(32, 32, 32, {"P0": 8, "P1": 8})))
+    assert mod.backend == "codegen"
+
+
+def test_codegen_exec_gemm(benchmark):
+    mod = build(*gemm_tuned(48, 48, 48, {"P0": 8, "P1": 48}))
+    rng = np.random.default_rng(0)
+    bufs = [rng.random((48, 48)) for _ in range(3)] + [np.zeros((48, 48))]
+    benchmark(mod, *bufs)
+
+
+def test_interp_exec_gemm(benchmark):
+    """Reference interpreter on a small gemm (the slow path)."""
+    sched, args = gemm_tuned(12, 12, 12, {"P0": 4, "P1": 4})
+    func = simplify_func(lower(sched, args))
+    interp = TIRInterpreter(func)
+    rng = np.random.default_rng(0)
+    bufs = [rng.random((12, 12)) for _ in range(3)] + [np.zeros((12, 12))]
+    benchmark(interp, *bufs)
+
+
+def test_swing_model_pricing_rate(benchmark):
+    """Simulated 'measurements' per second (the substitution's payoff)."""
+    model = SwingPerformanceModel()
+    profile = get_benchmark("3mm", "extralarge").profile
+    cfg = {"P0": 80, "P1": 100, "P2": 80, "P3": 96, "P4": 100, "P5": 96}
+    t = benchmark(model.measured_time, profile, cfg)
+    assert t > 0
+
+
+def test_rf_surrogate_fit(benchmark):
+    """Surrogate refit cost at the paper's budget (100 observations)."""
+    rng = np.random.default_rng(0)
+    X = rng.random((100, 6))
+    y = np.exp(rng.random(100))
+    forest = RandomForestRegressor(n_estimators=30, seed=0)
+    benchmark(forest.fit, X, y)

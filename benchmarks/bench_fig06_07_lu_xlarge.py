@@ -1,0 +1,20 @@
+"""Figures 6-7: LU with the EXTRALARGE problem size (N=4000).
+
+Paper: ytopt outperforms the 4 AutoTVM tuners in total autotuning process time
+and finds tensor size 40x32 at 13.77 s.
+"""
+
+from _common import report, run_paper_experiment
+
+
+def test_fig06_07_lu_xlarge(benchmark):
+    result = benchmark.pedantic(
+        run_paper_experiment, args=("lu", "extralarge"), rounds=1, iterations=1
+    )
+    report(result, "Figures 6-7")
+    ytopt = result.runs["ytopt"]
+    full_budget = [r for r in result.runs.values() if r.tuner != "AutoTVM-XGB"]
+    assert ytopt.total_time == min(r.total_time for r in full_budget), (
+        "at extralarge size ytopt must have the smallest process time"
+    )
+    assert ytopt.best_runtime < 3.0 * 13.77

@@ -1,0 +1,20 @@
+"""Figures 8-9: Cholesky with the LARGE problem size (N=2000).
+
+Paper: AutoTVM-GA finds the global best (1.65 s at 50x50) but ytopt finishes
+its 100 evaluations in much less process time and lands at 1.66 s (125x50) —
+a near-tie on quality, a clear win on cost.
+"""
+
+from _common import report, run_paper_experiment
+
+
+def test_fig08_09_cholesky_large(benchmark):
+    result = benchmark.pedantic(
+        run_paper_experiment, args=("cholesky", "large"), rounds=1, iterations=1
+    )
+    report(result, "Figures 8-9")
+    ytopt = result.runs["ytopt"]
+    ga = result.runs["AutoTVM-GA"]
+    # ytopt within a small factor of GA's best, at lower process time.
+    assert ytopt.best_runtime <= 1.5 * ga.best_runtime
+    assert ytopt.total_time < ga.total_time

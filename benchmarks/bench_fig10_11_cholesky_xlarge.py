@@ -1,0 +1,18 @@
+"""Figures 10-11: Cholesky with the EXTRALARGE problem size (N=4000).
+
+Paper: ytopt outperforms all 4 AutoTVM tuners in process time and finds tensor
+size 80x32 at 13.99 s.
+"""
+
+from _common import report, run_paper_experiment
+
+
+def test_fig10_11_cholesky_xlarge(benchmark):
+    result = benchmark.pedantic(
+        run_paper_experiment, args=("cholesky", "extralarge"), rounds=1, iterations=1
+    )
+    report(result, "Figures 10-11")
+    ytopt = result.runs["ytopt"]
+    full_budget = [r for r in result.runs.values() if r.tuner != "AutoTVM-XGB"]
+    assert ytopt.total_time == min(r.total_time for r in full_budget)
+    assert ytopt.best_runtime < 3.0 * 13.99

@@ -1,0 +1,28 @@
+"""Figures 12-13: 3mm with the EXTRALARGE problem size (228M-point space).
+
+Paper: AutoTVM-XGB finds the global best (30.99 s, tiles (1000x32, 600x2,
+15x40)); ytopt lands a near-tie at 31.1 s with tiles (1x5, 120x25, 60x100) and
+outperforms the other three AutoTVM tuners.
+"""
+
+from _common import PAPER_EVALS, bench_evals, report, run_paper_experiment
+
+
+def test_fig12_13_3mm_xlarge(benchmark):
+    result = benchmark.pedantic(
+        run_paper_experiment, args=("3mm", "extralarge"), rounds=1, iterations=1
+    )
+    report(result, "Figures 12-13")
+    assert result.runs["AutoTVM-GridSearch"].best_runtime == max(
+        r.best_runtime for r in result.runs.values()
+    )
+    if bench_evals() >= PAPER_EVALS:
+        # The head-to-head claim holds at the paper's 100-eval protocol; at
+        # reduced budgets the 6-knob space leaves BO too few model-guided
+        # iterations, so only report (REPRO_FULL=1 enables the assertion).
+        ytopt = result.runs["ytopt"]
+        others = [
+            result.runs[t]
+            for t in ("AutoTVM-Random", "AutoTVM-GridSearch", "AutoTVM-GA")
+        ]
+        assert ytopt.best_runtime <= 1.1 * min(r.best_runtime for r in others)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Run the TE-backed blocked LU and Cholesky solvers for real.
+
+The paper's LU/Cholesky experiments tune the two tiling factors of the
+trailing-matrix update. This example factorizes real matrices with
+:class:`BlockedLU` / :class:`BlockedCholesky` at several tile settings,
+verifies the factors against NumPy references, and times the effect of the
+tiles on this CPU.
+
+Run:  python examples/blocked_solvers.py [n]   (default 96)
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.kernels import BlockedCholesky, BlockedLU
+from repro.kernels.reference import (
+    cholesky_reference,
+    lu_reference,
+    make_lu_friendly,
+    make_spd,
+)
+
+
+def time_solver(solver, a: np.ndarray) -> tuple[np.ndarray, float]:
+    solver(a)  # warm-up: compiles and caches the TE update modules
+    t0 = time.perf_counter()
+    out = solver(a)
+    return out, time.perf_counter() - t0
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 96
+    tiles = [(1, 1), (4, 4), (8, 16), (16, 16), (n, n)]
+
+    print(f"LU decomposition, N={n} (diagonally dominant matrix)")
+    a = make_lu_friendly(n, seed=0)
+    ref = lu_reference(a)
+    for ty, tx in tiles:
+        out, dt = time_solver(BlockedLU(n, {"P0": ty, "P1": tx}, panel=16), a)
+        err = np.abs(out - ref).max()
+        print(f"  tiles {ty:>3}x{tx:<3}  {dt * 1e3:8.1f} ms   max|err| = {err:.2e}")
+
+    print(f"\nCholesky decomposition, N={n} (SPD matrix)")
+    a = make_spd(n, seed=1)
+    ref = cholesky_reference(a)
+    for ty, tx in tiles:
+        out, dt = time_solver(BlockedCholesky(n, {"P0": ty, "P1": tx}, panel=16), a)
+        err = np.abs(out - ref).max()
+        print(f"  tiles {ty:>3}x{tx:<3}  {dt * 1e3:8.1f} ms   max|err| = {err:.2e}")
+
+    print("\nResidual check (LU): ||L·U - A|| / ||A||")
+    lu = BlockedLU(n, {"P0": 8, "P1": 8}, panel=16)(a := make_lu_friendly(n, 2))
+    lower = np.tril(lu, -1) + np.eye(n)
+    upper = np.triu(lu)
+    rel = np.linalg.norm(lower @ upper - a) / np.linalg.norm(a)
+    print(f"  {rel:.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Reproduce one of the paper's experiments end to end.
+
+Runs all five tuners (ytopt + AutoTVM Random/GridSearch/GA/XGB) on a chosen
+kernel and problem size against the simulated Swing/A100 backend, then prints
+the two artifacts each experiment has in the paper: the "autotuning process
+over time" comparison (Figures 4/6/8/10/12) and the "minimum runtimes"
+comparison (Figures 5/7/9/11/13).
+
+Run:  python examples/reproduce_paper_experiment.py [kernel] [size] [max_evals]
+      e.g.  python examples/reproduce_paper_experiment.py lu large 100
+Defaults: lu large 100 (the paper's Figure 4/5 protocol).
+"""
+
+import sys
+
+from repro.experiments import (
+    ascii_trajectory,
+    min_runtime_table,
+    process_summary_table,
+    run_experiment,
+)
+from repro.kernels.registry import PAPER_BEST_CONFIGS
+
+
+def main() -> None:
+    kernel = sys.argv[1] if len(sys.argv) > 1 else "lu"
+    size = sys.argv[2] if len(sys.argv) > 2 else "large"
+    max_evals = int(sys.argv[3]) if len(sys.argv) > 3 else 100
+
+    print(f"=== {kernel} / {size} — {max_evals} evaluations per tuner "
+          "(simulated Swing A100) ===\n")
+    result = run_experiment(kernel, size, max_evals=max_evals, seed=0)
+
+    print(process_summary_table(result))
+    print()
+    print(min_runtime_table(result))
+    paper = PAPER_BEST_CONFIGS.get((kernel, size))
+    if paper:
+        print(f"\nPaper reported: {paper}")
+
+    print("\nPer-tuner evaluation scatter (runtime vs process time):\n")
+    for run in result.runs.values():
+        print(ascii_trajectory(run))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Future work of the paper, realized: tune a deep-learning model end to end.
+
+The paper's conclusion points at "using the proposed autotuning framework to
+tune deep learning models and operators". This example builds an MLP
+classifier in the mini-Relay graph IR, runs the Figure 1 pipeline (graph
+passes → FuseOps → TE subgraphs), tunes every dense subgraph's tiling with the
+Bayesian-optimization framework by real execution on this CPU, and compares
+the tuned model's inference latency against the untuned default.
+
+Run:  python examples/tune_mlp_model.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import relay
+from repro.relay import build_function, fuse_ops, infer_shapes, tune_function
+
+BATCH, IN, H1, H2, OUT = 64, 256, 128, 64, 10
+
+
+def make_mlp(seed: int = 0) -> relay.Function:
+    rng = np.random.default_rng(seed)
+
+    def layer(x, units, in_features, name, activation=True):
+        w = relay.const(rng.standard_normal((units, in_features)) * 0.1, f"w_{name}")
+        b = relay.const(rng.standard_normal(units) * 0.1, f"b_{name}")
+        out = relay.bias_add(relay.dense(x, w), b)
+        return relay.relu(out) if activation else out
+
+    x = relay.var("x", (BATCH, IN))
+    h1 = layer(x, H1, IN, "fc1")
+    h2 = layer(h1, H2, H1, "fc2")
+    logits = layer(h2, OUT, H2, "fc3", activation=False)
+    return relay.Function([x], relay.softmax(logits))
+
+
+def latency(executor, xv, repeats=3) -> float:
+    executor.run(x=xv)  # warm-up
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        executor.run(x=xv)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def main() -> None:
+    func = make_mlp()
+    infer_shapes(func)
+    print("Fusion groups (FuseOps):")
+    for g in fuse_ops(func):
+        mark = "tunable" if g.is_tunable else "fixed"
+        print(f"  {g.name:<44} [{mark}]")
+
+    rng = np.random.default_rng(1)
+    xv = rng.standard_normal((BATCH, IN))
+
+    default = build_function(func)
+    t_default = latency(default, xv)
+    print(f"\nUntuned (default 8x8 tiles): {t_default * 1e3:8.1f} ms / batch")
+
+    print("Tuning each dense subgraph with Bayesian optimization...")
+    tuned = tune_function(func, max_evals_per_group=12, seed=0)
+    t_tuned = latency(tuned.executor, xv)
+    print(f"Tuned:                        {t_tuned * 1e3:8.1f} ms / batch "
+          f"({t_default / t_tuned:.2f}x)")
+
+    print("\nChosen tiles per subgraph:")
+    for name, result in tuned.per_group.items():
+        print(f"  {name:<44} ty={result.best_config['ty']:<4} "
+              f"tx={result.best_config['tx']:<4} "
+              f"({result.best_runtime * 1e3:.2f} ms)")
+
+    out = tuned.run(x=xv)
+    assert np.allclose(out.sum(axis=1), 1.0), "softmax rows must sum to 1"
+    print("\nOutput verified: softmax rows sum to 1.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+This environment has no `wheel` package (offline), so PEP-660 editable installs
+fail; this file lets `pip install -e .` fall back to the legacy
+`setup.py develop` path. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""A mini AutoScheduler (Ansor-style): automatic search-space generation.
+
+The paper (§2.1, §3) describes TVM's two tuning approaches: AutoTVM, which
+relies on *predefined* knob spaces, and AutoScheduler, which "automatically
+generates the search space by analyzing the computation definition". The paper
+tunes with AutoTVM "because AutoScheduler's search space is not explicit";
+this package implements the other branch so the comparison can actually be
+run:
+
+* :mod:`repro.autoscheduler.sketch` — analyze a TE graph and generate sketch
+  templates (multi-level tiling of every matmul-like stage) plus the derived
+  tile-size search space — no user-defined knobs;
+* :mod:`repro.autoscheduler.cost_model` — a learned cost model (boosted trees
+  over schedule features) ranking candidate programs;
+* :mod:`repro.autoscheduler.search_policy` — evolutionary search (sampling,
+  mutation, crossover, model-guided selection) with periodic measurement, the
+  Ansor search loop;
+* :mod:`repro.autoscheduler.tune` — the user entry point
+  (:func:`auto_schedule`).
+"""
+
+from repro.autoscheduler.sketch import (
+    Sketch,
+    StagePlan,
+    generate_sketch,
+    apply_sketch,
+    tile_candidates,
+)
+from repro.autoscheduler.cost_model import ScheduleFeatures, GBTCostModel, RandomCostModel
+from repro.autoscheduler.search_policy import SketchPolicy, EvolutionParams
+from repro.autoscheduler.tune import SearchTask, TuningOptions, auto_schedule
+
+__all__ = [
+    "Sketch",
+    "StagePlan",
+    "generate_sketch",
+    "apply_sketch",
+    "tile_candidates",
+    "ScheduleFeatures",
+    "GBTCostModel",
+    "RandomCostModel",
+    "SketchPolicy",
+    "EvolutionParams",
+    "SearchTask",
+    "TuningOptions",
+    "auto_schedule",
+]

@@ -1,0 +1,105 @@
+"""Learned cost models ranking candidate annotations (Ansor's XGBoost role).
+
+Features are computed from the annotation and the sketch's axis extents —
+log tile sizes, block shapes, grid sizes, warp-alignment flags — i.e. the same
+quantities TVM extracts from lowered IR, derivable here without lowering each
+of the thousands of evolutionary candidates.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.common.errors import TuningError
+from repro.autoscheduler.sketch import Sketch
+from repro.ml.gbt import GradientBoostedTreesRegressor
+
+
+class ScheduleFeatures:
+    """Feature extractor for (sketch, annotation) pairs."""
+
+    def __init__(self, sketch: Sketch) -> None:
+        self.sketch = sketch
+        self.extents = sketch.param_extents()
+        self.params = sketch.params
+
+    @property
+    def n_features(self) -> int:
+        return 4 * len(self.params)
+
+    def __call__(self, annotation: Mapping[str, int]) -> np.ndarray:
+        feats: list[float] = []
+        for p in self.params:
+            tile = float(min(int(annotation[p]), self.extents[p]))
+            extent = float(self.extents[p])
+            feats.append(math.log2(tile))
+            feats.append(math.log2(extent / tile))  # number of blocks (log)
+            feats.append(1.0 if int(tile) % 32 == 0 else 0.0)  # warp aligned
+            feats.append(tile / extent)  # tile fraction
+        return np.asarray(feats, dtype=float)
+
+    def matrix(self, annotations: Sequence[Mapping[str, int]]) -> np.ndarray:
+        if not annotations:
+            return np.empty((0, self.n_features))
+        return np.vstack([self(a) for a in annotations])
+
+
+class CostModel:
+    """Interface: train on measured annotations, predict scores (lower=better)."""
+
+    def update(self, annotations: Sequence[Mapping[str, int]], costs: Sequence[float]) -> None:
+        raise NotImplementedError
+
+    def predict(self, annotations: Sequence[Mapping[str, int]]) -> np.ndarray:
+        raise NotImplementedError
+
+
+class GBTCostModel(CostModel):
+    """Boosted trees over schedule features, trained on log cost."""
+
+    def __init__(self, sketch: Sketch, seed: int | None = None) -> None:
+        self.features = ScheduleFeatures(sketch)
+        self.seed = seed
+        self._X: list[np.ndarray] = []
+        self._y: list[float] = []
+        self._model: GradientBoostedTreesRegressor | None = None
+
+    @property
+    def n_observations(self) -> int:
+        return len(self._y)
+
+    def update(self, annotations, costs) -> None:
+        if len(annotations) != len(costs):
+            raise TuningError("update(): annotations and costs length mismatch")
+        for a, c in zip(annotations, costs):
+            if not (c > 0 and math.isfinite(c)):
+                continue  # failed measurement: skip rather than poison the model
+            self._X.append(self.features(a))
+            self._y.append(math.log(c))
+        if len(self._y) >= 4:
+            self._model = GradientBoostedTreesRegressor(
+                n_estimators=50, max_depth=3, subsample=0.9, seed=self.seed
+            )
+            self._model.fit(np.vstack(self._X), np.asarray(self._y))
+
+    def predict(self, annotations) -> np.ndarray:
+        if self._model is None:
+            # Untrained: neutral scores so the policy falls back to diversity.
+            return np.zeros(len(annotations))
+        return self._model.predict(self.features.matrix(annotations))
+
+
+class RandomCostModel(CostModel):
+    """No learning — random scores. The ablation baseline for the cost model."""
+
+    def __init__(self, sketch: Sketch, seed: int | None = None) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def update(self, annotations, costs) -> None:  # noqa: D102 - nothing to learn
+        pass
+
+    def predict(self, annotations) -> np.ndarray:
+        return self._rng.random(len(annotations))

@@ -1,0 +1,159 @@
+"""Sketch generation: derive the search space from the computation itself.
+
+Ansor's key idea is that the *structure* of a good schedule (the sketch) can
+be derived by rules from the tensor computation, leaving only numeric *tile
+sizes* (the annotations) to search. The rule implemented here is the one every
+kernel in this repository exercises — multi-level tiling of matmul-like stages
+with the reduction hoisted between the outer and inner tiles (the paper's
+``(yo, xo, k, yi, xi)`` order) — plus inner-axis vectorization for elementwise
+stages.
+
+A :class:`Sketch` records per-stage :class:`StagePlan` objects; the tile-size
+annotation of a sketch is a plain ``dict`` mapping auto-generated parameter
+names (``<stage>.y``, ``<stage>.x``) to factors, so all of this package's
+tuners and evaluators work on AutoScheduler candidates unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.common.divisors import divisors
+from repro.common.errors import ScheduleError
+from repro.kernels.schedules import apply_split_reorder
+from repro.te.expr import Reduce
+from repro.te.schedule import Schedule, create_schedule
+from repro.te.tensor import ComputeOp, Operation, Tensor
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """What the sketch does to one stage."""
+
+    op_name: str
+    kind: str  # "multi_level_tile" | "vectorize_inner" | "none"
+    #: Auto-generated parameter names this stage consumes (tile y, tile x).
+    params: tuple[str, ...] = ()
+    #: Axis extents the parameters tile (for candidate generation).
+    extents: tuple[int, ...] = ()
+    #: Reduction depth of a multi-level-tiled stage (for analytical pricing).
+    reduce_extent: int = 0
+
+
+@dataclass(frozen=True)
+class Sketch:
+    """A schedule template over a TE graph; annotate with tile sizes to apply."""
+
+    outputs: tuple[Operation, ...]
+    plans: tuple[StagePlan, ...]
+
+    @property
+    def params(self) -> list[str]:
+        out: list[str] = []
+        for plan in self.plans:
+            out.extend(plan.params)
+        return out
+
+    def param_extents(self) -> dict[str, int]:
+        return {
+            p: e for plan in self.plans for p, e in zip(plan.params, plan.extents)
+        }
+
+
+def _is_matmul_like(op: ComputeOp) -> bool:
+    return (
+        len(op.axis) == 2
+        and len(op.reduce_axis) == 1
+        and isinstance(op.body, Reduce)
+    )
+
+
+def generate_sketch(outputs: "Operation | Tensor | Sequence[Operation | Tensor]") -> Sketch:
+    """Analyze the computation and produce the sketch (no user input).
+
+    Matmul-like stages get the multi-level tiling rule; other 2-D+ elementwise
+    stages get inner-axis vectorization; everything else is left untouched.
+    """
+    ops = _as_ops(outputs)
+    sched = create_schedule(ops)  # throwaway: used only to enumerate stages
+    plans: list[StagePlan] = []
+    for stage in sched.stages:
+        op = stage.op
+        assert isinstance(op, ComputeOp)
+        if _is_matmul_like(op):
+            y, x = op.axis
+            plans.append(
+                StagePlan(
+                    op_name=op.name,
+                    kind="multi_level_tile",
+                    params=(f"{op.name}.y", f"{op.name}.x"),
+                    extents=(y.extent, x.extent),
+                    reduce_extent=op.reduce_axis[0].extent,
+                )
+            )
+        elif len(op.axis) >= 1 and not op.reduce_axis:
+            plans.append(StagePlan(op_name=op.name, kind="vectorize_inner"))
+        else:
+            plans.append(StagePlan(op_name=op.name, kind="none"))
+    if not any(p.kind == "multi_level_tile" for p in plans):
+        raise ScheduleError(
+            "auto-scheduling found no matmul-like stage to tile; "
+            "nothing to search"
+        )
+    return Sketch(outputs=tuple(ops), plans=tuple(plans))
+
+
+def _as_ops(outputs) -> list[Operation]:
+    if isinstance(outputs, Tensor):
+        return [outputs.op]
+    if isinstance(outputs, Operation):
+        return [outputs]
+    return [t.op if isinstance(t, Tensor) else t for t in outputs]
+
+
+def tile_candidates(extent: int, max_candidates: int = 24) -> list[int]:
+    """Auto-generated tile-size candidates for an axis.
+
+    Unlike AutoTVM's user-supplied factor lists, AutoScheduler samples tile
+    sizes on its own: we take the divisors of the extent (perfect splits)
+    plus powers of two up to the extent (imperfect splits are legal — lowering
+    guards them), capped to a reasonable count.
+    """
+    if extent < 1:
+        raise ScheduleError(f"axis extent must be positive, got {extent}")
+    cands = set(divisors(extent))
+    p = 1
+    while p <= extent:
+        cands.add(p)
+        p *= 2
+    ordered = sorted(cands)
+    if len(ordered) > max_candidates:
+        # Keep a size-balanced subsample: always 1 and the extent, thin the middle.
+        step = len(ordered) / (max_candidates - 2)
+        picked = {ordered[0], ordered[-1]}
+        for i in range(1, max_candidates - 1):
+            picked.add(ordered[min(int(i * step), len(ordered) - 1)])
+        ordered = sorted(picked)
+    return ordered
+
+
+def apply_sketch(
+    sketch: Sketch, annotation: Mapping[str, int], vectorize_inner: bool = True
+) -> Schedule:
+    """Instantiate the sketch with concrete tile sizes; returns the Schedule."""
+    missing = [p for p in sketch.params if p not in annotation]
+    if missing:
+        raise ScheduleError(f"sketch annotation missing tile sizes for {missing}")
+    sched = create_schedule(list(sketch.outputs))
+    by_name = {st.op.name: st for st in sched.stages}
+    for plan in sketch.plans:
+        stage = by_name[plan.op_name]
+        if plan.kind == "multi_level_tile":
+            ty = int(annotation[plan.params[0]])
+            tx = int(annotation[plan.params[1]])
+            apply_split_reorder(stage, ty, tx, vectorize_inner=vectorize_inner)
+        elif plan.kind == "vectorize_inner" and vectorize_inner:
+            inner = stage.op.axis[-1]
+            stage.vectorize(inner)
+    return sched

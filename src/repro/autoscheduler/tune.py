@@ -1,0 +1,178 @@
+"""User entry point: ``auto_schedule`` (the analogue of Ansor's ``tvm.auto_scheduler``).
+
+A :class:`SearchTask` couples a TE computation with an evaluation backend:
+
+* ``target="llvm"`` — candidates are really built and timed on the CPU;
+* ``target="swing"`` — candidates are priced with the analytical A100 model,
+  through a :class:`~repro.swing.profile.KernelProfile` derived automatically
+  from the sketch (stage dimensions and tile parameters come from the
+  computation itself — the "automatically generated search space").
+
+``auto_schedule`` runs the evolutionary SketchPolicy for ``n_trials``
+measurements and returns the best schedule found, ready for ``build``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.common.errors import TuningError
+from repro.common.timing import VirtualClock
+from repro.autoscheduler.cost_model import CostModel
+from repro.autoscheduler.search_policy import EvolutionParams, SketchPolicy
+from repro.autoscheduler.sketch import (
+    Sketch,
+    apply_sketch,
+    generate_sketch,
+    tile_candidates,
+)
+from repro.runtime.measure import Evaluator, LocalEvaluator, MeasureResult
+from repro.swing.evaluator import SwingEvaluator
+from repro.swing.profile import GemmStageProfile, KernelProfile
+from repro.te.schedule import Schedule
+from repro.te.tensor import Tensor
+from repro.ytopt.database import PerformanceDatabase
+
+GraphBuilder = Callable[[], Sequence[Tensor]]
+
+
+def profile_from_sketch(
+    sketch: Sketch, name: str = "auto", dtype_bytes: int = 8
+) -> KernelProfile:
+    """Derive the analytical-model profile from the sketch (no hand profile)."""
+    stages = []
+    candidates: dict[str, tuple[int, ...]] = {}
+    for plan in sketch.plans:
+        if plan.kind != "multi_level_tile":
+            continue
+        stages.append(
+            GemmStageProfile(
+                name=plan.op_name,
+                m=plan.extents[0],
+                n=plan.extents[1],
+                k=plan.reduce_extent,
+                param_y=plan.params[0],
+                param_x=plan.params[1],
+            )
+        )
+        for p, e in zip(plan.params, plan.extents):
+            candidates[p] = tuple(tile_candidates(e))
+    return KernelProfile(
+        kernel=name,
+        size_name="auto",
+        stages=tuple(stages),
+        dtype_bytes=dtype_bytes,
+        param_candidates=candidates,
+    )
+
+
+class SearchTask:
+    """A computation to auto-schedule plus how to measure candidates."""
+
+    def __init__(
+        self,
+        graph_builder: GraphBuilder,
+        name: str = "auto_task",
+        target: str = "llvm",
+        evaluator: Evaluator | None = None,
+    ) -> None:
+        self.name = name
+        self.graph_builder = graph_builder
+        args = list(graph_builder())
+        self.sketch = generate_sketch([t.op for t in args if _is_output(t, args)])
+        if evaluator is not None:
+            self.evaluator = evaluator
+        elif target == "swing":
+            self.evaluator = SwingEvaluator(
+                profile_from_sketch(self.sketch, name=name),
+                clock=VirtualClock(),
+                number=1,
+            )
+        elif target in ("llvm", "cpu", "interp"):
+            self.evaluator = LocalEvaluator(self._builder, target=target)
+        else:
+            raise TuningError(f"unknown auto_schedule target {target!r}")
+
+    def _builder(self, annotation) -> tuple[Schedule, Sequence[Tensor]]:
+        args = list(self.graph_builder())
+        sketch = generate_sketch([t.op for t in args if _is_output(t, args)])
+        return apply_sketch(sketch, annotation), args
+
+    def apply_best(self, annotation) -> tuple[Schedule, Sequence[Tensor]]:
+        """Instantiate a found annotation into a buildable (schedule, args)."""
+        return self._builder(annotation)
+
+
+def _is_output(t: Tensor, args: Sequence[Tensor]) -> bool:
+    """Outputs = tensors no other arg consumes (graph sinks among the args)."""
+    from repro.te.tensor import ComputeOp
+
+    if not isinstance(t.op, ComputeOp):
+        return False
+    consumed = {
+        id(inp)
+        for other in args
+        if isinstance(other.op, ComputeOp)
+        for inp in other.op.input_tensors()
+    }
+    return id(t) not in consumed
+
+
+@dataclass
+class TuningOptions:
+    """Search budget and policy settings."""
+
+    n_trials: int = 64
+    evolution: EvolutionParams = field(default_factory=EvolutionParams)
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_trials < 1:
+            raise TuningError("n_trials must be >= 1")
+
+
+@dataclass
+class AutoScheduleResult:
+    """Outcome of an auto_schedule run."""
+
+    best_annotation: dict[str, int]
+    best_cost: float
+    n_trials: int
+    database: PerformanceDatabase
+    sketch: Sketch
+
+
+def auto_schedule(
+    task: SearchTask,
+    options: TuningOptions | None = None,
+    cost_model: CostModel | None = None,
+) -> AutoScheduleResult:
+    """Run the Ansor-style search; returns the best annotation found."""
+    opts = options if options is not None else TuningOptions()
+    policy = SketchPolicy(
+        task.sketch, cost_model=cost_model, params=opts.evolution, seed=opts.seed
+    )
+    database = PerformanceDatabase(name=f"{task.name}:autoscheduler")
+    measured = 0
+    while measured < opts.n_trials:
+        batch = policy.propose_batch()
+        if not batch:
+            break
+        for annotation in batch:
+            if measured >= opts.n_trials:
+                break
+            result: MeasureResult = task.evaluator.evaluate(annotation)
+            database.add(result, tuner="AutoScheduler")
+            policy.tell(
+                annotation, result.mean_cost if result.ok else float("inf")
+            )
+            measured += 1
+    best_annotation, best_cost = policy.best()
+    return AutoScheduleResult(
+        best_annotation=best_annotation,
+        best_cost=best_cost,
+        n_trials=measured,
+        database=database,
+        sketch=task.sketch,
+    )

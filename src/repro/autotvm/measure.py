@@ -1,0 +1,78 @@
+"""AutoTVM's measurement pipeline (builder + runner batch semantics).
+
+AutoTVM measures candidates in batches: a parallel builder compiles
+``n_parallel`` configs concurrently, then the runner executes each ``number``
+times (per ``repeat``). The batch structure is why AutoTVM's *process time* per
+evaluation differs from ytopt's: compilation is amortized across the batch
+while execution is repeated — the mechanism behind the paper's observation that
+AutoTVM can be faster per evaluation at LARGE sizes (compile-dominated) but
+much slower at EXTRALARGE (runtime-dominated, 3–4 runs of a 14-second kernel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.autotvm.space import ConfigEntity
+from repro.common.errors import TuningError
+from repro.runtime.measure import Evaluator, MeasureResult
+
+
+@dataclass(frozen=True)
+class MeasureOption:
+    """Measurement settings (AutoTVM ``measure_option``)."""
+
+    number: int = 3  # kernel executions averaged per measurement
+    repeat: int = 1  # independent measurements per config
+    n_parallel: int = 8  # parallel builder width
+    batch_overhead: float = 0.5  # per-batch dispatch/teardown (seconds)
+
+    def __post_init__(self) -> None:
+        if self.number < 1 or self.repeat < 1:
+            raise TuningError("number and repeat must be >= 1")
+        if self.n_parallel < 1:
+            raise TuningError("n_parallel must be >= 1")
+        if self.batch_overhead < 0:
+            raise TuningError("batch_overhead must be >= 0")
+
+
+def measure_option(
+    number: int = 3, repeat: int = 1, n_parallel: int = 8, batch_overhead: float = 0.5
+) -> MeasureOption:
+    """Convenience constructor mirroring ``autotvm.measure_option``."""
+    return MeasureOption(number, repeat, n_parallel, batch_overhead)
+
+
+class Measurer:
+    """Measure batches of configs through a shared Evaluator.
+
+    When the evaluator is a :class:`~repro.swing.SwingEvaluator`, its
+    ``number``/``repeat``/``compile_parallelism`` must be configured to match
+    the MeasureOption — :func:`configure_evaluator` does that — so the virtual
+    clock charges build and run time with the same batch semantics.
+    """
+
+    def __init__(self, evaluator: Evaluator, option: MeasureOption | None = None) -> None:
+        self.evaluator = evaluator
+        self.option = option if option is not None else MeasureOption()
+        self.configure_evaluator()
+
+    def configure_evaluator(self) -> None:
+        ev = self.evaluator
+        if hasattr(ev, "number"):
+            ev.number = self.option.number
+        if hasattr(ev, "repeat"):
+            ev.repeat = self.option.repeat
+        if hasattr(ev, "compile_parallelism"):
+            ev.compile_parallelism = self.option.n_parallel
+
+    def measure_batch(self, configs: list[ConfigEntity]) -> list[MeasureResult]:
+        if not configs:
+            return []
+        clock = getattr(self.evaluator, "clock", None)
+        if clock is not None:
+            clock.advance(self.option.batch_overhead)
+        return [self.evaluator.evaluate(c.to_dict()) for c in configs]
+
+    def elapsed(self) -> float:
+        return self.evaluator.elapsed()

@@ -1,0 +1,108 @@
+"""Tuning records: AutoTVM's JSON log of every measured configuration.
+
+After tuning, Apache TVM "generates a JSON file containing all the schedules,
+from which the best schedule is selected" (paper §2.1). These helpers encode
+each (config, result) pair to a JSON line and back.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.common.errors import TuningError
+from repro.runtime.measure import MeasureResult
+
+
+@dataclass(frozen=True)
+class TuningRecord:
+    """One measured configuration."""
+
+    task: str
+    tuner: str
+    config: dict[str, int]
+    costs: tuple[float, ...]
+    compile_time: float
+    timestamp: float
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def mean_cost(self) -> float:
+        if not self.ok or not self.costs:
+            return float("inf")
+        return sum(self.costs) / len(self.costs)
+
+    @classmethod
+    def from_result(cls, task: str, tuner: str, result: MeasureResult) -> "TuningRecord":
+        return cls(
+            task=task,
+            tuner=tuner,
+            config=dict(result.config),
+            costs=tuple(result.costs),
+            compile_time=result.compile_time,
+            timestamp=result.timestamp,
+            error=result.error,
+        )
+
+
+def encode_record(rec: TuningRecord) -> str:
+    """One JSON line (TVM log-format analogue)."""
+    return json.dumps(
+        {
+            "task": rec.task,
+            "tuner": rec.tuner,
+            "config": rec.config,
+            "result": {
+                "costs": list(rec.costs),
+                "compile_time": rec.compile_time,
+                "timestamp": rec.timestamp,
+                "error": rec.error,
+            },
+            "version": 1,
+        },
+        sort_keys=True,
+    )
+
+
+def decode_record(line: str) -> TuningRecord:
+    try:
+        obj = json.loads(line)
+        return TuningRecord(
+            task=obj["task"],
+            tuner=obj["tuner"],
+            config={k: int(v) for k, v in obj["config"].items()},
+            costs=tuple(float(c) for c in obj["result"]["costs"]),
+            compile_time=float(obj["result"]["compile_time"]),
+            timestamp=float(obj["result"]["timestamp"]),
+            error=obj["result"]["error"],
+        )
+    except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+        raise TuningError(f"malformed tuning record: {exc}") from exc
+
+
+def save_records(records: list[TuningRecord], path: "str | Path") -> None:
+    with open(path, "w") as fh:
+        for rec in records:
+            fh.write(encode_record(rec) + "\n")
+
+
+def load_records(path: "str | Path") -> list[TuningRecord]:
+    out: list[TuningRecord] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(decode_record(line))
+    return out
+
+
+def best_record(records: list[TuningRecord]) -> TuningRecord:
+    ok = [r for r in records if r.ok and r.costs]
+    if not ok:
+        raise TuningError("no successful records")
+    return min(ok, key=lambda r: r.mean_cost)

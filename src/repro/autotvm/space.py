@@ -1,0 +1,125 @@
+"""AutoTVM-style knob config spaces.
+
+``cfg.define_knob("tile_y", [1, 2, 4, ...])`` declares a knob; the space is the
+cross product of all knob candidate lists, linearly indexable in mixed-radix
+order with the *first-defined knob varying fastest* (AutoTVM's order — which is
+why GridSearchTuner starts in the all-smallest-tiles corner).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+
+from repro.common.errors import SpaceError
+
+
+class ConfigEntity(Mapping):
+    """One point of a ConfigSpace; behaves as a read-only mapping knob->value."""
+
+    def __init__(self, space: "ConfigSpace", index: int, values: dict[str, object]) -> None:
+        self.space = space
+        self.index = index
+        self._values = values
+
+    def __getitem__(self, key: str) -> object:
+        return self._values[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def to_dict(self) -> dict[str, object]:
+        return dict(self._values)
+
+    def knob_indices(self) -> tuple[int, ...]:
+        """Per-knob candidate indices (the GA genome / model features)."""
+        return self.space.index_to_indices(self.index)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConfigEntity):
+            return self.index == other.index and self.space is other.space
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((id(self.space), self.index))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self._values.items())
+        return f"ConfigEntity#{self.index}({inner})"
+
+
+class ConfigSpace:
+    """The tunable knob space of a task."""
+
+    def __init__(self) -> None:
+        self._knobs: dict[str, list[object]] = {}
+
+    def define_knob(self, name: str, candidates: Sequence[object]) -> None:
+        """Declare a knob with its candidate values (AutoTVM API)."""
+        if name in self._knobs:
+            raise SpaceError(f"knob {name!r} already defined")
+        cands = list(candidates)
+        if not cands:
+            raise SpaceError(f"knob {name!r}: empty candidate list")
+        self._knobs[name] = cands
+
+    @property
+    def knob_names(self) -> list[str]:
+        return list(self._knobs)
+
+    def knob_candidates(self, name: str) -> list[object]:
+        try:
+            return list(self._knobs[name])
+        except KeyError:
+            raise SpaceError(f"no knob named {name!r}") from None
+
+    def gene_sizes(self) -> list[int]:
+        return [len(c) for c in self._knobs.values()]
+
+    def __len__(self) -> int:
+        total = 1
+        for c in self._knobs.values():
+            total *= len(c)
+        return total
+
+    def index_to_indices(self, index: int) -> tuple[int, ...]:
+        """Mixed-radix decode: first knob varies fastest."""
+        if not 0 <= index < len(self):
+            raise SpaceError(f"config index {index} out of range [0, {len(self)})")
+        out: list[int] = []
+        for cands in self._knobs.values():
+            out.append(index % len(cands))
+            index //= len(cands)
+        return tuple(out)
+
+    def indices_to_index(self, indices: Sequence[int]) -> int:
+        if len(indices) != len(self._knobs):
+            raise SpaceError(
+                f"expected {len(self._knobs)} knob indices, got {len(indices)}"
+            )
+        index = 0
+        stride = 1
+        for i, cands in zip(indices, self._knobs.values()):
+            if not 0 <= int(i) < len(cands):
+                raise SpaceError(f"knob index {i} out of range [0, {len(cands)})")
+            index += int(i) * stride
+            stride *= len(cands)
+        return index
+
+    def get(self, index: int) -> ConfigEntity:
+        """The ConfigEntity at a linear index."""
+        indices = self.index_to_indices(index)
+        values = {
+            name: cands[i]
+            for (name, cands), i in zip(self._knobs.items(), indices)
+        }
+        return ConfigEntity(self, index, values)
+
+    def from_knob_indices(self, indices: Sequence[int]) -> ConfigEntity:
+        return self.get(self.indices_to_index(indices))
+
+    def __repr__(self) -> str:
+        knobs = ", ".join(f"{k}[{len(v)}]" for k, v in self._knobs.items())
+        return f"ConfigSpace(len={len(self)}, knobs: {knobs})"

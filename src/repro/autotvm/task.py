@@ -1,0 +1,39 @@
+"""AutoTVM tasks: a knob space plus the evaluation backend.
+
+``task_from_benchmark`` builds the task for one of the paper's experiments: the
+knobs are the same candidate lists as the ytopt ConfigSpace (the paper defines
+both from the same factor lists), and evaluation goes through the shared
+:class:`~repro.runtime.measure.Evaluator` interface.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.autotvm.space import ConfigEntity, ConfigSpace
+from repro.kernels.registry import KernelBenchmark
+from repro.runtime.measure import Evaluator, MeasureResult
+
+
+class Task:
+    """One tunable workload."""
+
+    def __init__(self, name: str, space: ConfigSpace, evaluator: Evaluator) -> None:
+        self.name = name
+        self.space = space
+        self.evaluator = evaluator
+
+    def evaluate(self, config: "ConfigEntity | Mapping[str, int]") -> MeasureResult:
+        params = config.to_dict() if isinstance(config, ConfigEntity) else dict(config)
+        return self.evaluator.evaluate(params)
+
+    def __repr__(self) -> str:
+        return f"Task({self.name!r}, {self.space!r})"
+
+
+def task_from_benchmark(benchmark: KernelBenchmark, evaluator: Evaluator) -> Task:
+    """Create the AutoTVM task for a kernel benchmark (same knobs as Table 1)."""
+    space = ConfigSpace()
+    for p in benchmark.params:
+        space.define_knob(p, list(benchmark.candidates[p]))
+    return Task(benchmark.name, space, evaluator)

@@ -1,0 +1,128 @@
+"""Tuner base class: the AutoTVM tuning loop.
+
+Subclasses implement the strategy (``next_batch`` / ``update``); the base class
+owns the loop — batched measurement through a :class:`Measurer`, visited-set
+bookkeeping, best tracking, tuning records, and early stopping.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+
+from repro.autotvm.measure import Measurer
+from repro.autotvm.record import TuningRecord
+from repro.autotvm.space import ConfigEntity
+from repro.autotvm.task import Task
+from repro.common.errors import TuningError
+from repro.common.rng import ensure_rng
+from repro.runtime.measure import MeasureResult
+
+TuneCallback = Callable[["Tuner", Sequence[ConfigEntity], Sequence[MeasureResult]], None]
+
+
+class Tuner:
+    """Base tuner; subclasses provide the candidate-selection strategy."""
+
+    #: Configs measured per batch (AutoTVM default parallelism).
+    batch_size = 8
+
+    def __init__(self, task: Task, seed: int | None = None) -> None:
+        self.task = task
+        self.space = task.space
+        self.rng = ensure_rng(seed)
+        self.visited: set[int] = set()
+        self.records: list[TuningRecord] = []
+        self.best_cost: float = math.inf
+        self.best_config: ConfigEntity | None = None
+        self.n_trials = 0
+
+    # -- strategy interface -------------------------------------------------
+
+    def has_next(self) -> bool:
+        return len(self.visited) < len(self.space)
+
+    def next_batch(self, batch_size: int) -> list[ConfigEntity]:
+        raise NotImplementedError
+
+    def update(
+        self, configs: Sequence[ConfigEntity], results: Sequence[MeasureResult]
+    ) -> None:
+        """Strategy hook called after each measured batch (default: no-op)."""
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _random_unvisited(self, batch_size: int) -> list[ConfigEntity]:
+        """Uniformly random unvisited configs (used by several strategies)."""
+        out: list[ConfigEntity] = []
+        n = len(self.space)
+        attempts = 0
+        while len(out) < batch_size and len(self.visited) + len(out) < n:
+            idx = int(self.rng.integers(n))
+            if idx in self.visited or any(c.index == idx for c in out):
+                attempts += 1
+                if attempts > 10 * batch_size + 100:
+                    # Dense visited set: fall back to scanning.
+                    for idx2 in range(n):
+                        if idx2 not in self.visited and all(c.index != idx2 for c in out):
+                            out.append(self.space.get(idx2))
+                            if len(out) >= batch_size:
+                                break
+                    break
+                continue
+            out.append(self.space.get(idx))
+        return out
+
+    # -- the loop --------------------------------------------------------------
+
+    def tune(
+        self,
+        n_trial: int,
+        measurer: Measurer,
+        early_stopping: int | None = None,
+        callbacks: Sequence[TuneCallback] = (),
+    ) -> list[TuningRecord]:
+        """Run up to ``n_trial`` measurements; returns all tuning records."""
+        if n_trial < 1:
+            raise TuningError(f"n_trial must be >= 1, got {n_trial}")
+        if early_stopping is not None and early_stopping < 1:
+            raise TuningError(f"early_stopping must be >= 1, got {early_stopping}")
+
+        last_improvement = 0
+        while self.n_trials < n_trial and self.has_next():
+            want = min(self.batch_size, n_trial - self.n_trials)
+            batch = self.next_batch(want)
+            if not batch:
+                break
+            results = measurer.measure_batch(batch)
+            for config, result in zip(batch, results):
+                self.visited.add(config.index)
+                rec = TuningRecord.from_result(self.task.name, type(self).__name__, result)
+                self.records.append(rec)
+                self.n_trials += 1
+                if rec.ok and rec.mean_cost < self.best_cost:
+                    self.best_cost = rec.mean_cost
+                    self.best_config = config
+                    last_improvement = self.n_trials
+            self.update(batch, results)
+            for cb in callbacks:
+                cb(self, batch, results)
+            if (
+                early_stopping is not None
+                and self.n_trials - last_improvement >= early_stopping
+            ):
+                break
+        return self.records
+
+    # -- results ------------------------------------------------------------
+
+    def best(self) -> tuple[dict[str, int], float]:
+        if self.best_config is None:
+            raise TuningError("best() called before any successful trial")
+        return self.best_config.to_dict(), self.best_cost
+
+    def trajectory(self) -> list[tuple[float, float]]:
+        """(process time, runtime) per evaluation, for the paper's figures."""
+        return [
+            (r.timestamp, r.mean_cost if r.ok else float("inf")) for r in self.records
+        ]

@@ -1,0 +1,32 @@
+"""RandomTuner: enumerate the space in a random order (without replacement)."""
+
+from __future__ import annotations
+
+from repro.autotvm.space import ConfigEntity
+from repro.autotvm.task import Task
+from repro.autotvm.tuner.base import Tuner
+
+#: Below this size the whole index permutation is materialized; above it,
+#: rejection sampling against the visited set is cheaper than a 100M shuffle.
+_SHUFFLE_LIMIT = 1_000_000
+
+
+class RandomTuner(Tuner):
+    """Uniform random search without repeats."""
+
+    def __init__(self, task: Task, seed: int | None = None) -> None:
+        super().__init__(task, seed=seed)
+        n = len(self.space)
+        self._order = self.rng.permutation(n) if n <= _SHUFFLE_LIMIT else None
+        self._cursor = 0
+
+    def next_batch(self, batch_size: int) -> list[ConfigEntity]:
+        if self._order is None:
+            return self._random_unvisited(batch_size)
+        out: list[ConfigEntity] = []
+        while self._cursor < len(self._order) and len(out) < batch_size:
+            idx = int(self._order[self._cursor])
+            self._cursor += 1
+            if idx not in self.visited:
+                out.append(self.space.get(idx))
+        return out

@@ -1,0 +1,215 @@
+"""Command-line interface.
+
+Installed as the ``repro`` console script::
+
+    repro info                                  # list kernels, sizes, tuners
+    repro table1                                # regenerate Table 1
+    repro tune --kernel lu --size large --tuner ytopt --max-evals 100
+    repro experiment lu-large --evals 100 --csv results/lu-large.csv
+    repro ablation kappa
+
+All simulated experiments run against the calibrated Swing/A100 model and are
+fully reproducible via ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.common.errors import ReproError
+from repro.common.tabulate import format_table
+from repro.experiments import (
+    ALL_TUNERS,
+    EXPERIMENT_FIGURES,
+    min_runtime_table,
+    process_summary_table,
+    run_experiment,
+    run_tuner,
+    trajectory_csv,
+    format_tensor_size,
+)
+from repro.kernels import TABLE1_SPACE_SIZES, get_benchmark, list_benchmarks, space_size
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    rows = [
+        [k, s, f"{space_size(k, s):,}", len(get_benchmark(k, s).params)]
+        for k, s in list_benchmarks()
+    ]
+    print(format_table(rows, headers=["kernel", "size", "space", "params"],
+                       title="Benchmarks"))
+    print()
+    print("Tuners: " + ", ".join(ALL_TUNERS))
+    print("Experiments: " + ", ".join(EXPERIMENT_FIGURES))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    rows = []
+    ok = True
+    for (kernel, size), paper in sorted(TABLE1_SPACE_SIZES.items()):
+        measured = space_size(kernel, size)
+        ok &= measured == paper
+        rows.append([kernel, size, f"{paper:,}", f"{measured:,}",
+                     "match" if measured == paper else "MISMATCH"])
+    print(format_table(rows, headers=["kernel", "size", "paper", "measured", ""],
+                       title="Table 1: Parameter space for each application"))
+    return 0 if ok else 1
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    benchmark = get_benchmark(args.kernel, args.size)
+    run = run_tuner(
+        benchmark,
+        args.tuner,
+        max_evals=args.max_evals,
+        seed=args.seed,
+        xgb_trial_cap=None if args.no_xgb_cap else 56,
+    )
+    print(f"{run.tuner} on {benchmark.name}: best {run.best_runtime:.4g}s at "
+          f"{format_tensor_size(args.kernel, run.best_config)} "
+          f"({run.n_evals} evals, {run.total_time:,.0f}s process time)")
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write("eval,elapsed_s,runtime_s\n")
+            for i, (t, rt) in enumerate(run.trajectory):
+                fh.write(f"{i},{t:.3f},{rt:.6g}\n")
+        print(f"trajectory written to {args.csv}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    try:
+        kernel, size, figures = EXPERIMENT_FIGURES[args.name]
+    except KeyError:
+        print(f"unknown experiment {args.name!r}; known: "
+              f"{', '.join(EXPERIMENT_FIGURES)}", file=sys.stderr)
+        return 2
+    result = run_experiment(kernel, size, max_evals=args.evals, seed=args.seed)
+    print(f"{figures} — {kernel}/{size}")
+    print(process_summary_table(result))
+    print()
+    print(min_runtime_table(result))
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(trajectory_csv(result))
+        print(f"\ntrajectories written to {args.csv}")
+    return 0
+
+
+def _cmd_autoschedule(args: argparse.Namespace) -> int:
+    """Run the mini-AutoScheduler on a kernel's TE graph (swing-priced)."""
+    from repro.autoscheduler import SearchTask, TuningOptions, auto_schedule
+
+    if args.kernel == "3mm":
+        from repro.kernels.problem_sizes import problem_size
+        from repro.kernels.threemm import _threemm_graph
+
+        size = problem_size("3mm", args.size)
+
+        def builder():
+            A, B, C, D, _E, _F, G = _threemm_graph(size, "float64")
+            return [A, B, C, D, G]
+
+    else:
+        print("autoschedule currently supports --kernel 3mm", file=sys.stderr)
+        return 2
+    task = SearchTask(builder, name=f"{args.kernel}-{args.size}", target="swing")
+    result = auto_schedule(task, TuningOptions(n_trials=args.trials, seed=args.seed))
+    print(f"sketch parameters (auto-derived): {result.sketch.params}")
+    print(f"best annotation: {result.best_annotation}")
+    print(f"best modeled runtime: {result.best_cost:.4g}s "
+          f"(uncalibrated model units) over {result.n_trials} trials")
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.experiments import ablations
+
+    runners = {
+        "kappa": ablations.kappa_sweep,
+        "surrogate": ablations.surrogate_comparison,
+        "init": ablations.initial_points_sweep,
+        "measure": ablations.measure_option_ablation,
+        "autoscheduler": ablations.autoscheduler_comparison,
+    }
+    rows = runners[args.which](max_evals=args.evals, seed=args.seed)
+    print(format_table(
+        [[r.setting, f"{r.best_runtime:.4g}", f"{r.total_time:.1f}", r.n_evals]
+         for r in rows],
+        headers=["setting", "best runtime (s)", "process time (s)", "evals"],
+        title=f"Ablation: {args.which}",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TVM-style autotuning with Bayesian optimization "
+        "(SC 2023 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list benchmarks, tuners, experiments")
+    sub.add_parser("table1", help="regenerate Table 1")
+
+    p_tune = sub.add_parser("tune", help="run one tuner on one benchmark")
+    p_tune.add_argument("--kernel", required=True, choices=["3mm", "lu", "cholesky"])
+    p_tune.add_argument("--size", required=True,
+                        choices=["mini", "small", "medium", "large", "extralarge"])
+    p_tune.add_argument("--tuner", default="ytopt", choices=list(ALL_TUNERS))
+    p_tune.add_argument("--max-evals", type=int, default=100)
+    p_tune.add_argument("--seed", type=int, default=0)
+    p_tune.add_argument("--csv", help="write the evaluation trajectory here")
+    p_tune.add_argument("--no-xgb-cap", action="store_true",
+                        help="lift the paper's 56-evaluation XGB stall")
+
+    p_exp = sub.add_parser("experiment", help="run a full 5-tuner paper experiment")
+    p_exp.add_argument("name", help=f"one of: {', '.join(EXPERIMENT_FIGURES)}")
+    p_exp.add_argument("--evals", type=int, default=100)
+    p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument("--csv", help="write all trajectories here")
+
+    p_auto = sub.add_parser(
+        "autoschedule", help="run the mini-AutoScheduler (auto-generated space)"
+    )
+    p_auto.add_argument("--kernel", default="3mm", choices=["3mm"])
+    p_auto.add_argument("--size", default="extralarge",
+                        choices=["mini", "small", "medium", "large", "extralarge"])
+    p_auto.add_argument("--trials", type=int, default=64)
+    p_auto.add_argument("--seed", type=int, default=0)
+
+    p_abl = sub.add_parser("ablation", help="run a design-choice ablation")
+    p_abl.add_argument(
+        "which", choices=["kappa", "surrogate", "init", "measure", "autoscheduler"]
+    )
+    p_abl.add_argument("--evals", type=int, default=50)
+    p_abl.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "table1": _cmd_table1,
+    "tune": _cmd_tune,
+    "experiment": _cmd_experiment,
+    "autoschedule": _cmd_autoschedule,
+    "ablation": _cmd_ablation,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

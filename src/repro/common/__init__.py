@@ -1,0 +1,37 @@
+"""Shared utilities: errors, RNG handling, integer factorization, timing, tables.
+
+These helpers are deliberately dependency-light (NumPy only) and are used by every
+other subpackage.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    ScheduleError,
+    LoweringError,
+    ExecutionError,
+    SpaceError,
+    TuningError,
+)
+from repro.common.divisors import divisors, common_factors, split_candidates
+from repro.common.rng import ensure_rng, spawn_rng, stable_hash01, stable_hash_u64
+from repro.common.timing import Stopwatch, VirtualClock
+from repro.common.tabulate import format_table
+
+__all__ = [
+    "ReproError",
+    "ScheduleError",
+    "LoweringError",
+    "ExecutionError",
+    "SpaceError",
+    "TuningError",
+    "divisors",
+    "common_factors",
+    "split_candidates",
+    "ensure_rng",
+    "spawn_rng",
+    "stable_hash01",
+    "stable_hash_u64",
+    "Stopwatch",
+    "VirtualClock",
+    "format_table",
+]

@@ -1,0 +1,58 @@
+"""Integer factorization helpers used to build tiling-factor parameter spaces.
+
+The paper builds each tunable parameter's candidate list from the divisors of the
+loop extent being split ("we use the common factors of each matrix rank to define a
+set of candidate values for each tunable parameter").
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def divisors(n: int) -> list[int]:
+    """Return all positive divisors of ``n`` in ascending order.
+
+    >>> divisors(12)
+    [1, 2, 3, 4, 6, 12]
+    """
+    if n <= 0:
+        raise ValueError(f"divisors() requires a positive integer, got {n}")
+    small: list[int] = []
+    large: list[int] = []
+    limit = math.isqrt(n)
+    for d in range(1, limit + 1):
+        if n % d == 0:
+            small.append(d)
+            q = n // d
+            if q != d:
+                large.append(q)
+    large.reverse()
+    return small + large
+
+
+def common_factors(*extents: int) -> list[int]:
+    """Divisors of ``gcd(extents)`` — factors valid as tiles for every extent given.
+
+    >>> common_factors(8, 12)
+    [1, 2, 4]
+    """
+    if not extents:
+        raise ValueError("common_factors() requires at least one extent")
+    g = extents[0]
+    for e in extents[1:]:
+        g = math.gcd(g, e)
+    return divisors(g)
+
+
+def split_candidates(extent: int, max_factor: int | None = None) -> list[int]:
+    """Candidate split factors for a loop of the given extent.
+
+    All divisors of the extent, optionally truncated at ``max_factor``. Divisor
+    factors guarantee a perfect split (no remainder loop), matching the paper's
+    parameter spaces.
+    """
+    cands = divisors(extent)
+    if max_factor is not None:
+        cands = [c for c in cands if c <= max_factor]
+    return cands

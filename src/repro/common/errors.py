@@ -1,0 +1,30 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError`, so callers can catch one
+base type at the framework boundary (e.g. the tuning loop treats any ``ReproError``
+raised during compile/run of a candidate as a failed measurement rather than a crash).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ScheduleError(ReproError):
+    """Invalid schedule transformation (bad split factor, unknown axis, ...)."""
+
+
+class LoweringError(ReproError):
+    """The schedule could not be lowered to TIR (unsupported construct)."""
+
+
+class ExecutionError(ReproError):
+    """A lowered module failed to execute (shape mismatch, invalid config, ...)."""
+
+
+class SpaceError(ReproError):
+    """Invalid parameter-space definition or configuration."""
+
+
+class TuningError(ReproError):
+    """A tuner was misused (tell before ask, exhausted space, ...)."""

@@ -1,0 +1,47 @@
+"""Minimal plain-text table formatting for experiment reports.
+
+The benchmark harness prints the same rows the paper's tables/figures report;
+``format_table`` renders them without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Sequence[object]],
+    headers: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render rows (and optional headers/title) as an aligned ASCII table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    ncols = max((len(r) for r in str_rows), default=0)
+    if headers is not None:
+        ncols = max(ncols, len(headers))
+    # Pad ragged rows so alignment never throws.
+    str_rows = [r + [""] * (ncols - len(r)) for r in str_rows]
+    head = list(headers) + [""] * (ncols - len(headers)) if headers else None
+
+    widths = [0] * ncols
+    for r in ([head] if head else []) + str_rows:
+        for i, v in enumerate(r):
+            widths[i] = max(widths[i], len(v))
+
+    def fmt_row(r: Sequence[str]) -> str:
+        return "  ".join(v.ljust(w) for v, w in zip(r, widths)).rstrip()
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if head:
+        lines.append(fmt_row(head))
+        lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Wall-clock and virtual-clock helpers.
+
+The tuning loops account time through a clock object so the same code path serves
+both real execution (``Stopwatch`` over ``time.perf_counter``) and the simulated
+Swing backend (``VirtualClock`` advanced by modeled compile/run durations). This is
+what lets us reproduce the paper's "autotuning process time" comparison without the
+actual GPU cluster.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Measure real elapsed wall-clock time."""
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def restart(self) -> None:
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Seconds since construction or the last :meth:`restart`."""
+        return time.perf_counter() - self._start
+
+
+class VirtualClock:
+    """A manually advanced clock for simulated environments.
+
+    The Swing measurement backend advances this clock by its modeled compile and
+    run times; tuners read it to timestamp evaluations, producing "process time"
+    axes comparable to the paper's figures.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start at negative time: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock; returns the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance a clock by negative time: {seconds}")
+        self._now += seconds
+        return self._now
+
+    def elapsed(self) -> float:
+        """Alias so a VirtualClock can stand in for a Stopwatch."""
+        return self._now

@@ -1,0 +1,34 @@
+"""A from-scratch reimplementation of the ConfigSpace API subset ytopt uses.
+
+The paper defines its parameter spaces with ConfigSpace
+(``CSH.OrdinalHyperparameter`` over tiling-factor candidate lists); this package
+provides the same surface: hyperparameter types, a seeded
+:class:`ConfigurationSpace` with sampling, size computation, [0,1]-encoding for
+surrogate models, neighbor generation for local search, and equality/in
+conditions for hierarchical spaces.
+"""
+
+from repro.configspace.hyperparameters import (
+    Hyperparameter,
+    OrdinalHyperparameter,
+    CategoricalHyperparameter,
+    UniformIntegerHyperparameter,
+    UniformFloatHyperparameter,
+    Constant,
+)
+from repro.configspace.conditions import Condition, EqualsCondition, InCondition
+from repro.configspace.space import Configuration, ConfigurationSpace
+
+__all__ = [
+    "Hyperparameter",
+    "OrdinalHyperparameter",
+    "CategoricalHyperparameter",
+    "UniformIntegerHyperparameter",
+    "UniformFloatHyperparameter",
+    "Constant",
+    "Condition",
+    "EqualsCondition",
+    "InCondition",
+    "Configuration",
+    "ConfigurationSpace",
+]

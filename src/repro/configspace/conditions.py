@@ -1,0 +1,72 @@
+"""Hierarchical-space conditions (ConfigSpace ``EqualsCondition``/``InCondition``).
+
+A conditioned hyperparameter is *active* only when its parent's value satisfies
+the condition; inactive hyperparameters are absent from sampled configurations.
+The paper's tiling spaces are flat, but ytopt itself supports conditional spaces,
+so the clone does too (exercised by the hierarchical-space tests and the
+custom-kernel example).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.common.errors import SpaceError
+from repro.configspace.hyperparameters import Hyperparameter
+
+
+class Condition:
+    """Base: ``child`` is active iff the parent's value passes :meth:`satisfied`."""
+
+    def __init__(self, child: Hyperparameter, parent: Hyperparameter) -> None:
+        if child is parent:
+            raise SpaceError(f"hyperparameter {child.name} cannot condition itself")
+        self.child = child
+        self.parent = parent
+
+    def satisfied(self, parent_value: object) -> bool:
+        raise NotImplementedError
+
+
+class EqualsCondition(Condition):
+    """Active iff ``parent == value``."""
+
+    def __init__(self, child: Hyperparameter, parent: Hyperparameter, value: object) -> None:
+        super().__init__(child, parent)
+        if not parent.is_legal(value):
+            raise SpaceError(
+                f"EqualsCondition on {child.name}: {value!r} is not a legal value "
+                f"of parent {parent.name}"
+            )
+        self.value = value
+
+    def satisfied(self, parent_value: object) -> bool:
+        return parent_value == self.value
+
+    def __repr__(self) -> str:
+        return f"{self.child.name} | {self.parent.name} == {self.value!r}"
+
+
+class InCondition(Condition):
+    """Active iff ``parent in values``."""
+
+    def __init__(
+        self, child: Hyperparameter, parent: Hyperparameter, values: Sequence[object]
+    ) -> None:
+        super().__init__(child, parent)
+        vals = list(values)
+        if not vals:
+            raise SpaceError(f"InCondition on {child.name}: empty value set")
+        for v in vals:
+            if not parent.is_legal(v):
+                raise SpaceError(
+                    f"InCondition on {child.name}: {v!r} is not a legal value of "
+                    f"parent {parent.name}"
+                )
+        self.values = vals
+
+    def satisfied(self, parent_value: object) -> bool:
+        return parent_value in self.values
+
+    def __repr__(self) -> str:
+        return f"{self.child.name} | {self.parent.name} in {self.values!r}"

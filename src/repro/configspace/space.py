@@ -1,0 +1,242 @@
+"""ConfigurationSpace and Configuration.
+
+The space owns an ordered set of hyperparameters, optional conditions, and a
+seeded RNG. It samples configurations, validates them, reports the space size
+(the paper's Table 1 numbers come straight from ``space.size()``), encodes
+configurations to float vectors for surrogate models, and generates neighbor
+configurations for local search.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.common.errors import SpaceError
+from repro.common.rng import ensure_rng
+from repro.configspace.conditions import Condition
+from repro.configspace.hyperparameters import Hyperparameter
+
+#: Encoding slot for hyperparameters inactive under the space's conditions.
+INACTIVE = -1.0
+
+
+class Configuration(Mapping):
+    """An immutable assignment of values to (active) hyperparameters."""
+
+    def __init__(self, space: "ConfigurationSpace", values: Mapping[str, object]) -> None:
+        self.space = space
+        self._values = dict(values)
+        space.check_configuration(self._values)
+
+    def get_dictionary(self) -> dict[str, object]:
+        return dict(self._values)
+
+    def get_array(self) -> np.ndarray:
+        return self.space.encode(self._values)
+
+    def __getitem__(self, key: str) -> object:
+        return self._values[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Configuration):
+            return self._values == other._values
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted((k, repr(v)) for k, v in self._values.items())))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self._values.items()))
+        return f"Configuration({inner})"
+
+
+class ConfigurationSpace:
+    """An ordered collection of hyperparameters with optional conditions."""
+
+    def __init__(self, name: str = "space", seed: int | None = None) -> None:
+        self.name = name
+        self._rng = ensure_rng(seed)
+        self._params: dict[str, Hyperparameter] = {}
+        self._conditions: dict[str, Condition] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_hyperparameter(self, hp: Hyperparameter) -> Hyperparameter:
+        if hp.name in self._params:
+            raise SpaceError(f"hyperparameter {hp.name} already in space")
+        self._params[hp.name] = hp
+        return hp
+
+    def add_hyperparameters(self, hps: Sequence[Hyperparameter]) -> list[Hyperparameter]:
+        return [self.add_hyperparameter(hp) for hp in hps]
+
+    def add_condition(self, cond: Condition) -> Condition:
+        for hp in (cond.child, cond.parent):
+            if hp.name not in self._params or self._params[hp.name] is not hp:
+                raise SpaceError(
+                    f"condition references hyperparameter {hp.name} not in this space"
+                )
+        if cond.child.name in self._conditions:
+            raise SpaceError(f"hyperparameter {cond.child.name} already has a condition")
+        # Reject condition cycles by walking parents.
+        seen = {cond.child.name}
+        cur: Condition | None = cond
+        while cur is not None:
+            pname = cur.parent.name
+            if pname in seen:
+                raise SpaceError(f"condition cycle through {pname}")
+            seen.add(pname)
+            cur = self._conditions.get(pname)
+        self._conditions[cond.child.name] = cond
+        return cond
+
+    # -- introspection -----------------------------------------------------
+
+    def get_hyperparameters(self) -> list[Hyperparameter]:
+        return list(self._params.values())
+
+    def get_hyperparameter(self, name: str) -> Hyperparameter:
+        try:
+            return self._params[name]
+        except KeyError:
+            raise SpaceError(f"no hyperparameter named {name!r}") from None
+
+    def get_hyperparameter_names(self) -> list[str]:
+        return list(self._params)
+
+    def size(self) -> float:
+        """Number of distinct configurations (ignoring condition pruning, like
+        the paper's Table 1 which multiplies candidate-list lengths)."""
+        total = 1.0
+        for hp in self._params.values():
+            total *= hp.size()
+        return total
+
+    # -- activity / validation ---------------------------------------------
+
+    def _is_active(self, name: str, values: Mapping[str, object]) -> bool:
+        cond = self._conditions.get(name)
+        if cond is None:
+            return True
+        if not self._is_active(cond.parent.name, values):
+            return False
+        if cond.parent.name not in values:
+            return False
+        return cond.satisfied(values[cond.parent.name])
+
+    def check_configuration(self, values: Mapping[str, object]) -> None:
+        """Raise :class:`SpaceError` unless ``values`` is complete and legal."""
+        for name, value in values.items():
+            hp = self._params.get(name)
+            if hp is None:
+                raise SpaceError(f"unknown hyperparameter {name!r}")
+            if not self._is_active(name, values):
+                raise SpaceError(f"hyperparameter {name} is inactive but has a value")
+            if not hp.is_legal(value):
+                raise SpaceError(f"{name}: illegal value {value!r}")
+        for name in self._params:
+            if self._is_active(name, values) and name not in values:
+                raise SpaceError(f"active hyperparameter {name} missing a value")
+
+    # -- sampling ------------------------------------------------------------
+
+    def sample_configuration(self, size: int | None = None):
+        """Sample one Configuration (or a list when ``size`` is given)."""
+        if size is None:
+            return self._sample_one()
+        if size < 1:
+            raise SpaceError(f"sample size must be >= 1, got {size}")
+        return [self._sample_one() for _ in range(size)]
+
+    def _topo_order(self) -> list[str]:
+        """Hyperparameter names with every condition parent before its child."""
+        order: list[str] = []
+        visited: set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in visited:
+                return
+            visited.add(name)
+            cond = self._conditions.get(name)
+            if cond is not None:
+                visit(cond.parent.name)
+            order.append(name)
+
+        for n in self._params:
+            visit(n)
+        return order
+
+    def _sample_one(self) -> Configuration:
+        values: dict[str, object] = {}
+        for name in self._topo_order():
+            if self._is_active(name, values):
+                values[name] = self._params[name].sample(self._rng)
+        return Configuration(self, values)
+
+    def default_configuration(self) -> Configuration:
+        values = {
+            name: hp.default_value
+            for name, hp in self._params.items()
+        }
+        # Drop values of inactive children under the defaults.
+        active = {n: v for n, v in values.items() if self._is_active(n, values)}
+        return Configuration(self, active)
+
+    # -- encoding / neighbors -------------------------------------------------
+
+    def encode(self, values: Mapping[str, object]) -> np.ndarray:
+        """Encode to a float vector, one slot per hyperparameter in order.
+
+        Inactive hyperparameters encode as :data:`INACTIVE` (-1), outside the
+        [0, 1] range of active encodings so tree surrogates can split them apart.
+        """
+        out = np.empty(len(self._params), dtype=float)
+        for i, (name, hp) in enumerate(self._params.items()):
+            if name in values:
+                out[i] = hp.encode(values[name])
+            else:
+                out[i] = INACTIVE
+        return out
+
+    def encode_many(self, configs: Sequence[Mapping[str, object]]) -> np.ndarray:
+        return np.vstack([self.encode(c) for c in configs]) if configs else np.empty((0, len(self._params)))
+
+    def neighbors(
+        self, config: Mapping[str, object], rng: np.random.Generator, n_per_param: int = 2
+    ) -> list[Configuration]:
+        """One-parameter-changed neighbor configurations."""
+        out: list[Configuration] = []
+        for name, hp in self._params.items():
+            if name not in config:
+                continue
+            for nb in hp.neighbors(config[name], rng, n=n_per_param):
+                cand = dict(config)
+                cand[name] = nb
+                cand = {k: v for k, v in cand.items() if self._is_active(k, cand)}
+                # Re-activating a child without a value would be invalid; fill
+                # any newly active children with samples.
+                for missing in self._params:
+                    if self._is_active(missing, cand) and missing not in cand:
+                        cand[missing] = self._params[missing].sample(rng)
+                out.append(Configuration(self, cand))
+        return out
+
+    def seed(self, seed: int) -> None:
+        self._rng = ensure_rng(seed)
+
+    def __len__(self) -> int:
+        return len(self._params)
+
+    def __repr__(self) -> str:
+        sz = self.size()
+        sz_s = "inf" if math.isinf(sz) else f"{int(sz):,}"
+        return f"ConfigurationSpace({self.name!r}, {len(self._params)} params, size={sz_s})"

@@ -1,0 +1,48 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+:mod:`repro.experiments.runner` runs one (kernel, size) experiment with all
+five tuners under the simulated Swing backend; :mod:`repro.experiments.figures`
+formats the results as the paper's figures report them (per-evaluation process
+trajectories, minimum-runtime comparisons); :mod:`repro.experiments.ablations`
+adds the design-choice studies DESIGN.md calls out.
+"""
+
+from repro.experiments.runner import (
+    ALL_TUNERS,
+    TunerRun,
+    ExperimentResult,
+    run_tuner,
+    run_experiment,
+)
+from repro.experiments.stats import (
+    MultiSeedStudy,
+    area_under_best_curve,
+    run_multi_seed_study,
+    summarize_studies,
+)
+from repro.experiments.figures import (
+    EXPERIMENT_FIGURES,
+    min_runtime_table,
+    process_summary_table,
+    trajectory_csv,
+    ascii_trajectory,
+    format_tensor_size,
+)
+
+__all__ = [
+    "ALL_TUNERS",
+    "TunerRun",
+    "ExperimentResult",
+    "run_tuner",
+    "run_experiment",
+    "EXPERIMENT_FIGURES",
+    "min_runtime_table",
+    "process_summary_table",
+    "trajectory_csv",
+    "ascii_trajectory",
+    "format_tensor_size",
+    "MultiSeedStudy",
+    "area_under_best_curve",
+    "run_multi_seed_study",
+    "summarize_studies",
+]

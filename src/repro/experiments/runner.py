@@ -1,0 +1,180 @@
+"""Run the paper's tuning experiments: 5 tuners × (kernel, problem size).
+
+Protocol (paper §5): 100 evaluations per tuner; compare (a) the best kernel
+runtime each tuner finds and (b) the total autotuning process time. Each tuner
+gets a fresh virtual clock and an independently seeded search. Measurement
+semantics follow each system's defaults:
+
+* ytopt evaluates each selected configuration **once** (number=1, sequential
+  builds);
+* AutoTVM tuners measure in batches of 8 with a parallel builder and
+  ``number=3`` averaged runs per configuration (plus per-batch overhead);
+* AutoTVM-XGB is capped at :data:`PAPER_XGB_TRIAL_CAP` (56) evaluations,
+  reproducing the stall the paper reports.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.autotvm import (
+    GATuner,
+    GridSearchTuner,
+    Measurer,
+    RandomTuner,
+    XGBTuner,
+    measure_option,
+    task_from_benchmark,
+    PAPER_XGB_TRIAL_CAP,
+)
+from repro.common.errors import TuningError
+from repro.common.timing import VirtualClock
+from repro.core.framework import AutotuneConfig, BayesianAutotuner
+from repro.kernels.registry import KernelBenchmark, get_benchmark
+from repro.swing import SwingEvaluator, SwingPerformanceModel
+
+#: Display names, matching the paper's figure legends.
+ALL_TUNERS = (
+    "ytopt",
+    "AutoTVM-Random",
+    "AutoTVM-GridSearch",
+    "AutoTVM-GA",
+    "AutoTVM-XGB",
+)
+
+_AUTOTVM_CLASSES = {
+    "AutoTVM-Random": RandomTuner,
+    "AutoTVM-GridSearch": GridSearchTuner,
+    "AutoTVM-GA": GATuner,
+    "AutoTVM-XGB": XGBTuner,
+}
+
+
+@dataclass
+class TunerRun:
+    """One tuner's full autotuning run."""
+
+    tuner: str
+    kernel: str
+    size_name: str
+    best_config: dict[str, int]
+    best_runtime: float
+    n_evals: int
+    total_time: float
+    #: (process time at completion, measured runtime) per evaluation.
+    trajectory: list[tuple[float, float]] = field(default_factory=list)
+
+    def best_so_far(self) -> list[float]:
+        out: list[float] = []
+        cur = float("inf")
+        for _, rt in self.trajectory:
+            cur = min(cur, rt)
+            out.append(cur)
+        return out
+
+
+@dataclass
+class ExperimentResult:
+    """All tuner runs for one (kernel, problem size)."""
+
+    kernel: str
+    size_name: str
+    max_evals: int
+    runs: dict[str, TunerRun]
+
+    def winner(self) -> TunerRun:
+        """The run with the smallest best runtime (ties: fastest process time)."""
+        return min(self.runs.values(), key=lambda r: (r.best_runtime, r.total_time))
+
+    def fastest_process(self) -> TunerRun:
+        return min(self.runs.values(), key=lambda r: r.total_time)
+
+
+def _make_evaluator(
+    benchmark: KernelBenchmark,
+    for_autotvm: bool,
+    model: SwingPerformanceModel | None,
+    seed: int,
+) -> SwingEvaluator:
+    return SwingEvaluator(
+        benchmark.profile,
+        model=model
+        if model is not None
+        else SwingPerformanceModel(seed_tag=f"swing-v1-seed{seed}"),
+        clock=VirtualClock(),
+        number=3 if for_autotvm else 1,
+        compile_parallelism=8 if for_autotvm else 1,
+    )
+
+
+def run_tuner(
+    benchmark: KernelBenchmark,
+    tuner: str,
+    max_evals: int = 100,
+    seed: int = 0,
+    model: SwingPerformanceModel | None = None,
+    xgb_trial_cap: int | None = PAPER_XGB_TRIAL_CAP,
+) -> TunerRun:
+    """Run one tuner on one benchmark under the simulated Swing backend."""
+    if tuner == "ytopt":
+        evaluator = _make_evaluator(benchmark, for_autotvm=False, model=model, seed=seed)
+        bo = BayesianAutotuner(
+            benchmark.config_space(seed=seed),
+            evaluator,
+            config=AutotuneConfig(max_evals=max_evals, seed=seed),
+            name=benchmark.name,
+        )
+        result = bo.run()
+        return TunerRun(
+            tuner=tuner,
+            kernel=benchmark.kernel,
+            size_name=benchmark.size_name,
+            best_config=result.best_config,
+            best_runtime=result.best_runtime,
+            n_evals=result.n_evals,
+            total_time=result.total_elapsed,
+            trajectory=result.database.trajectory(),
+        )
+
+    cls = _AUTOTVM_CLASSES.get(tuner)
+    if cls is None:
+        raise TuningError(f"unknown tuner {tuner!r}; known: {ALL_TUNERS}")
+    evaluator = _make_evaluator(benchmark, for_autotvm=True, model=model, seed=seed)
+    task = task_from_benchmark(benchmark, evaluator)
+    if cls is XGBTuner:
+        t = XGBTuner(task, trial_cap=xgb_trial_cap, seed=seed)
+    else:
+        t = cls(task, seed=seed)
+    measurer = Measurer(evaluator, measure_option())
+    records = t.tune(n_trial=max_evals, measurer=measurer)
+    best_config, best_runtime = t.best()
+    return TunerRun(
+        tuner=tuner,
+        kernel=benchmark.kernel,
+        size_name=benchmark.size_name,
+        best_config={k: int(v) for k, v in best_config.items()},
+        best_runtime=best_runtime,
+        n_evals=len(records),
+        total_time=records[-1].timestamp if records else 0.0,
+        trajectory=[(r.timestamp, r.mean_cost if r.ok else float("inf")) for r in records],
+    )
+
+
+def run_experiment(
+    kernel: str,
+    size_name: str,
+    tuners: Sequence[str] = ALL_TUNERS,
+    max_evals: int = 100,
+    seed: int = 0,
+    xgb_trial_cap: int | None = PAPER_XGB_TRIAL_CAP,
+) -> ExperimentResult:
+    """Run all requested tuners on one (kernel, size) experiment."""
+    benchmark = get_benchmark(kernel, size_name)
+    runs = {
+        t: run_tuner(
+            benchmark, t, max_evals=max_evals, seed=seed, xgb_trial_cap=xgb_trial_cap
+        )
+        for t in tuners
+    }
+    return ExperimentResult(kernel=kernel, size_name=size_name, max_evals=max_evals, runs=runs)

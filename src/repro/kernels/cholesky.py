@@ -1,0 +1,117 @@
+"""PolyBench ``cholesky`` with TE-tuned trailing updates.
+
+Same structure as :mod:`repro.kernels.lu`: blocked right-looking Cholesky with
+the dominant trailing update ``A22 -= L21·L21ᵀ`` (a syrk) expressed as a TE
+stage carrying the paper's two tunable split factors (``P0``, ``P1``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+import repro.te as te
+from repro.common.errors import ExecutionError, SpaceError
+from repro.kernels.reference import cholesky_reference
+from repro.kernels.schedules import apply_split_reorder
+from repro.runtime.module import Module, build
+from repro.te.schedule import Schedule
+from repro.te.tensor import Tensor
+
+#: Tunable parameter names: P0 tiles the trailing update's rows, P1 its columns.
+CHOLESKY_PARAMS = ("P0", "P1")
+
+
+def cholesky_trailing_update_tuned(
+    rows: int,
+    depth: int,
+    params: Mapping[str, int],
+    dtype: str = "float64",
+    vectorize_inner: bool = True,
+) -> tuple[Schedule, Sequence[Tensor]]:
+    """TE graph for the syrk update ``NEW = TRAIL - L21·L21ᵀ``.
+
+    ``L21`` is (rows, depth); ``TRAIL``/``NEW`` are (rows, rows). Returns
+    ``(schedule, [L21, TRAIL, NEW])``.
+    """
+    for p in CHOLESKY_PARAMS:
+        if p not in params:
+            raise SpaceError(f"cholesky params missing {p!r}; expected {CHOLESKY_PARAMS}")
+    L21 = te.placeholder((rows, depth), name="L21", dtype=dtype)
+    TRAIL = te.placeholder((rows, rows), name="TRAIL", dtype=dtype)
+    k = te.reduce_axis((0, depth), name="k")
+    ACC = te.compute(
+        (rows, rows), lambda i, j: te.sum(L21[i, k] * L21[j, k], axis=k), name="ACC"
+    )
+    NEW = te.compute((rows, rows), lambda i, j: TRAIL[i, j] - ACC[i, j], name="NEW")
+    s = te.create_schedule(NEW.op)
+    apply_split_reorder(s[ACC], params["P0"], params["P1"], vectorize_inner)
+    if vectorize_inner:
+        s[NEW].vectorize(s[NEW].op.axis[1])
+    return s, [L21, TRAIL, NEW]
+
+
+class BlockedCholesky:
+    """Runnable blocked Cholesky using TE-compiled trailing updates.
+
+    Returns the lower-triangular factor L with ``A = L·Lᵀ``.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        params: Mapping[str, int],
+        panel: int = 8,
+        dtype: str = "float64",
+        target: str = "llvm",
+    ) -> None:
+        if n < 1:
+            raise ExecutionError(f"matrix size must be positive, got {n}")
+        if panel < 1:
+            raise ExecutionError(f"panel width must be positive, got {panel}")
+        for p in CHOLESKY_PARAMS:
+            if p not in params:
+                raise SpaceError(
+                    f"cholesky params missing {p!r}; expected {CHOLESKY_PARAMS}"
+                )
+        self.n = n
+        self.params = {k: int(v) for k, v in params.items()}
+        self.panel = min(panel, n)
+        self.dtype = dtype
+        self.target = target
+        self._modules: dict[tuple[int, int], Module] = {}
+
+    def _update_module(self, rows: int, depth: int) -> Module:
+        key = (rows, depth)
+        mod = self._modules.get(key)
+        if mod is None:
+            sched, args = cholesky_trailing_update_tuned(
+                rows, depth, self.params, dtype=self.dtype
+            )
+            mod = build(sched, args, target=self.target, name=f"chol_update_{rows}")
+            self._modules[key] = mod
+        return mod
+
+    def __call__(self, a: np.ndarray) -> np.ndarray:
+        if a.shape != (self.n, self.n):
+            raise ExecutionError(f"expected shape ({self.n}, {self.n}), got {a.shape}")
+        out = np.array(a, dtype=self.dtype, copy=True)
+        n, nb = self.n, self.panel
+        for k0 in range(0, n, nb):
+            e = min(k0 + nb, n)
+            # 1. Unblocked Cholesky of the diagonal block.
+            l11 = cholesky_reference(out[k0:e, k0:e])
+            out[k0:e, k0:e] = l11
+            if e == n:
+                break
+            # 2. L21 = A21 · L11⁻ᵀ (row-wise triangular solve).
+            out[e:, k0:e] = np.linalg.solve(l11, out[e:, k0:e].T).T
+            # 3. Trailing syrk update through the tuned TE module.
+            rows = n - e
+            mod = self._update_module(rows, e - k0)
+            trail = np.ascontiguousarray(out[e:, e:])
+            new = np.zeros_like(trail)
+            mod(np.ascontiguousarray(out[e:, k0:e]), trail, new)
+            out[e:, e:] = new
+        return np.tril(out)

@@ -1,0 +1,125 @@
+"""PolyBench datamining kernels: covariance and correlation.
+
+These go beyond the paper's linear-algebra set and exercise the compiler's
+multi-stage lowering harder: a reduction stage (column means), an elementwise
+centering stage, the O(N·M²) covariance matmul-like stage (the tuned one), and
+— for correlation — a sqrt-based normalization chain.
+
+Both expose the usual two tile knobs (``P0``/``P1``) on the dominant stage.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+import repro.te as te
+from repro.common.errors import SpaceError
+from repro.kernels.schedules import apply_split_reorder
+from repro.te.schedule import Schedule
+from repro.te.tensor import Tensor
+
+
+def covariance_reference(data: np.ndarray) -> np.ndarray:
+    """PolyBench covariance: ``cov[j,k] = Σ_i (d[i,j]-μ_j)(d[i,k]-μ_k)/(N-1)``."""
+    n = data.shape[0]
+    centered = data - data.mean(axis=0)
+    return centered.T @ centered / (n - 1.0)
+
+
+def correlation_reference(data: np.ndarray, eps: float = 0.1) -> np.ndarray:
+    """PolyBench correlation (stddev floored at ``eps``, as the C code does)."""
+    n = data.shape[0]
+    mean = data.mean(axis=0)
+    std = np.sqrt(((data - mean) ** 2).sum(axis=0) / n)
+    std = np.where(std <= eps, 1.0, std)
+    centered = (data - mean) / (np.sqrt(float(n)) * std)
+    return centered.T @ centered
+
+
+def _check_params(params: Mapping[str, int]) -> None:
+    for p in ("P0", "P1"):
+        if p not in params:
+            raise SpaceError(f"datamining kernel params missing {p!r}")
+
+
+def covariance_tuned(
+    n: int,
+    m: int,
+    params: Mapping[str, int],
+    dtype: str = "float64",
+    vectorize_inner: bool = True,
+) -> tuple[Schedule, Sequence[Tensor]]:
+    """TE covariance over an (N, M) data matrix; returns ``(sched, [DATA, COV])``."""
+    _check_params(params)
+    DATA = te.placeholder((n, m), name="DATA", dtype=dtype)
+    i1 = te.reduce_axis((0, n), name="i1")
+    MEAN = te.compute(
+        (m,), lambda j: te.sum(DATA[i1, j] / float(n), axis=i1), name="MEAN"
+    )
+    CENT = te.compute(
+        (n, m), lambda i, j: DATA[i, j] - MEAN[j], name="CENT"
+    )
+    i2 = te.reduce_axis((0, n), name="i2")
+    COV = te.compute(
+        (m, m),
+        lambda j, k: te.sum(CENT[i2, j] * CENT[i2, k] / (n - 1.0), axis=i2),
+        name="COV",
+    )
+    s = te.create_schedule(COV.op)
+    apply_split_reorder(s[COV], params["P0"], params["P1"], vectorize_inner)
+    if vectorize_inner:
+        s[CENT].vectorize(s[CENT].op.axis[1])
+    return s, [DATA, COV]
+
+
+def correlation_tuned(
+    n: int,
+    m: int,
+    params: Mapping[str, int],
+    eps: float = 0.1,
+    dtype: str = "float64",
+    vectorize_inner: bool = True,
+) -> tuple[Schedule, Sequence[Tensor]]:
+    """TE correlation over an (N, M) data matrix; returns ``(sched, [DATA, CORR])``."""
+    _check_params(params)
+    DATA = te.placeholder((n, m), name="DATA", dtype=dtype)
+    i1 = te.reduce_axis((0, n), name="i1")
+    MEAN = te.compute(
+        (m,), lambda j: te.sum(DATA[i1, j] / float(n), axis=i1), name="MEAN"
+    )
+    i2 = te.reduce_axis((0, n), name="i2")
+    VARSUM = te.compute(
+        (m,),
+        lambda j: te.sum(
+            (DATA[i2, j] - MEAN[j]) * (DATA[i2, j] - MEAN[j]) / float(n), axis=i2
+        ),
+        name="VARSUM",
+    )
+    STD = te.compute(
+        (m,),
+        lambda j: te.if_then_else(
+            te.sqrt(VARSUM[j]) <= eps, te.const(1.0, dtype), te.sqrt(VARSUM[j])
+        ),
+        name="STD",
+    )
+    import math
+
+    inv_sqrt_n = 1.0 / math.sqrt(float(n))
+    CENT = te.compute(
+        (n, m),
+        lambda i, j: (DATA[i, j] - MEAN[j]) * inv_sqrt_n / STD[j],
+        name="CENT",
+    )
+    i3 = te.reduce_axis((0, n), name="i3")
+    CORR = te.compute(
+        (m, m),
+        lambda j, k: te.sum(CENT[i3, j] * CENT[i3, k], axis=i3),
+        name="CORR",
+    )
+    s = te.create_schedule(CORR.op)
+    apply_split_reorder(s[CORR], params["P0"], params["P1"], vectorize_inner)
+    if vectorize_inner:
+        s[CENT].vectorize(s[CENT].op.axis[1])
+    return s, [DATA, CORR]

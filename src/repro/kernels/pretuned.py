@@ -1,0 +1,50 @@
+"""Pre-tuned configurations (the TopHub analogue).
+
+TVM ships community-tuned configurations so users get good performance without
+re-tuning; this module plays that role for the simulated Swing target. The
+entries are the best configurations found by full 100-evaluation ytopt runs of
+this repository's experiment harness (see EXPERIMENTS.md) — refresh them with
+``scripts/run_paper_experiments.py`` after model changes.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import TuningError
+from repro.kernels.registry import KernelBenchmark
+
+#: Best known configurations per (kernel, size) on the simulated Swing target.
+PRETUNED_CONFIGS: dict[tuple[str, str], dict[str, int]] = {
+    ("lu", "large"): {"P0": 80, "P1": 100},
+    ("lu", "extralarge"): {"P0": 80, "P1": 80},
+    ("cholesky", "large"): {"P0": 80, "P1": 80},
+    ("cholesky", "extralarge"): {"P0": 80, "P1": 80},
+    ("3mm", "large"): {"P0": 80, "P1": 50, "P2": 40, "P3": 80, "P4": 80, "P5": 80},
+    ("3mm", "extralarge"): {
+        "P0": 80, "P1": 100, "P2": 80, "P3": 96, "P4": 100, "P5": 96,
+    },
+}
+
+
+def pretuned_config(kernel: str, size_name: str) -> dict[str, int]:
+    """Best known configuration for a benchmark; raises if none is shipped."""
+    try:
+        return dict(PRETUNED_CONFIGS[(kernel, size_name)])
+    except KeyError:
+        raise TuningError(
+            f"no pretuned configuration for {kernel}/{size_name}; run the tuner"
+        ) from None
+
+
+def validate_pretuned(benchmark: KernelBenchmark) -> dict[str, int]:
+    """The benchmark's pretuned config, checked against its space."""
+    cfg = pretuned_config(benchmark.kernel, benchmark.size_name)
+    for name, value in cfg.items():
+        if name not in benchmark.candidates:
+            raise TuningError(
+                f"pretuned config for {benchmark.name} has unknown knob {name!r}"
+            )
+        if value not in benchmark.candidates[name]:
+            raise TuningError(
+                f"pretuned {name}={value} is not a candidate for {benchmark.name}"
+            )
+    return cfg

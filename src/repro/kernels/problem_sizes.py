@@ -1,0 +1,71 @@
+"""PolyBench 4.2 problem-size presets.
+
+The paper's case study uses LARGE and EXTRALARGE; MINI/SMALL/MEDIUM exist for
+tests and real-execution examples. Values are the PolyBench 4.2 defaults (the
+paper quotes LARGE/EXTRALARGE explicitly for all three kernels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ReproError
+
+
+@dataclass(frozen=True)
+class ThreeMMSize:
+    """3mm dimensions: A(N,L) B(L,M) C(M,O) D(O,P); G = (A·B)·(C·D) is (N,P)."""
+
+    n: int
+    l: int  # noqa: E741 - PolyBench's own name
+    m: int
+    o: int
+    p: int
+
+
+@dataclass(frozen=True)
+class SolverSize:
+    """LU / Cholesky operate on an N×N matrix."""
+
+    n: int
+
+
+PROBLEM_SIZES: dict[str, dict[str, object]] = {
+    "3mm": {
+        "mini": ThreeMMSize(16, 18, 20, 22, 24),
+        "small": ThreeMMSize(40, 50, 60, 70, 80),
+        "medium": ThreeMMSize(180, 190, 200, 210, 220),
+        "large": ThreeMMSize(800, 900, 1000, 1100, 1200),
+        "extralarge": ThreeMMSize(1600, 1800, 2000, 2200, 2400),
+    },
+    "lu": {
+        "mini": SolverSize(40),
+        "small": SolverSize(120),
+        "medium": SolverSize(400),
+        "large": SolverSize(2000),
+        "extralarge": SolverSize(4000),
+    },
+    "cholesky": {
+        "mini": SolverSize(40),
+        "small": SolverSize(120),
+        "medium": SolverSize(400),
+        "large": SolverSize(2000),
+        "extralarge": SolverSize(4000),
+    },
+}
+
+
+def problem_size(kernel: str, size: str):
+    """Look up a preset, with a helpful error for typos."""
+    try:
+        by_size = PROBLEM_SIZES[kernel]
+    except KeyError:
+        raise ReproError(
+            f"unknown kernel {kernel!r}; known: {sorted(PROBLEM_SIZES)}"
+        ) from None
+    try:
+        return by_size[size]
+    except KeyError:
+        raise ReproError(
+            f"unknown problem size {size!r} for {kernel}; known: {sorted(by_size)}"
+        ) from None

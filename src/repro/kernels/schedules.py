@@ -1,0 +1,82 @@
+"""Shared schedule recipes for the PolyBench kernels.
+
+Every kernel in the paper uses the same transformation: split both output axes
+of a matmul-like stage by tunable tile factors and reorder to
+``(yo, xo, k, yi, xi)``. :func:`apply_split_reorder` implements that recipe once.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ScheduleError
+from repro.te.schedule import Stage
+
+
+def clamp_factor(factor: int, extent: int) -> int:
+    """Clamp a tile factor to the axis extent (blocked drivers hit shrinking
+    trailing matrices, where the tuned factor can exceed the current extent)."""
+    if factor < 1:
+        raise ScheduleError(f"tile factor must be >= 1, got {factor}")
+    return min(int(factor), int(extent))
+
+
+def apply_gpu_tiling(
+    stage: Stage,
+    ty: int,
+    tx: int,
+) -> None:
+    """GPU-style 2-D tiling: outer tiles bound to blocks, inner to threads.
+
+    Produces the schedule a CUDA target would use — ``(blockIdx.y, blockIdx.x,
+    k, threadIdx.y, threadIdx.x)``. CPU executors run the bound loops
+    serially (same semantics); the Swing model reads the thread tags.
+    """
+    import repro.te as te
+
+    axes = stage.op.axis
+    reds = stage.op.reduce_axis
+    if len(axes) != 2 or len(reds) != 1:
+        raise ScheduleError(
+            f"apply_gpu_tiling expects a 2-D single-reduction stage, "
+            f"got {len(axes)} axes / {len(reds)} reduce axes on {stage.op.name}"
+        )
+    y, x = axes
+    k = reds[0]
+    ty = clamp_factor(ty, y.extent)
+    tx = clamp_factor(tx, x.extent)
+    yo, yi = stage.split(y, factor=ty)
+    xo, xi = stage.split(x, factor=tx)
+    stage.reorder(yo, xo, k, yi, xi)
+    stage.bind(yo, te.thread_axis(tag="blockIdx.y"))
+    stage.bind(xo, te.thread_axis(tag="blockIdx.x"))
+    stage.bind(yi, te.thread_axis(tag="threadIdx.y"))
+    stage.bind(xi, te.thread_axis(tag="threadIdx.x"))
+
+
+def apply_split_reorder(
+    stage: Stage,
+    ty: int,
+    tx: int,
+    vectorize_inner: bool = False,
+) -> None:
+    """The paper's schedule: split y by ``ty``, x by ``tx``, reorder
+    ``(yo, xo, k, yi, xi)``; optionally vectorize ``xi``.
+
+    The stage must be a 2-D compute with exactly one reduce axis (a matmul-like
+    stage) and must not have been transformed yet.
+    """
+    axes = stage.op.axis
+    reds = stage.op.reduce_axis
+    if len(axes) != 2 or len(reds) != 1:
+        raise ScheduleError(
+            f"apply_split_reorder expects a 2-D single-reduction stage, "
+            f"got {len(axes)} axes / {len(reds)} reduce axes on {stage.op.name}"
+        )
+    y, x = axes
+    k = reds[0]
+    ty = clamp_factor(ty, y.extent)
+    tx = clamp_factor(tx, x.extent)
+    yo, yi = stage.split(y, factor=ty)
+    xo, xi = stage.split(x, factor=tx)
+    stage.reorder(yo, xo, k, yi, xi)
+    if vectorize_inner:
+        stage.vectorize(xi)

@@ -1,0 +1,65 @@
+"""Tuning parameter spaces (the paper's Table 1).
+
+Candidate tiling factors are the divisors of the loop extent each parameter
+splits ("the common factors of each matrix rank"). Note the paper's printed 3mm
+ConfigSpace pairs P0 with the divisors of 2000 although axis ``y`` of stage E
+has extent 1600 (and symmetrically for P1/P2...): we bind each parameter to the
+divisors of the axis it actually splits. The space *sizes* are identical because
+the per-axis counts commute — asserted against Table 1 in the tests.
+"""
+
+from __future__ import annotations
+
+from repro.common.divisors import divisors
+from repro.common.errors import SpaceError
+from repro.configspace import ConfigurationSpace, OrdinalHyperparameter
+from repro.kernels.problem_sizes import SolverSize, ThreeMMSize, problem_size
+
+#: Paper Table 1: parameter-space size for each (kernel, problem size).
+TABLE1_SPACE_SIZES: dict[tuple[str, str], int] = {
+    ("3mm", "large"): 74_649_600,
+    ("3mm", "extralarge"): 228_614_400,
+    ("cholesky", "large"): 400,
+    ("cholesky", "extralarge"): 576,
+    ("lu", "large"): 400,
+    ("lu", "extralarge"): 576,
+}
+
+
+def param_candidates(kernel: str, size_name: str) -> dict[str, tuple[int, ...]]:
+    """Candidate values per tunable parameter for a (kernel, problem size)."""
+    size = problem_size(kernel, size_name)
+    if kernel == "3mm":
+        assert isinstance(size, ThreeMMSize)
+        # Stage E is (N, M), stage F is (M, P), stage G is (N, P).
+        return {
+            "P0": tuple(divisors(size.n)),
+            "P1": tuple(divisors(size.m)),
+            "P2": tuple(divisors(size.m)),
+            "P3": tuple(divisors(size.p)),
+            "P4": tuple(divisors(size.n)),
+            "P5": tuple(divisors(size.p)),
+        }
+    if kernel in ("lu", "cholesky"):
+        assert isinstance(size, SolverSize)
+        d = tuple(divisors(size.n))
+        return {"P0": d, "P1": d}
+    raise SpaceError(f"no parameter space defined for kernel {kernel!r}")
+
+
+def space_size(kernel: str, size_name: str) -> int:
+    """Total number of configurations (the Table 1 quantity)."""
+    total = 1
+    for cands in param_candidates(kernel, size_name).values():
+        total *= len(cands)
+    return total
+
+
+def build_config_space(
+    kernel: str, size_name: str, seed: int | None = None
+) -> ConfigurationSpace:
+    """The ytopt-side ConfigSpace: one OrdinalHyperparameter per parameter."""
+    cs = ConfigurationSpace(name=f"{kernel}-{size_name}", seed=seed)
+    for name, cands in param_candidates(kernel, size_name).items():
+        cs.add_hyperparameter(OrdinalHyperparameter(name, list(cands)))
+    return cs

@@ -1,0 +1,66 @@
+"""PolyBench ``3mm`` in the mini-TE language.
+
+``G = (A·B)·(C·D)`` with three matmul stages E, F, G. The six tunable split
+factors ``P0..P5`` tile the two output axes of each stage — exactly the code
+mold of the paper (Section 4), whose basic version fixes all six factors to 8.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import repro.te as te
+from repro.common.errors import SpaceError
+from repro.kernels.problem_sizes import ThreeMMSize
+from repro.kernels.schedules import apply_split_reorder
+from repro.te.schedule import Schedule
+from repro.te.tensor import Tensor
+
+#: Parameter names, in the paper's order: (P0,P1) tile stage E's (y,x),
+#: (P2,P3) tile stage F's (y,x), (P4,P5) tile stage G's (y,x).
+THREEMM_PARAMS = ("P0", "P1", "P2", "P3", "P4", "P5")
+
+
+def _threemm_graph(size: ThreeMMSize, dtype: str):
+    """Build the three-stage tensor graph; returns (A,B,C,D,E,F,G)."""
+    n, l, m, o, p = size.n, size.l, size.m, size.o, size.p
+    A = te.placeholder((n, l), name="A", dtype=dtype)
+    B = te.placeholder((l, m), name="B", dtype=dtype)
+    C = te.placeholder((m, o), name="C", dtype=dtype)
+    D = te.placeholder((o, p), name="D", dtype=dtype)
+    k = te.reduce_axis((0, l), name="k")
+    l_ax = te.reduce_axis((0, o), name="l_red")
+    m_ax = te.reduce_axis((0, m), name="m_red")
+    E = te.compute((n, m), lambda i, j: te.sum(A[i, k] * B[k, j], axis=k), name="E")
+    F = te.compute((m, p), lambda i, j: te.sum(C[i, l_ax] * D[l_ax, j], axis=l_ax), name="F")
+    G = te.compute((n, p), lambda i, j: te.sum(E[i, m_ax] * F[m_ax, j], axis=m_ax), name="G")
+    return A, B, C, D, E, F, G
+
+
+def threemm_basic(
+    size: ThreeMMSize, dtype: str = "float64", tile: int = 8
+) -> tuple[Schedule, Sequence[Tensor]]:
+    """The paper's ``3mm_basic``: every split factor fixed to ``tile`` (8)."""
+    return threemm_tuned(size, dict(zip(THREEMM_PARAMS, [tile] * 6)), dtype=dtype)
+
+
+def threemm_tuned(
+    size: ThreeMMSize,
+    params: Mapping[str, int],
+    dtype: str = "float64",
+    vectorize_inner: bool = True,
+) -> tuple[Schedule, Sequence[Tensor]]:
+    """The 3mm code mold instantiated with split factors ``P0..P5``.
+
+    Returns ``(schedule, [A, B, C, D, G])`` — the paper's signature. E and F
+    become local allocations in the lowered function.
+    """
+    missing = [p for p in THREEMM_PARAMS if p not in params]
+    if missing:
+        raise SpaceError(f"3mm params missing {missing}; expected {THREEMM_PARAMS}")
+    A, B, C, D, E, F, G = _threemm_graph(size, dtype)
+    s = te.create_schedule(G.op)
+    apply_split_reorder(s[E], params["P0"], params["P1"], vectorize_inner)
+    apply_split_reorder(s[F], params["P2"], params["P3"], vectorize_inner)
+    apply_split_reorder(s[G], params["P4"], params["P5"], vectorize_inner)
+    return s, [A, B, C, D, G]

@@ -1,0 +1,76 @@
+"""Random forest regressor with predictive uncertainty.
+
+ytopt's Bayesian optimizer uses a Random Forest surrogate; the LCB acquisition
+needs both a mean prediction and an uncertainty estimate. Here uncertainty is the
+standard deviation of per-tree predictions (the standard RF-as-surrogate recipe
+used by SMAC and scikit-optimize).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ReproError
+from repro.common.rng import ensure_rng, spawn_rng
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class RandomForestRegressor:
+    """Bootstrap-aggregated regression trees with per-tree variance."""
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: "int | float | str | None" = "sqrt",
+        bootstrap: bool = True,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ReproError(f"n_estimators must be >= 1, got {n_estimators}")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self._rng = ensure_rng(seed)
+        self.trees_: list[DecisionTreeRegressor] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2 or X.shape[0] != y.shape[0] or X.shape[0] == 0:
+            raise ReproError(f"bad training data shapes X={X.shape}, y={y.shape}")
+        n = X.shape[0]
+        self.trees_ = []
+        for _ in range(self.n_estimators):
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                seed=spawn_rng(self._rng),
+            )
+            if self.bootstrap:
+                idx = self._rng.integers(0, n, size=n)
+                tree.fit(X[idx], y[idx])
+            else:
+                tree.fit(X, y)
+            self.trees_.append(tree)
+        return self
+
+    def predict(
+        self, X: np.ndarray, return_std: bool = False
+    ) -> "np.ndarray | tuple[np.ndarray, np.ndarray]":
+        """Mean prediction; with ``return_std`` also the across-tree std."""
+        if not self.trees_:
+            raise ReproError("predict() called before fit()")
+        per_tree = np.stack([t.predict(X) for t in self.trees_], axis=0)
+        mean = per_tree.mean(axis=0)
+        if not return_std:
+            return mean
+        std = per_tree.std(axis=0)
+        return mean, std

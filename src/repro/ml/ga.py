@@ -1,0 +1,122 @@
+"""Genetic algorithm over integer index genomes (AutoTVM GATuner's engine).
+
+Genomes are vectors of knob indices (one gene per tunable knob, each gene in
+``[0, n_choices)``), mirroring AutoTVM: elite selection, uniform crossover with
+fitness-proportional parent sampling, and per-gene mutation. Fitness is
+*maximized*; tuners pass negative cost (or throughput).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.common.errors import ReproError, TuningError
+from repro.common.rng import ensure_rng
+
+
+class GeneticAlgorithm:
+    """Ask/tell steady-state GA.
+
+    ``ask()`` returns the next genome to evaluate; ``tell(genome, fitness)``
+    records the result. A new generation is bred whenever the current
+    population has been fully evaluated.
+    """
+
+    def __init__(
+        self,
+        gene_sizes: Sequence[int],
+        pop_size: int = 16,
+        elite_num: int = 3,
+        mutation_prob: float = 0.1,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> None:
+        if not gene_sizes:
+            raise ReproError("gene_sizes must be non-empty")
+        if any(g < 1 for g in gene_sizes):
+            raise ReproError(f"gene sizes must be >= 1: {list(gene_sizes)}")
+        if pop_size < 2:
+            raise ReproError(f"pop_size must be >= 2, got {pop_size}")
+        if not 0 <= elite_num <= pop_size:
+            raise ReproError(f"elite_num out of [0, {pop_size}]: {elite_num}")
+        if not 0.0 <= mutation_prob <= 1.0:
+            raise ReproError(f"mutation_prob out of [0, 1]: {mutation_prob}")
+        self.gene_sizes = [int(g) for g in gene_sizes]
+        self.pop_size = pop_size
+        self.elite_num = elite_num
+        self.mutation_prob = mutation_prob
+        self._rng = ensure_rng(seed)
+
+        self._population: list[tuple[int, ...]] = [
+            self._random_genome() for _ in range(pop_size)
+        ]
+        self._pending = list(self._population)
+        self._scores: dict[tuple[int, ...], float] = {}
+        self._asked: set[tuple[int, ...]] = set()
+        self.generation = 0
+
+    # -- API ------------------------------------------------------------
+
+    def ask(self) -> tuple[int, ...]:
+        """Next genome to evaluate (breeds a new generation when needed)."""
+        if not self._pending:
+            self._breed()
+        genome = self._pending.pop(0)
+        self._asked.add(genome)
+        return genome
+
+    def tell(self, genome: Sequence[int], fitness: float) -> None:
+        g = tuple(int(x) for x in genome)
+        if g not in self._asked:
+            raise TuningError(f"tell() for a genome never returned by ask(): {g}")
+        self._scores[g] = float(fitness)
+
+    def best(self) -> tuple[tuple[int, ...], float]:
+        if not self._scores:
+            raise TuningError("best() called before any tell()")
+        g = max(self._scores, key=lambda k: self._scores[k])
+        return g, self._scores[g]
+
+    # -- internals ----------------------------------------------------------
+
+    def _random_genome(self) -> tuple[int, ...]:
+        return tuple(int(self._rng.integers(g)) for g in self.gene_sizes)
+
+    def _breed(self) -> None:
+        scored = [(g, self._scores.get(g, float("-inf"))) for g in self._population]
+        scored.sort(key=lambda kv: kv[1], reverse=True)
+        elites = [g for g, _ in scored[: self.elite_num]]
+
+        fitness = np.array([max(s, -1e30) for _, s in scored], dtype=float)
+        # Shift to positive weights for roulette selection.
+        w = fitness - fitness.min() + 1e-12
+        if not np.isfinite(w).all() or w.sum() <= 0:
+            w = np.ones_like(w)
+        p = w / w.sum()
+
+        genomes = [g for g, _ in scored]
+        children: list[tuple[int, ...]] = []
+        while len(children) < self.pop_size - len(elites):
+            i, j = self._rng.choice(len(genomes), size=2, p=p)
+            child = self._crossover(genomes[int(i)], genomes[int(j)])
+            child = self._mutate(child)
+            children.append(child)
+
+        self._population = elites + children
+        self._pending = [g for g in self._population if g not in self._scores]
+        if not self._pending:
+            # Everything already evaluated (tiny spaces): force fresh mutants.
+            self._pending = [self._mutate(elites[0] if elites else self._random_genome())]
+        self.generation += 1
+
+    def _crossover(self, a: tuple[int, ...], b: tuple[int, ...]) -> tuple[int, ...]:
+        mask = self._rng.integers(0, 2, size=len(a)).astype(bool)
+        return tuple(x if m else y for x, y, m in zip(a, b, mask))
+
+    def _mutate(self, g: tuple[int, ...]) -> tuple[int, ...]:
+        out = list(g)
+        for i, size in enumerate(self.gene_sizes):
+            if self._rng.random() < self.mutation_prob:
+                out[i] = int(self._rng.integers(size))
+        return tuple(out)

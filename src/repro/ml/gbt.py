@@ -1,0 +1,89 @@
+"""Gradient-boosted regression trees (the XGBoost stand-in for XGBTuner).
+
+Squared-error boosting: each stage fits a shallow CART tree to the residuals and
+is added with shrinkage; optional row subsampling (stochastic gradient boosting)
+matches the behaviour AutoTVM's cost model relies on — ranking candidate
+configurations by predicted cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ReproError
+from repro.common.rng import ensure_rng, spawn_rng
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class GradientBoostedTreesRegressor:
+    """Additive ensemble of shallow regression trees, squared loss."""
+
+    def __init__(
+        self,
+        n_estimators: int = 60,
+        learning_rate: float = 0.15,
+        max_depth: int = 3,
+        subsample: float = 1.0,
+        min_samples_leaf: int = 1,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ReproError(f"n_estimators must be >= 1, got {n_estimators}")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ReproError(f"learning_rate out of (0, 1]: {learning_rate}")
+        if not 0.0 < subsample <= 1.0:
+            raise ReproError(f"subsample out of (0, 1]: {subsample}")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.subsample = subsample
+        self.min_samples_leaf = min_samples_leaf
+        self._rng = ensure_rng(seed)
+        self.init_: float = 0.0
+        self.trees_: list[DecisionTreeRegressor] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostedTreesRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2 or X.shape[0] != y.shape[0] or X.shape[0] == 0:
+            raise ReproError(f"bad training data shapes X={X.shape}, y={y.shape}")
+        n = X.shape[0]
+        self.init_ = float(y.mean())
+        pred = np.full(n, self.init_)
+        self.trees_ = []
+        for _ in range(self.n_estimators):
+            residual = y - pred
+            if self.subsample < 1.0 and n > 1:
+                m = max(1, int(round(self.subsample * n)))
+                idx = self._rng.choice(n, size=m, replace=False)
+            else:
+                idx = np.arange(n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                seed=spawn_rng(self._rng),
+            )
+            tree.fit(X[idx], residual[idx])
+            pred += self.learning_rate * tree.predict(X)
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self.trees_:
+            raise ReproError("predict() called before fit()")
+        X = np.asarray(X, dtype=float)
+        out = np.full(X.shape[0], self.init_)
+        for tree in self.trees_:
+            out += self.learning_rate * tree.predict(X)
+        return out
+
+    def staged_mse(self, X: np.ndarray, y: np.ndarray) -> list[float]:
+        """Training-curve helper: MSE after each boosting stage (for tests)."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        pred = np.full(X.shape[0], self.init_)
+        curve = []
+        for tree in self.trees_:
+            pred += self.learning_rate * tree.predict(X)
+            curve.append(float(np.mean((y - pred) ** 2)))
+        return curve

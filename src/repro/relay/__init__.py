@@ -1,0 +1,60 @@
+"""A mini Relay: graph-level IR, optimization passes, and lowering to TE.
+
+The paper's Figure 1 pipeline imports a model, optimizes it at graph level
+(Relay), partitions it with FuseOps, and lowers each subgraph to TE for
+operator-level tuning; its future work is tuning deep-learning models with the
+proposed BO framework. This package implements that path end to end for
+dense/MLP-style models:
+
+* :mod:`repro.relay.ir` — graph nodes (``var``/``const``/``dense``/
+  ``bias_add``/``relu``/``add``/``softmax``/``flatten``) and ``Function``;
+* :mod:`repro.relay.transform` — shape inference, constant folding, and the
+  FuseOps pass grouping each dense with its elementwise epilogue;
+* :mod:`repro.relay.build` — lowering fused groups to TE subgraphs, building
+  them with the mini compiler, and a ``GraphExecutor``;
+* :mod:`repro.relay.tune` — per-subgraph autotuning with the BO framework
+  (the future-work experiment; see ``examples/tune_mlp_model.py``).
+"""
+
+from repro.relay.ir import (
+    GraphNode,
+    Function,
+    var,
+    const,
+    dense,
+    conv2d,
+    max_pool2d,
+    bias_add,
+    relu,
+    add,
+    softmax,
+    flatten,
+)
+from repro.relay.transform import infer_shapes, fold_constants, fuse_ops, FusedGroup
+from repro.relay.build import build_function, GraphExecutor
+from repro.relay.tune import tune_function, TunedFunction
+from repro.relay.frontend import from_spec
+
+__all__ = [
+    "GraphNode",
+    "Function",
+    "var",
+    "const",
+    "dense",
+    "conv2d",
+    "max_pool2d",
+    "bias_add",
+    "relu",
+    "add",
+    "softmax",
+    "flatten",
+    "infer_shapes",
+    "fold_constants",
+    "fuse_ops",
+    "FusedGroup",
+    "build_function",
+    "GraphExecutor",
+    "tune_function",
+    "TunedFunction",
+    "from_spec",
+]

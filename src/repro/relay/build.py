@@ -1,0 +1,288 @@
+"""Lower fused groups to TE subgraphs and execute the whole function.
+
+This is the bottom half of the paper's Figure 1: after FuseOps partitions the
+model, each subgraph is expressed in TE, scheduled (tunable tiling for dense
+anchors), built with the mini compiler, and stitched back together by
+:class:`GraphExecutor`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+import repro.te as te
+from repro.common.errors import ReproError
+from repro.kernels.schedules import apply_split_reorder, clamp_factor
+from repro.relay.ir import Function, GraphNode
+from repro.relay.transform import FusedGroup, fuse_ops, infer_shapes
+from repro.runtime.module import Module, build
+from repro.te.schedule import Schedule
+from repro.te.tensor import Tensor
+
+#: Default dense tile sizes when a group has no tuned configuration.
+DEFAULT_TILE = 8
+
+
+def group_tile_params(group: FusedGroup) -> tuple[str, str]:
+    """The two tunable tile-parameter names of a dense group."""
+    return f"{group.name}.y", f"{group.name}.x"
+
+
+def lower_group(
+    group: FusedGroup,
+    tile_config: Mapping[str, int] | None = None,
+    dtype: str = "float64",
+) -> tuple[Schedule, Sequence[Tensor], list[GraphNode]]:
+    """Lower one fused group to (schedule, TE args, external input nodes).
+
+    The returned args are ``[*external_inputs, output]``.
+    """
+    tile_config = tile_config or {}
+    externals = group.external_inputs()
+    placeholders: dict[int, Tensor] = {}
+    for node in externals:
+        if node.shape is None:
+            raise ReproError(f"{node.name}: shape not inferred before lowering")
+        placeholders[id(node)] = te.placeholder(node.shape, name=node.name, dtype=dtype)
+
+    values: dict[int, Tensor] = dict(placeholders)
+    for node in group.nodes:
+        ins = [values[id(i)] for i in node.inputs]
+        values[id(node)] = _lower_node(node, ins)
+
+    out = values[id(group.output)]
+    sched = te.create_schedule(out.op)
+    _schedule_group(sched, group, values, tile_config)
+    args = [placeholders[id(n)] for n in externals] + [out]
+    return sched, args, externals
+
+
+def _lower_node(node: GraphNode, ins: list[Tensor]) -> Tensor:
+    if node.op == "dense":
+        x, w = ins
+        batch, in_features = x.shape
+        units = w.shape[0]
+        k = te.reduce_axis((0, in_features), name="k")
+        return te.compute(
+            (batch, units),
+            lambda i, j: te.sum(x[i, k] * w[j, k], axis=k),
+            name=node.name,
+        )
+    if node.op == "conv2d":
+        return _lower_conv2d(node, ins)
+    if node.op == "max_pool2d":
+        (x,) = ins
+        n, c, h, w = x.shape
+        ps = node.attrs["pool_size"]
+        s = node.attrs["strides"]
+        oh = (h - ps) // s + 1
+        ow = (w - ps) // s + 1
+        ky = te.reduce_axis((0, ps), name="ky")
+        kx = te.reduce_axis((0, ps), name="kx")
+        return te.compute(
+            (n, c, oh, ow),
+            lambda nn, cc, y, xx: te.max_reduce(
+                x[nn, cc, y * s + ky, xx * s + kx], [ky, kx]
+            ),
+            name=node.name,
+        )
+    if node.op == "bias_add":
+        x, b = ins
+        axis = node.attrs.get("axis", -1) % len(x.shape)
+
+        def _with_bias(*idx):
+            return x[tuple(idx)] + b[idx[axis]]
+
+        return te.compute(x.shape, _with_bias, name=node.name)
+    if node.op == "relu":
+        (x,) = ins
+        zero = te.const(0.0, x.dtype)
+        return te.compute(
+            x.shape,
+            lambda *idx: te.Max(x[tuple(idx)], zero),
+            name=node.name,
+        )
+    if node.op == "add":
+        a, b = ins
+        return te.compute(
+            a.shape, lambda *idx: a[tuple(idx)] + b[tuple(idx)], name=node.name
+        )
+    if node.op == "softmax":
+        (x,) = ins
+        batch, n = x.shape
+        k1 = te.reduce_axis((0, n), name="k1")
+        k2 = te.reduce_axis((0, n), name="k2")
+        mx = te.compute(
+            (batch,), lambda i: te.max_reduce(x[i, k1], k1), name=node.name + "_max"
+        )
+        ex = te.compute(
+            (batch, n), lambda i, j: te.exp(x[i, j] - mx[i]), name=node.name + "_exp"
+        )
+        sm = te.compute(
+            (batch,), lambda i: te.sum(ex[i, k2], axis=k2), name=node.name + "_sum"
+        )
+        return te.compute(
+            (batch, n), lambda i, j: ex[i, j] / sm[i], name=node.name
+        )
+    if node.op == "flatten":
+        (x,) = ins
+        batch = x.shape[0]
+        inner = int(np.prod(x.shape[1:])) if len(x.shape) > 1 else 1
+
+        def _index(i, j):
+            idx = [i]
+            rem = j
+            for extent in reversed(x.shape[1:]):
+                idx.append(rem % extent)
+                rem = rem // extent
+            return x[tuple([idx[0], *reversed(idx[1:])])]
+
+        return te.compute((batch, inner), _index, name=node.name)
+    raise ReproError(f"no TE lowering for graph op {node.op!r}")
+
+
+def _lower_conv2d(node: GraphNode, ins: list[Tensor]) -> Tensor:
+    """NCHW conv2d: optional zero-pad stage, then a direct-convolution compute.
+
+    Padding is expressed with a Select whose out-of-range reads are clamped —
+    both Select branches are evaluated eagerly, so the false-branch index must
+    stay in bounds.
+    """
+    x, w = ins
+    n, c, h, wdt = x.shape
+    o, _, kh, kw = w.shape
+    s = node.attrs["strides"]
+    p = node.attrs["padding"]
+    if p > 0:
+        ph, pw = h + 2 * p, wdt + 2 * p
+        zero = te.const(0.0, x.dtype)
+
+        def _padded(nn, cc, y, xx):
+            inside = te.And(
+                te.And(y >= p, y < h + p), te.And(xx >= p, xx < wdt + p)
+            )
+            safe_y = te.Max(te.Min(y - p, te.const(h - 1, "int32")), te.const(0, "int32"))
+            safe_x = te.Max(te.Min(xx - p, te.const(wdt - 1, "int32")), te.const(0, "int32"))
+            return te.Select(inside, x[nn, cc, safe_y, safe_x], zero)
+
+        x = te.compute((n, c, ph, pw), _padded, name=node.name + "_pad")
+        h, wdt = ph, pw
+    oh = (h - kh) // s + 1
+    ow = (wdt - kw) // s + 1
+    rc = te.reduce_axis((0, c), name="rc")
+    ry = te.reduce_axis((0, kh), name="ry")
+    rx = te.reduce_axis((0, kw), name="rx")
+    return te.compute(
+        (n, o, oh, ow),
+        lambda nn, oo, y, xx: te.sum(
+            x[nn, rc, y * s + ry, xx * s + rx] * w[oo, rc, ry, rx],
+            axis=[rc, ry, rx],
+        ),
+        name=node.name,
+    )
+
+
+def _schedule_group(
+    sched: Schedule,
+    group: FusedGroup,
+    values: dict[int, Tensor],
+    tile_config: Mapping[str, int],
+) -> None:
+    if group.anchor.op == "dense":
+        py, px = group_tile_params(group)
+        anchor_t = values[id(group.anchor)]
+        stage = sched[anchor_t]
+        batch, units = anchor_t.shape
+        ty = clamp_factor(int(tile_config.get(py, DEFAULT_TILE)), batch)
+        tx = clamp_factor(int(tile_config.get(px, DEFAULT_TILE)), units)
+        apply_split_reorder(stage, ty, tx, vectorize_inner=True)
+    elif group.anchor.op == "conv2d":
+        py, px = group_tile_params(group)
+        anchor_t = values[id(group.anchor)]
+        stage = sched[anchor_t]
+        _n, _o, oh, ow = anchor_t.shape
+        ty = clamp_factor(int(tile_config.get(py, DEFAULT_TILE)), oh)
+        tx = clamp_factor(int(tile_config.get(px, DEFAULT_TILE)), ow)
+        nn, oo, y, x = stage.op.axis
+        yo, yi = stage.split(y, factor=ty)
+        xo, xi = stage.split(x, factor=tx)
+        reds = stage.op.reduce_axis
+        stage.reorder(yo, xo, *reds, yi, xi)
+        stage.vectorize(xi)
+    # Fusion proper: middle epilogue stages inline into their consumer (no
+    # intermediate buffers); the group's output stage gets vectorized.
+    for node in group.epilogue[:-1]:
+        stage = sched[values[id(node)]]
+        if not stage.op.reduce_axis:
+            stage.compute_inline()
+    if group.epilogue:
+        last = sched[values[id(group.epilogue[-1])]]
+        if len(last.op.axis) >= 1 and not last.op.reduce_axis:
+            last.vectorize(last.op.axis[-1])
+
+
+class GraphExecutor:
+    """Runs a lowered Function: one built Module per fusion group."""
+
+    def __init__(
+        self,
+        func: Function,
+        groups: list[FusedGroup],
+        modules: list[Module],
+        group_externals: list[list[GraphNode]],
+        dtype: str = "float64",
+    ) -> None:
+        self.func = func
+        self.groups = groups
+        self.modules = modules
+        self.group_externals = group_externals
+        self.dtype = dtype
+
+    def run(self, **inputs: np.ndarray) -> np.ndarray:
+        """Execute with keyword inputs named after the function's vars."""
+        env: dict[int, np.ndarray] = {}
+        for p in self.func.params:
+            if p.name not in inputs:
+                raise ReproError(f"missing input {p.name!r}")
+            arr = np.ascontiguousarray(inputs[p.name], dtype=self.dtype)
+            if tuple(arr.shape) != p.shape:
+                raise ReproError(
+                    f"input {p.name}: expected shape {p.shape}, got {arr.shape}"
+                )
+            env[id(p)] = arr
+        extra = set(inputs) - {p.name for p in self.func.params}
+        if extra:
+            raise ReproError(f"unknown inputs {sorted(extra)}")
+
+        for node in self.func.nodes():
+            if node.op == "const":
+                env[id(node)] = np.ascontiguousarray(node.value, dtype=self.dtype)
+
+        for group, module, externals in zip(
+            self.groups, self.modules, self.group_externals
+        ):
+            out_node = group.output
+            out = np.zeros(out_node.shape, dtype=self.dtype)
+            module(*[env[id(n)] for n in externals], out)
+            env[id(out_node)] = out
+        return env[id(self.func.body)]
+
+
+def build_function(
+    func: Function,
+    tile_config: Mapping[str, int] | None = None,
+    target: str = "llvm",
+    dtype: str = "float64",
+) -> GraphExecutor:
+    """FuseOps + lower + build every group; returns a runnable executor."""
+    infer_shapes(func)
+    groups = fuse_ops(func)
+    modules: list[Module] = []
+    group_externals: list[list[GraphNode]] = []
+    for group in groups:
+        sched, args, externals = lower_group(group, tile_config, dtype=dtype)
+        modules.append(build(sched, args, target=target, name=group.name))
+        group_externals.append(externals)
+    return GraphExecutor(func, groups, modules, group_externals, dtype=dtype)

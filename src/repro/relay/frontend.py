@@ -1,0 +1,93 @@
+"""Model importer: build a graph Function from a declarative layer spec.
+
+The paper's Figure 1 starts with "models from popular deep learning
+frameworks". This is the corresponding front door: a framework-neutral,
+JSON-able layer list (the shape an ONNX/Keras converter would emit) turned
+into the mini-Relay IR.
+
+Spec format::
+
+    {
+      "input": {"name": "x", "shape": [4, 1, 16, 16]},
+      "layers": [
+        {"op": "conv2d",     "weight": "w1", "bias": "b1", "padding": 1},
+        {"op": "relu"},
+        {"op": "max_pool2d", "pool_size": 2},
+        {"op": "flatten"},
+        {"op": "dense",      "weight": "w2", "bias": "b2"},
+        {"op": "softmax"}
+      ]
+    }
+
+Weights are passed separately as a ``name -> ndarray`` mapping (the way
+checkpoint files are loaded). ``dense``/``conv2d`` layers accept an optional
+``bias`` key, expanded to the appropriately-axised ``bias_add``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.common.errors import ReproError
+from repro.relay import ir
+from repro.relay.ir import Function, GraphNode
+from repro.relay.transform import infer_shapes
+
+_LAYER_OPS = ("dense", "conv2d", "max_pool2d", "relu", "softmax", "flatten")
+
+
+def _weight(params: Mapping[str, np.ndarray], key: str, layer_idx: int) -> GraphNode:
+    if key not in params:
+        raise ReproError(f"layer {layer_idx}: missing weight {key!r} in params")
+    return ir.const(np.asarray(params[key]), name=key)
+
+
+def from_spec(
+    spec: Mapping,
+    params: Mapping[str, np.ndarray],
+) -> Function:
+    """Build a Function from a layer spec and a weight dictionary."""
+    try:
+        input_spec = spec["input"]
+        layers = spec["layers"]
+    except (KeyError, TypeError):
+        raise ReproError("spec must have 'input' and 'layers' entries") from None
+    x = ir.var(input_spec.get("name", "x"), tuple(input_spec["shape"]))
+
+    node: GraphNode = x
+    for idx, layer in enumerate(layers):
+        op = layer.get("op")
+        if op not in _LAYER_OPS:
+            raise ReproError(
+                f"layer {idx}: unknown op {op!r}; supported: {_LAYER_OPS}"
+            )
+        if op == "dense":
+            node = ir.dense(node, _weight(params, layer["weight"], idx))
+            if "bias" in layer:
+                node = ir.bias_add(node, _weight(params, layer["bias"], idx), axis=-1)
+        elif op == "conv2d":
+            node = ir.conv2d(
+                node,
+                _weight(params, layer["weight"], idx),
+                strides=int(layer.get("strides", 1)),
+                padding=int(layer.get("padding", 0)),
+            )
+            if "bias" in layer:
+                node = ir.bias_add(node, _weight(params, layer["bias"], idx), axis=1)
+        elif op == "max_pool2d":
+            node = ir.max_pool2d(
+                node,
+                pool_size=int(layer.get("pool_size", 2)),
+                strides=layer.get("strides"),
+            )
+        elif op == "relu":
+            node = ir.relu(node)
+        elif op == "softmax":
+            node = ir.softmax(node)
+        elif op == "flatten":
+            node = ir.flatten(node)
+    func = Function([x], node)
+    infer_shapes(func)  # fail fast on inconsistent specs
+    return func

@@ -1,0 +1,183 @@
+"""Graph-level IR nodes (the mini-Relay expression language).
+
+Nodes are immutable and form a DAG; shapes are inferred lazily by the
+``infer_shapes`` pass. The operator set covers MLP-style models — exactly what
+the paper's future work (ResNet/MobileNet being convolutional is out of scope
+for a CPU-only reproduction, but the tuning pipeline is operator-generic).
+
+Semantics follow Relay where they differ from NumPy: ``dense(x, w)`` computes
+``x · wᵀ`` with ``w`` of shape ``(units, in_features)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.common.errors import ReproError
+
+_OPS = (
+    "var",
+    "const",
+    "dense",
+    "conv2d",
+    "max_pool2d",
+    "bias_add",
+    "relu",
+    "add",
+    "softmax",
+    "flatten",
+)
+
+
+class GraphNode:
+    """One operation in the graph DAG."""
+
+    _counter = 0
+
+    def __init__(
+        self,
+        op: str,
+        inputs: Sequence["GraphNode"] = (),
+        name: str | None = None,
+        value: np.ndarray | None = None,
+        shape: tuple[int, ...] | None = None,
+        dtype: str = "float64",
+        attrs: dict | None = None,
+    ) -> None:
+        if op not in _OPS:
+            raise ReproError(f"unknown graph op {op!r}; known: {_OPS}")
+        GraphNode._counter += 1
+        self.op = op
+        self.inputs = tuple(inputs)
+        self.name = name if name is not None else f"{op}_{GraphNode._counter}"
+        self.value = value
+        self.shape = shape
+        self.dtype = dtype
+        self.attrs = dict(attrs or {})
+
+    def __repr__(self) -> str:
+        ins = ", ".join(i.name for i in self.inputs)
+        attrs = (
+            ", " + ", ".join(f"{k}={v}" for k, v in sorted(self.attrs.items()))
+            if self.attrs
+            else ""
+        )
+        shape = f" : {list(self.shape)}" if self.shape is not None else ""
+        return f"{self.name} = {self.op}({ins}{attrs}){shape}"
+
+
+class Function:
+    """A graph function: free variables (inputs) and one output node."""
+
+    def __init__(self, params: Sequence[GraphNode], body: GraphNode) -> None:
+        for p in params:
+            if p.op != "var":
+                raise ReproError(f"function parameter {p.name} must be a var")
+        self.params = tuple(params)
+        self.body = body
+        free = [n for n in post_order(body) if n.op == "var"]
+        missing = [n.name for n in free if n not in self.params]
+        if missing:
+            raise ReproError(f"free variables not listed as params: {missing}")
+
+    def nodes(self) -> list[GraphNode]:
+        """All nodes in topological (post-) order."""
+        return post_order(self.body)
+
+    def __repr__(self) -> str:
+        lines = [f"fn({', '.join(p.name for p in self.params)}):"]
+        lines += [f"  {n!r}" for n in self.nodes() if n.op != "var"]
+        lines.append(f"  return {self.body.name}")
+        return "\n".join(lines)
+
+
+def post_order(node: GraphNode) -> list[GraphNode]:
+    out: list[GraphNode] = []
+    seen: set[int] = set()
+
+    def visit(n: GraphNode) -> None:
+        if id(n) in seen:
+            return
+        seen.add(id(n))
+        for i in n.inputs:
+            visit(i)
+        out.append(n)
+
+    visit(node)
+    return out
+
+
+# -- builder API -------------------------------------------------------------
+
+
+def var(name: str, shape: Sequence[int], dtype: str = "float64") -> GraphNode:
+    """A free input variable."""
+    shp = tuple(int(s) for s in shape)
+    if any(s <= 0 for s in shp):
+        raise ReproError(f"var {name}: non-positive shape {shp}")
+    return GraphNode("var", name=name, shape=shp, dtype=dtype)
+
+
+def const(value: np.ndarray, name: str | None = None) -> GraphNode:
+    """An embedded constant (weights, biases)."""
+    arr = np.asarray(value)
+    return GraphNode(
+        "const", name=name, value=arr, shape=tuple(arr.shape), dtype=arr.dtype.name
+    )
+
+
+def dense(data: GraphNode, weight: GraphNode) -> GraphNode:
+    """``data · weightᵀ`` — weight shape (units, in_features), Relay convention."""
+    return GraphNode("dense", (data, weight))
+
+
+def conv2d(
+    data: GraphNode,
+    weight: GraphNode,
+    strides: int = 1,
+    padding: int = 0,
+) -> GraphNode:
+    """2-D convolution, NCHW data / OIHW weight (Relay's defaults)."""
+    if strides < 1:
+        raise ReproError(f"conv2d strides must be >= 1, got {strides}")
+    if padding < 0:
+        raise ReproError(f"conv2d padding must be >= 0, got {padding}")
+    return GraphNode(
+        "conv2d", (data, weight), attrs={"strides": strides, "padding": padding}
+    )
+
+
+def max_pool2d(data: GraphNode, pool_size: int = 2, strides: int | None = None) -> GraphNode:
+    """Max pooling over the two trailing (spatial) axes of an NCHW tensor."""
+    if pool_size < 1:
+        raise ReproError(f"pool_size must be >= 1, got {pool_size}")
+    s = strides if strides is not None else pool_size
+    if s < 1:
+        raise ReproError(f"pool strides must be >= 1, got {s}")
+    return GraphNode("max_pool2d", (data,), attrs={"pool_size": pool_size, "strides": s})
+
+
+def bias_add(data: GraphNode, bias: GraphNode, axis: int = -1) -> GraphNode:
+    """Add a 1-D bias along ``axis`` (-1 for dense outputs, 1 for NCHW)."""
+    return GraphNode("bias_add", (data, bias), attrs={"axis": axis})
+
+
+def relu(data: GraphNode) -> GraphNode:
+    return GraphNode("relu", (data,))
+
+
+def add(lhs: GraphNode, rhs: GraphNode) -> GraphNode:
+    """Elementwise addition of same-shape tensors."""
+    return GraphNode("add", (lhs, rhs))
+
+
+def softmax(data: GraphNode) -> GraphNode:
+    """Row-wise softmax over the last axis of a 2-D tensor."""
+    return GraphNode("softmax", (data,))
+
+
+def flatten(data: GraphNode) -> GraphNode:
+    """Collapse all axes but the first (batch) axis."""
+    return GraphNode("flatten", (data,))

@@ -1,0 +1,246 @@
+"""Graph-level passes: shape inference, constant folding, FuseOps.
+
+These are the "graph-level optimization passes" of the paper's Figure 1. The
+FuseOps pass partitions the graph the way TVM's does for this operator set:
+each ``dense`` anchors a group that absorbs its single-consumer elementwise
+epilogue (``bias_add``/``relu``/``add``); remaining ops form singleton groups.
+Each group later lowers to one TE subgraph.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ReproError
+from repro.relay.ir import Function, GraphNode, const
+
+_ELEMENTWISE = ("bias_add", "relu", "add")
+
+
+def infer_shapes(func: Function) -> None:
+    """Annotate every node's ``shape``; raises on inconsistency (in place)."""
+    for node in func.nodes():
+        if node.op in ("var", "const"):
+            if node.shape is None:
+                raise ReproError(f"{node.name}: var/const must carry a shape")
+            continue
+        ins = [i.shape for i in node.inputs]
+        if any(s is None for s in ins):
+            raise ReproError(f"{node.name}: input shape not inferred")
+        if node.op == "dense":
+            (b, k), (units, k2) = ins
+            if k != k2:
+                raise ReproError(
+                    f"{node.name}: dense in_features mismatch {k} vs {k2}"
+                )
+            node.shape = (b, units)
+        elif node.op == "conv2d":
+            data, weight = ins
+            if len(data) != 4 or len(weight) != 4:
+                raise ReproError(
+                    f"{node.name}: conv2d expects NCHW data and OIHW weight, "
+                    f"got {data} and {weight}"
+                )
+            n, c, h, w = data
+            o, c2, kh, kw = weight
+            if c != c2:
+                raise ReproError(f"{node.name}: conv2d channel mismatch {c} vs {c2}")
+            s = node.attrs["strides"]
+            p = node.attrs["padding"]
+            oh = (h + 2 * p - kh) // s + 1
+            ow = (w + 2 * p - kw) // s + 1
+            if oh < 1 or ow < 1:
+                raise ReproError(
+                    f"{node.name}: kernel {kh}x{kw} too large for input {h}x{w} "
+                    f"with padding {p}"
+                )
+            node.shape = (n, o, oh, ow)
+        elif node.op == "max_pool2d":
+            (data,) = ins
+            if len(data) != 4:
+                raise ReproError(f"{node.name}: max_pool2d expects NCHW, got {data}")
+            n, c, h, w = data
+            ps = node.attrs["pool_size"]
+            s = node.attrs["strides"]
+            oh = (h - ps) // s + 1
+            ow = (w - ps) // s + 1
+            if oh < 1 or ow < 1:
+                raise ReproError(f"{node.name}: pool {ps} too large for {h}x{w}")
+            node.shape = (n, c, oh, ow)
+        elif node.op == "bias_add":
+            data, bias = ins
+            axis = node.attrs.get("axis", -1) % len(data)
+            if len(bias) != 1 or bias[0] != data[axis]:
+                raise ReproError(
+                    f"{node.name}: bias shape {bias} incompatible with {data} "
+                    f"axis {axis}"
+                )
+            node.shape = data
+        elif node.op in ("relu", "softmax"):
+            node.shape = ins[0]
+            if node.op == "softmax" and len(ins[0]) != 2:
+                raise ReproError(f"{node.name}: softmax expects a 2-D tensor")
+        elif node.op == "add":
+            if ins[0] != ins[1]:
+                raise ReproError(f"{node.name}: add shape mismatch {ins}")
+            node.shape = ins[0]
+        elif node.op == "flatten":
+            s = ins[0]
+            node.shape = (s[0], int(math.prod(s[1:])) if len(s) > 1 else 1)
+        else:  # pragma: no cover - _OPS is closed
+            raise ReproError(f"{node.name}: no shape rule for {node.op}")
+
+
+def _np_conv2d(x: np.ndarray, w: np.ndarray, strides: int, padding: int) -> np.ndarray:
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    n, c, h, hw = x.shape
+    o, _, kh, kw = w.shape
+    oh = (h - kh) // strides + 1
+    ow = (hw - kw) // strides + 1
+    out = np.zeros((n, o, oh, ow), dtype=x.dtype)
+    for ky in range(kh):
+        for kx in range(kw):
+            patch = x[:, :, ky : ky + strides * oh : strides, kx : kx + strides * ow : strides]
+            out += np.einsum("nchw,oc->nohw", patch, w[:, :, ky, kx])
+    return out
+
+
+def _np_max_pool2d(x: np.ndarray, pool_size: int, strides: int) -> np.ndarray:
+    n, c, h, w = x.shape
+    oh = (h - pool_size) // strides + 1
+    ow = (w - pool_size) // strides + 1
+    out = np.full((n, c, oh, ow), -np.inf, dtype=x.dtype)
+    for ky in range(pool_size):
+        for kx in range(pool_size):
+            out = np.maximum(
+                out,
+                x[:, :, ky : ky + strides * oh : strides, kx : kx + strides * ow : strides],
+            )
+    return out
+
+
+def _np_bias_add(x: np.ndarray, b: np.ndarray, axis: int) -> np.ndarray:
+    shape = [1] * x.ndim
+    shape[axis % x.ndim] = b.shape[0]
+    return x + b.reshape(shape)
+
+
+def _numpy_eval(node: GraphNode, values: list[np.ndarray]) -> np.ndarray:
+    op = node.op
+    if op == "dense":
+        return values[0] @ values[1].T
+    if op == "conv2d":
+        return _np_conv2d(values[0], values[1], node.attrs["strides"], node.attrs["padding"])
+    if op == "max_pool2d":
+        return _np_max_pool2d(values[0], node.attrs["pool_size"], node.attrs["strides"])
+    if op == "bias_add":
+        return _np_bias_add(values[0], values[1], node.attrs.get("axis", -1))
+    if op == "relu":
+        return np.maximum(values[0], 0.0)
+    if op == "add":
+        return values[0] + values[1]
+    if op == "softmax":
+        e = np.exp(values[0] - values[0].max(axis=-1, keepdims=True))
+        return e / e.sum(axis=-1, keepdims=True)
+    if op == "flatten":
+        return values[0].reshape(values[0].shape[0], -1)
+    raise ReproError(f"no numpy evaluator for graph op {op!r}")
+
+
+def fold_constants(func: Function) -> Function:
+    """Evaluate subgraphs whose inputs are all constants (returns a new Function)."""
+    replace: dict[int, GraphNode] = {}
+    for node in func.nodes():
+        if node.op in ("var", "const"):
+            replace[id(node)] = node
+            continue
+        new_inputs = [replace[id(i)] for i in node.inputs]
+        if all(i.op == "const" for i in new_inputs):
+            value = _numpy_eval(node, [i.value for i in new_inputs])
+            replace[id(node)] = const(value, name=node.name + ".folded")
+        elif all(a is b for a, b in zip(new_inputs, node.inputs)):
+            replace[id(node)] = node
+        else:
+            clone = GraphNode(
+                node.op, new_inputs, name=node.name, dtype=node.dtype,
+                attrs=node.attrs,
+            )
+            clone.shape = node.shape
+            replace[id(node)] = clone
+    return Function(func.params, replace[id(func.body)])
+
+
+@dataclass
+class FusedGroup:
+    """A fusion group: one anchor plus absorbed elementwise epilogue ops."""
+
+    anchor: GraphNode
+    epilogue: list[GraphNode] = field(default_factory=list)
+
+    @property
+    def output(self) -> GraphNode:
+        return self.epilogue[-1] if self.epilogue else self.anchor
+
+    @property
+    def nodes(self) -> list[GraphNode]:
+        return [self.anchor, *self.epilogue]
+
+    @property
+    def name(self) -> str:
+        if self.epilogue:
+            suffix = "_".join(n.op for n in self.epilogue)
+            return f"fused_{self.anchor.op}_{suffix}_{self.anchor.name}"
+        return f"{self.anchor.op}_{self.anchor.name}"
+
+    @property
+    def is_tunable(self) -> bool:
+        return self.anchor.op in ("dense", "conv2d")
+
+    def external_inputs(self) -> list[GraphNode]:
+        """Inputs the group reads from outside itself, in first-use order."""
+        inside = {id(n) for n in self.nodes}
+        out: list[GraphNode] = []
+        for n in self.nodes:
+            for i in n.inputs:
+                if id(i) not in inside and all(i is not o for o in out):
+                    out.append(i)
+        return out
+
+
+def fuse_ops(func: Function) -> list[FusedGroup]:
+    """Partition into fusion groups (dense + single-consumer elementwise tail)."""
+    infer_shapes(func)
+    nodes = [n for n in func.nodes() if n.op not in ("var", "const")]
+    consumers: dict[int, list[GraphNode]] = {}
+    for n in nodes:
+        for i in n.inputs:
+            consumers.setdefault(id(i), []).append(n)
+
+    grouped: set[int] = set()
+    groups: list[FusedGroup] = []
+    for node in nodes:
+        if id(node) in grouped:
+            continue
+        group = FusedGroup(anchor=node)
+        grouped.add(id(node))
+        if node.op in ("dense", "conv2d"):
+            cur = node
+            while True:
+                next_ops = consumers.get(id(cur), [])
+                if (
+                    len(next_ops) == 1
+                    and next_ops[0].op in _ELEMENTWISE
+                    and id(next_ops[0]) not in grouped
+                    and cur is not func.body
+                ):
+                    cur = next_ops[0]
+                    group.epilogue.append(cur)
+                    grouped.add(id(cur))
+                else:
+                    break
+        groups.append(group)
+    return groups

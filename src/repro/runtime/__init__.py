@@ -1,0 +1,25 @@
+"""Runtime: build lowered functions into runnable modules, NDArray, targets.
+
+The analogue of TVM's ``tvm.build`` + runtime: :func:`build` lowers a schedule,
+runs the pass pipeline, and wraps the result in a :class:`Module` whose executor is
+chosen by the :class:`Target` (generated NumPy code for ``llvm``-style CPU targets,
+the reference interpreter for ``interp``).
+"""
+
+from repro.runtime.ndarray import NDArray, array, empty, zeros
+from repro.runtime.target import Target
+from repro.runtime.module import Module, build
+from repro.runtime.measure import MeasureResult, LocalEvaluator, Evaluator
+
+__all__ = [
+    "NDArray",
+    "array",
+    "empty",
+    "zeros",
+    "Target",
+    "Module",
+    "build",
+    "MeasureResult",
+    "LocalEvaluator",
+    "Evaluator",
+]

@@ -1,0 +1,156 @@
+"""Measurement abstractions shared by every tuner (ytopt and AutoTVM alike).
+
+A *schedule builder* is a callable ``params -> (Schedule, [Tensor])`` supplied by a
+kernel definition; an :class:`Evaluator` turns a parameter configuration into a
+:class:`MeasureResult`. Two implementations exist:
+
+* :class:`LocalEvaluator` (here) — really builds and runs the kernel on the CPU
+  executors and measures wall-clock time;
+* :class:`repro.swing.SwingEvaluator` — prices the lowered kernel with the
+  analytical Swing/A100 model and advances a virtual clock.
+
+Both charge time to a clock object, so "autotuning process time" (the paper's
+x-axis) is produced identically for real and simulated measurement.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ReproError
+from repro.common.rng import ensure_rng
+from repro.te.schedule import Schedule
+from repro.te.tensor import Tensor
+from repro.runtime.module import build
+
+ScheduleBuilder = Callable[[Mapping[str, int]], tuple[Schedule, Sequence[Tensor]]]
+
+#: Sentinel cost for failed measurements (matches AutoTVM's practice of
+#: recording a huge cost rather than dropping the trial).
+FAILED_COST = 1.0e10
+
+
+@dataclass
+class MeasureResult:
+    """Outcome of evaluating one configuration.
+
+    ``costs`` holds per-repeat kernel runtimes in seconds; ``compile_time`` the
+    build cost; ``timestamp`` the process-clock time when the evaluation finished
+    (virtual seconds under simulation). ``error`` is None on success.
+    """
+
+    config: dict[str, int]
+    costs: tuple[float, ...]
+    compile_time: float
+    timestamp: float
+    error: str | None = None
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def mean_cost(self) -> float:
+        if not self.ok or not self.costs:
+            return FAILED_COST
+        return float(np.mean(self.costs))
+
+    @property
+    def min_cost(self) -> float:
+        if not self.ok or not self.costs:
+            return FAILED_COST
+        return float(np.min(self.costs))
+
+
+class Evaluator:
+    """Interface: evaluate a parameter configuration, charge time to a clock."""
+
+    def evaluate(self, params: Mapping[str, int]) -> MeasureResult:
+        raise NotImplementedError
+
+    def elapsed(self) -> float:
+        """Process time spent so far (seconds; virtual under simulation)."""
+        raise NotImplementedError
+
+
+class LocalEvaluator(Evaluator):
+    """Build and run a kernel for real on the CPU executors.
+
+    Used by tests, the quickstart example, and any experiment small enough to
+    execute natively. Input buffers are filled with deterministic random data;
+    output buffers are zeroed.
+    """
+
+    def __init__(
+        self,
+        builder: ScheduleBuilder,
+        target: str = "llvm",
+        number: int = 1,
+        repeat: int = 1,
+        seed: int | None = 0,
+        validate: Callable[[Sequence[np.ndarray]], str | None] | None = None,
+    ) -> None:
+        if number < 1 or repeat < 1:
+            raise ReproError("LocalEvaluator requires number >= 1 and repeat >= 1")
+        self.builder = builder
+        self.target = target
+        self.number = number
+        self.repeat = repeat
+        self.seed = seed
+        self.validate = validate
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start
+
+    def evaluate(self, params: Mapping[str, int]) -> MeasureResult:
+        cfg = {k: int(v) for k, v in params.items()}
+        t0 = time.perf_counter()
+        try:
+            sched, args = self.builder(cfg)
+            mod = build(sched, args, target=self.target)
+        except ReproError as exc:
+            return MeasureResult(
+                config=cfg,
+                costs=(),
+                compile_time=time.perf_counter() - t0,
+                timestamp=self.elapsed(),
+                error=f"compile error: {exc}",
+            )
+        compile_time = time.perf_counter() - t0
+
+        rng = ensure_rng(self.seed)
+        buffers = [
+            rng.standard_normal(t.shape).astype(t.dtype)
+            if i < len(args) - 1
+            else np.zeros(t.shape, dtype=t.dtype)
+            for i, t in enumerate(args)
+        ]
+        try:
+            costs = []
+            for _ in range(self.repeat):
+                start = time.perf_counter()
+                for _ in range(self.number):
+                    mod(*buffers)
+                costs.append((time.perf_counter() - start) / self.number)
+            error = self.validate(buffers) if self.validate is not None else None
+        except ReproError as exc:
+            return MeasureResult(
+                config=cfg,
+                costs=(),
+                compile_time=compile_time,
+                timestamp=self.elapsed(),
+                error=f"runtime error: {exc}",
+            )
+        return MeasureResult(
+            config=cfg,
+            costs=tuple(costs),
+            compile_time=compile_time,
+            timestamp=self.elapsed(),
+            error=error,
+        )

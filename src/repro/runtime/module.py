@@ -1,0 +1,128 @@
+"""Build pipeline and runnable modules (the analogue of ``tvm.build``)."""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.common.errors import ExecutionError, ReproError
+from repro.te.schedule import Schedule
+from repro.te.tensor import Tensor
+from repro.tir.codegen_py import CodegenUnsupported, build_callable
+from repro.tir.interp import TIRInterpreter
+from repro.tir.lower import lower
+from repro.tir.stmt import PrimFunc
+from repro.tir.transform import simplify_func
+from repro.runtime.ndarray import NDArray
+from repro.runtime.target import Target
+
+
+class Module:
+    """A compiled function plus its lowered PrimFunc.
+
+    Call it with NDArrays or NumPy arrays (mutated in place for outputs), or use
+    :meth:`time_evaluator` for TVM-style repeated timing.
+    """
+
+    def __init__(self, func: PrimFunc, entry, target: Target, backend: str) -> None:
+        self.func = func
+        self._entry = entry
+        self.target = target
+        self.backend = backend  # "codegen" or "interp"
+
+    @property
+    def name(self) -> str:
+        return self.func.name
+
+    def __call__(self, *args: "NDArray | np.ndarray") -> None:
+        arrays = [a.view() if isinstance(a, NDArray) else np.asarray(a) for a in args]
+        if len(arrays) != len(self.func.params):
+            raise ExecutionError(
+                f"{self.name} expects {len(self.func.params)} arguments, got {len(arrays)}"
+            )
+        for buf, arr in zip(self.func.params, arrays):
+            if tuple(arr.shape) != buf.shape:
+                raise ExecutionError(
+                    f"{self.name}: argument {buf.name} expected shape {buf.shape}, "
+                    f"got {tuple(arr.shape)}"
+                )
+            if arr.dtype != np.dtype(buf.dtype):
+                raise ExecutionError(
+                    f"{self.name}: argument {buf.name} expected dtype {buf.dtype}, "
+                    f"got {arr.dtype.name}"
+                )
+        self._entry(*arrays)
+
+    def time_evaluator(self, number: int = 1, repeat: int = 1):
+        """Return a callable measuring mean execution time over runs.
+
+        Mirrors TVM's ``Module.time_evaluator``: the result object has ``.mean``
+        and ``.results`` (one mean per repeat).
+        """
+        if number < 1 or repeat < 1:
+            raise ReproError("time_evaluator requires number >= 1 and repeat >= 1")
+
+        def _timer(*args: "NDArray | np.ndarray") -> "TimingResult":
+            results = []
+            for _ in range(repeat):
+                start = time.perf_counter()
+                for _ in range(number):
+                    self(*args)
+                results.append((time.perf_counter() - start) / number)
+            return TimingResult(results)
+
+        return _timer
+
+    def __repr__(self) -> str:
+        return f"Module({self.name}, target={self.target.kind}, backend={self.backend})"
+
+
+class TimingResult:
+    """Per-repeat mean runtimes from a time evaluator."""
+
+    def __init__(self, results: Sequence[float]) -> None:
+        self.results = list(results)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.results))
+
+    @property
+    def min(self) -> float:
+        return float(np.min(self.results))
+
+    def __repr__(self) -> str:
+        return f"TimingResult(mean={self.mean:.6g}, n={len(self.results)})"
+
+
+def build(
+    sched: Schedule,
+    args: Sequence[Tensor],
+    target: "str | Target" = "llvm",
+    name: str = "main",
+) -> Module:
+    """Lower a schedule and produce a runnable :class:`Module`.
+
+    For the ``llvm`` target the Python/NumPy codegen is used, falling back to the
+    reference interpreter when the codegen cannot express the function. The
+    ``swing`` target cannot be built into an executable module (there is no GPU
+    here) — use :class:`repro.swing.SwingEvaluator` for simulated measurement.
+    """
+    tgt = Target(target)
+    if tgt.is_simulated:
+        raise ReproError(
+            "target 'swing' is measurement-simulated only; build with 'llvm' or "
+            "evaluate through repro.swing.SwingEvaluator"
+        )
+    func = simplify_func(lower(sched, args, name=name))
+    if tgt.kind == "interp":
+        return Module(func, TIRInterpreter(func), tgt, backend="interp")
+    try:
+        entry = build_callable(func)
+        backend = "codegen"
+    except CodegenUnsupported:
+        entry = TIRInterpreter(func)
+        backend = "interp"
+    return Module(func, entry, tgt, backend=backend)

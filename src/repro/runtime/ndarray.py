@@ -1,0 +1,69 @@
+"""NDArray: a thin TVM-style wrapper over NumPy arrays.
+
+Exists so user code reads like TVM user code (``tvm.nd.array(...)``); the wrapped
+array is always C-contiguous and owned.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.common.errors import ExecutionError
+
+
+class NDArray:
+    """A device array (always "cpu" in this reproduction)."""
+
+    __slots__ = ("_data", "device")
+
+    def __init__(self, data: np.ndarray, device: str = "cpu") -> None:
+        self._data = np.ascontiguousarray(data)
+        self.device = device
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(self._data.shape)
+
+    @property
+    def dtype(self) -> str:
+        return self._data.dtype.name
+
+    def numpy(self) -> np.ndarray:
+        """Return a copy as a plain NumPy array (TVM semantics)."""
+        return self._data.copy()
+
+    def asnumpy(self) -> np.ndarray:
+        """Deprecated TVM alias for :meth:`numpy`."""
+        return self.numpy()
+
+    def view(self) -> np.ndarray:
+        """The underlying array without copying (executors mutate in place)."""
+        return self._data
+
+    def copyfrom(self, source: "np.ndarray | NDArray") -> "NDArray":
+        src = source.view() if isinstance(source, NDArray) else np.asarray(source)
+        if src.shape != self._data.shape:
+            raise ExecutionError(
+                f"copyfrom: shape mismatch {src.shape} -> {self._data.shape}"
+            )
+        self._data[...] = src
+        return self
+
+    def __repr__(self) -> str:
+        return f"NDArray(shape={self.shape}, dtype={self.dtype}, device={self.device})"
+
+
+def array(data: "np.ndarray | Sequence", dtype: str | None = None) -> NDArray:
+    """Create an NDArray from array-like data."""
+    arr = np.asarray(data, dtype=dtype)
+    return NDArray(arr)
+
+
+def empty(shape: Sequence[int], dtype: str = "float32") -> NDArray:
+    return NDArray(np.empty(tuple(shape), dtype=dtype))
+
+
+def zeros(shape: Sequence[int], dtype: str = "float32") -> NDArray:
+    return NDArray(np.zeros(tuple(shape), dtype=dtype))

@@ -1,0 +1,52 @@
+"""Compilation targets.
+
+Three kinds exist in this reproduction:
+
+* ``llvm`` (alias ``cpu``) — generated NumPy code with interpreter fallback;
+* ``interp`` — force the reference interpreter (slow, for differential testing);
+* ``swing`` (alias ``cuda``) — the simulated Swing/A100 device. Modules cannot be
+  *executed* for this target; measurements go through
+  :class:`repro.swing.SwingEvaluator` which prices the lowered function with the
+  analytical model instead of running it.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ReproError
+
+_CANONICAL = {
+    "llvm": "llvm",
+    "cpu": "llvm",
+    "interp": "interp",
+    "swing": "swing",
+    "cuda": "swing",
+    "gpu": "swing",
+}
+
+
+class Target:
+    """A parsed target string, e.g. ``Target("llvm")``."""
+
+    def __init__(self, spec: "str | Target") -> None:
+        if isinstance(spec, Target):
+            self.kind = spec.kind
+            return
+        kind = _CANONICAL.get(str(spec).strip().lower())
+        if kind is None:
+            raise ReproError(
+                f"unknown target {spec!r}; expected one of {sorted(set(_CANONICAL))}"
+            )
+        self.kind = kind
+
+    @property
+    def is_simulated(self) -> bool:
+        return self.kind == "swing"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Target) and self.kind == other.kind
+
+    def __hash__(self) -> int:
+        return hash(self.kind)
+
+    def __repr__(self) -> str:
+        return f"Target({self.kind!r})"

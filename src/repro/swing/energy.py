@@ -1,0 +1,79 @@
+"""Energy model for the simulated A100 (the authors' ytopt energy work).
+
+The paper's framework optimizes runtime, but ytopt itself (reference [9],
+"Autotuning ... for Energy Efficiency at Large Scales") tunes energy too. This
+module extends the Swing model with a standard two-component GPU power model:
+
+    P(config) = P_idle + P_dynamic_max · utilization(config)
+
+where utilization is the tile efficiency the timing model already computes.
+Energy = P · runtime, and EDP (energy-delay product) = energy · runtime. Low
+-efficiency tilings burn less power but run far longer, so energy-optimal and
+runtime-optimal configurations differ — which is what makes the metric worth
+tuning (exercised by the energy ablation tests and example).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.common.errors import ReproError
+from repro.swing.model import SwingPerformanceModel
+from repro.swing.profile import KernelProfile
+
+#: Published A100 SXM power envelope.
+IDLE_WATTS = 55.0
+MAX_DYNAMIC_WATTS = 400.0 - IDLE_WATTS
+
+METRICS = ("runtime", "energy", "edp")
+
+
+class EnergyModel:
+    """Power/energy estimates on top of a :class:`SwingPerformanceModel`."""
+
+    def __init__(
+        self,
+        timing: SwingPerformanceModel | None = None,
+        idle_watts: float = IDLE_WATTS,
+        max_dynamic_watts: float = MAX_DYNAMIC_WATTS,
+    ) -> None:
+        if idle_watts < 0 or max_dynamic_watts <= 0:
+            raise ReproError("power parameters must be positive")
+        self.timing = timing if timing is not None else SwingPerformanceModel()
+        self.idle_watts = idle_watts
+        self.max_dynamic_watts = max_dynamic_watts
+
+    def utilization(self, profile: KernelProfile, params: Mapping[str, int]) -> float:
+        """Runtime-weighted mean tile efficiency across stages, in (0, 1]."""
+        total_t = 0.0
+        weighted = 0.0
+        for st in profile.stages:
+            ty, tx = st.tiles(params)
+            t = self.timing.stage_time(st, ty, tx, profile.dtype_bytes)
+            weighted += self.timing.tile_efficiency(st, ty, tx) * t
+            total_t += t
+        return max(1e-4, weighted / total_t)
+
+    def power(self, profile: KernelProfile, params: Mapping[str, int]) -> float:
+        """Average board power in watts while the kernel runs."""
+        return self.idle_watts + self.max_dynamic_watts * self.utilization(
+            profile, params
+        )
+
+    def measured(
+        self,
+        profile: KernelProfile,
+        params: Mapping[str, int],
+        metric: str = "energy",
+        run_index: int = 0,
+    ) -> float:
+        """Calibrated, noisy metric value: runtime (s), energy (J), or EDP (J·s)."""
+        if metric not in METRICS:
+            raise ReproError(f"unknown metric {metric!r}; expected one of {METRICS}")
+        runtime = self.timing.measured_time(profile, params, run_index=run_index)
+        if metric == "runtime":
+            return runtime
+        energy = self.power(profile, params) * runtime
+        if metric == "energy":
+            return energy
+        return energy * runtime

@@ -1,0 +1,104 @@
+"""Kernel profiles: what the Swing model needs to price a configuration.
+
+Each tuned kernel decomposes into matmul-like stages. A
+:class:`GemmStageProfile` records the stage's logical dimensions
+``(m, n, k)``, which tunable parameters tile its output rows/columns, a flop
+scale (1 for a full GEMM, 1/3 for LU's triangular update volume, 1/6 for
+Cholesky's), and how many kernel launches the stage costs (blocked solvers
+launch one update per panel step).
+
+Because each stage depends only on its own two parameters and stage times are
+additive, the *global* optimum over even the 228M-point 3mm space is computed
+exactly by minimizing each stage over its own small grid — which is how the
+model is calibrated to the paper's reported best runtimes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.common.errors import SpaceError
+
+
+@dataclass(frozen=True)
+class GemmStageProfile:
+    """One matmul-like stage of a kernel."""
+
+    name: str
+    m: int  # output rows
+    n: int  # output cols
+    k: int  # reduction depth
+    param_y: str  # tunable parameter tiling the rows
+    param_x: str  # tunable parameter tiling the cols
+    flops_scale: float = 1.0
+    launches: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.k) < 1:
+            raise SpaceError(f"stage {self.name}: non-positive dims {(self.m, self.n, self.k)}")
+        if self.flops_scale <= 0:
+            raise SpaceError(f"stage {self.name}: flops_scale must be positive")
+        if self.launches < 1:
+            raise SpaceError(f"stage {self.name}: launches must be >= 1")
+
+    @property
+    def flops(self) -> float:
+        return 2.0 * self.m * self.n * self.k * self.flops_scale
+
+    def tiles(self, params: Mapping[str, int]) -> tuple[int, int]:
+        """Extract (ty, tx) from a configuration, validating presence."""
+        try:
+            ty = int(params[self.param_y])
+            tx = int(params[self.param_x])
+        except KeyError as exc:
+            raise SpaceError(
+                f"stage {self.name}: configuration missing parameter {exc.args[0]!r}"
+            ) from None
+        if ty < 1 or tx < 1:
+            raise SpaceError(f"stage {self.name}: non-positive tiles ({ty}, {tx})")
+        return ty, tx
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """A full kernel: its stages, element width, and calibration target."""
+
+    kernel: str
+    size_name: str
+    stages: tuple[GemmStageProfile, ...]
+    dtype_bytes: int = 8
+    #: The paper's reported best runtime for this experiment (seconds), used to
+    #: scale the model's global optimum; None leaves the model unscaled.
+    paper_best: float | None = None
+    #: Candidate values per tunable parameter (the Table 1 lists); used both
+    #: for exact calibration and by tests.
+    param_candidates: dict[str, tuple[int, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise SpaceError(f"profile {self.kernel}/{self.size_name}: no stages")
+        for st in self.stages:
+            for p in (st.param_y, st.param_x):
+                if self.param_candidates and p not in self.param_candidates:
+                    raise SpaceError(
+                        f"profile {self.kernel}/{self.size_name}: stage {st.name} "
+                        f"uses parameter {p!r} with no candidate list"
+                    )
+
+    @property
+    def params(self) -> list[str]:
+        out: list[str] = []
+        for st in self.stages:
+            for p in (st.param_y, st.param_x):
+                if p not in out:
+                    out.append(p)
+        return out
+
+    def candidates(self, param: str) -> Sequence[int]:
+        try:
+            return self.param_candidates[param]
+        except KeyError:
+            raise SpaceError(
+                f"profile {self.kernel}/{self.size_name}: no candidates for {param!r}"
+            ) from None

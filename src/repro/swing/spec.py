@@ -1,0 +1,44 @@
+"""Hardware constants for the Swing cluster's A100 GPUs.
+
+Numbers are the public NVIDIA A100-40GB (SXM) specifications and the Swing node
+description from the paper (§5): 2× AMD EPYC 7742, 8× A100, 1 TB DDR per node,
+40 GB HBM per GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class A100Spec:
+    """A single NVIDIA A100-40GB SXM GPU."""
+
+    sm_count: int = 108
+    fp64_flops: float = 9.7e12  # FP64 FMA peak (non tensor-core)
+    fp32_flops: float = 19.5e12
+    hbm_bandwidth: float = 1.555e12  # bytes/s
+    l2_bytes: int = 40 * 1024 * 1024
+    shared_bytes_per_sm: int = 164 * 1024
+    max_threads_per_block: int = 1024
+    kernel_launch_overhead: float = 4.0e-6  # seconds
+    hbm_bytes: int = 40 * 1024**3
+
+    def peak_flops(self, dtype_bytes: int) -> float:
+        """Peak arithmetic throughput for the given element width."""
+        return self.fp64_flops if dtype_bytes >= 8 else self.fp32_flops
+
+
+@dataclass(frozen=True)
+class SwingNodeSpec:
+    """One Swing compute node (the paper tunes on a single GPU of one node)."""
+
+    gpus_per_node: int = 8
+    gpu: A100Spec = A100Spec()
+    cpu_sockets: int = 2
+    cpu_cores_per_socket: int = 64
+    ddr_bytes: int = 1024**4  # 1 TB
+
+
+A100_SPEC = A100Spec()
+SWING_NODE = SwingNodeSpec()

@@ -1,0 +1,135 @@
+"""A from-scratch mini Tensor Expression (TE) language.
+
+This subpackage reimplements the subset of Apache TVM's TE API that the paper uses
+(and a bit more): ``placeholder``/``compute``/``reduce_axis`` tensor declarations,
+expression building with operator overloading, and schedules with
+``split``/``tile``/``reorder``/``fuse``/``unroll``/``vectorize``/``parallel``/``bind``
+primitives. Schedules lower to a loop-nest TIR (see :mod:`repro.tir`) and run on the
+executors in :mod:`repro.runtime`.
+
+Example
+-------
+>>> import repro.te as te
+>>> A = te.placeholder((8, 8), name="A")
+>>> B = te.placeholder((8, 8), name="B")
+>>> k = te.reduce_axis((0, 8), name="k")
+>>> C = te.compute((8, 8), lambda i, j: te.sum(A[i, k] * B[k, j], axis=k), name="C")
+>>> s = te.create_schedule(C.op)
+>>> yo, yi = s[C].split(C.op.axis[0], factor=4)
+"""
+
+from repro.te.expr import (
+    Expr,
+    Var,
+    IntImm,
+    FloatImm,
+    StringImm,
+    Cast,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    FloorDiv,
+    FloorMod,
+    Min,
+    Max,
+    EQ,
+    NE,
+    LT,
+    LE,
+    GT,
+    GE,
+    And,
+    Or,
+    Not,
+    Select,
+    Call,
+    Reduce,
+    ProducerLoad,
+    const,
+    min_value,
+    max_value,
+    substitute,
+    post_order_visit,
+    structural_equal,
+    all_vars,
+    sqrt,
+    exp,
+    log,
+    abs_,
+    if_then_else,
+)
+from repro.te.tensor import (
+    Tensor,
+    Operation,
+    PlaceholderOp,
+    ComputeOp,
+    IterVar,
+    Range,
+    placeholder,
+    compute,
+    reduce_axis,
+    thread_axis,
+    sum as sum,  # noqa: PLC0414 — re-export under the TVM name
+    max_reduce,
+    min_reduce,
+)
+from repro.te.schedule import Schedule, Stage, create_schedule
+
+__all__ = [
+    "Expr",
+    "Var",
+    "IntImm",
+    "FloatImm",
+    "StringImm",
+    "Cast",
+    "Add",
+    "Sub",
+    "Mul",
+    "Div",
+    "FloorDiv",
+    "FloorMod",
+    "Min",
+    "Max",
+    "EQ",
+    "NE",
+    "LT",
+    "LE",
+    "GT",
+    "GE",
+    "And",
+    "Or",
+    "Not",
+    "Select",
+    "Call",
+    "Reduce",
+    "ProducerLoad",
+    "const",
+    "min_value",
+    "max_value",
+    "substitute",
+    "post_order_visit",
+    "structural_equal",
+    "all_vars",
+    "sqrt",
+    "exp",
+    "log",
+    "abs_",
+    "if_then_else",
+    "Tensor",
+    "Operation",
+    "PlaceholderOp",
+    "ComputeOp",
+    "IterVar",
+    "Range",
+    "placeholder",
+    "compute",
+    "reduce_axis",
+    "thread_axis",
+    "sum",
+    "max_reduce",
+    "min_reduce",
+    "Schedule",
+    "Stage",
+    "create_schedule",
+]

@@ -1,0 +1,616 @@
+"""Expression AST for the mini tensor-expression language.
+
+Expressions are immutable trees built through Python operator overloading, mirroring
+TVM's ``tir.PrimExpr`` hierarchy. Because ``__eq__`` is overloaded to *build* an
+``EQ`` node, structural comparison goes through :func:`structural_equal` and hashing
+is by identity.
+
+dtypes are plain strings (``"float32"``, ``"float64"``, ``"int32"``, ``"bool"``);
+arithmetic dtype promotion follows NumPy's result types for those pairs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.common.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.te.tensor import IterVar, Tensor
+
+_INT_DTYPES = {"int8", "int16", "int32", "int64"}
+_FLOAT_DTYPES = {"float16", "float32", "float64"}
+VALID_DTYPES = _INT_DTYPES | _FLOAT_DTYPES | {"bool"}
+
+
+def _promote(a: str, b: str) -> str:
+    """C-style dtype promotion (as TVM does): float beats int at the float's
+    own width; same-kind pairs promote to the wider type."""
+    if a == b:
+        return a
+    a_float = a in _FLOAT_DTYPES
+    b_float = b in _FLOAT_DTYPES
+    if a_float and not b_float:
+        return a
+    if b_float and not a_float:
+        return b
+    result = np.promote_types(a, b).name
+    if result not in VALID_DTYPES:
+        raise ReproError(f"unsupported promoted dtype {result} from {a}, {b}")
+    return result
+
+
+class Expr:
+    """Base class of all expression nodes.
+
+    Subclasses set ``dtype`` in their constructor. Operator overloads wrap Python
+    numbers via :func:`const` with the dtype of the other operand.
+    """
+
+    dtype: str = "float32"
+
+    # -- arithmetic ------------------------------------------------------
+    def __add__(self, other: "Expr | float | int") -> "Expr":
+        return Add(self, _wrap(other, self.dtype))
+
+    def __radd__(self, other: "Expr | float | int") -> "Expr":
+        return Add(_wrap(other, self.dtype), self)
+
+    def __sub__(self, other: "Expr | float | int") -> "Expr":
+        return Sub(self, _wrap(other, self.dtype))
+
+    def __rsub__(self, other: "Expr | float | int") -> "Expr":
+        return Sub(_wrap(other, self.dtype), self)
+
+    def __mul__(self, other: "Expr | float | int") -> "Expr":
+        return Mul(self, _wrap(other, self.dtype))
+
+    def __rmul__(self, other: "Expr | float | int") -> "Expr":
+        return Mul(_wrap(other, self.dtype), self)
+
+    def __truediv__(self, other: "Expr | float | int") -> "Expr":
+        return Div(self, _wrap(other, self.dtype))
+
+    def __rtruediv__(self, other: "Expr | float | int") -> "Expr":
+        return Div(_wrap(other, self.dtype), self)
+
+    def __floordiv__(self, other: "Expr | float | int") -> "Expr":
+        return FloorDiv(self, _wrap(other, self.dtype))
+
+    def __rfloordiv__(self, other: "Expr | float | int") -> "Expr":
+        return FloorDiv(_wrap(other, self.dtype), self)
+
+    def __mod__(self, other: "Expr | float | int") -> "Expr":
+        return FloorMod(self, _wrap(other, self.dtype))
+
+    def __neg__(self) -> "Expr":
+        return Sub(const(0, self.dtype), self)
+
+    # -- comparisons (build nodes, do NOT compare structurally) ----------
+    def __eq__(self, other: object) -> "Expr":  # type: ignore[override]
+        return EQ(self, _wrap(other, self.dtype))
+
+    def __ne__(self, other: object) -> "Expr":  # type: ignore[override]
+        return NE(self, _wrap(other, self.dtype))
+
+    def __lt__(self, other: "Expr | float | int") -> "Expr":
+        return LT(self, _wrap(other, self.dtype))
+
+    def __le__(self, other: "Expr | float | int") -> "Expr":
+        return LE(self, _wrap(other, self.dtype))
+
+    def __gt__(self, other: "Expr | float | int") -> "Expr":
+        return GT(self, _wrap(other, self.dtype))
+
+    def __ge__(self, other: "Expr | float | int") -> "Expr":
+        return GE(self, _wrap(other, self.dtype))
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def same_as(self, other: "Expr") -> bool:
+        """Reference equality (TVM naming)."""
+        return self is other
+
+    def children(self) -> tuple["Expr", ...]:
+        """Direct sub-expressions, used by the generic visitors."""
+        return ()
+
+    def rebuild_with(self, children: tuple["Expr", ...]) -> "Expr":
+        """Rebuild this node with new children (same order as :meth:`children`).
+
+        Leaf nodes return themselves; rewriting passes (substitution,
+        simplification, load conversion) use this to stay generic over node
+        types, including TIR extensions like ``BufferLoad``.
+        """
+        if children:
+            raise ReproError(
+                f"{type(self).__name__}.rebuild_with expected no children"
+            )
+        return self
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "Expr cannot be used in a boolean context (did you mean "
+            "structural_equal()? `==` builds an EQ expression node)"
+        )
+
+
+def _wrap(value: "Expr | float | int | bool", dtype_hint: str) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    # IterVars are usable directly in arithmetic (TVM ergonomics); unwrap to
+    # the underlying Var. Duck-typed to avoid an import cycle with te.tensor.
+    inner = getattr(value, "var", None)
+    if isinstance(inner, Var):
+        return inner
+    return const(value, dtype_hint)
+
+
+def const(value: float | int | bool, dtype: str | None = None) -> Expr:
+    """Build an immediate of the given (or inferred) dtype."""
+    if dtype is None:
+        if isinstance(value, bool):
+            dtype = "bool"
+        elif isinstance(value, int):
+            dtype = "int32"
+        else:
+            dtype = "float32"
+    if dtype not in VALID_DTYPES:
+        raise ReproError(f"invalid dtype {dtype!r}")
+    if dtype in _FLOAT_DTYPES:
+        return FloatImm(float(value), dtype)
+    return IntImm(int(value), dtype)
+
+
+def min_value(dtype: str) -> Expr:
+    """Smallest representable value — identity for max-reductions."""
+    if dtype in _FLOAT_DTYPES:
+        return FloatImm(float("-inf"), dtype)
+    return IntImm(int(np.iinfo(dtype).min), dtype)
+
+
+def max_value(dtype: str) -> Expr:
+    """Largest representable value — identity for min-reductions."""
+    if dtype in _FLOAT_DTYPES:
+        return FloatImm(float("inf"), dtype)
+    return IntImm(int(np.iinfo(dtype).max), dtype)
+
+
+class Var(Expr):
+    """A scalar variable (loop variables, shape symbols)."""
+
+    __slots__ = ("name", "dtype")
+
+    def __init__(self, name: str, dtype: str = "int32") -> None:
+        if dtype not in VALID_DTYPES:
+            raise ReproError(f"invalid dtype {dtype!r}")
+        self.name = name
+        self.dtype = dtype
+
+    def __repr__(self) -> str:
+        return self.name
+
+    __hash__ = Expr.__hash__
+
+
+class IntImm(Expr):
+    __slots__ = ("value", "dtype")
+
+    def __init__(self, value: int, dtype: str = "int32") -> None:
+        self.value = int(value)
+        self.dtype = dtype
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+    __hash__ = Expr.__hash__
+
+
+class FloatImm(Expr):
+    __slots__ = ("value", "dtype")
+
+    def __init__(self, value: float, dtype: str = "float32") -> None:
+        self.value = float(value)
+        self.dtype = dtype
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+    __hash__ = Expr.__hash__
+
+
+class StringImm(Expr):
+    """String immediates (pragma values)."""
+
+    __slots__ = ("value", "dtype")
+
+    def __init__(self, value: str) -> None:
+        self.value = value
+        self.dtype = "bool"  # never used arithmetically
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+    __hash__ = Expr.__hash__
+
+
+class Cast(Expr):
+    __slots__ = ("value", "dtype")
+
+    def __init__(self, value: Expr, dtype: str) -> None:
+        if dtype not in VALID_DTYPES:
+            raise ReproError(f"invalid dtype {dtype!r}")
+        self.value = value
+        self.dtype = dtype
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.value,)
+
+    def rebuild_with(self, children: tuple[Expr, ...]) -> "Expr":
+        return Cast(children[0], self.dtype)
+
+    def __repr__(self) -> str:
+        return f"{self.dtype}({self.value!r})"
+
+    __hash__ = Expr.__hash__
+
+
+class _BinaryOp(Expr):
+    """Shared base for arithmetic binary nodes; dtype is the promoted dtype."""
+
+    __slots__ = ("a", "b", "dtype")
+    symbol = "?"
+
+    def __init__(self, a: Expr, b: Expr) -> None:
+        self.a = a
+        self.b = b
+        self.dtype = _promote(a.dtype, b.dtype)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.a, self.b)
+
+    def rebuild_with(self, children: tuple[Expr, ...]) -> "Expr":
+        return type(self)(children[0], children[1])
+
+    def __repr__(self) -> str:
+        return f"({self.a!r} {self.symbol} {self.b!r})"
+
+    __hash__ = Expr.__hash__
+
+
+class Add(_BinaryOp):
+    symbol = "+"
+
+
+class Sub(_BinaryOp):
+    symbol = "-"
+
+
+class Mul(_BinaryOp):
+    symbol = "*"
+
+
+class Div(_BinaryOp):
+    """True (floating) division; dtype promotes to at least float32."""
+
+    symbol = "/"
+
+    def __init__(self, a: Expr, b: Expr) -> None:
+        super().__init__(a, b)
+        if self.dtype in _INT_DTYPES:
+            self.dtype = "float32"
+
+
+class FloorDiv(_BinaryOp):
+    symbol = "//"
+
+
+class FloorMod(_BinaryOp):
+    symbol = "%"
+
+
+class Min(_BinaryOp):
+    symbol = "min"
+
+    def __repr__(self) -> str:
+        return f"min({self.a!r}, {self.b!r})"
+
+
+class Max(_BinaryOp):
+    symbol = "max"
+
+    def __repr__(self) -> str:
+        return f"max({self.a!r}, {self.b!r})"
+
+
+class _CmpOp(_BinaryOp):
+    """Comparisons produce bool."""
+
+    def __init__(self, a: Expr, b: Expr) -> None:
+        super().__init__(a, b)
+        self.dtype = "bool"
+
+
+class EQ(_CmpOp):
+    symbol = "=="
+
+
+class NE(_CmpOp):
+    symbol = "!="
+
+
+class LT(_CmpOp):
+    symbol = "<"
+
+
+class LE(_CmpOp):
+    symbol = "<="
+
+
+class GT(_CmpOp):
+    symbol = ">"
+
+
+class GE(_CmpOp):
+    symbol = ">="
+
+
+class And(_CmpOp):
+    symbol = "and"
+
+
+class Or(_CmpOp):
+    symbol = "or"
+
+
+class Not(Expr):
+    __slots__ = ("a", "dtype")
+
+    def __init__(self, a: Expr) -> None:
+        self.a = a
+        self.dtype = "bool"
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.a,)
+
+    def rebuild_with(self, children: tuple[Expr, ...]) -> "Expr":
+        return Not(children[0])
+
+    def __repr__(self) -> str:
+        return f"(not {self.a!r})"
+
+    __hash__ = Expr.__hash__
+
+
+class Select(Expr):
+    """``Select(cond, true_value, false_value)`` — both branches evaluated."""
+
+    __slots__ = ("condition", "true_value", "false_value", "dtype")
+
+    def __init__(self, condition: Expr, true_value: Expr, false_value: Expr) -> None:
+        self.condition = condition
+        self.true_value = true_value
+        self.false_value = false_value
+        self.dtype = _promote(true_value.dtype, false_value.dtype)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.condition, self.true_value, self.false_value)
+
+    def rebuild_with(self, children: tuple[Expr, ...]) -> "Expr":
+        return Select(children[0], children[1], children[2])
+
+    def __repr__(self) -> str:
+        return f"select({self.condition!r}, {self.true_value!r}, {self.false_value!r})"
+
+    __hash__ = Expr.__hash__
+
+
+_INTRINSICS: dict[str, Callable[..., np.ndarray]] = {
+    "sqrt": np.sqrt,
+    "exp": np.exp,
+    "log": np.log,
+    "abs": np.abs,
+    "floor": np.floor,
+    "ceil": np.ceil,
+}
+
+
+class Call(Expr):
+    """Intrinsic call (``sqrt``, ``exp``, ...); dtype follows the first argument."""
+
+    __slots__ = ("op", "args", "dtype")
+
+    def __init__(self, op: str, args: tuple[Expr, ...], dtype: str | None = None) -> None:
+        if op not in _INTRINSICS:
+            raise ReproError(f"unknown intrinsic {op!r}; known: {sorted(_INTRINSICS)}")
+        self.op = op
+        self.args = tuple(args)
+        self.dtype = dtype if dtype is not None else self.args[0].dtype
+
+    @property
+    def func(self) -> Callable[..., np.ndarray]:
+        return _INTRINSICS[self.op]
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.args
+
+    def rebuild_with(self, children: tuple[Expr, ...]) -> "Expr":
+        return Call(self.op, children, self.dtype)
+
+    def __repr__(self) -> str:
+        return f"{self.op}({', '.join(map(repr, self.args))})"
+
+    __hash__ = Expr.__hash__
+
+
+def sqrt(x: Expr) -> Expr:
+    """Elementwise square root intrinsic (used by Cholesky)."""
+    return Call("sqrt", (x,))
+
+
+def exp(x: Expr) -> Expr:
+    return Call("exp", (x,))
+
+
+def log(x: Expr) -> Expr:
+    return Call("log", (x,))
+
+
+def abs_(x: Expr) -> Expr:
+    return Call("abs", (x,))
+
+
+def if_then_else(cond: Expr, t: "Expr | float | int", f: "Expr | float | int") -> Expr:
+    """TVM-style conditional expression."""
+    t_e = _wrap(t, "float32")
+    f_e = _wrap(f, t_e.dtype)
+    return Select(cond, t_e, f_e)
+
+
+class ProducerLoad(Expr):
+    """Read of a tensor element, ``A[i, j]`` at the TE level."""
+
+    __slots__ = ("tensor", "indices", "dtype")
+
+    def __init__(self, tensor: "Tensor", indices: tuple[Expr, ...]) -> None:
+        if len(indices) != len(tensor.shape):
+            raise ReproError(
+                f"tensor {tensor.name} has {len(tensor.shape)} dimensions, "
+                f"indexed with {len(indices)}"
+            )
+        self.tensor = tensor
+        self.indices = tuple(indices)
+        self.dtype = tensor.dtype
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.indices
+
+    def rebuild_with(self, children: tuple[Expr, ...]) -> "Expr":
+        return ProducerLoad(self.tensor, children)
+
+    def __repr__(self) -> str:
+        return f"{self.tensor.name}[{', '.join(map(repr, self.indices))}]"
+
+    __hash__ = Expr.__hash__
+
+
+_REDUCE_COMBINERS = {"sum", "max", "min"}
+
+
+class Reduce(Expr):
+    """A commutative reduction over one or more reduce axes.
+
+    ``combiner`` is one of ``sum``/``max``/``min``; ``identity`` the neutral
+    element expression.
+    """
+
+    __slots__ = ("combiner", "source", "axis", "identity", "dtype")
+
+    def __init__(
+        self,
+        combiner: str,
+        source: Expr,
+        axis: "tuple[IterVar, ...]",
+        identity: Expr,
+    ) -> None:
+        if combiner not in _REDUCE_COMBINERS:
+            raise ReproError(f"unknown reduce combiner {combiner!r}")
+        if not axis:
+            raise ReproError("Reduce requires at least one reduce axis")
+        self.combiner = combiner
+        self.source = source
+        self.axis = tuple(axis)
+        self.identity = identity
+        self.dtype = source.dtype
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.source,)
+
+    def rebuild_with(self, children: tuple[Expr, ...]) -> "Expr":
+        return Reduce(self.combiner, children[0], self.axis, self.identity)
+
+    def __repr__(self) -> str:
+        names = ", ".join(iv.var.name for iv in self.axis)
+        return f"{self.combiner}({self.source!r}, axis=[{names}])"
+
+    __hash__ = Expr.__hash__
+
+
+# ---------------------------------------------------------------------------
+# Generic visitors
+# ---------------------------------------------------------------------------
+
+
+def post_order_visit(expr: Expr, visit: Callable[[Expr], None]) -> None:
+    """Call ``visit`` on every node of ``expr`` in post-order (children first)."""
+    for child in expr.children():
+        post_order_visit(child, visit)
+    visit(expr)
+
+
+def all_vars(expr: Expr) -> list[Var]:
+    """All distinct :class:`Var` nodes in ``expr`` in first-seen (post-)order."""
+    seen: list[Var] = []
+    ids: set[int] = set()
+
+    def _visit(e: Expr) -> None:
+        if isinstance(e, Var) and id(e) not in ids:
+            ids.add(id(e))
+            seen.append(e)
+
+    post_order_visit(expr, _visit)
+    return seen
+
+
+def substitute(expr: Expr, mapping: Mapping[Var, Expr]) -> Expr:
+    """Return a copy of ``expr`` with every Var in ``mapping`` replaced.
+
+    Nodes without any substituted vars are reused unchanged (no copy). Works on
+    any Expr subtype through the :meth:`Expr.rebuild_with` protocol, including
+    TIR extensions like ``BufferLoad``.
+    """
+    if isinstance(expr, Var):
+        return mapping.get(expr, expr)
+    children = expr.children()
+    if not children:
+        return expr
+    new_children = tuple(substitute(c, mapping) for c in children)
+    if all(a is b for a, b in zip(new_children, children)):
+        return expr
+    return expr.rebuild_with(new_children)
+
+
+def structural_equal(a: Expr, b: Expr) -> bool:
+    """Structural equality with Var matching by identity."""
+    if a is b:
+        return True
+    if type(a) is not type(b) or a.dtype != b.dtype:
+        return False
+    if isinstance(a, Var):
+        return a is b
+    if isinstance(a, (IntImm, FloatImm, StringImm)):
+        return a.value == b.value  # type: ignore[attr-defined]
+    if isinstance(a, ProducerLoad):
+        assert isinstance(b, ProducerLoad)
+        return a.tensor is b.tensor and _all_equal(a.indices, b.indices)
+    if isinstance(a, Reduce):
+        assert isinstance(b, Reduce)
+        return (
+            a.combiner == b.combiner
+            and a.axis == b.axis
+            and structural_equal(a.source, b.source)
+        )
+    if isinstance(a, Call):
+        assert isinstance(b, Call)
+        return a.op == b.op and _all_equal(a.args, b.args)
+    return _all_equal(a.children(), b.children())
+
+
+def _all_equal(xs: Iterable[Expr], ys: Iterable[Expr]) -> bool:
+    xs = tuple(xs)
+    ys = tuple(ys)
+    return len(xs) == len(ys) and all(structural_equal(x, y) for x, y in zip(xs, ys))

@@ -1,0 +1,294 @@
+"""Schedules: loop transformations over compute operations.
+
+A :class:`Schedule` holds one :class:`Stage` per operation; stage methods record
+loop transformations (``split``, ``fuse``, ``reorder``, ``tile``) as relations and
+annotations (``unroll``, ``vectorize``, ``parallel``, ``bind``) consumed by the
+lowering pass in :mod:`repro.tir.lower`.
+
+The supported subset matches what the paper's kernels use, plus thread binding so
+GPU-style schedules can be expressed and fed to the Swing performance model.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.common.errors import ScheduleError
+from repro.te.expr import Var
+from repro.te.tensor import (
+    ComputeOp,
+    IterVar,
+    Operation,
+    Range,
+    Tensor,
+)
+
+ANNOTATIONS = ("unroll", "vectorize", "parallel")
+
+
+class SplitRelation:
+    """``parent`` was split into ``outer * factor + inner``."""
+
+    __slots__ = ("parent", "outer", "inner", "factor")
+
+    def __init__(self, parent: IterVar, outer: IterVar, inner: IterVar, factor: int) -> None:
+        self.parent = parent
+        self.outer = outer
+        self.inner = inner
+        self.factor = factor
+
+    def __repr__(self) -> str:
+        return f"split({self.parent.name} -> {self.outer.name}*{self.factor}+{self.inner.name})"
+
+
+class FuseRelation:
+    """Adjacent ``outer``/``inner`` loops were fused into ``fused``."""
+
+    __slots__ = ("outer", "inner", "fused")
+
+    def __init__(self, outer: IterVar, inner: IterVar, fused: IterVar) -> None:
+        self.outer = outer
+        self.inner = inner
+        self.fused = fused
+
+    def __repr__(self) -> str:
+        return f"fuse({self.outer.name}, {self.inner.name} -> {self.fused.name})"
+
+
+class Stage:
+    """Schedule state for a single operation."""
+
+    def __init__(self, op: Operation) -> None:
+        self.op = op
+        self.leaf_iter_vars: list[IterVar] = list(op.axis) + list(op.reduce_axis)
+        self.relations: list[SplitRelation | FuseRelation] = []
+        self.iter_var_attrs: dict[IterVar, str] = {}
+        self.binds: dict[IterVar, IterVar] = {}
+        self.pragmas: dict[IterVar, dict[str, object]] = {}
+        self.inlined = False
+
+    # -- helpers ---------------------------------------------------------
+
+    def _leaf_index(self, iv: IterVar) -> int:
+        for i, leaf in enumerate(self.leaf_iter_vars):
+            if leaf is iv:
+                return i
+        raise ScheduleError(
+            f"iter var {iv.name} is not a current leaf of stage {self.op.name} "
+            f"(leaves: {[v.name for v in self.leaf_iter_vars]})"
+        )
+
+    def _check_unscheduled(self, iv: IterVar) -> None:
+        if iv in self.iter_var_attrs:
+            raise ScheduleError(
+                f"iter var {iv.name} already annotated as {self.iter_var_attrs[iv]}"
+            )
+
+    # -- transformations --------------------------------------------------
+
+    def split(
+        self, parent: IterVar, factor: int | None = None, nparts: int | None = None
+    ) -> tuple[IterVar, IterVar]:
+        """Split ``parent`` into (outer, inner).
+
+        ``factor`` fixes the inner extent; ``nparts`` fixes the outer extent
+        (exactly one must be given). Non-divisible factors are allowed — lowering
+        emits a boundary guard.
+        """
+        if (factor is None) == (nparts is None):
+            raise ScheduleError("split() requires exactly one of factor= or nparts=")
+        extent = parent.extent
+        if factor is not None:
+            if factor < 1:
+                raise ScheduleError(f"split factor must be >= 1, got {factor}")
+            inner_ext = int(factor)
+        else:
+            if nparts is None or nparts < 1:
+                raise ScheduleError(f"split nparts must be >= 1, got {nparts}")
+            inner_ext = math.ceil(extent / int(nparts))
+        outer_ext = math.ceil(extent / inner_ext)
+
+        idx = self._leaf_index(parent)
+        self._check_unscheduled(parent)
+        outer = IterVar(Range(0, outer_ext), Var(parent.name + ".outer"), parent.kind)
+        inner = IterVar(Range(0, inner_ext), Var(parent.name + ".inner"), parent.kind)
+        self.leaf_iter_vars[idx : idx + 1] = [outer, inner]
+        self.relations.append(SplitRelation(parent, outer, inner, inner_ext))
+        return outer, inner
+
+    def fuse(self, outer: IterVar, inner: IterVar) -> IterVar:
+        """Fuse two *adjacent* leaf loops (outer immediately before inner)."""
+        io = self._leaf_index(outer)
+        ii = self._leaf_index(inner)
+        if ii != io + 1:
+            raise ScheduleError(
+                f"fuse() requires adjacent loops; {outer.name} at {io}, {inner.name} at {ii}"
+            )
+        if outer.kind != inner.kind:
+            raise ScheduleError(
+                f"cannot fuse {outer.kind} axis {outer.name} with {inner.kind} axis {inner.name}"
+            )
+        self._check_unscheduled(outer)
+        self._check_unscheduled(inner)
+        fused = IterVar(
+            Range(0, outer.extent * inner.extent),
+            Var(f"{outer.name}.{inner.name}.fused"),
+            outer.kind,
+        )
+        self.leaf_iter_vars[io : io + 2] = [fused]
+        self.relations.append(FuseRelation(outer, inner, fused))
+        return fused
+
+    def reorder(self, *order: IterVar) -> None:
+        """Reorder the listed leaf loops into the given relative order.
+
+        The listed vars are permuted among the slots they currently occupy;
+        unlisted leaves keep their positions (TVM semantics).
+        """
+        if len({id(iv) for iv in order}) != len(order):
+            raise ScheduleError("reorder() received duplicate iter vars")
+        positions = sorted(self._leaf_index(iv) for iv in order)
+        for pos, iv in zip(positions, order):
+            self.leaf_iter_vars[pos] = iv
+
+    def tile(
+        self, x: IterVar, y: IterVar, x_factor: int, y_factor: int
+    ) -> tuple[IterVar, IterVar, IterVar, IterVar]:
+        """Split two axes and reorder into a 2-D tiling (TVM ``tile``)."""
+        xo, xi = self.split(x, factor=x_factor)
+        yo, yi = self.split(y, factor=y_factor)
+        self.reorder(xo, yo, xi, yi)
+        return xo, yo, xi, yi
+
+    # -- annotations -------------------------------------------------------
+
+    def _annotate(self, iv: IterVar, kind: str) -> None:
+        self._leaf_index(iv)  # must be a leaf
+        self._check_unscheduled(iv)
+        if iv in self.binds:
+            raise ScheduleError(f"iter var {iv.name} already bound to a thread axis")
+        self.iter_var_attrs[iv] = kind
+
+    def unroll(self, iv: IterVar) -> None:
+        """Fully unroll the loop at lowering time (requires constant extent)."""
+        self._annotate(iv, "unroll")
+
+    def vectorize(self, iv: IterVar) -> None:
+        """Mark the loop for SIMD-style evaluation by the executors."""
+        if iv.is_reduce():
+            raise ScheduleError(f"cannot vectorize reduce axis {iv.name}")
+        self._annotate(iv, "vectorize")
+
+    def parallel(self, iv: IterVar) -> None:
+        """Mark the loop parallel (outermost data-parallel loops)."""
+        if iv.is_reduce():
+            raise ScheduleError(f"cannot parallelize reduce axis {iv.name}")
+        self._annotate(iv, "parallel")
+
+    def bind(self, iv: IterVar, thread_iv: IterVar) -> None:
+        """Bind a loop to a GPU thread/block axis (consumed by the Swing model)."""
+        if thread_iv.kind != "thread":
+            raise ScheduleError(
+                f"bind target must be a thread axis, got {thread_iv.kind}"
+            )
+        self._leaf_index(iv)
+        if iv in self.iter_var_attrs:
+            raise ScheduleError(f"iter var {iv.name} already annotated")
+        self.binds[iv] = thread_iv
+
+    def pragma(self, iv: IterVar, key: str, value: object = True) -> None:
+        """Attach an informational pragma to a loop."""
+        self._leaf_index(iv)
+        self.pragmas.setdefault(iv, {})[key] = value
+
+    def compute_inline(self) -> None:
+        """Inline this stage into its consumers (TVM ``compute_inline``).
+
+        The stage's expression is substituted at every read site instead of
+        materializing a buffer and loop nest. Only elementwise stages (no
+        reduction) can be inlined, and the stage must not already carry loop
+        transformations or annotations.
+        """
+        from repro.te.tensor import ComputeOp
+
+        op = self.op
+        if not isinstance(op, ComputeOp) or op.reduce_axis:
+            raise ScheduleError(
+                f"cannot inline stage {op.name}: only reduction-free compute "
+                "stages are inlinable"
+            )
+        if self.relations or self.iter_var_attrs or self.binds:
+            raise ScheduleError(
+                f"cannot inline stage {op.name}: it already has schedule "
+                "transformations"
+            )
+        self.inlined = True
+
+    def __repr__(self) -> str:
+        leaves = ", ".join(iv.name for iv in self.leaf_iter_vars)
+        return f"Stage({self.op.name}: [{leaves}])"
+
+
+class Schedule:
+    """A schedule over a DAG of operations, one stage per operation."""
+
+    def __init__(self, outputs: Sequence[Operation]) -> None:
+        self.outputs = list(outputs)
+        self.stages: list[Stage] = []
+        self._stage_map: dict[int, Stage] = {}
+        for op in _topo_sort(self.outputs):
+            if isinstance(op, ComputeOp):
+                stage = Stage(op)
+                self.stages.append(stage)
+                self._stage_map[id(op)] = stage
+
+    def __getitem__(self, key: Tensor | Operation) -> Stage:
+        op = key.op if isinstance(key, Tensor) else key
+        stage = self._stage_map.get(id(op))
+        if stage is None:
+            name = getattr(op, "name", repr(op))
+            raise ScheduleError(f"operation {name} is not part of this schedule")
+        return stage
+
+    def __repr__(self) -> str:
+        return f"Schedule({[st.op.name for st in self.stages]})"
+
+
+def _topo_sort(outputs: Sequence[Operation]) -> list[Operation]:
+    """Post-order DAG traversal: producers before consumers."""
+    order: list[Operation] = []
+    visited: set[int] = set()
+
+    def _visit(op: Operation) -> None:
+        if id(op) in visited:
+            return
+        visited.add(id(op))
+        if isinstance(op, ComputeOp):
+            for t in op.input_tensors():
+                _visit(t.op)
+        order.append(op)
+
+    for op in outputs:
+        _visit(op)
+    return order
+
+
+def create_schedule(ops: Operation | Sequence[Operation]) -> Schedule:
+    """Create a schedule for the given output operation(s) (TVM ``te.create_schedule``)."""
+    if isinstance(ops, Tensor):
+        raise ScheduleError(
+            f"create_schedule expects Operations; pass {ops.name}.op, not the tensor"
+        )
+    if isinstance(ops, Operation):
+        ops = [ops]
+    ops = list(ops)
+    if not ops:
+        raise ScheduleError("create_schedule requires at least one output operation")
+    for op in ops:
+        if not isinstance(op, Operation):
+            raise ScheduleError(
+                f"create_schedule expects Operations, got {type(op).__name__} "
+                "(pass tensor.op, not the tensor)"
+            )
+    return Schedule(ops)

@@ -1,0 +1,362 @@
+"""Tensors and operations: ``placeholder``, ``compute``, ``reduce_axis``.
+
+Mirrors TVM's ``te.Tensor`` / ``te.Operation`` split: a :class:`Tensor` is the value
+produced by an :class:`Operation`; :class:`ComputeOp` holds the per-element
+expression and the iteration axes a schedule manipulates.
+"""
+
+from __future__ import annotations
+
+import inspect
+from collections.abc import Callable, Sequence
+
+from repro.common.errors import ReproError
+from repro.te import expr as _expr
+from repro.te.expr import (
+    Expr,
+    IntImm,
+    ProducerLoad,
+    Reduce,
+    Var,
+    const,
+    max_value,
+    min_value,
+    post_order_visit,
+)
+
+_DATA_PAR = "data_par"
+_REDUCE = "reduce"
+_THREAD = "thread"
+
+
+class Range:
+    """A half-open iteration domain ``[min, min + extent)``."""
+
+    __slots__ = ("min", "extent")
+
+    def __init__(self, min_: int, extent: int) -> None:
+        if extent <= 0:
+            raise ReproError(f"Range extent must be positive, got {extent}")
+        self.min = int(min_)
+        self.extent = int(extent)
+
+    def __repr__(self) -> str:
+        return f"Range({self.min}, extent={self.extent})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Range)
+            and self.min == other.min
+            and self.extent == other.extent
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.min, self.extent))
+
+
+class IterVar:
+    """An iteration variable with a domain and a kind.
+
+    Kinds: ``data_par`` (parallelizable output axis), ``reduce`` (reduction axis),
+    ``thread`` (GPU thread/block binding target such as ``threadIdx.x``).
+    Schedules create new IterVars when splitting/fusing; the ``var`` inside is what
+    expressions reference.
+    """
+
+    __slots__ = ("var", "dom", "kind", "thread_tag")
+
+    def __init__(
+        self,
+        dom: Range | None,
+        var: Var,
+        kind: str = _DATA_PAR,
+        thread_tag: str = "",
+    ) -> None:
+        if kind not in (_DATA_PAR, _REDUCE, _THREAD):
+            raise ReproError(f"invalid IterVar kind {kind!r}")
+        self.var = var
+        self.dom = dom
+        self.kind = kind
+        self.thread_tag = thread_tag
+
+    @property
+    def name(self) -> str:
+        return self.var.name
+
+    @property
+    def extent(self) -> int:
+        if self.dom is None:
+            raise ReproError(f"IterVar {self.name} has no domain")
+        return self.dom.extent
+
+    def is_reduce(self) -> bool:
+        return self.kind == _REDUCE
+
+    # -- arithmetic delegates to the underlying Var (TVM ergonomics:
+    #    `y * s + ry` works directly with IterVars in compute lambdas) ------
+
+    def __add__(self, other):
+        return self.var + other
+
+    def __radd__(self, other):
+        return other + self.var
+
+    def __sub__(self, other):
+        return self.var - other
+
+    def __rsub__(self, other):
+        return other - self.var
+
+    def __mul__(self, other):
+        return self.var * other
+
+    def __rmul__(self, other):
+        return other * self.var
+
+    def __floordiv__(self, other):
+        return self.var // other
+
+    def __mod__(self, other):
+        return self.var % other
+
+    def __repr__(self) -> str:
+        dom = f"[{self.dom.min}, {self.dom.min + self.dom.extent})" if self.dom else "[?]"
+        return f"IterVar({self.name}{dom}, {self.kind})"
+
+
+def reduce_axis(dom: tuple[int, int], name: str = "k") -> IterVar:
+    """Create a reduction axis over ``[dom[0], dom[1])`` (TVM convention)."""
+    lo, hi = dom
+    return IterVar(Range(lo, hi - lo), Var(name, "int32"), _REDUCE)
+
+
+def thread_axis(extent: int | None = None, tag: str = "") -> IterVar:
+    """Create a GPU thread axis (``blockIdx.x``, ``threadIdx.y``, ...)."""
+    if not tag:
+        raise ReproError("thread_axis requires a tag such as 'threadIdx.x'")
+    dom = Range(0, extent) if extent is not None else None
+    return IterVar(dom, Var(tag.replace(".", "_"), "int32"), _THREAD, thread_tag=tag)
+
+
+class Operation:
+    """Base class for tensor-producing operations."""
+
+    name: str
+
+    @property
+    def axis(self) -> tuple[IterVar, ...]:
+        return ()
+
+    @property
+    def reduce_axis(self) -> tuple[IterVar, ...]:
+        return ()
+
+    def input_tensors(self) -> tuple["Tensor", ...]:
+        return ()
+
+    def output(self, index: int = 0) -> "Tensor":
+        raise NotImplementedError
+
+
+class PlaceholderOp(Operation):
+    """An input tensor bound at call time."""
+
+    def __init__(self, name: str, shape: tuple[int, ...], dtype: str) -> None:
+        self.name = name
+        self.shape = shape
+        self.dtype = dtype
+        self._tensor = Tensor(self, shape, dtype, name)
+
+    def output(self, index: int = 0) -> "Tensor":
+        if index != 0:
+            raise ReproError("PlaceholderOp has a single output")
+        return self._tensor
+
+    def __repr__(self) -> str:
+        return f"placeholder({self.name}, shape={self.shape})"
+
+
+class ComputeOp(Operation):
+    """An operation defined by a per-element expression over output axes."""
+
+    def __init__(
+        self,
+        name: str,
+        axis: tuple[IterVar, ...],
+        body: Expr,
+    ) -> None:
+        self.name = name
+        self._axis = axis
+        self.body = body
+        shape = tuple(iv.extent for iv in axis)
+        self._reduce_axis: tuple[IterVar, ...] = (
+            body.axis if isinstance(body, Reduce) else ()
+        )
+        self._tensor = Tensor(self, shape, body.dtype, name)
+
+    @property
+    def axis(self) -> tuple[IterVar, ...]:
+        return self._axis
+
+    @property
+    def reduce_axis(self) -> tuple[IterVar, ...]:
+        return self._reduce_axis
+
+    def input_tensors(self) -> tuple["Tensor", ...]:
+        seen: dict[int, Tensor] = {}
+
+        def _visit(e: Expr) -> None:
+            if isinstance(e, ProducerLoad) and id(e.tensor) not in seen:
+                seen[id(e.tensor)] = e.tensor
+
+        post_order_visit(self.body, _visit)
+        return tuple(seen.values())
+
+    def output(self, index: int = 0) -> "Tensor":
+        if index != 0:
+            raise ReproError("ComputeOp has a single output")
+        return self._tensor
+
+    def __repr__(self) -> str:
+        return f"compute({self.name}, shape={self._tensor.shape})"
+
+
+class Tensor:
+    """A multi-dimensional value produced by an operation.
+
+    Indexing a tensor with expressions (``A[i, k]``) builds a
+    :class:`~repro.te.expr.ProducerLoad` for use inside ``compute`` bodies.
+    """
+
+    __slots__ = ("op", "shape", "dtype", "name")
+
+    def __init__(
+        self, op: Operation, shape: tuple[int, ...], dtype: str, name: str
+    ) -> None:
+        self.op = op
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = dtype
+        self.name = name
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def __getitem__(
+        self, indices: "Expr | IterVar | int | tuple[Expr | IterVar | int, ...]"
+    ) -> ProducerLoad:
+        if not isinstance(indices, tuple):
+            indices = (indices,)
+        exprs: list[Expr] = []
+        for idx in indices:
+            if isinstance(idx, IterVar):
+                exprs.append(idx.var)
+            elif isinstance(idx, int):
+                exprs.append(IntImm(idx))
+            elif isinstance(idx, Expr):
+                exprs.append(idx)
+            else:
+                raise ReproError(
+                    f"invalid index type {type(idx).__name__} into tensor {self.name}"
+                )
+        return ProducerLoad(self, tuple(exprs))
+
+    def __repr__(self) -> str:
+        return f"Tensor({self.name}, shape={self.shape}, dtype={self.dtype})"
+
+
+def placeholder(
+    shape: Sequence[int], name: str = "placeholder", dtype: str = "float32"
+) -> Tensor:
+    """Declare an input tensor (TVM ``te.placeholder``)."""
+    shp = tuple(int(s) for s in shape)
+    if any(s <= 0 for s in shp):
+        raise ReproError(f"placeholder {name} has non-positive dimension: {shp}")
+    if dtype not in _expr.VALID_DTYPES:
+        raise ReproError(f"invalid dtype {dtype!r}")
+    return PlaceholderOp(name, shp, dtype).output()
+
+
+def compute(
+    shape: Sequence[int],
+    fcompute: Callable[..., Expr],
+    name: str = "compute",
+) -> Tensor:
+    """Declare a computed tensor (TVM ``te.compute``).
+
+    ``fcompute`` receives one int32 Var per output dimension and returns the
+    element expression (possibly a reduction built with :func:`sum` etc.).
+    """
+    shp = tuple(int(s) for s in shape)
+    if any(s <= 0 for s in shp):
+        raise ReproError(f"compute {name} has non-positive dimension: {shp}")
+    sig_params = list(inspect.signature(fcompute).parameters.values())
+    is_variadic = any(p.kind == inspect.Parameter.VAR_POSITIONAL for p in sig_params)
+    # Only required positional parameters are axis variables; parameters with
+    # defaults are closure captures (a common idiom for binding loop state).
+    required = [
+        p
+        for p in sig_params
+        if p.kind
+        in (inspect.Parameter.POSITIONAL_ONLY, inspect.Parameter.POSITIONAL_OR_KEYWORD)
+        and p.default is inspect.Parameter.empty
+    ]
+    default_names = "ijklmnop"
+    if is_variadic:
+        names = [default_names[d % 8] + ("" if d < 8 else str(d)) for d in range(len(shp))]
+    else:
+        if len(required) != len(shp):
+            raise ReproError(
+                f"compute {name}: fcompute takes {len(required)} required args "
+                f"but shape has {len(shp)} dimensions"
+            )
+        names = [p.name or default_names[d % 8] for d, p in enumerate(required)]
+    axis = tuple(
+        IterVar(Range(0, extent), Var(names[d], "int32"), _DATA_PAR)
+        for d, extent in enumerate(shp)
+    )
+    body = fcompute(*(iv.var for iv in axis))
+    if not isinstance(body, Expr):
+        body = const(body)
+    if isinstance(body, Reduce):
+        _check_single_reduce(body, name)
+    return ComputeOp(name, axis, body).output()
+
+
+def _check_single_reduce(body: Reduce, name: str) -> None:
+    """Reductions must be top-level (matches TVM's restriction)."""
+
+    def _visit(e: Expr) -> None:
+        if isinstance(e, Reduce) and e is not body:
+            raise ReproError(
+                f"compute {name}: nested Reduce expressions are not supported"
+            )
+
+    post_order_visit(body.source, _visit)
+
+
+def _as_axis_tuple(axis: "IterVar | Sequence[IterVar]") -> tuple[IterVar, ...]:
+    if isinstance(axis, IterVar):
+        return (axis,)
+    return tuple(axis)
+
+
+def sum(expr: Expr, axis: "IterVar | Sequence[IterVar]") -> Reduce:  # noqa: A001
+    """Sum reduction over the given reduce axes (TVM ``te.sum``)."""
+    axes = _as_axis_tuple(axis)
+    for iv in axes:
+        if not iv.is_reduce():
+            raise ReproError(f"te.sum axis {iv.name} is not a reduce axis")
+    return Reduce("sum", expr, axes, const(0, expr.dtype))
+
+
+def max_reduce(expr: Expr, axis: "IterVar | Sequence[IterVar]") -> Reduce:
+    """Max reduction (TVM ``te.max``)."""
+    axes = _as_axis_tuple(axis)
+    return Reduce("max", expr, axes, min_value(expr.dtype))
+
+
+def min_reduce(expr: Expr, axis: "IterVar | Sequence[IterVar]") -> Reduce:
+    """Min reduction (TVM ``te.min``)."""
+    axes = _as_axis_tuple(axis)
+    return Reduce("min", expr, axes, max_value(expr.dtype))

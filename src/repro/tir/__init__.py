@@ -1,0 +1,49 @@
+"""Tensor IR: loop-nest statements, lowering from TE schedules, and passes.
+
+This is the analogue of TVM's TIR stage: schedules from :mod:`repro.te` are lowered
+to an explicit loop nest (:func:`repro.tir.lower.lower`), transformed by passes
+(simplification, unrolling), and executed by the interpreter or the generated-Python
+executor in :mod:`repro.runtime`.
+"""
+
+from repro.tir.stmt import (
+    Buffer,
+    BufferLoad,
+    Stmt,
+    For,
+    BufferStore,
+    SeqStmt,
+    IfThenElse,
+    Evaluate,
+    Allocate,
+    PrimFunc,
+    FOR_KINDS,
+    stmt_to_str,
+    visit_stmt,
+)
+from repro.tir.lower import lower
+from repro.tir.transform import simplify_func, unroll_loops, simplify_stmt, count_loops
+from repro.tir.analysis import validate_func, hoist_guards
+
+__all__ = [
+    "Buffer",
+    "BufferLoad",
+    "Stmt",
+    "For",
+    "BufferStore",
+    "SeqStmt",
+    "IfThenElse",
+    "Evaluate",
+    "Allocate",
+    "PrimFunc",
+    "FOR_KINDS",
+    "stmt_to_str",
+    "visit_stmt",
+    "lower",
+    "simplify_func",
+    "simplify_stmt",
+    "unroll_loops",
+    "count_loops",
+    "validate_func",
+    "hoist_guards",
+]

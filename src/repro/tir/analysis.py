@@ -1,0 +1,159 @@
+"""TIR analysis: validation and guard hoisting.
+
+* :func:`validate_func` — structural well-formedness checks run after lowering
+  (every variable bound by an enclosing loop, buffer arities correct, constant
+  indices statically in range, no duplicate loop variables on a path);
+* :func:`hoist_guards` — loop-invariant code motion for boundary guards: an
+  ``IfThenElse`` whose condition does not reference the enclosing loop's
+  variable moves above that loop. Lowering emits guards at the innermost
+  level; with divisor tiling the guard often only involves *outer* loop vars,
+  so hoisting removes an O(inner-extent) factor of redundant checks in the
+  interpreter and tightens the generated Python.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import LoweringError
+from repro.te.expr import Expr, IntImm, Var, all_vars, post_order_visit
+from repro.tir.stmt import (
+    Allocate,
+    Buffer,
+    BufferLoad,
+    BufferStore,
+    Evaluate,
+    For,
+    IfThenElse,
+    PrimFunc,
+    SeqStmt,
+    Stmt,
+)
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+
+def validate_func(func: PrimFunc) -> None:
+    """Raise :class:`LoweringError` on a structurally invalid PrimFunc."""
+    buffers = {b.name: b for b in func.params}
+    if len(buffers) != len(func.params):
+        raise LoweringError("duplicate buffer names among parameters")
+    _validate_stmt(func.body, bound=set(), buffers=dict(buffers))
+
+
+def _validate_expr(expr: Expr, bound: set[Var], buffers: dict[str, Buffer]) -> None:
+    def visit(e: Expr) -> None:
+        if isinstance(e, Var) and e not in bound:
+            raise LoweringError(f"unbound variable {e.name} in expression {expr!r}")
+        if isinstance(e, BufferLoad):
+            buf = buffers.get(e.buffer.name)
+            if buf is None:
+                raise LoweringError(f"load from undeclared buffer {e.buffer.name}")
+            _check_const_indices(e.indices, buf)
+
+    post_order_visit(expr, visit)
+
+
+def _check_const_indices(indices: tuple[Expr, ...], buf: Buffer) -> None:
+    for dim, idx in enumerate(indices):
+        if isinstance(idx, IntImm) and not 0 <= idx.value < buf.shape[dim]:
+            raise LoweringError(
+                f"constant index {idx.value} out of range for "
+                f"{buf.name} dim {dim} (extent {buf.shape[dim]})"
+            )
+
+
+def _validate_stmt(stmt: Stmt, bound: set[Var], buffers: dict[str, Buffer]) -> None:
+    if isinstance(stmt, For):
+        if stmt.loop_var in bound:
+            raise LoweringError(
+                f"loop variable {stmt.loop_var.name} rebound on the same path"
+            )
+        _validate_expr(stmt.min, bound, buffers)
+        _validate_expr(stmt.extent, bound, buffers)
+        _validate_stmt(stmt.body, bound | {stmt.loop_var}, buffers)
+    elif isinstance(stmt, BufferStore):
+        buf = buffers.get(stmt.buffer.name)
+        if buf is None:
+            raise LoweringError(f"store to undeclared buffer {stmt.buffer.name}")
+        _check_const_indices(stmt.indices, buf)
+        for idx in stmt.indices:
+            _validate_expr(idx, bound, buffers)
+        _validate_expr(stmt.value, bound, buffers)
+    elif isinstance(stmt, SeqStmt):
+        for s in stmt.stmts:
+            _validate_stmt(s, bound, buffers)
+    elif isinstance(stmt, IfThenElse):
+        _validate_expr(stmt.condition, bound, buffers)
+        _validate_stmt(stmt.then_case, bound, buffers)
+        if stmt.else_case is not None:
+            _validate_stmt(stmt.else_case, bound, buffers)
+    elif isinstance(stmt, Evaluate):
+        _validate_expr(stmt.value, bound, buffers)
+    elif isinstance(stmt, Allocate):
+        if stmt.buffer.name in buffers:
+            raise LoweringError(f"buffer {stmt.buffer.name} shadows an existing buffer")
+        inner = dict(buffers)
+        inner[stmt.buffer.name] = stmt.buffer
+        _validate_stmt(stmt.body, bound, inner)
+    else:
+        raise LoweringError(f"validate: unhandled statement {type(stmt).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Guard hoisting (loop-invariant code motion for IfThenElse)
+# ---------------------------------------------------------------------------
+
+
+def hoist_guards(stmt: Stmt) -> Stmt:
+    """Move loop-invariant guards above their loops (fixpoint, whole tree)."""
+    changed = True
+    while changed:
+        stmt, changed = _hoist_once(stmt)
+    return stmt
+
+
+def _hoist_once(stmt: Stmt) -> tuple[Stmt, bool]:
+    if isinstance(stmt, For):
+        body, changed = _hoist_once(stmt.body)
+        # for v: if cond: S   -->   if cond: for v: S    (when v not in cond,
+        # and only for guards without an else branch — boundary guards).
+        if (
+            isinstance(body, IfThenElse)
+            and body.else_case is None
+            and all(v is not stmt.loop_var for v in all_vars(body.condition))
+        ):
+            inner = For(
+                stmt.loop_var, stmt.min, stmt.extent, stmt.kind,
+                body.then_case, stmt.thread_tag,
+            )
+            return IfThenElse(body.condition, inner), True
+        if changed or body is not stmt.body:
+            return (
+                For(stmt.loop_var, stmt.min, stmt.extent, stmt.kind, body, stmt.thread_tag),
+                changed,
+            )
+        return stmt, False
+    if isinstance(stmt, SeqStmt):
+        parts = []
+        any_changed = False
+        for s in stmt.stmts:
+            new, ch = _hoist_once(s)
+            parts.append(new)
+            any_changed |= ch
+        return (SeqStmt(parts), True) if any_changed else (stmt, False)
+    if isinstance(stmt, IfThenElse):
+        then_case, c1 = _hoist_once(stmt.then_case)
+        else_case, c2 = (None, False)
+        if stmt.else_case is not None:
+            else_case, c2 = _hoist_once(stmt.else_case)
+        if c1 or c2:
+            return IfThenElse(stmt.condition, then_case, else_case), True
+        return stmt, False
+    if isinstance(stmt, Allocate):
+        body, changed = _hoist_once(stmt.body)
+        if changed:
+            return Allocate(stmt.buffer, body), True
+        return stmt, False
+    return stmt, False

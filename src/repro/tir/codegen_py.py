@@ -1,0 +1,286 @@
+"""Generate executable Python/NumPy source from a PrimFunc.
+
+This is the mini-compiler's "codegen backend": loop nests become Python ``for``
+loops and loops marked ``vectorized`` become NumPy arange-indexed array operations,
+so the innermost dimension runs at NumPy speed. Patterns the vectorizer cannot
+express (e.g. data-dependent guards over a vector lane) raise
+:class:`CodegenUnsupported`, and the builder transparently falls back to the
+reference interpreter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import LoweringError
+from repro.te.expr import (
+    Add,
+    And,
+    Call,
+    Cast,
+    Div,
+    EQ,
+    Expr,
+    FloatImm,
+    FloorDiv,
+    FloorMod,
+    GE,
+    GT,
+    IntImm,
+    LE,
+    LT,
+    Max,
+    Min,
+    Mul,
+    NE,
+    Not,
+    Or,
+    Select,
+    Sub,
+    Var,
+    all_vars,
+    structural_equal,
+)
+from repro.tir.stmt import (
+    Allocate,
+    BufferLoad,
+    BufferStore,
+    Evaluate,
+    For,
+    IfThenElse,
+    PrimFunc,
+    SeqStmt,
+    Stmt,
+)
+
+
+class CodegenUnsupported(LoweringError):
+    """The Python codegen cannot express this construct; use the interpreter."""
+
+
+_INFIX = {
+    Add: "+",
+    Sub: "-",
+    Mul: "*",
+    Div: "/",
+    FloorDiv: "//",
+    FloorMod: "%",
+    EQ: "==",
+    NE: "!=",
+    LT: "<",
+    LE: "<=",
+    GT: ">",
+    GE: ">=",
+}
+
+
+class _Codegen:
+    def __init__(self, func: PrimFunc) -> None:
+        self.func = func
+        self.lines: list[str] = []
+        self.indent = 0
+        self.names: dict[int, str] = {}
+        self.used: set[str] = {"np", "range"}
+        self.vector_vars: set[int] = set()
+
+    # -- naming ------------------------------------------------------------
+
+    def _name_for(self, key: int, base: str) -> str:
+        if key in self.names:
+            return self.names[key]
+        candidate = base.replace(".", "_").replace("-", "_")
+        if not candidate.isidentifier():
+            candidate = "v_" + "".join(c if c.isalnum() else "_" for c in candidate)
+        name = candidate
+        i = 1
+        while name in self.used:
+            name = f"{candidate}_{i}"
+            i += 1
+        self.used.add(name)
+        self.names[key] = name
+        return name
+
+    def var(self, v: Var) -> str:
+        return self._name_for(id(v), v.name)
+
+    def buf(self, name: str) -> str:
+        # Buffer names are already unique per PrimFunc; key on the string.
+        return self._name_for(hash(("buf", name)), name)
+
+    # -- emission ------------------------------------------------------------
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def generate(self) -> str:
+        params = ", ".join(self.buf(b.name) for b in self.func.params)
+        self.emit(f"def {self.func.name}({params}):")
+        self.indent += 1
+        self.stmt(self.func.body)
+        self.emit("return None")
+        self.indent -= 1
+        return "\n".join(self.lines) + "\n"
+
+    def stmt(self, s: Stmt) -> None:
+        if isinstance(s, For):
+            self._for(s)
+        elif isinstance(s, BufferStore):
+            self._store(s)
+        elif isinstance(s, SeqStmt):
+            if not s.stmts:
+                self.emit("pass")
+            for sub in s.stmts:
+                self.stmt(sub)
+        elif isinstance(s, IfThenElse):
+            cond_vec = any(id(v) in self.vector_vars for v in all_vars(s.condition))
+            if cond_vec:
+                raise CodegenUnsupported(
+                    "guard condition over a vectorized lane is not supported"
+                )
+            self.emit(f"if {self.expr(s.condition)}:")
+            self.indent += 1
+            self.stmt(s.then_case)
+            self.indent -= 1
+            if s.else_case is not None:
+                self.emit("else:")
+                self.indent += 1
+                self.stmt(s.else_case)
+                self.indent -= 1
+        elif isinstance(s, Evaluate):
+            self.emit(self.expr(s.value))
+        elif isinstance(s, Allocate):
+            name = self.buf(s.buffer.name)
+            self.emit(f"{name} = np.zeros({s.buffer.shape!r}, dtype={s.buffer.dtype!r})")
+            self.stmt(s.body)
+        else:
+            raise CodegenUnsupported(f"statement {type(s).__name__}")
+
+    def _for(self, s: For) -> None:
+        v = self.var(s.loop_var)
+        lo = self.expr(s.min)
+        n = self.expr(s.extent)
+        if s.kind == "vectorized":
+            self.emit(f"{v} = {lo} + np.arange({n})")
+            self.vector_vars.add(id(s.loop_var))
+            self.stmt(s.body)
+            self.vector_vars.discard(id(s.loop_var))
+        else:
+            self.emit(f"for {v} in range({lo}, {lo} + {n}):")
+            self.indent += 1
+            self.stmt(s.body)
+            self.indent -= 1
+
+    def _store(self, s: BufferStore) -> None:
+        buf = self.buf(s.buffer.name)
+        idx = ", ".join(self.expr(i) for i in s.indices)
+        idx_vec = any(
+            id(v) in self.vector_vars for i in s.indices for v in all_vars(i)
+        )
+        val_vec = any(id(v) in self.vector_vars for v in all_vars(s.value))
+        if idx_vec or not val_vec or not self.vector_vars:
+            # Elementwise store: indices carry the lane (or nothing is vectorized).
+            self.emit(f"{buf}[{idx}] = {self.expr(s.value)}")
+            return
+        # The vector lane appears only in the value: this must be a reduction
+        # update of the form  buf[idx] = combine(buf[idx], rest).
+        reduced = self._reduction_rest(s)
+        if reduced is None:
+            raise CodegenUnsupported(
+                "vectorized lane feeds a non-reduction store"
+            )
+        kind, rest = reduced
+        rest_src = self.expr(rest)
+        if kind == "sum":
+            self.emit(f"{buf}[{idx}] += np.sum({rest_src})")
+        elif kind == "max":
+            self.emit(f"{buf}[{idx}] = np.maximum({buf}[{idx}], np.max({rest_src}))")
+        else:
+            self.emit(f"{buf}[{idx}] = np.minimum({buf}[{idx}], np.min({rest_src}))")
+
+    def _reduction_rest(self, s: BufferStore) -> tuple[str, Expr] | None:
+        """Match value == combine(load(buf, idx), rest) and return (kind, rest)."""
+        v = s.value
+        if isinstance(v, Add):
+            kind = "sum"
+        elif isinstance(v, Max):
+            kind = "max"
+        elif isinstance(v, Min):
+            kind = "min"
+        else:
+            return None
+        load = v.a
+        if not isinstance(load, BufferLoad) or load.buffer is not s.buffer:
+            return None
+        if len(load.indices) != len(s.indices):
+            return None
+        if not all(
+            structural_equal(a, b) for a, b in zip(load.indices, s.indices)
+        ):
+            return None
+        return kind, v.b
+
+    # -- expressions -----------------------------------------------------
+
+    def expr(self, e: Expr) -> str:
+        t = type(e)
+        if t is Var:
+            return self.var(e)
+        if t is IntImm:
+            return repr(e.value)
+        if t is FloatImm:
+            if e.value != e.value:  # NaN
+                return "float('nan')"
+            if e.value == float("inf"):
+                return "float('inf')"
+            if e.value == float("-inf"):
+                return "float('-inf')"
+            return repr(e.value)
+        op = _INFIX.get(t)
+        if op is not None:
+            return f"({self.expr(e.a)} {op} {self.expr(e.b)})"
+        if t is Min:
+            return f"np.minimum({self.expr(e.a)}, {self.expr(e.b)})"
+        if t is Max:
+            return f"np.maximum({self.expr(e.a)}, {self.expr(e.b)})"
+        if t is And:
+            return f"np.logical_and({self.expr(e.a)}, {self.expr(e.b)})"
+        if t is Or:
+            return f"np.logical_or({self.expr(e.a)}, {self.expr(e.b)})"
+        if t is Not:
+            return f"np.logical_not({self.expr(e.a)})"
+        if t is BufferLoad:
+            idx = ", ".join(self.expr(i) for i in e.indices)
+            return f"{self.buf(e.buffer.name)}[{idx}]"
+        if t is Cast:
+            return f"np.{e.dtype}({self.expr(e.value)})"
+        if t is Select:
+            return (
+                f"np.where({self.expr(e.condition)}, "
+                f"{self.expr(e.true_value)}, {self.expr(e.false_value)})"
+            )
+        if t is Call:
+            args = ", ".join(self.expr(a) for a in e.args)
+            npname = {"abs": "abs"}.get(e.op, e.op)
+            return f"np.{npname}({args})"
+        raise CodegenUnsupported(f"expression {type(e).__name__}")
+
+
+def codegen_python(func: PrimFunc) -> str:
+    """Emit Python/NumPy source for a PrimFunc."""
+    return _Codegen(func).generate()
+
+
+def build_callable(func: PrimFunc):
+    """Compile the generated Python source; returns a function over NumPy arrays.
+
+    Raises :class:`CodegenUnsupported` when the PrimFunc contains constructs the
+    Python backend cannot vectorize — callers should fall back to
+    :class:`repro.tir.interp.TIRInterpreter`.
+    """
+    source = codegen_python(func)
+    namespace: dict[str, object] = {"np": np}
+    code = compile(source, f"<codegen:{func.name}>", "exec")
+    exec(code, namespace)  # noqa: S102 - compiling our own generated source
+    fn = namespace[func.name]
+    fn.__source__ = source  # type: ignore[attr-defined]
+    return fn

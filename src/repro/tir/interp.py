@@ -1,0 +1,172 @@
+"""A reference TIR interpreter.
+
+Executes a :class:`PrimFunc` directly over NumPy arrays with Python loops. It is
+deliberately simple — the executable specification the fast executor and the tests
+are checked against. Vectorized/parallel/thread-bound loops run serially (same
+semantics, different speed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ExecutionError
+from repro.te.expr import (
+    Add,
+    And,
+    Call,
+    Cast,
+    Div,
+    EQ,
+    Expr,
+    FloatImm,
+    FloorDiv,
+    FloorMod,
+    GE,
+    GT,
+    IntImm,
+    LE,
+    LT,
+    Max,
+    Min,
+    Mul,
+    NE,
+    Not,
+    Or,
+    Select,
+    StringImm,
+    Sub,
+    Var,
+)
+from repro.tir.stmt import (
+    Allocate,
+    BufferLoad,
+    BufferStore,
+    Evaluate,
+    For,
+    IfThenElse,
+    PrimFunc,
+    SeqStmt,
+    Stmt,
+)
+
+_BINOPS = {
+    Add: lambda a, b: a + b,
+    Sub: lambda a, b: a - b,
+    Mul: lambda a, b: a * b,
+    Div: lambda a, b: a / b,
+    FloorDiv: lambda a, b: a // b,
+    FloorMod: lambda a, b: a % b,
+    Min: min,
+    Max: max,
+    EQ: lambda a, b: a == b,
+    NE: lambda a, b: a != b,
+    LT: lambda a, b: a < b,
+    LE: lambda a, b: a <= b,
+    GT: lambda a, b: a > b,
+    GE: lambda a, b: a >= b,
+    And: lambda a, b: bool(a) and bool(b),
+    Or: lambda a, b: bool(a) or bool(b),
+}
+
+
+class TIRInterpreter:
+    """Run PrimFuncs over NumPy buffers."""
+
+    def __init__(self, func: PrimFunc) -> None:
+        self.func = func
+
+    def __call__(self, *arrays: np.ndarray) -> None:
+        """Execute in-place over the given arrays (one per function parameter)."""
+        if len(arrays) != len(self.func.params):
+            raise ExecutionError(
+                f"{self.func.name} expects {len(self.func.params)} buffers, "
+                f"got {len(arrays)}"
+            )
+        buffers: dict[str, np.ndarray] = {}
+        for buf, arr in zip(self.func.params, arrays):
+            if tuple(arr.shape) != buf.shape:
+                raise ExecutionError(
+                    f"buffer {buf.name}: expected shape {buf.shape}, got {arr.shape}"
+                )
+            if arr.dtype != np.dtype(buf.dtype):
+                raise ExecutionError(
+                    f"buffer {buf.name}: expected dtype {buf.dtype}, got {arr.dtype}"
+                )
+            buffers[buf.name] = arr
+        self._exec(self.func.body, {}, buffers)
+
+    # -- statements ------------------------------------------------------
+
+    def _exec(self, stmt: Stmt, env: dict[Var, int], bufs: dict[str, np.ndarray]) -> None:
+        if isinstance(stmt, For):
+            lo = self._eval(stmt.min, env, bufs)
+            n = self._eval(stmt.extent, env, bufs)
+            for i in range(int(lo), int(lo) + int(n)):
+                env[stmt.loop_var] = i
+                self._exec(stmt.body, env, bufs)
+            env.pop(stmt.loop_var, None)
+        elif isinstance(stmt, BufferStore):
+            idx = tuple(int(self._eval(i, env, bufs)) for i in stmt.indices)
+            arr = bufs[stmt.buffer.name]
+            try:
+                arr[idx] = self._eval(stmt.value, env, bufs)
+            except IndexError as exc:
+                raise ExecutionError(
+                    f"out-of-bounds store to {stmt.buffer.name}{list(idx)} "
+                    f"(shape {arr.shape})"
+                ) from exc
+        elif isinstance(stmt, SeqStmt):
+            for s in stmt.stmts:
+                self._exec(s, env, bufs)
+        elif isinstance(stmt, IfThenElse):
+            if self._eval(stmt.condition, env, bufs):
+                self._exec(stmt.then_case, env, bufs)
+            elif stmt.else_case is not None:
+                self._exec(stmt.else_case, env, bufs)
+        elif isinstance(stmt, Evaluate):
+            self._eval(stmt.value, env, bufs)
+        elif isinstance(stmt, Allocate):
+            if stmt.buffer.name in bufs:
+                raise ExecutionError(f"buffer {stmt.buffer.name} allocated twice")
+            bufs[stmt.buffer.name] = np.zeros(stmt.buffer.shape, dtype=stmt.buffer.dtype)
+            self._exec(stmt.body, env, bufs)
+            del bufs[stmt.buffer.name]
+        else:
+            raise ExecutionError(f"interpreter: unhandled statement {type(stmt).__name__}")
+
+    # -- expressions -----------------------------------------------------
+
+    def _eval(self, expr: Expr, env: dict[Var, int], bufs: dict[str, np.ndarray]):
+        t = type(expr)
+        if t is Var:
+            try:
+                return env[expr]
+            except KeyError:
+                raise ExecutionError(f"unbound variable {expr.name}") from None
+        if t is IntImm or t is FloatImm or t is StringImm:
+            return expr.value
+        op = _BINOPS.get(t)
+        if op is not None:
+            return op(self._eval(expr.a, env, bufs), self._eval(expr.b, env, bufs))
+        if t is BufferLoad:
+            idx = tuple(int(self._eval(i, env, bufs)) for i in expr.indices)
+            arr = bufs[expr.buffer.name]
+            try:
+                return arr[idx]
+            except IndexError as exc:
+                raise ExecutionError(
+                    f"out-of-bounds load from {expr.buffer.name}{list(idx)} "
+                    f"(shape {arr.shape})"
+                ) from exc
+        if t is Cast:
+            return np.dtype(expr.dtype).type(self._eval(expr.value, env, bufs))
+        if t is Not:
+            return not self._eval(expr.a, env, bufs)
+        if t is Select:
+            if self._eval(expr.condition, env, bufs):
+                return self._eval(expr.true_value, env, bufs)
+            return self._eval(expr.false_value, env, bufs)
+        if t is Call:
+            return expr.func(*(self._eval(a, env, bufs) for a in expr.args))
+        raise ExecutionError(f"interpreter: unhandled expression {type(expr).__name__}")

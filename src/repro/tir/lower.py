@@ -1,0 +1,338 @@
+"""Lowering: TE schedule -> TIR loop nest.
+
+Reproduces the essential behaviour of TVM's ``tvm.lower``:
+
+* each compute stage becomes a loop nest whose loop order is the stage's leaf
+  iteration variables;
+* split/fuse relations reconstruct the original axis values from the leaf loop
+  variables (``parent = outer * factor + inner``), with boundary guards when a
+  split factor does not divide the extent;
+* reductions emit an *init* nest (store of the identity) covering the data-parallel
+  leaves located at or below the first reduce loop, followed by the *update* nest —
+  exactly the structure the paper's ``reorder(yo, xo, k, yi, xi)`` schedule relies
+  on;
+* schedule annotations become ``For`` kinds (``unrolled``/``vectorized``/
+  ``parallel``/``thread_binding``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.common.errors import LoweringError
+from repro.te.expr import (
+    Add,
+    And,
+    Expr,
+    FloorDiv,
+    FloorMod,
+    IntImm,
+    LT,
+    Max,
+    Min,
+    Mul,
+    ProducerLoad,
+    Reduce,
+    Sub,
+    Var,
+    const,
+    substitute,
+)
+from repro.te.schedule import FuseRelation, Schedule, SplitRelation, Stage
+from repro.te.tensor import ComputeOp, IterVar, PlaceholderOp, Tensor
+from repro.tir.stmt import (
+    Allocate,
+    Buffer,
+    BufferLoad,
+    BufferStore,
+    For,
+    IfThenElse,
+    PrimFunc,
+    SeqStmt,
+    Stmt,
+)
+
+_ATTR_TO_KIND = {
+    "unroll": "unrolled",
+    "vectorize": "vectorized",
+    "parallel": "parallel",
+}
+
+
+def lower(
+    sched: Schedule,
+    args: Sequence[Tensor],
+    name: str = "main",
+) -> PrimFunc:
+    """Lower a schedule into a :class:`PrimFunc` with the given parameter tensors.
+
+    ``args`` lists the tensors exposed as function parameters (inputs and outputs,
+    in call order); intermediate compute tensors not listed become local
+    allocations.
+    """
+    tensor_buf: dict[int, Buffer] = {}
+    params: list[Buffer] = []
+    used_names: set[str] = set()
+    for t in args:
+        if id(t) in tensor_buf:
+            raise LoweringError(f"tensor {t.name} listed twice in args")
+        buf_name = _unique(t.name, used_names)
+        buf = Buffer(buf_name, t.shape, t.dtype)
+        tensor_buf[id(t)] = buf
+        params.append(buf)
+
+    # Every placeholder referenced by the computation must be a parameter.
+    for stage in sched.stages:
+        op = stage.op
+        assert isinstance(op, ComputeOp)
+        for t in op.input_tensors():
+            if isinstance(t.op, PlaceholderOp) and id(t) not in tensor_buf:
+                raise LoweringError(
+                    f"placeholder {t.name} is used by {op.name} but missing from args"
+                )
+
+    # Inlined stages produce no buffer or loops: their expression substitutes
+    # into every consumer (TVM compute_inline).
+    inlined: dict[int, ComputeOp] = {}
+    for stage in sched.stages:
+        if stage.inlined:
+            out = stage.op.output()
+            if id(out) in tensor_buf:
+                raise LoweringError(
+                    f"stage {stage.op.name} is inlined but its tensor is a "
+                    "function parameter"
+                )
+            assert isinstance(stage.op, ComputeOp)
+            inlined[id(out)] = stage.op
+
+    allocs: list[Buffer] = []
+    parts: list[Stmt] = []
+    for stage in sched.stages:
+        if stage.inlined:
+            continue
+        out = stage.op.output()
+        if id(out) not in tensor_buf:
+            buf = Buffer(_unique(out.name, used_names), out.shape, out.dtype)
+            tensor_buf[id(out)] = buf
+            allocs.append(buf)
+        parts.append(_lower_stage(stage, tensor_buf, inlined))
+
+    body: Stmt = SeqStmt(parts) if len(parts) != 1 else parts[0]
+    for buf in reversed(allocs):
+        body = Allocate(buf, body)
+    return PrimFunc(name, params, body, attrs={"num_stages": len(sched.stages)})
+
+
+def _unique(base: str, used: set[str]) -> str:
+    name = base
+    i = 1
+    while name in used:
+        name = f"{base}_{i}"
+        i += 1
+    used.add(name)
+    return name
+
+
+def _lower_stage(
+    stage: Stage,
+    tensor_buf: dict[int, Buffer],
+    inlined: dict[int, ComputeOp] | None = None,
+) -> Stmt:
+    inlined = inlined or {}
+    op = stage.op
+    assert isinstance(op, ComputeOp)
+    out_buf = tensor_buf[id(op.output())]
+    leaves = stage.leaf_iter_vars
+
+    vmap = _axis_value_map(stage)
+    varmax = {iv.var: iv.extent - 1 for iv in leaves}
+
+    # Boundary guards per root axis (only when leaf decomposition over-covers).
+    guards_data: list[Expr] = []
+    guards_reduce: list[Expr] = []
+    for root in op.axis:
+        val = vmap.get(id(root), root.var)
+        if _int_max_eval(val, varmax) >= root.extent:
+            guards_data.append(LT(val, const(root.extent, "int32")))
+    for root in op.reduce_axis:
+        val = vmap.get(id(root), root.var)
+        if _int_max_eval(val, varmax) >= root.extent:
+            guards_reduce.append(LT(val, const(root.extent, "int32")))
+
+    store_indices = tuple(vmap.get(id(ax), ax.var) for ax in op.axis)
+
+    if isinstance(op.body, Reduce):
+        red = op.body
+        source = _lower_expr(red.source, vmap, op, tensor_buf, inlined)
+        load = BufferLoad(out_buf, store_indices)
+        if red.combiner == "sum":
+            update_val: Expr = Add(load, source)
+        elif red.combiner == "max":
+            update_val = Max(load, source)
+        else:
+            update_val = Min(load, source)
+
+        first_reduce = next(
+            (i for i, iv in enumerate(leaves) if iv.is_reduce()), len(leaves)
+        )
+        init_store: Stmt = BufferStore(out_buf, red.identity, store_indices)
+        init_store = _guard(init_store, guards_data)
+        init_leaves = [iv for iv in leaves[first_reduce:] if not iv.is_reduce()]
+        init_nest = _wrap_loops(init_store, init_leaves, stage)
+
+        update: Stmt = BufferStore(out_buf, update_val, store_indices)
+        update = _guard(update, guards_data + guards_reduce)
+        update_nest = _wrap_loops(update, leaves[first_reduce:], stage)
+
+        inner: Stmt = SeqStmt([init_nest, update_nest])
+        return _wrap_loops(inner, leaves[:first_reduce], stage)
+
+    value = _lower_expr(op.body, vmap, op, tensor_buf, inlined)
+    store: Stmt = BufferStore(out_buf, value, store_indices)
+    store = _guard(store, guards_data)
+    return _wrap_loops(store, leaves, stage)
+
+
+def _guard(stmt: Stmt, conds: list[Expr]) -> Stmt:
+    if not conds:
+        return stmt
+    cond = conds[0]
+    for c in conds[1:]:
+        cond = And(cond, c)
+    return IfThenElse(cond, stmt)
+
+
+def _wrap_loops(body: Stmt, leaves: Sequence[IterVar], stage: Stage) -> Stmt:
+    """Wrap ``body`` in For loops, innermost = last leaf; validate vectorize."""
+    innermost = True
+    for iv in reversed(list(leaves)):
+        attr = stage.iter_var_attrs.get(iv)
+        kind = _ATTR_TO_KIND.get(attr, "serial") if attr else "serial"
+        thread_tag = ""
+        if iv in stage.binds:
+            kind = "thread_binding"
+            thread_tag = stage.binds[iv].thread_tag
+        if kind == "vectorized" and not innermost:
+            raise LoweringError(
+                f"vectorized loop {iv.name} of stage {stage.op.name} is not the "
+                "innermost loop of its nest"
+            )
+        body = For(
+            iv.var,
+            const(0, "int32"),
+            const(iv.extent, "int32"),
+            kind,
+            body,
+            thread_tag=thread_tag,
+        )
+        innermost = False
+    return body
+
+
+def _axis_value_map(stage: Stage) -> dict[int, Expr]:
+    """Map each original (root/intermediate) IterVar id to its value expression
+    in terms of the current leaf loop variables."""
+    vmap: dict[int, Expr] = {}
+
+    def get(iv: IterVar) -> Expr:
+        return vmap.get(id(iv), iv.var)
+
+    for rel in reversed(stage.relations):
+        if isinstance(rel, SplitRelation):
+            vmap[id(rel.parent)] = Add(
+                Mul(get(rel.outer), const(rel.factor, "int32")), get(rel.inner)
+            )
+        elif isinstance(rel, FuseRelation):
+            fused_val = get(rel.fused)
+            inner_ext = const(rel.inner.extent, "int32")
+            vmap[id(rel.outer)] = FloorDiv(fused_val, inner_ext)
+            vmap[id(rel.inner)] = FloorMod(fused_val, inner_ext)
+        else:  # pragma: no cover - relations are only the two kinds above
+            raise LoweringError(f"unknown relation {rel!r}")
+    return vmap
+
+
+def _lower_expr(
+    expr: Expr,
+    vmap: dict[int, Expr],
+    op: ComputeOp,
+    tensor_buf: dict[int, Buffer],
+    inlined: dict[int, ComputeOp],
+) -> Expr:
+    """Substitute root axis variables and convert ProducerLoad -> BufferLoad."""
+    sub = {
+        ax.var: vmap[id(ax)]
+        for ax in list(op.axis) + list(op.reduce_axis)
+        if id(ax) in vmap
+    }
+    expr = substitute(expr, sub) if sub else expr
+    return _convert_loads(expr, tensor_buf, inlined)
+
+
+def _convert_loads(
+    expr: Expr,
+    tensor_buf: dict[int, Buffer],
+    inlined: dict[int, ComputeOp],
+) -> Expr:
+    if isinstance(expr, ProducerLoad):
+        producer = inlined.get(id(expr.tensor))
+        if producer is not None:
+            # compute_inline: substitute the producer's expression at the
+            # read site (indices replace the producer's axis variables), then
+            # keep converting — the body may read other inlined tensors.
+            indices = tuple(
+                _convert_loads(i, tensor_buf, inlined) for i in expr.indices
+            )
+            body = substitute(
+                producer.body,
+                {ax.var: idx for ax, idx in zip(producer.axis, indices)},
+            )
+            return _convert_loads(body, tensor_buf, inlined)
+        buf = tensor_buf.get(id(expr.tensor))
+        if buf is None:
+            raise LoweringError(
+                f"tensor {expr.tensor.name} read before being lowered/bound"
+            )
+        return BufferLoad(
+            buf, tuple(_convert_loads(i, tensor_buf, inlined) for i in expr.indices)
+        )
+    if isinstance(expr, BufferLoad):
+        return expr
+    children = expr.children()
+    if not children:
+        return expr
+    new_children = tuple(_convert_loads(c, tensor_buf, inlined) for c in children)
+    if all(a is b for a, b in zip(new_children, children)):
+        return expr
+    return expr.rebuild_with(new_children)
+
+
+def _int_max_eval(expr: Expr, varmax: dict[Var, int]) -> int:
+    """Maximum value of a non-negative monotone integer index expression.
+
+    Valid for the index expressions lowering builds (sums/products/floordiv/
+    floormod of loop variables and positive constants).
+    """
+    if isinstance(expr, Var):
+        if expr not in varmax:
+            raise LoweringError(f"index expression uses unknown variable {expr.name}")
+        return varmax[expr]
+    if isinstance(expr, IntImm):
+        return expr.value
+    if isinstance(expr, Add):
+        return _int_max_eval(expr.a, varmax) + _int_max_eval(expr.b, varmax)
+    if isinstance(expr, Sub):
+        return _int_max_eval(expr.a, varmax)
+    if isinstance(expr, Mul):
+        return _int_max_eval(expr.a, varmax) * _int_max_eval(expr.b, varmax)
+    if isinstance(expr, FloorDiv):
+        if not isinstance(expr.b, IntImm):
+            raise LoweringError("floordiv by a non-constant in an index expression")
+        return _int_max_eval(expr.a, varmax) // expr.b.value
+    if isinstance(expr, FloorMod):
+        if not isinstance(expr.b, IntImm):
+            raise LoweringError("floormod by a non-constant in an index expression")
+        return min(_int_max_eval(expr.a, varmax), expr.b.value - 1)
+    raise LoweringError(
+        f"cannot bound index expression node {type(expr).__name__}: {expr!r}"
+    )

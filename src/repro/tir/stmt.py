@@ -1,0 +1,216 @@
+"""TIR statement nodes and the PrimFunc container.
+
+Statements form explicit loop nests over flat buffers. ``BufferLoad`` is an
+expression node (it extends :class:`repro.te.expr.Expr`) so lowered expressions mix
+freely with the TE arithmetic nodes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.common.errors import ReproError
+from repro.te.expr import Expr, Var
+
+FOR_KINDS = ("serial", "parallel", "vectorized", "unrolled", "thread_binding")
+
+
+class Buffer:
+    """A named flat buffer with shape and dtype (backed by NumPy at runtime)."""
+
+    __slots__ = ("name", "shape", "dtype")
+
+    def __init__(self, name: str, shape: tuple[int, ...], dtype: str) -> None:
+        self.name = name
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = dtype
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def __repr__(self) -> str:
+        return f"Buffer({self.name}, {self.shape}, {self.dtype})"
+
+
+class BufferLoad(Expr):
+    """Read ``buffer[indices]`` (TIR level)."""
+
+    __slots__ = ("buffer", "indices", "dtype")
+
+    def __init__(self, buffer: Buffer, indices: tuple[Expr, ...]) -> None:
+        if len(indices) != buffer.ndim:
+            raise ReproError(
+                f"buffer {buffer.name} is {buffer.ndim}-D, indexed with {len(indices)}"
+            )
+        self.buffer = buffer
+        self.indices = tuple(indices)
+        self.dtype = buffer.dtype
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.indices
+
+    def rebuild_with(self, children: tuple[Expr, ...]) -> Expr:
+        return BufferLoad(self.buffer, children)
+
+    def __repr__(self) -> str:
+        return f"{self.buffer.name}[{', '.join(map(repr, self.indices))}]"
+
+    __hash__ = Expr.__hash__
+
+
+class Stmt:
+    """Base class of all statements."""
+
+    def __repr__(self) -> str:
+        return stmt_to_str(self)
+
+
+class BufferStore(Stmt):
+    """``buffer[indices] = value``."""
+
+    __slots__ = ("buffer", "value", "indices")
+
+    def __init__(self, buffer: Buffer, value: Expr, indices: tuple[Expr, ...]) -> None:
+        if len(indices) != buffer.ndim:
+            raise ReproError(
+                f"buffer {buffer.name} is {buffer.ndim}-D, stored with {len(indices)}"
+            )
+        self.buffer = buffer
+        self.value = value
+        self.indices = tuple(indices)
+
+
+class For(Stmt):
+    """``for loop_var in [min, min+extent): body`` with an execution kind.
+
+    ``thread_tag`` carries the GPU axis for ``thread_binding`` loops; CPU executors
+    run those loops serially while the Swing model reads the tag.
+    """
+
+    __slots__ = ("loop_var", "min", "extent", "kind", "body", "thread_tag")
+
+    def __init__(
+        self,
+        loop_var: Var,
+        min_: Expr,
+        extent: Expr,
+        kind: str,
+        body: Stmt,
+        thread_tag: str = "",
+    ) -> None:
+        if kind not in FOR_KINDS:
+            raise ReproError(f"invalid For kind {kind!r}; expected one of {FOR_KINDS}")
+        self.loop_var = loop_var
+        self.min = min_
+        self.extent = extent
+        self.kind = kind
+        self.body = body
+        self.thread_tag = thread_tag
+
+
+class SeqStmt(Stmt):
+    """A sequence of statements."""
+
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts: list[Stmt]) -> None:
+        flat: list[Stmt] = []
+        for s in stmts:
+            if isinstance(s, SeqStmt):
+                flat.extend(s.stmts)
+            else:
+                flat.append(s)
+        self.stmts = flat
+
+
+class IfThenElse(Stmt):
+    __slots__ = ("condition", "then_case", "else_case")
+
+    def __init__(self, condition: Expr, then_case: Stmt, else_case: Stmt | None = None) -> None:
+        self.condition = condition
+        self.then_case = then_case
+        self.else_case = else_case
+
+
+class Evaluate(Stmt):
+    """Evaluate an expression for effect (rarely used; kept for completeness)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Expr) -> None:
+        self.value = value
+
+
+class Allocate(Stmt):
+    """Allocate an intermediate buffer for the duration of ``body``."""
+
+    __slots__ = ("buffer", "body")
+
+    def __init__(self, buffer: Buffer, body: Stmt) -> None:
+        self.buffer = buffer
+        self.body = body
+
+
+class PrimFunc:
+    """A lowered function: ordered buffer parameters and a statement body."""
+
+    def __init__(
+        self,
+        name: str,
+        params: list[Buffer],
+        body: Stmt,
+        attrs: dict[str, object] | None = None,
+    ) -> None:
+        self.name = name
+        self.params = list(params)
+        self.body = body
+        self.attrs = dict(attrs or {})
+
+    def __repr__(self) -> str:
+        sig = ", ".join(f"{b.name}: {b.dtype}{list(b.shape)}" for b in self.params)
+        return f"PrimFunc {self.name}({sig})\n{stmt_to_str(self.body, indent=1)}"
+
+
+def visit_stmt(stmt: Stmt, fvisit: Callable[[Stmt], None]) -> None:
+    """Pre-order traversal over all statements."""
+    fvisit(stmt)
+    if isinstance(stmt, For):
+        visit_stmt(stmt.body, fvisit)
+    elif isinstance(stmt, SeqStmt):
+        for s in stmt.stmts:
+            visit_stmt(s, fvisit)
+    elif isinstance(stmt, IfThenElse):
+        visit_stmt(stmt.then_case, fvisit)
+        if stmt.else_case is not None:
+            visit_stmt(stmt.else_case, fvisit)
+    elif isinstance(stmt, Allocate):
+        visit_stmt(stmt.body, fvisit)
+
+
+def stmt_to_str(stmt: Stmt, indent: int = 0) -> str:
+    """Human-readable pretty printer (used in docs, debugging, and tests)."""
+    pad = "  " * indent
+    if isinstance(stmt, For):
+        head = f"{pad}for {stmt.loop_var.name} in [{stmt.min!r}, {stmt.min!r}+{stmt.extent!r})"
+        if stmt.kind != "serial":
+            head += f"  # {stmt.kind}" + (f" {stmt.thread_tag}" if stmt.thread_tag else "")
+        return head + "\n" + stmt_to_str(stmt.body, indent + 1)
+    if isinstance(stmt, BufferStore):
+        idx = ", ".join(map(repr, stmt.indices))
+        return f"{pad}{stmt.buffer.name}[{idx}] = {stmt.value!r}"
+    if isinstance(stmt, SeqStmt):
+        return "\n".join(stmt_to_str(s, indent) for s in stmt.stmts)
+    if isinstance(stmt, IfThenElse):
+        out = f"{pad}if {stmt.condition!r}\n" + stmt_to_str(stmt.then_case, indent + 1)
+        if stmt.else_case is not None:
+            out += f"\n{pad}else\n" + stmt_to_str(stmt.else_case, indent + 1)
+        return out
+    if isinstance(stmt, Evaluate):
+        return f"{pad}eval {stmt.value!r}"
+    if isinstance(stmt, Allocate):
+        return (
+            f"{pad}alloc {stmt.buffer.name}{list(stmt.buffer.shape)}\n"
+            + stmt_to_str(stmt.body, indent + 1)
+        )
+    raise ReproError(f"stmt_to_str: unhandled statement {type(stmt).__name__}")

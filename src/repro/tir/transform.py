@@ -1,0 +1,222 @@
+"""TIR transformation passes: simplification, loop unrolling, statistics.
+
+These mirror (a small slice of) TVM's lowering pipeline. ``simplify`` does constant
+folding and algebraic identity cleanup; ``unroll_loops`` expands loops marked
+``unrolled`` whose extent is a constant.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import LoweringError
+from repro.te.expr import (
+    Add,
+    Expr,
+    FloatImm,
+    FloorDiv,
+    FloorMod,
+    IntImm,
+    Mul,
+    Sub,
+    Var,
+    const,
+    substitute,
+)
+from repro.tir.stmt import (
+    Allocate,
+    BufferStore,
+    Evaluate,
+    For,
+    IfThenElse,
+    PrimFunc,
+    SeqStmt,
+    Stmt,
+    visit_stmt,
+)
+
+_FOLDABLE = (Add, Sub, Mul, FloorDiv, FloorMod)
+_PY_OP = {
+    Add: lambda a, b: a + b,
+    Sub: lambda a, b: a - b,
+    Mul: lambda a, b: a * b,
+    FloorDiv: lambda a, b: a // b,
+    FloorMod: lambda a, b: a % b,
+}
+
+
+def _is_const(e: Expr, value: int | None = None) -> bool:
+    if isinstance(e, (IntImm, FloatImm)):
+        return value is None or e.value == value
+    return False
+
+
+def simplify_expr(expr: Expr) -> Expr:
+    """Constant folding + identity elimination on an expression tree."""
+    children = expr.children()
+    if children:
+        new_children = tuple(simplify_expr(c) for c in children)
+        if any(a is not b for a, b in zip(new_children, children)):
+            expr = expr.rebuild_with(new_children)
+
+    if isinstance(expr, _FOLDABLE):
+        a, b = expr.a, expr.b
+        if isinstance(a, IntImm) and isinstance(b, IntImm):
+            return const(_PY_OP[type(expr)](a.value, b.value), expr.dtype)
+        if isinstance(a, FloatImm) and isinstance(b, FloatImm) and not isinstance(expr, (FloorDiv, FloorMod)):
+            return const(_PY_OP[type(expr)](a.value, b.value), expr.dtype)
+        if isinstance(expr, Add):
+            if _is_const(a, 0):
+                return b
+            if _is_const(b, 0):
+                return a
+        elif isinstance(expr, Sub) and _is_const(b, 0):
+            return a
+        elif isinstance(expr, Mul):
+            if _is_const(a, 1):
+                return b
+            if _is_const(b, 1):
+                return a
+            if _is_const(a, 0) or _is_const(b, 0):
+                return const(0, expr.dtype)
+        elif isinstance(expr, (FloorDiv,)) and _is_const(b, 1):
+            return a
+        elif isinstance(expr, FloorMod) and _is_const(b, 1):
+            return const(0, expr.dtype)
+    return expr
+
+
+def simplify_stmt(stmt: Stmt) -> Stmt:
+    """Simplify expressions inside statements; prune statically-true guards."""
+    if isinstance(stmt, For):
+        return For(
+            stmt.loop_var,
+            simplify_expr(stmt.min),
+            simplify_expr(stmt.extent),
+            stmt.kind,
+            simplify_stmt(stmt.body),
+            thread_tag=stmt.thread_tag,
+        )
+    if isinstance(stmt, BufferStore):
+        return BufferStore(
+            stmt.buffer,
+            simplify_expr(stmt.value),
+            tuple(simplify_expr(i) for i in stmt.indices),
+        )
+    if isinstance(stmt, SeqStmt):
+        return SeqStmt([simplify_stmt(s) for s in stmt.stmts])
+    if isinstance(stmt, IfThenElse):
+        cond = simplify_expr(stmt.condition)
+        if isinstance(cond, IntImm):
+            if cond.value:
+                return simplify_stmt(stmt.then_case)
+            if stmt.else_case is not None:
+                return simplify_stmt(stmt.else_case)
+            return SeqStmt([])
+        return IfThenElse(
+            cond,
+            simplify_stmt(stmt.then_case),
+            simplify_stmt(stmt.else_case) if stmt.else_case is not None else None,
+        )
+    if isinstance(stmt, Evaluate):
+        return Evaluate(simplify_expr(stmt.value))
+    if isinstance(stmt, Allocate):
+        return Allocate(stmt.buffer, simplify_stmt(stmt.body))
+    raise LoweringError(f"simplify: unhandled statement {type(stmt).__name__}")
+
+
+def _subst_stmt(stmt: Stmt, var: Var, value: Expr) -> Stmt:
+    """Substitute a loop variable with a value throughout a statement."""
+    mapping = {var: value}
+    if isinstance(stmt, For):
+        return For(
+            stmt.loop_var,
+            substitute(stmt.min, mapping),
+            substitute(stmt.extent, mapping),
+            stmt.kind,
+            _subst_stmt(stmt.body, var, value),
+            thread_tag=stmt.thread_tag,
+        )
+    if isinstance(stmt, BufferStore):
+        return BufferStore(
+            stmt.buffer,
+            substitute(stmt.value, mapping),
+            tuple(substitute(i, mapping) for i in stmt.indices),
+        )
+    if isinstance(stmt, SeqStmt):
+        return SeqStmt([_subst_stmt(s, var, value) for s in stmt.stmts])
+    if isinstance(stmt, IfThenElse):
+        return IfThenElse(
+            substitute(stmt.condition, mapping),
+            _subst_stmt(stmt.then_case, var, value),
+            _subst_stmt(stmt.else_case, var, value) if stmt.else_case is not None else None,
+        )
+    if isinstance(stmt, Evaluate):
+        return Evaluate(substitute(stmt.value, mapping))
+    if isinstance(stmt, Allocate):
+        return Allocate(stmt.buffer, _subst_stmt(stmt.body, var, value))
+    raise LoweringError(f"substitute: unhandled statement {type(stmt).__name__}")
+
+
+MAX_UNROLL_STEPS = 4096
+
+
+def unroll_loops(stmt: Stmt, max_steps: int = MAX_UNROLL_STEPS) -> Stmt:
+    """Expand loops marked ``unrolled`` with constant extents into sequences.
+
+    Loops whose extent exceeds ``max_steps`` are left as serial loops rather than
+    exploding code size (TVM's ``auto_max_step`` behaviour).
+    """
+    if isinstance(stmt, For):
+        body = unroll_loops(stmt.body, max_steps)
+        if stmt.kind == "unrolled":
+            if not isinstance(stmt.extent, IntImm) or not isinstance(stmt.min, IntImm):
+                raise LoweringError(
+                    f"cannot unroll loop {stmt.loop_var.name}: non-constant bounds"
+                )
+            if stmt.extent.value <= max_steps:
+                return SeqStmt(
+                    [
+                        _subst_stmt(body, stmt.loop_var, const(stmt.min.value + i, "int32"))
+                        for i in range(stmt.extent.value)
+                    ]
+                )
+            return For(stmt.loop_var, stmt.min, stmt.extent, "serial", body)
+        return For(stmt.loop_var, stmt.min, stmt.extent, stmt.kind, body, stmt.thread_tag)
+    if isinstance(stmt, SeqStmt):
+        return SeqStmt([unroll_loops(s, max_steps) for s in stmt.stmts])
+    if isinstance(stmt, IfThenElse):
+        return IfThenElse(
+            stmt.condition,
+            unroll_loops(stmt.then_case, max_steps),
+            unroll_loops(stmt.else_case, max_steps) if stmt.else_case is not None else None,
+        )
+    if isinstance(stmt, Allocate):
+        return Allocate(stmt.buffer, unroll_loops(stmt.body, max_steps))
+    return stmt
+
+
+def simplify_func(func: PrimFunc, unroll: bool = True, validate: bool = True) -> PrimFunc:
+    """The standard pass pipeline applied after lowering:
+    simplify → hoist loop-invariant guards → unroll → simplify → validate."""
+    from repro.tir.analysis import hoist_guards, validate_func
+
+    body = simplify_stmt(func.body)
+    body = hoist_guards(body)
+    if unroll:
+        body = unroll_loops(body)
+        body = simplify_stmt(body)
+    out = PrimFunc(func.name, func.params, body, func.attrs)
+    if validate:
+        validate_func(out)
+    return out
+
+
+def count_loops(stmt: Stmt) -> dict[str, int]:
+    """Count loops by kind — used in tests and by the Swing featurizer."""
+    counts: dict[str, int] = {}
+
+    def _visit(s: Stmt) -> None:
+        if isinstance(s, For):
+            counts[s.kind] = counts.get(s.kind, 0) + 1
+
+    visit_stmt(stmt, _visit)
+    return counts

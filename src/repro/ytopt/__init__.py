@@ -1,0 +1,33 @@
+"""ytopt reimplementation: ML-based autotuning via Bayesian optimization.
+
+Mirrors the ytopt architecture the paper describes (§2.2): a ConfigSpace-defined
+parameter space, a *code mold* parameterization of the kernel source, an
+ask/tell Bayesian optimizer with a dynamically refitted Random-Forest surrogate
+and a Lower-Confidence-Bound acquisition function, and the AMBS search loop that
+drives evaluations until the budget is exhausted, recording every result in a
+performance database.
+"""
+
+from repro.ytopt.problem import TuningProblem
+from repro.ytopt.surrogate import RandomForestSurrogate, GBTSurrogate, DummySurrogate
+from repro.ytopt.acquisition import LowerConfidenceBound, ExpectedImprovement
+from repro.ytopt.optimizer import Optimizer
+from repro.ytopt.database import PerformanceDatabase, EvaluationRecord
+from repro.ytopt.search import AMBS, SearchResult
+from repro.ytopt.codemold import CodeMold, Plopper
+
+__all__ = [
+    "TuningProblem",
+    "RandomForestSurrogate",
+    "GBTSurrogate",
+    "DummySurrogate",
+    "LowerConfidenceBound",
+    "ExpectedImprovement",
+    "Optimizer",
+    "PerformanceDatabase",
+    "EvaluationRecord",
+    "AMBS",
+    "SearchResult",
+    "CodeMold",
+    "Plopper",
+]

@@ -1,0 +1,75 @@
+"""Acquisition functions.
+
+The paper's framework uses the Lower Confidence Bound (LCB): ``mu - kappa *
+sigma`` over the surrogate's predictions — smaller is better, and the kappa-
+weighted uncertainty term buys exploration. Expected Improvement and
+Probability of Improvement are provided for the acquisition ablation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.common.errors import ReproError
+
+_SQRT2 = float(np.sqrt(2.0))
+_erf = np.vectorize(math.erf)
+
+
+def _norm_cdf(z: np.ndarray) -> np.ndarray:
+    return 0.5 * (1.0 + _erf(z / _SQRT2))
+
+
+def _norm_pdf(z: np.ndarray) -> np.ndarray:
+    return np.exp(-0.5 * z * z) / np.sqrt(2.0 * np.pi)
+
+
+class AcquisitionFunction:
+    """Interface: score candidates; *lower scores are selected first*."""
+
+    def score(self, mean: np.ndarray, std: np.ndarray, best_y: float) -> np.ndarray:
+        raise NotImplementedError
+
+
+class LowerConfidenceBound(AcquisitionFunction):
+    """``LCB = mu - kappa * sigma`` (minimization form)."""
+
+    def __init__(self, kappa: float = 1.96) -> None:
+        if kappa < 0:
+            raise ReproError(f"kappa must be >= 0, got {kappa}")
+        self.kappa = kappa
+
+    def score(self, mean: np.ndarray, std: np.ndarray, best_y: float) -> np.ndarray:
+        return mean - self.kappa * std
+
+
+class ExpectedImprovement(AcquisitionFunction):
+    """Negative EI (so lower = better, consistent with LCB selection)."""
+
+    def __init__(self, xi: float = 0.01) -> None:
+        if xi < 0:
+            raise ReproError(f"xi must be >= 0, got {xi}")
+        self.xi = xi
+
+    def score(self, mean: np.ndarray, std: np.ndarray, best_y: float) -> np.ndarray:
+        std = np.maximum(std, 1e-12)
+        improvement = best_y - self.xi - mean
+        z = improvement / std
+        ei = improvement * _norm_cdf(z) + std * _norm_pdf(z)
+        return -ei
+
+
+class ProbabilityOfImprovement(AcquisitionFunction):
+    """Negative PI."""
+
+    def __init__(self, xi: float = 0.01) -> None:
+        if xi < 0:
+            raise ReproError(f"xi must be >= 0, got {xi}")
+        self.xi = xi
+
+    def score(self, mean: np.ndarray, std: np.ndarray, best_y: float) -> np.ndarray:
+        std = np.maximum(std, 1e-12)
+        z = (best_y - self.xi - mean) / std
+        return -_norm_cdf(z)

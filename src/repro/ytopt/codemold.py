@@ -1,0 +1,96 @@
+"""Code molds: parameterized kernel source with ``#P0``-style holes.
+
+The paper parameterizes the TE code by replacing the literal split factors with
+markers (``yo, yi = s1[E].split(y, #P0)``) to produce a *code mold*; ytopt's
+Plopper substitutes a configuration into the mold, writes the result, and
+builds it. :class:`CodeMold` does the textual substitution; :class:`Plopper`
+executes the instantiated Python TE source and extracts the schedule-builder
+entry point, yielding the same ``params -> (schedule, args)`` interface the
+rest of the framework uses.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Mapping, Sequence
+
+import repro.te as te
+from repro.common.errors import SpaceError
+from repro.te.schedule import Schedule
+from repro.te.tensor import Tensor
+
+#: Marker syntax: `#P<number>` or `#P<identifier>` word-bounded.
+_MARKER_RE = re.compile(r"#(P\w+)")
+
+
+class CodeMold:
+    """A source template whose ``#Pn`` markers are replaced by parameter values."""
+
+    def __init__(self, template: str) -> None:
+        self.template = template
+        self.params: tuple[str, ...] = tuple(dict.fromkeys(_MARKER_RE.findall(template)))
+        if not self.params:
+            raise SpaceError("code mold contains no #P markers")
+
+    def instantiate(self, values: Mapping[str, object]) -> str:
+        """Substitute every marker; missing or extra parameters are errors."""
+        missing = [p for p in self.params if p not in values]
+        if missing:
+            raise SpaceError(f"code mold missing values for {missing}")
+        extra = [k for k in values if k not in self.params]
+        if extra:
+            raise SpaceError(f"code mold got unknown parameters {extra}")
+
+        def _sub(match: re.Match[str]) -> str:
+            return repr(values[match.group(1)])
+
+        return _MARKER_RE.sub(_sub, self.template)
+
+    def __repr__(self) -> str:
+        return f"CodeMold(params={list(self.params)})"
+
+
+class Plopper:
+    """Instantiate + execute a Python TE code mold (ytopt's Plopper role).
+
+    The mold source must define a function named ``entry`` (default
+    ``build_schedule``) taking no arguments and returning ``(schedule, args)``.
+    The mold runs with ``te`` (this package's tensor-expression module) already
+    imported, mirroring how the paper's molds assume ``tvm.te``.
+    """
+
+    def __init__(self, mold: "CodeMold | str", entry: str = "build_schedule") -> None:
+        self.mold = mold if isinstance(mold, CodeMold) else CodeMold(mold)
+        self.entry = entry
+
+    @property
+    def params(self) -> tuple[str, ...]:
+        return self.mold.params
+
+    def build(self, values: Mapping[str, object]) -> tuple[Schedule, Sequence[Tensor]]:
+        """Instantiate the mold with ``values`` and run its entry point."""
+        source = self.mold.instantiate(values)
+        namespace: dict[str, object] = {"te": te}
+        try:
+            exec(compile(source, "<codemold>", "exec"), namespace)  # noqa: S102
+        except SyntaxError as exc:
+            raise SpaceError(f"instantiated code mold does not parse: {exc}") from exc
+        fn = namespace.get(self.entry)
+        if not callable(fn):
+            raise SpaceError(
+                f"code mold does not define a callable {self.entry!r}"
+            )
+        sched, args = fn()
+        if not isinstance(sched, Schedule):
+            raise SpaceError(
+                f"{self.entry}() must return (Schedule, args); got {type(sched).__name__}"
+            )
+        return sched, list(args)
+
+    def schedule_builder(self):
+        """Adapt to the :data:`~repro.runtime.measure.ScheduleBuilder` protocol."""
+
+        def _builder(params: Mapping[str, int]):
+            return self.build(params)
+
+        return _builder

@@ -1,0 +1,180 @@
+"""The ask/tell Bayesian optimizer at the heart of the proposed framework.
+
+Implements the loop of the paper's §2.2 / Figure 3: an initial design of random
+configurations, then — once enough observations exist — a Random-Forest
+surrogate refit on all (configuration, runtime) pairs and a candidate pool
+scored with the LCB acquisition. Candidates mix global random samples
+(exploration) with neighbors of the incumbent (exploitation), the balance the
+paper attributes to LCB over the surrogate's mean and uncertainty.
+
+``ask()`` never returns a configuration that was already told (duplicate
+evaluations waste the budget on finite tiling spaces); when the whole space has
+been observed it falls back to re-sampling.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.common.errors import TuningError
+from repro.common.rng import ensure_rng
+from repro.configspace import Configuration, ConfigurationSpace
+from repro.ytopt.acquisition import AcquisitionFunction, LowerConfidenceBound
+from repro.ytopt.surrogate import RandomForestSurrogate, Surrogate
+
+
+class Optimizer:
+    """Sequential model-based optimizer (minimizes the told cost)."""
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        surrogate: Surrogate | None = None,
+        acquisition: AcquisitionFunction | None = None,
+        n_initial_points: int = 10,
+        n_candidates: int = 1000,
+        n_neighbor_candidates: int = 32,
+        refit_interval: int = 1,
+        seed: int | None = None,
+    ) -> None:
+        if n_initial_points < 1:
+            raise TuningError(f"n_initial_points must be >= 1, got {n_initial_points}")
+        if n_candidates < 1:
+            raise TuningError(f"n_candidates must be >= 1, got {n_candidates}")
+        if refit_interval < 1:
+            raise TuningError(f"refit_interval must be >= 1, got {refit_interval}")
+        self.space = space
+        self.surrogate = surrogate if surrogate is not None else RandomForestSurrogate(seed=seed)
+        self.acquisition = (
+            acquisition if acquisition is not None else LowerConfidenceBound()
+        )
+        self.n_initial_points = n_initial_points
+        self.n_candidates = n_candidates
+        self.n_neighbor_candidates = n_neighbor_candidates
+        self.refit_interval = refit_interval
+        self._rng = ensure_rng(seed)
+        if seed is not None:
+            self.space.seed(seed)
+
+        self._X: list[np.ndarray] = []
+        self._y: list[float] = []
+        self._configs: list[Configuration] = []
+        self._told: set[Configuration] = set()
+        self._asked: list[Configuration] = []
+        self._since_fit = 0
+        self._fitted = False
+
+    # -- API ------------------------------------------------------------
+
+    @property
+    def n_told(self) -> int:
+        return len(self._y)
+
+    def ask(self) -> Configuration:
+        """Propose the next configuration to evaluate."""
+        if self.n_told < self.n_initial_points:
+            config = self._sample_unseen()
+        else:
+            self._maybe_refit()
+            config = self._suggest()
+        self._asked.append(config)
+        return config
+
+    def ask_batch(self, n: int) -> list[Configuration]:
+        """Propose ``n`` distinct configurations (constant-liar batching).
+
+        Supports parallel evaluation (ytopt's async mode): after each pick the
+        optimizer is temporarily told the incumbent cost as a "lie", pushing
+        the next pick away from the same region; all lies are retracted before
+        returning, so the caller tells only real measurements.
+        """
+        if n < 1:
+            raise TuningError(f"batch size must be >= 1, got {n}")
+        lie = min(self._y) if self._y else 1.0
+        picks: list[Configuration] = []
+        for _ in range(n):
+            config = self.ask()
+            picks.append(config)
+            self.tell(config, lie)
+        for _ in picks:
+            self._retract_last()
+        return picks
+
+    def _retract_last(self) -> None:
+        self._X.pop()
+        self._y.pop()
+        config = self._configs.pop()
+        self._told.discard(config)
+        self._fitted = False  # surrogate saw lies: force a clean refit
+
+    def tell(self, config: "Configuration | Mapping[str, int]", cost: float) -> None:
+        """Record the measured cost of a configuration."""
+        if not isinstance(config, Configuration):
+            config = Configuration(self.space, dict(config))
+        if not np.isfinite(cost):
+            raise TuningError(f"cost must be finite, got {cost}")
+        self._X.append(config.get_array())
+        self._y.append(float(cost))
+        self._configs.append(config)
+        self._told.add(config)
+        self._since_fit += 1
+
+    def best(self) -> tuple[dict[str, int], float]:
+        """Incumbent configuration and its cost."""
+        if not self._y:
+            raise TuningError("best() called before any tell()")
+        i = int(np.argmin(self._y))
+        return self._configs[i].get_dictionary(), self._y[i]
+
+    # -- internals ----------------------------------------------------------
+
+    def _sample_unseen(self) -> Configuration:
+        for _ in range(64):
+            c = self.space.sample_configuration()
+            if c not in self._told:
+                return c
+        return self.space.sample_configuration()
+
+    def _maybe_refit(self) -> None:
+        if not self._fitted or self._since_fit >= self.refit_interval:
+            self.surrogate.fit(np.vstack(self._X), np.asarray(self._y))
+            self._fitted = True
+            self._since_fit = 0
+
+    def _suggest(self) -> Configuration:
+        candidates: list[Configuration] = []
+        seen: set[Configuration] = set(self._told)
+        # Global exploration pool.
+        for _ in range(self.n_candidates):
+            c = self.space.sample_configuration()
+            if c not in seen:
+                seen.add(c)
+                candidates.append(c)
+        # Local pool around the best few incumbents (exploitation candidates).
+        if self._y:
+            order = np.argsort(self._y)[:3]
+            budget = self.n_candidates + self.n_neighbor_candidates
+            for idx in order:
+                for c in self.space.neighbors(self._configs[int(idx)], self._rng):
+                    if c not in seen:
+                        seen.add(c)
+                        candidates.append(c)
+                        if len(candidates) >= budget:
+                            break
+                if len(candidates) >= budget:
+                    break
+        if not candidates:
+            return self._sample_unseen()
+
+        X = np.vstack([c.get_array() for c in candidates])
+        mean, std = self.surrogate.predict(X)
+        scores = self.acquisition.score(mean, std, best_y=float(np.min(self._log_y())))
+        return candidates[int(np.argmin(scores))]
+
+    def _log_y(self) -> np.ndarray:
+        y = np.asarray(self._y)
+        if getattr(self.surrogate, "log_cost", False):
+            return np.log(np.maximum(y, 1e-30))
+        return y

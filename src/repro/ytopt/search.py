@@ -1,0 +1,113 @@
+"""AMBS: the search loop of the proposed autotuning framework (Fig. 3).
+
+Asynchronous Model-Based Search is ytopt's driver. Each iteration runs the
+paper's Steps 1–5: the Bayesian optimizer selects a configuration (Step 1), the
+code mold / schedule builder instantiates it (Step 2), the kernel is compiled
+(Step 3) and executed (Step 4), and the runtime lands in the performance
+database and back in the optimizer (Step 5) — until ``max_evals`` or the
+wall-clock budget is exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import TuningError
+from repro.runtime.measure import FAILED_COST
+from repro.ytopt.database import PerformanceDatabase
+from repro.ytopt.optimizer import Optimizer
+from repro.ytopt.problem import TuningProblem
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a search run."""
+
+    best_config: dict[str, int]
+    best_runtime: float
+    n_evals: int
+    total_elapsed: float
+    database: PerformanceDatabase
+
+    def __repr__(self) -> str:
+        return (
+            f"SearchResult(best={self.best_runtime:.4g}s @ {self.best_config}, "
+            f"{self.n_evals} evals, {self.total_elapsed:.4g}s process time)"
+        )
+
+
+class AMBS:
+    """Model-based search: one evaluation per iteration, lowest cost wins."""
+
+    def __init__(
+        self,
+        problem: TuningProblem,
+        optimizer: Optimizer | None = None,
+        max_evals: int = 100,
+        max_time: float | None = None,
+        seed: int | None = None,
+        tuner_name: str = "ytopt",
+        #: Modeled/real per-iteration cost of the optimizer itself (surrogate
+        #: refit + acquisition over the candidate pool). Charged to the
+        #: evaluator's clock under simulation so process time is honest.
+        optimizer_overhead: float = 0.2,
+        #: >1 enables ytopt's async mode: configurations are proposed in
+        #: constant-liar batches (parallel evaluation on a multi-GPU node).
+        batch_size: int = 1,
+        #: Resume a previous run: its records pre-train the optimizer and are
+        #: carried into this run's database; already-evaluated configurations
+        #: are never re-measured.
+        resume_from: PerformanceDatabase | None = None,
+    ) -> None:
+        if max_evals < 1:
+            raise TuningError(f"max_evals must be >= 1, got {max_evals}")
+        if max_time is not None and max_time <= 0:
+            raise TuningError(f"max_time must be positive, got {max_time}")
+        if batch_size < 1:
+            raise TuningError(f"batch_size must be >= 1, got {batch_size}")
+        self.problem = problem
+        self.optimizer = (
+            optimizer
+            if optimizer is not None
+            else Optimizer(problem.space, seed=seed)
+        )
+        self.max_evals = max_evals
+        self.max_time = max_time
+        self.tuner_name = tuner_name
+        self.optimizer_overhead = optimizer_overhead
+        self.batch_size = batch_size
+        self.database = PerformanceDatabase(name=f"{problem.name}:{tuner_name}")
+        if resume_from is not None:
+            for rec in resume_from:
+                self.optimizer.tell(rec.config, rec.runtime)
+            self.database.extend(resume_from)
+
+    def run(self) -> SearchResult:
+        """Execute the search; returns the best configuration found."""
+        evaluator = self.problem.evaluator
+        clock = getattr(evaluator, "clock", None)
+        remaining = self.max_evals
+        while remaining > 0:
+            if self.max_time is not None and evaluator.elapsed() >= self.max_time:
+                break
+            n = min(self.batch_size, remaining)
+            configs = (
+                [self.optimizer.ask()] if n == 1 else self.optimizer.ask_batch(n)
+            )  # Step 1
+            if clock is not None:
+                clock.advance(self.optimizer_overhead)
+            for config in configs:
+                result = self.problem.objective(config)  # Steps 2-4
+                self.database.add(result, tuner=self.tuner_name)  # Step 5
+                cost = result.mean_cost if result.ok else FAILED_COST
+                self.optimizer.tell(config, cost)
+            remaining -= len(configs)
+
+        best = self.database.best()
+        return SearchResult(
+            best_config=best.config,
+            best_runtime=best.runtime,
+            n_evals=len(self.database),
+            total_elapsed=self.database.total_elapsed(),
+            database=self.database,
+        )

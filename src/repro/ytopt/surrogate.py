@@ -1,0 +1,123 @@
+"""Surrogate models for the Bayesian optimizer.
+
+The paper's ytopt uses "a dynamically updated Random Forest surrogate model";
+:class:`RandomForestSurrogate` is the default. :class:`GBTSurrogate` (boosted
+trees with a jackknife-ish uncertainty) and :class:`DummySurrogate` (no model —
+degrades BO to random search) exist for the ablation benchmarks.
+
+All surrogates model *log* cost by default: kernel runtimes span orders of
+magnitude across tile configurations, and tree splits on log cost are far
+better behaved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ReproError
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.gbt import GradientBoostedTreesRegressor
+
+
+class Surrogate:
+    """Interface: fit on encoded configs + costs, predict mean and std."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def predict(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+
+class _LogCostMixin:
+    """Shared log-cost transform handling."""
+
+    def __init__(self, log_cost: bool = True) -> None:
+        self.log_cost = log_cost
+
+    def _transform(self, y: np.ndarray) -> np.ndarray:
+        if not self.log_cost:
+            return y
+        if (y <= 0).any():
+            raise ReproError("log-cost surrogate requires strictly positive costs")
+        return np.log(y)
+
+
+class RandomForestSurrogate(_LogCostMixin, Surrogate):
+    """ytopt's default: RF mean + across-tree std."""
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        min_samples_leaf: int = 1,
+        max_features: "int | float | str | None" = 0.8,
+        log_cost: bool = True,
+        seed: int | None = None,
+    ) -> None:
+        _LogCostMixin.__init__(self, log_cost)
+        self._model = RandomForestRegressor(
+            n_estimators=n_estimators,
+            min_samples_leaf=min_samples_leaf,
+            max_features=max_features,
+            seed=seed,
+        )
+        self._fitted = False
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        self._model.fit(X, self._transform(np.asarray(y, dtype=float)))
+        self._fitted = True
+
+    def predict(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if not self._fitted:
+            raise ReproError("surrogate predict() before fit()")
+        mean, std = self._model.predict(X, return_std=True)
+        return mean, std
+
+
+class GBTSurrogate(_LogCostMixin, Surrogate):
+    """Boosted trees; uncertainty from an ensemble of independently seeded fits."""
+
+    def __init__(
+        self,
+        n_models: int = 5,
+        n_estimators: int = 40,
+        log_cost: bool = True,
+        seed: int | None = None,
+    ) -> None:
+        if n_models < 2:
+            raise ReproError(f"GBTSurrogate needs >= 2 ensemble members, got {n_models}")
+        _LogCostMixin.__init__(self, log_cost)
+        base = 0 if seed is None else seed
+        self._models = [
+            GradientBoostedTreesRegressor(
+                n_estimators=n_estimators, subsample=0.8, seed=base + i
+            )
+            for i in range(n_models)
+        ]
+        self._fitted = False
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        yt = self._transform(np.asarray(y, dtype=float))
+        for m in self._models:
+            m.fit(X, yt)
+        self._fitted = True
+
+    def predict(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if not self._fitted:
+            raise ReproError("surrogate predict() before fit()")
+        preds = np.stack([m.predict(X) for m in self._models], axis=0)
+        return preds.mean(axis=0), preds.std(axis=0)
+
+
+class DummySurrogate(Surrogate):
+    """No learning: constant mean, constant std. BO over it = random search.
+
+    Used by the surrogate ablation to isolate how much the model contributes.
+    """
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        self._mean = float(np.mean(y))
+
+    def predict(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        n = X.shape[0]
+        return np.full(n, getattr(self, "_mean", 0.0)), np.ones(n)

@@ -1,0 +1,177 @@
+"""Tests for the cost model, sketch policy, and the auto_schedule loop."""
+
+import numpy as np
+import pytest
+
+import repro.te as te
+from repro.common.errors import TuningError
+from repro.autoscheduler import (
+    EvolutionParams,
+    GBTCostModel,
+    RandomCostModel,
+    ScheduleFeatures,
+    SearchTask,
+    SketchPolicy,
+    TuningOptions,
+    auto_schedule,
+    generate_sketch,
+)
+from repro.autoscheduler.tune import profile_from_sketch
+from tests.conftest import make_matmul
+
+
+def _sketch(n=32, m=32, k=32):
+    _, _, C = make_matmul(n, m, k)
+    return generate_sketch(C.op)
+
+
+def _mm_builder(n=24, m=24, k=24):
+    def builder():
+        return list(make_matmul(n, m, k))
+
+    return builder
+
+
+class TestScheduleFeatures:
+    def test_shape(self):
+        sketch = _sketch()
+        feats = ScheduleFeatures(sketch)
+        v = feats({"C.y": 8, "C.x": 16})
+        assert v.shape == (feats.n_features,) == (8,)
+
+    def test_warp_alignment_flag(self):
+        feats = ScheduleFeatures(_sketch(64, 64, 64))
+        aligned = feats({"C.y": 8, "C.x": 32})
+        ragged = feats({"C.y": 8, "C.x": 33})
+        assert aligned[6] == 1.0 and ragged[6] == 0.0
+
+    def test_matrix(self):
+        feats = ScheduleFeatures(_sketch())
+        X = feats.matrix([{"C.y": 2, "C.x": 2}, {"C.y": 4, "C.x": 8}])
+        assert X.shape == (2, 8)
+
+
+class TestGBTCostModel:
+    def test_untrained_predicts_neutral(self):
+        model = GBTCostModel(_sketch(), seed=0)
+        scores = model.predict([{"C.y": 2, "C.x": 2}])
+        assert scores.shape == (1,)
+        assert scores[0] == 0.0
+
+    def test_learns_ranking(self):
+        sketch = _sketch(64, 64, 64)
+        model = GBTCostModel(sketch, seed=0)
+        rng = np.random.default_rng(0)
+        annotations, costs = [], []
+        for _ in range(60):
+            ty = int(rng.choice([1, 2, 4, 8, 16, 32, 64]))
+            tx = int(rng.choice([1, 2, 4, 8, 16, 32, 64]))
+            annotations.append({"C.y": ty, "C.x": tx})
+            costs.append(1.0 / (ty * tx) + 0.001)  # bigger tiles cheaper
+        model.update(annotations, costs)
+        small = model.predict([{"C.y": 1, "C.x": 1}])[0]
+        big = model.predict([{"C.y": 64, "C.x": 64}])[0]
+        assert big < small
+
+    def test_failed_measurements_skipped(self):
+        model = GBTCostModel(_sketch(), seed=0)
+        model.update([{"C.y": 1, "C.x": 1}], [float("inf")])
+        assert model.n_observations == 0
+
+    def test_length_mismatch_rejected(self):
+        model = GBTCostModel(_sketch(), seed=0)
+        with pytest.raises(TuningError):
+            model.update([{"C.y": 1, "C.x": 1}], [1.0, 2.0])
+
+
+class TestSketchPolicy:
+    def test_batch_has_no_duplicates_or_visited(self):
+        policy = SketchPolicy(_sketch(), seed=0)
+        seen = set()
+        for _ in range(5):
+            batch = policy.propose_batch()
+            for a in batch:
+                key = (a["C.y"], a["C.x"])
+                assert key not in seen
+                seen.add(key)
+                policy.tell(a, float(a["C.y"] + a["C.x"]))
+
+    def test_best_tracks_minimum(self):
+        policy = SketchPolicy(_sketch(), seed=1)
+        costs = []
+        for a in policy.propose_batch():
+            c = 1.0 / (a["C.y"] * a["C.x"] + 1)
+            costs.append(c)
+            policy.tell(a, c)
+        _, best = policy.best()
+        assert best == min(costs)
+
+    def test_best_before_tell_rejected(self):
+        with pytest.raises(TuningError):
+            SketchPolicy(_sketch(), seed=0).best()
+
+    def test_evolution_params_validation(self):
+        with pytest.raises(TuningError):
+            EvolutionParams(population_size=1)
+        with pytest.raises(TuningError):
+            EvolutionParams(num_measures_per_round=0)
+        with pytest.raises(TuningError):
+            EvolutionParams(eps_greedy=1.5)
+
+    def test_evolution_exploits_good_region(self):
+        # Tell the policy a clear optimum; later batches should concentrate
+        # near it more than uniform sampling would.
+        sketch = _sketch(64, 64, 64)
+        policy = SketchPolicy(sketch, seed=2)
+        for _ in range(6):
+            for a in policy.propose_batch():
+                cost = abs(a["C.y"] - 32) + abs(a["C.x"] - 32) + 1.0
+                policy.tell(a, cost)
+        batch = policy.propose_batch()
+        near = sum(1 for a in batch if 8 <= a["C.y"] <= 64 and 8 <= a["C.x"] <= 64)
+        assert near >= len(batch) // 2
+
+
+class TestAutoSchedule:
+    def test_local_end_to_end(self):
+        task = SearchTask(_mm_builder(), name="mm", target="llvm")
+        result = auto_schedule(task, TuningOptions(n_trials=10, seed=0))
+        assert result.n_trials == 10
+        assert result.best_cost > 0
+        assert set(result.best_annotation) == {"C.y", "C.x"}
+        # Best annotation instantiates into a buildable schedule.
+        from repro.runtime import build
+
+        sched, args = task.apply_best(result.best_annotation)
+        build(sched, args)
+
+    def test_swing_backend(self):
+        task = SearchTask(_mm_builder(64, 64, 64), name="mm64", target="swing")
+        result = auto_schedule(task, TuningOptions(n_trials=20, seed=0))
+        assert result.n_trials == 20
+        assert len(result.database) == 20
+
+    def test_random_cost_model_ablation(self):
+        task = SearchTask(_mm_builder(), name="mm", target="swing")
+        result = auto_schedule(
+            task,
+            TuningOptions(n_trials=10, seed=0),
+            cost_model=RandomCostModel(task.sketch, seed=0),
+        )
+        assert result.n_trials == 10
+
+    def test_profile_from_sketch(self):
+        sketch = _sketch(100, 200, 50)
+        profile = profile_from_sketch(sketch, name="mm")
+        assert len(profile.stages) == 1
+        st = profile.stages[0]
+        assert (st.m, st.n, st.k) == (100, 200, 50)
+        assert profile.candidates("C.y")[0] == 1
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(TuningError):
+            SearchTask(_mm_builder(), target="fpga")
+
+    def test_options_validation(self):
+        with pytest.raises(TuningError):
+            TuningOptions(n_trials=0)

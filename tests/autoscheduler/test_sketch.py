@@ -1,0 +1,104 @@
+"""Tests for sketch generation and application."""
+
+import numpy as np
+import pytest
+
+import repro.te as te
+from repro.common.errors import ScheduleError
+from repro.autoscheduler import apply_sketch, generate_sketch, tile_candidates
+from repro.runtime import build
+from tests.conftest import make_matmul
+
+
+def _matmul_graph(n=12, m=10, k=8):
+    return make_matmul(n, m, k)
+
+
+class TestGenerateSketch:
+    def test_matmul_gets_multi_level_tile(self):
+        _, _, C = _matmul_graph()
+        sketch = generate_sketch(C.op)
+        assert len(sketch.plans) == 1
+        plan = sketch.plans[0]
+        assert plan.kind == "multi_level_tile"
+        assert plan.params == ("C.y", "C.x")
+        assert plan.extents == (12, 10)
+        assert plan.reduce_extent == 8
+
+    def test_accepts_tensor_or_op(self):
+        _, _, C = _matmul_graph()
+        assert generate_sketch(C).params == generate_sketch(C.op).params
+
+    def test_multi_stage_graph(self):
+        A = te.placeholder((8, 8), name="A")
+        k = te.reduce_axis((0, 8), "k")
+        B = te.compute((8, 8), lambda i, j: te.sum(A[i, k] * A[k, j], axis=k), name="B")
+        C = te.compute((8, 8), lambda i, j: B[i, j] + 1.0, name="C")
+        sketch = generate_sketch(C.op)
+        kinds = {p.op_name: p.kind for p in sketch.plans}
+        assert kinds == {"B": "multi_level_tile", "C": "vectorize_inner"}
+        assert sketch.params == ["B.y", "B.x"]
+
+    def test_no_tilable_stage_rejected(self):
+        A = te.placeholder((8,), name="A")
+        B = te.compute((8,), lambda i: A[i] * 2.0, name="B")
+        with pytest.raises(ScheduleError):
+            generate_sketch(B.op)
+
+    def test_param_extents(self):
+        _, _, C = _matmul_graph()
+        sketch = generate_sketch(C.op)
+        assert sketch.param_extents() == {"C.y": 12, "C.x": 10}
+
+
+class TestTileCandidates:
+    def test_contains_divisors_and_powers_of_two(self):
+        cands = tile_candidates(48)
+        assert set([1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48]) <= set(cands)
+
+    def test_includes_imperfect_tiles(self):
+        # 32 does not divide 48 — Ansor-style spaces allow imperfect splits.
+        assert 32 in tile_candidates(48)
+
+    def test_sorted_unique(self):
+        cands = tile_candidates(2000)
+        assert cands == sorted(set(cands))
+
+    def test_cap_respected(self):
+        cands = tile_candidates(2000, max_candidates=10)
+        assert len(cands) <= 10
+        assert cands[0] == 1 and 1024 <= cands[-1] <= 2048
+
+    def test_bad_extent_rejected(self):
+        with pytest.raises(ScheduleError):
+            tile_candidates(0)
+
+
+class TestApplySketch:
+    def test_produces_correct_schedule(self, rng):
+        A, B, C = _matmul_graph()
+        sketch = generate_sketch(C.op)
+        sched = apply_sketch(sketch, {"C.y": 4, "C.x": 5})
+        mod = build(sched, [A, B, C])
+        a = rng.random((12, 8)).astype("float32")
+        b = rng.random((8, 10)).astype("float32")
+        c = np.zeros((12, 10), dtype="float32")
+        mod(a, b, c)
+        np.testing.assert_allclose(c, a @ b, rtol=1e-5)
+
+    def test_imperfect_tiles_still_correct(self, rng):
+        A, B, C = _matmul_graph()
+        sketch = generate_sketch(C.op)
+        sched = apply_sketch(sketch, {"C.y": 7, "C.x": 9}, vectorize_inner=False)
+        mod = build(sched, [A, B, C])
+        a = rng.random((12, 8)).astype("float32")
+        b = rng.random((8, 10)).astype("float32")
+        c = np.zeros((12, 10), dtype="float32")
+        mod(a, b, c)
+        np.testing.assert_allclose(c, a @ b, rtol=1e-5)
+
+    def test_missing_annotation_rejected(self):
+        _, _, C = _matmul_graph()
+        sketch = generate_sketch(C.op)
+        with pytest.raises(ScheduleError):
+            apply_sketch(sketch, {"C.y": 4})

@@ -1,0 +1,71 @@
+"""Tests for the AutoTVM measurement pipeline."""
+
+import pytest
+
+from repro.autotvm import Measurer, measure_option, task_from_benchmark
+from repro.common.errors import TuningError
+from repro.common.timing import VirtualClock
+from repro.kernels import get_benchmark
+from repro.swing import SwingEvaluator
+
+
+def _task(seed=0):
+    bench = get_benchmark("cholesky", "large")
+    evaluator = SwingEvaluator(bench.profile, clock=VirtualClock())
+    return task_from_benchmark(bench, evaluator), evaluator
+
+
+class TestMeasureOption:
+    def test_defaults(self):
+        opt = measure_option()
+        assert opt.number == 3 and opt.n_parallel == 8
+
+    def test_validation(self):
+        with pytest.raises(TuningError):
+            measure_option(number=0)
+        with pytest.raises(TuningError):
+            measure_option(n_parallel=0)
+        with pytest.raises(TuningError):
+            measure_option(batch_overhead=-1.0)
+
+
+class TestMeasurer:
+    def test_evaluator_configured(self):
+        task, evaluator = _task()
+        Measurer(evaluator, measure_option(number=5, repeat=2, n_parallel=4))
+        assert evaluator.number == 5
+        assert evaluator.repeat == 2
+        assert evaluator.compile_parallelism == 4
+
+    def test_batch_measures_all(self):
+        task, evaluator = _task()
+        measurer = Measurer(evaluator, measure_option())
+        batch = [task.space.get(i) for i in (0, 5, 10)]
+        results = measurer.measure_batch(batch)
+        assert len(results) == 3
+        assert all(r.ok for r in results)
+
+    def test_batch_overhead_charged(self):
+        task, evaluator = _task()
+        measurer = Measurer(evaluator, measure_option(number=1, batch_overhead=100.0))
+        before = evaluator.clock.now
+        measurer.measure_batch([task.space.get(0)])
+        assert evaluator.clock.now >= before + 100.0
+
+    def test_empty_batch_free(self):
+        task, evaluator = _task()
+        measurer = Measurer(evaluator, measure_option(batch_overhead=50.0))
+        before = evaluator.clock.now
+        assert measurer.measure_batch([]) == []
+        assert evaluator.clock.now == before
+
+    def test_repeated_runs_cost_more_time(self):
+        task1, ev1 = _task()
+        Measurer(ev1, measure_option(number=1, n_parallel=1, batch_overhead=0)).measure_batch(
+            [task1.space.get(7)]
+        )
+        task2, ev2 = _task()
+        Measurer(ev2, measure_option(number=4, n_parallel=1, batch_overhead=0)).measure_batch(
+            [task2.space.get(7)]
+        )
+        assert ev2.clock.now > ev1.clock.now

@@ -1,0 +1,68 @@
+"""Tests for tuning records (JSON log round-trip)."""
+
+import pytest
+
+from repro.autotvm import (
+    TuningRecord,
+    decode_record,
+    encode_record,
+    load_records,
+    save_records,
+)
+from repro.autotvm.record import best_record
+from repro.common.errors import TuningError
+from repro.runtime.measure import MeasureResult
+
+
+def _rec(cost=1.0, error=None, cfg=None):
+    return TuningRecord(
+        task="lu-large",
+        tuner="RandomTuner",
+        config=cfg or {"P0": 4, "P1": 8},
+        costs=(cost,) if error is None else (),
+        compile_time=1.2,
+        timestamp=10.0,
+        error=error,
+    )
+
+
+class TestRecord:
+    def test_mean_cost(self):
+        r = TuningRecord("t", "x", {}, (1.0, 3.0), 0.1, 1.0)
+        assert r.mean_cost == 2.0
+
+    def test_failed_mean_is_inf(self):
+        assert _rec(error="boom").mean_cost == float("inf")
+
+    def test_from_result(self):
+        res = MeasureResult({"P0": 2}, (0.5,), 1.0, 3.0)
+        r = TuningRecord.from_result("task", "tuner", res)
+        assert r.config == {"P0": 2} and r.costs == (0.5,)
+
+    def test_encode_decode_roundtrip(self):
+        r = _rec()
+        assert decode_record(encode_record(r)) == r
+
+    def test_roundtrip_with_error(self):
+        r = _rec(error="timeout")
+        assert decode_record(encode_record(r)) == r
+
+    def test_malformed_rejected(self):
+        with pytest.raises(TuningError):
+            decode_record("not json")
+        with pytest.raises(TuningError):
+            decode_record('{"task": "x"}')
+
+    def test_save_load(self, tmp_path):
+        records = [_rec(1.0), _rec(2.0, cfg={"P0": 1, "P1": 1})]
+        path = tmp_path / "log.json"
+        save_records(records, path)
+        assert load_records(path) == records
+
+    def test_best_record(self):
+        records = [_rec(3.0), _rec(1.0, cfg={"P0": 9, "P1": 9}), _rec(0.0, error="x")]
+        assert best_record(records).config == {"P0": 9, "P1": 9}
+
+    def test_best_record_all_failed(self):
+        with pytest.raises(TuningError):
+            best_record([_rec(error="x")])

@@ -1,0 +1,95 @@
+"""Tests for AutoTVM knob config spaces."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autotvm import ConfigSpace
+from repro.common.errors import SpaceError
+
+
+def _space():
+    cs = ConfigSpace()
+    cs.define_knob("tile_y", [1, 2, 4, 8])
+    cs.define_knob("tile_x", [1, 3, 9])
+    cs.define_knob("unroll", [0, 1])
+    return cs
+
+
+class TestDefineKnob:
+    def test_len_is_product(self):
+        assert len(_space()) == 24
+
+    def test_duplicate_knob_rejected(self):
+        cs = _space()
+        with pytest.raises(SpaceError):
+            cs.define_knob("tile_y", [1])
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(SpaceError):
+            ConfigSpace().define_knob("k", [])
+
+    def test_gene_sizes(self):
+        assert _space().gene_sizes() == [4, 3, 2]
+
+    def test_knob_candidates_lookup(self):
+        assert _space().knob_candidates("tile_x") == [1, 3, 9]
+        with pytest.raises(SpaceError):
+            _space().knob_candidates("nope")
+
+
+class TestIndexing:
+    def test_index_zero_is_all_first(self):
+        cfg = _space().get(0)
+        assert cfg.to_dict() == {"tile_y": 1, "tile_x": 1, "unroll": 0}
+
+    def test_first_knob_varies_fastest(self):
+        cs = _space()
+        assert cs.get(1)["tile_y"] == 2
+        assert cs.get(1)["tile_x"] == 1
+
+    def test_last_index(self):
+        cfg = _space().get(23)
+        assert cfg.to_dict() == {"tile_y": 8, "tile_x": 9, "unroll": 1}
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(SpaceError):
+            _space().get(24)
+        with pytest.raises(SpaceError):
+            _space().get(-1)
+
+    def test_knob_indices_roundtrip(self):
+        cs = _space()
+        for i in range(len(cs)):
+            cfg = cs.get(i)
+            assert cs.indices_to_index(cfg.knob_indices()) == i
+
+    def test_from_knob_indices(self):
+        cs = _space()
+        cfg = cs.from_knob_indices((2, 1, 1))
+        assert cfg.to_dict() == {"tile_y": 4, "tile_x": 3, "unroll": 1}
+
+    def test_bad_indices_rejected(self):
+        cs = _space()
+        with pytest.raises(SpaceError):
+            cs.indices_to_index((0, 0))  # wrong arity
+        with pytest.raises(SpaceError):
+            cs.indices_to_index((4, 0, 0))  # out of range
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 23))
+    def test_property_roundtrip(self, i):
+        cs = _space()
+        assert cs.indices_to_index(cs.index_to_indices(i)) == i
+
+
+class TestConfigEntity:
+    def test_mapping_interface(self):
+        cfg = _space().get(5)
+        assert set(cfg) == {"tile_y", "tile_x", "unroll"}
+        assert len(cfg) == 3
+
+    def test_equality_hash(self):
+        cs = _space()
+        assert cs.get(3) == cs.get(3)
+        assert cs.get(3) != cs.get(4)
+        assert len({cs.get(3), cs.get(3)}) == 1

@@ -1,0 +1,106 @@
+"""Tests for transfer learning from tuning records."""
+
+import pytest
+
+from repro.autotvm import (
+    Measurer,
+    RandomTuner,
+    XGBTuner,
+    measure_option,
+    task_from_benchmark,
+)
+from repro.autotvm.record import TuningRecord
+from repro.autotvm.transfer import apply_history_best, warm_start
+from repro.common.errors import TuningError
+from repro.common.timing import VirtualClock
+from repro.kernels import get_benchmark
+from repro.swing import SwingEvaluator
+
+
+def _task(kernel="cholesky", size="large"):
+    bench = get_benchmark(kernel, size)
+    evaluator = SwingEvaluator(bench.profile, clock=VirtualClock())
+    return task_from_benchmark(bench, evaluator), evaluator
+
+
+def _records_from_run(n=30, seed=0):
+    task, evaluator = _task()
+    tuner = RandomTuner(task, seed=seed)
+    measurer = Measurer(evaluator, measure_option(number=1, batch_overhead=0.0))
+    return tuner.tune(n_trial=n, measurer=measurer), tuner
+
+
+class TestApplyHistoryBest:
+    def test_picks_recorded_minimum(self):
+        records, tuner = _records_from_run()
+        task, _ = _task()
+        entity, cost = apply_history_best(task, records)
+        assert cost == tuner.best()[1]
+        assert entity.to_dict() == tuner.best()[0]
+
+    def test_skips_other_tasks(self):
+        records, _ = _records_from_run()
+        other_task, _ = _task("lu", "extralarge")
+        with pytest.raises(TuningError):
+            apply_history_best(other_task, records)
+
+    def test_skips_failed_records(self):
+        task, _ = _task()
+        records = [
+            TuningRecord(task.name, "x", {"P0": 1, "P1": 1}, (), 0.1, 1.0, error="boom")
+        ]
+        with pytest.raises(TuningError):
+            apply_history_best(task, records)
+
+    def test_skips_foreign_configs(self):
+        task, _ = _task()
+        # P0=7 is not a divisor of 2000 — from an incompatible space.
+        records = [
+            TuningRecord(task.name, "x", {"P0": 7, "P1": 1}, (1.0,), 0.1, 1.0),
+            TuningRecord(task.name, "x", {"P0": 50, "P1": 50}, (2.5,), 0.1, 1.0),
+        ]
+        entity, cost = apply_history_best(task, records)
+        assert entity.to_dict() == {"P0": 50, "P1": 50} and cost == 2.5
+
+
+class TestWarmStart:
+    def test_absorbs_records_and_trains_model(self):
+        records, _ = _records_from_run(n=30)
+        task, _ = _task()
+        tuner = XGBTuner(task, seed=1)
+        absorbed = warm_start(tuner, records)
+        assert absorbed == 30
+        assert tuner.model is not None
+        assert len(tuner.visited) == 30
+        assert tuner.best_config is not None
+
+    def test_no_remeasure_of_transferred_configs(self):
+        records, _ = _records_from_run(n=25)
+        task, evaluator = _task()
+        tuner = XGBTuner(task, seed=2)
+        warm_start(tuner, records)
+        transferred = set(tuner.visited)
+        measurer = Measurer(evaluator, measure_option(number=1, batch_overhead=0.0))
+        tuner.tune(n_trial=20, measurer=measurer)
+        new_visits = tuner.visited - transferred
+        assert len(new_visits) == 20
+
+    def test_warm_started_run_no_worse_than_cold(self):
+        records, prior = _records_from_run(n=40, seed=3)
+        task_w, ev_w = _task()
+        warm = XGBTuner(task_w, seed=4)
+        warm_start(warm, records)
+        Measurer(ev_w, measure_option(number=1, batch_overhead=0.0))
+        warm.tune(n_trial=16, measurer=Measurer(ev_w, measure_option(number=1, batch_overhead=0.0)))
+
+        # The warm-started tuner's best includes transferred knowledge, so it
+        # can never be worse than the prior run's best.
+        assert warm.best()[1] <= prior.best()[1]
+
+    def test_foreign_records_ignored(self):
+        task, _ = _task()
+        tuner = XGBTuner(task, seed=0)
+        foreign = [
+            TuningRecord("other-task", "x", {"P0": 1, "P1": 1}, (1.0,), 0.1, 1.0)
+        ]
+        assert warm_start(tuner, foreign) == 0

@@ -1,0 +1,160 @@
+"""Tests for the four AutoTVM tuner strategies."""
+
+import pytest
+
+from repro.autotvm import (
+    GATuner,
+    GridSearchTuner,
+    Measurer,
+    RandomTuner,
+    XGBTuner,
+    measure_option,
+    task_from_benchmark,
+    PAPER_XGB_TRIAL_CAP,
+)
+from repro.common.errors import TuningError
+from repro.common.timing import VirtualClock
+from repro.kernels import get_benchmark
+from repro.swing import SwingEvaluator
+
+
+def _setup(kernel="cholesky", size="large", seed=0):
+    bench = get_benchmark(kernel, size)
+    evaluator = SwingEvaluator(bench.profile, clock=VirtualClock())
+    task = task_from_benchmark(bench, evaluator)
+    measurer = Measurer(evaluator, measure_option(number=1, batch_overhead=0.0))
+    return task, measurer
+
+
+def _unique_configs(records):
+    return {tuple(sorted(r.config.items())) for r in records}
+
+
+class TestTuningLoop:
+    def test_n_trial_respected(self):
+        task, measurer = _setup()
+        tuner = RandomTuner(task, seed=0)
+        records = tuner.tune(n_trial=20, measurer=measurer)
+        assert len(records) == 20
+
+    def test_no_duplicate_configs(self):
+        task, measurer = _setup()
+        tuner = RandomTuner(task, seed=0)
+        records = tuner.tune(n_trial=50, measurer=measurer)
+        assert len(_unique_configs(records)) == 50
+
+    def test_best_tracks_minimum(self):
+        task, measurer = _setup()
+        tuner = RandomTuner(task, seed=1)
+        records = tuner.tune(n_trial=30, measurer=measurer)
+        _, best = tuner.best()
+        assert best == min(r.mean_cost for r in records)
+
+    def test_best_before_tune_rejected(self):
+        task, _ = _setup()
+        with pytest.raises(TuningError):
+            RandomTuner(task).best()
+
+    def test_early_stopping(self):
+        task, measurer = _setup()
+        tuner = GridSearchTuner(task, seed=0)
+        # Grid order explores a monotone-ish corner; with a tiny patience the
+        # loop must stop long before n_trial.
+        records = tuner.tune(n_trial=200, measurer=measurer, early_stopping=8)
+        assert len(records) < 200
+
+    def test_invalid_args_rejected(self):
+        task, measurer = _setup()
+        with pytest.raises(TuningError):
+            RandomTuner(task).tune(n_trial=0, measurer=measurer)
+        with pytest.raises(TuningError):
+            RandomTuner(task).tune(n_trial=5, measurer=measurer, early_stopping=0)
+
+    def test_exhausts_small_space(self):
+        # cholesky-large space has 400 points; ask for more.
+        task, measurer = _setup()
+        tuner = RandomTuner(task, seed=0)
+        records = tuner.tune(n_trial=500, measurer=measurer)
+        assert len(records) == 400
+        assert not tuner.has_next()
+
+    def test_trajectory_timestamps_monotone(self):
+        task, measurer = _setup()
+        tuner = RandomTuner(task, seed=2)
+        tuner.tune(n_trial=15, measurer=measurer)
+        times = [t for t, _ in tuner.trajectory()]
+        assert times == sorted(times)
+
+
+class TestGridSearch:
+    def test_enumerates_from_smallest_corner(self):
+        task, measurer = _setup()
+        tuner = GridSearchTuner(task, seed=0)
+        records = tuner.tune(n_trial=3, measurer=measurer)
+        # Index 0 = both knobs at their first (smallest) candidate.
+        assert records[0].config == {"P0": 1, "P1": 1}
+        assert records[1].config["P0"] == 2  # first knob varies fastest
+
+    def test_deterministic(self):
+        r1 = GridSearchTuner(_setup()[0], seed=0).tune(10, _setup()[1])
+        t2, m2 = _setup()
+        r2 = GridSearchTuner(t2, seed=99).tune(10, m2)
+        assert [r.config for r in r1] == [r.config for r in r2]
+
+
+class TestGATuner:
+    def test_improves_over_generations(self):
+        task, measurer = _setup(seed=0)
+        tuner = GATuner(task, pop_size=8, seed=0)
+        records = tuner.tune(n_trial=80, measurer=measurer)
+        first_gen = min(r.mean_cost for r in records[:8])
+        _, best = tuner.best()
+        assert best <= first_gen
+
+    def test_unique_visits(self):
+        task, measurer = _setup()
+        tuner = GATuner(task, seed=3)
+        records = tuner.tune(n_trial=40, measurer=measurer)
+        assert len(_unique_configs(records)) == len(records)
+
+
+class TestXGBTuner:
+    def test_paper_cap_reproduced(self):
+        task, measurer = _setup()
+        tuner = XGBTuner(task, trial_cap=PAPER_XGB_TRIAL_CAP, seed=0)
+        records = tuner.tune(n_trial=100, measurer=measurer)
+        assert len(records) == PAPER_XGB_TRIAL_CAP == 56
+        assert not tuner.has_next()
+
+    def test_uncapped_reaches_budget(self):
+        task, measurer = _setup()
+        tuner = XGBTuner(task, trial_cap=None, seed=0)
+        records = tuner.tune(n_trial=80, measurer=measurer)
+        assert len(records) == 80
+
+    def test_model_trained_after_min_train(self):
+        task, measurer = _setup()
+        tuner = XGBTuner(task, min_train=8, seed=0)
+        tuner.tune(n_trial=24, measurer=measurer)
+        assert tuner.model is not None
+
+    def test_model_guides_search_better_than_grid(self):
+        task_x, measurer_x = _setup(seed=0)
+        xgb = XGBTuner(task_x, trial_cap=None, seed=0)
+        xgb.tune(n_trial=56, measurer=measurer_x)
+        _, best_xgb = xgb.best()
+
+        task_g, measurer_g = _setup(seed=0)
+        grid = GridSearchTuner(task_g, seed=0)
+        grid.tune(n_trial=56, measurer=measurer_g)
+        _, best_grid = grid.best()
+        assert best_xgb < best_grid
+
+    def test_validation(self):
+        task, _ = _setup()
+        with pytest.raises(TuningError):
+            XGBTuner(task, plan_size=0)
+        with pytest.raises(TuningError):
+            XGBTuner(task, plan_size=10, candidate_num=5)
+        with pytest.raises(TuningError):
+            XGBTuner(task, trial_cap=0)

@@ -1,0 +1,78 @@
+"""Tests for repro.common.divisors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.divisors import common_factors, divisors, split_candidates
+
+
+class TestDivisors:
+    def test_one(self):
+        assert divisors(1) == [1]
+
+    def test_prime(self):
+        assert divisors(13) == [1, 13]
+
+    def test_composite(self):
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+
+    def test_perfect_square(self):
+        assert divisors(36) == [1, 2, 3, 4, 6, 9, 12, 18, 36]
+
+    def test_paper_2000_has_20_divisors(self):
+        # Table 1: LU/Cholesky large space is 400 = 20².
+        assert len(divisors(2000)) == 20
+
+    def test_paper_4000_has_24_divisors(self):
+        # Table 1: LU/Cholesky extralarge space is 576 = 24².
+        assert len(divisors(4000)) == 24
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            divisors(0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            divisors(-6)
+
+    @given(st.integers(min_value=1, max_value=100_000))
+    def test_every_divisor_divides(self, n):
+        ds = divisors(n)
+        assert all(n % d == 0 for d in ds)
+        assert ds == sorted(ds)
+        assert ds[0] == 1 and ds[-1] == n
+
+    @given(st.integers(min_value=1, max_value=5_000))
+    def test_divisor_count_matches_bruteforce(self, n):
+        assert divisors(n) == [d for d in range(1, n + 1) if n % d == 0]
+
+
+class TestCommonFactors:
+    def test_basic(self):
+        assert common_factors(8, 12) == [1, 2, 4]
+
+    def test_single_argument(self):
+        assert common_factors(10) == [1, 2, 5, 10]
+
+    def test_coprime(self):
+        assert common_factors(9, 16) == [1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            common_factors()
+
+    @given(st.lists(st.integers(min_value=1, max_value=1000), min_size=1, max_size=4))
+    def test_factors_divide_all(self, extents):
+        for f in common_factors(*extents):
+            assert all(e % f == 0 for e in extents)
+
+
+class TestSplitCandidates:
+    def test_no_cap(self):
+        assert split_candidates(12) == [1, 2, 3, 4, 6, 12]
+
+    def test_with_cap(self):
+        assert split_candidates(12, max_factor=4) == [1, 2, 3, 4]
+
+    def test_cap_below_one_gives_empty(self):
+        assert split_candidates(12, max_factor=0) == []

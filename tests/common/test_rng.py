@@ -1,0 +1,52 @@
+"""Tests for repro.common.rng."""
+
+import numpy as np
+
+from repro.common.rng import ensure_rng, spawn_rng, stable_hash01, stable_hash_u64
+
+
+class TestEnsureRng:
+    def test_from_int_seed_deterministic(self):
+        a = ensure_rng(7).integers(0, 1000, size=5)
+        b = ensure_rng(7).integers(0, 1000, size=5)
+        assert (a == b).all()
+
+    def test_passthrough_generator(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestSpawnRng:
+    def test_child_independent_but_deterministic(self):
+        a = spawn_rng(ensure_rng(1)).integers(0, 10**9)
+        b = spawn_rng(ensure_rng(1)).integers(0, 10**9)
+        assert a == b
+
+    def test_children_differ(self):
+        parent = ensure_rng(2)
+        a = spawn_rng(parent).integers(0, 10**9)
+        b = spawn_rng(parent).integers(0, 10**9)
+        assert a != b
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash_u64("x", 1, (2, 3)) == stable_hash_u64("x", 1, (2, 3))
+
+    def test_different_inputs_differ(self):
+        assert stable_hash_u64("a") != stable_hash_u64("b")
+
+    def test_order_sensitive(self):
+        assert stable_hash_u64(1, 2) != stable_hash_u64(2, 1)
+
+    def test_hash01_in_unit_interval(self):
+        for i in range(200):
+            v = stable_hash01("test", i)
+            assert 0.0 <= v < 1.0
+
+    def test_hash01_spreads(self):
+        vals = [stable_hash01("spread", i) for i in range(500)]
+        assert 0.4 < float(np.mean(vals)) < 0.6

@@ -1,0 +1,31 @@
+"""Tests for repro.common.tabulate."""
+
+from repro.common.tabulate import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table([["a", 1], ["long", 22]], headers=["col", "n"])
+        lines = out.splitlines()
+        assert lines[0].startswith("col")
+        assert "----" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = format_table([[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        out = format_table([[3.14159265]])
+        assert "3.142" in out
+
+    def test_ragged_rows_padded(self):
+        out = format_table([[1, 2], [3]], headers=["a", "b"])
+        assert len(out.splitlines()) == 4  # header, rule, two rows
+
+    def test_empty_rows(self):
+        assert format_table([]) == ""
+
+    def test_no_trailing_whitespace(self):
+        out = format_table([["x", 1], ["yy", 2]])
+        assert all(line == line.rstrip() for line in out.splitlines())

@@ -1,0 +1,49 @@
+"""Tests for repro.common.timing."""
+
+import pytest
+
+from repro.common.timing import Stopwatch, VirtualClock
+
+
+class TestStopwatch:
+    def test_elapsed_nonnegative_and_monotone(self):
+        sw = Stopwatch()
+        a = sw.elapsed()
+        b = sw.elapsed()
+        assert 0 <= a <= b
+
+    def test_restart_resets(self):
+        sw = Stopwatch()
+        sw.elapsed()
+        sw.restart()
+        assert sw.elapsed() < 1.0
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_advance_accumulates(self):
+        c = VirtualClock()
+        c.advance(1.5)
+        c.advance(2.5)
+        assert c.now == pytest.approx(4.0)
+
+    def test_advance_returns_new_time(self):
+        assert VirtualClock().advance(3.0) == pytest.approx(3.0)
+
+    def test_elapsed_aliases_now(self):
+        c = VirtualClock()
+        c.advance(7.0)
+        assert c.elapsed() == c.now
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(-1.0)

@@ -1,0 +1,160 @@
+"""Tests for hyperparameter types."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import SpaceError
+from repro.configspace import (
+    CategoricalHyperparameter,
+    Constant,
+    OrdinalHyperparameter,
+    UniformFloatHyperparameter,
+    UniformIntegerHyperparameter,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestOrdinal:
+    def test_sequence_preserved(self):
+        hp = OrdinalHyperparameter("P0", [1, 2, 4, 8])
+        assert hp.sequence == [1, 2, 4, 8]
+        assert hp.size() == 4
+
+    def test_default_is_first(self):
+        assert OrdinalHyperparameter("P0", [3, 1]).default_value == 3
+
+    def test_explicit_default(self):
+        assert OrdinalHyperparameter("P0", [1, 2], default_value=2).default_value == 2
+
+    def test_bad_default_rejected(self):
+        with pytest.raises(SpaceError):
+            OrdinalHyperparameter("P0", [1, 2], default_value=5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpaceError):
+            OrdinalHyperparameter("P0", [])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(SpaceError):
+            OrdinalHyperparameter("P0", [1, 1, 2])
+
+    def test_sample_legal(self, rng):
+        hp = OrdinalHyperparameter("P0", [1, 2, 4])
+        for _ in range(20):
+            assert hp.is_legal(hp.sample(rng))
+
+    def test_encode_positions(self):
+        hp = OrdinalHyperparameter("P0", [1, 2, 4, 8, 16])
+        assert hp.encode(1) == 0.0
+        assert hp.encode(16) == 1.0
+        assert hp.encode(4) == pytest.approx(0.5)
+
+    def test_encode_illegal_rejected(self):
+        with pytest.raises(SpaceError):
+            OrdinalHyperparameter("P0", [1, 2]).encode(7)
+
+    def test_decode_inverts_encode(self):
+        hp = OrdinalHyperparameter("P0", [1, 2, 4, 8])
+        for v in hp.sequence:
+            assert hp.decode(hp.encode(v)) == v
+
+    def test_neighbors_adjacent(self, rng):
+        hp = OrdinalHyperparameter("P0", [1, 2, 4, 8, 16])
+        nbs = hp.neighbors(4, rng, n=2)
+        assert set(nbs) <= {2, 8, 1, 16}
+        assert 2 in nbs and 8 in nbs
+
+    def test_neighbors_at_boundary(self, rng):
+        hp = OrdinalHyperparameter("P0", [1, 2, 4])
+        assert 2 in hp.neighbors(1, rng, n=2)
+
+    def test_single_value_encode(self):
+        assert OrdinalHyperparameter("P0", [5]).encode(5) == 0.0
+
+    @given(st.lists(st.integers(0, 100), min_size=2, max_size=20, unique=True))
+    def test_encode_in_unit_interval(self, values):
+        hp = OrdinalHyperparameter("P", values)
+        for v in values:
+            assert 0.0 <= hp.encode(v) <= 1.0
+
+
+class TestCategorical:
+    def test_choices(self):
+        hp = CategoricalHyperparameter("c", ["a", "b", "c"])
+        assert hp.choices == ["a", "b", "c"]
+
+    def test_weighted_sampling_bias(self, rng):
+        hp = CategoricalHyperparameter("c", ["a", "b"], weights=[0.95, 0.05])
+        samples = [hp.sample(rng) for _ in range(300)]
+        assert samples.count("a") > 200
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(SpaceError):
+            CategoricalHyperparameter("c", ["a", "b"], weights=[1.0])
+
+    def test_neighbors_are_other_choices(self, rng):
+        hp = CategoricalHyperparameter("c", ["a", "b", "c"])
+        nbs = hp.neighbors("a", rng, n=5)
+        assert "a" not in nbs and set(nbs) <= {"b", "c"}
+
+
+class TestUniformInteger:
+    def test_range_validation(self):
+        with pytest.raises(SpaceError):
+            UniformIntegerHyperparameter("n", 10, 5)
+
+    def test_log_requires_positive(self):
+        with pytest.raises(SpaceError):
+            UniformIntegerHyperparameter("n", 0, 5, log=True)
+
+    def test_sample_in_range(self, rng):
+        hp = UniformIntegerHyperparameter("n", 3, 17)
+        for _ in range(50):
+            v = hp.sample(rng)
+            assert 3 <= v <= 17
+
+    def test_log_sample_in_range(self, rng):
+        hp = UniformIntegerHyperparameter("n", 1, 1024, log=True)
+        for _ in range(50):
+            assert 1 <= hp.sample(rng) <= 1024
+
+    def test_encode_decode(self):
+        hp = UniformIntegerHyperparameter("n", 0, 10)
+        assert hp.encode(0) == 0.0 and hp.encode(10) == 1.0
+        assert hp.decode(0.5) == 5
+
+    def test_size(self):
+        assert UniformIntegerHyperparameter("n", 1, 5).size() == 5
+
+    def test_neighbors_in_range(self, rng):
+        hp = UniformIntegerHyperparameter("n", 0, 100)
+        for nb in hp.neighbors(50, rng):
+            assert 0 <= nb <= 100 and nb != 50
+
+
+class TestUniformFloat:
+    def test_sample_in_range(self, rng):
+        hp = UniformFloatHyperparameter("x", -1.0, 1.0)
+        for _ in range(50):
+            assert -1.0 <= hp.sample(rng) <= 1.0
+
+    def test_size_infinite(self):
+        assert UniformFloatHyperparameter("x", 0, 1).size() == float("inf")
+
+    def test_log_encode_decode(self):
+        hp = UniformFloatHyperparameter("x", 1.0, 100.0, log=True)
+        assert hp.decode(hp.encode(10.0)) == pytest.approx(10.0)
+
+
+class TestConstant:
+    def test_always_same(self, rng):
+        hp = Constant("k", 42)
+        assert hp.sample(rng) == 42
+        assert hp.is_legal(42) and not hp.is_legal(41)
+        assert hp.size() == 1.0
+        assert hp.neighbors(42, rng) == []

@@ -1,0 +1,194 @@
+"""Tests for ConfigurationSpace and Configuration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import SpaceError
+from repro.configspace import (
+    CategoricalHyperparameter,
+    Configuration,
+    ConfigurationSpace,
+    EqualsCondition,
+    InCondition,
+    OrdinalHyperparameter,
+    UniformFloatHyperparameter,
+)
+from repro.configspace.space import INACTIVE
+
+
+def _flat_space(seed=None):
+    cs = ConfigurationSpace(seed=seed)
+    cs.add_hyperparameters(
+        [
+            OrdinalHyperparameter("P0", [1, 2, 4, 8]),
+            OrdinalHyperparameter("P1", [1, 3, 9]),
+        ]
+    )
+    return cs
+
+
+def _conditional_space(seed=None):
+    cs = ConfigurationSpace(seed=seed)
+    algo = CategoricalHyperparameter("algo", ["tiled", "naive"])
+    tile = OrdinalHyperparameter("tile", [2, 4, 8])
+    cs.add_hyperparameters([algo, tile])
+    cs.add_condition(EqualsCondition(tile, algo, "tiled"))
+    return cs
+
+
+class TestConstruction:
+    def test_duplicate_name_rejected(self):
+        cs = _flat_space()
+        with pytest.raises(SpaceError):
+            cs.add_hyperparameter(OrdinalHyperparameter("P0", [1]))
+
+    def test_size_product(self):
+        assert _flat_space().size() == 12.0
+
+    def test_size_infinite_with_float(self):
+        cs = _flat_space()
+        cs.add_hyperparameter(UniformFloatHyperparameter("x", 0, 1))
+        assert cs.size() == float("inf")
+
+    def test_get_hyperparameter(self):
+        cs = _flat_space()
+        assert cs.get_hyperparameter("P0").name == "P0"
+        with pytest.raises(SpaceError):
+            cs.get_hyperparameter("nope")
+
+    def test_condition_unknown_param_rejected(self):
+        cs = ConfigurationSpace()
+        a = CategoricalHyperparameter("a", ["x"])
+        b = OrdinalHyperparameter("b", [1])
+        cs.add_hyperparameter(a)
+        with pytest.raises(SpaceError):
+            cs.add_condition(EqualsCondition(b, a, "x"))
+
+    def test_condition_cycle_rejected(self):
+        cs = ConfigurationSpace()
+        a = CategoricalHyperparameter("a", ["x", "y"])
+        b = CategoricalHyperparameter("b", ["u", "v"])
+        cs.add_hyperparameters([a, b])
+        cs.add_condition(EqualsCondition(b, a, "x"))
+        with pytest.raises(SpaceError):
+            cs.add_condition(EqualsCondition(a, b, "u"))
+
+    def test_self_condition_rejected(self):
+        a = CategoricalHyperparameter("a", ["x", "y"])
+        with pytest.raises(SpaceError):
+            EqualsCondition(a, a, "x")
+
+
+class TestSampling:
+    def test_seeded_determinism(self):
+        a = [c.get_dictionary() for c in _flat_space(seed=5).sample_configuration(10)]
+        b = [c.get_dictionary() for c in _flat_space(seed=5).sample_configuration(10)]
+        assert a == b
+
+    def test_sample_size(self):
+        assert len(_flat_space(seed=0).sample_configuration(7)) == 7
+
+    def test_single_sample_is_configuration(self):
+        assert isinstance(_flat_space(seed=0).sample_configuration(), Configuration)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(SpaceError):
+            _flat_space().sample_configuration(0)
+
+    def test_samples_are_legal(self):
+        cs = _flat_space(seed=1)
+        for c in cs.sample_configuration(30):
+            cs.check_configuration(c.get_dictionary())
+
+    def test_conditional_sampling_respects_activity(self):
+        cs = _conditional_space(seed=3)
+        saw_active = saw_inactive = False
+        for c in cs.sample_configuration(40):
+            d = c.get_dictionary()
+            if d["algo"] == "tiled":
+                assert "tile" in d
+                saw_active = True
+            else:
+                assert "tile" not in d
+                saw_inactive = True
+        assert saw_active and saw_inactive
+
+    def test_default_configuration(self):
+        cs = _flat_space()
+        assert cs.default_configuration().get_dictionary() == {"P0": 1, "P1": 1}
+
+    def test_in_condition(self):
+        cs = ConfigurationSpace(seed=0)
+        a = OrdinalHyperparameter("a", [1, 2, 3])
+        b = OrdinalHyperparameter("b", [10, 20])
+        cs.add_hyperparameters([a, b])
+        cs.add_condition(InCondition(b, a, [2, 3]))
+        for c in cs.sample_configuration(30):
+            d = c.get_dictionary()
+            assert ("b" in d) == (d["a"] in (2, 3))
+
+
+class TestValidation:
+    def test_unknown_param_rejected(self):
+        with pytest.raises(SpaceError):
+            Configuration(_flat_space(), {"P0": 1, "P1": 1, "PX": 2})
+
+    def test_missing_param_rejected(self):
+        with pytest.raises(SpaceError):
+            Configuration(_flat_space(), {"P0": 1})
+
+    def test_illegal_value_rejected(self):
+        with pytest.raises(SpaceError):
+            Configuration(_flat_space(), {"P0": 7, "P1": 1})
+
+    def test_inactive_value_rejected(self):
+        cs = _conditional_space()
+        with pytest.raises(SpaceError):
+            Configuration(cs, {"algo": "naive", "tile": 4})
+
+
+class TestEncoding:
+    def test_encoding_order_and_range(self):
+        cs = _flat_space()
+        arr = cs.encode({"P0": 8, "P1": 1})
+        np.testing.assert_allclose(arr, [1.0, 0.0])
+
+    def test_inactive_encodes_sentinel(self):
+        cs = _conditional_space()
+        arr = cs.encode({"algo": "naive"})
+        assert arr[1] == INACTIVE
+
+    def test_encode_many_shape(self):
+        cs = _flat_space(seed=0)
+        configs = cs.sample_configuration(5)
+        assert cs.encode_many([c.get_dictionary() for c in configs]).shape == (5, 2)
+
+    def test_configuration_hash_eq(self):
+        cs = _flat_space()
+        c1 = Configuration(cs, {"P0": 2, "P1": 3})
+        c2 = Configuration(cs, {"P0": 2, "P1": 3})
+        assert c1 == c2 and hash(c1) == hash(c2)
+        assert c1 in {c2}
+
+
+class TestNeighbors:
+    def test_single_param_changed(self):
+        cs = _flat_space(seed=0)
+        base = {"P0": 2, "P1": 3}
+        for nb in cs.neighbors(base, np.random.default_rng(0)):
+            diff = [k for k in base if nb[k] != base[k]]
+            assert len(diff) == 1
+
+    def test_neighbors_are_valid(self):
+        cs = _conditional_space(seed=0)
+        base = cs.sample_configuration().get_dictionary()
+        for nb in cs.neighbors(base, np.random.default_rng(1)):
+            cs.check_configuration(nb.get_dictionary())
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_property_sampling_always_valid(self, seed):
+        cs = _conditional_space(seed=seed)
+        c = cs.sample_configuration()
+        cs.check_configuration(c.get_dictionary())

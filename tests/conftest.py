@@ -1,0 +1,29 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.te as te
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def make_matmul(n: int = 12, m: int = 10, k: int = 8, dtype: str = "float32"):
+    """A fresh matmul graph: returns (A, B, C) tensors."""
+    A = te.placeholder((n, k), name="A", dtype=dtype)
+    B = te.placeholder((k, m), name="B", dtype=dtype)
+    kk = te.reduce_axis((0, k), name="k")
+    C = te.compute(
+        (n, m), lambda i, j: te.sum(A[i, kk] * B[kk, j], axis=kk), name="C"
+    )
+    return A, B, C
+
+
+@pytest.fixture
+def matmul():
+    return make_matmul()

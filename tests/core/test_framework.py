@@ -1,0 +1,78 @@
+"""Tests for the proposed framework front-end (repro.core)."""
+
+import pytest
+
+from repro.common.errors import TuningError
+from repro.core import AutotuneConfig, BayesianAutotuner
+from repro.kernels import get_benchmark
+from repro.kernels.extra import gemm_tuned
+
+
+class TestAutotuneConfig:
+    def test_defaults(self):
+        cfg = AutotuneConfig()
+        # kappa default is 1.0 — calibrated for the bootstrap-forest std (see
+        # AutotuneConfig docstring).
+        assert cfg.max_evals == 100 and cfg.kappa == 1.0
+
+    def test_validation(self):
+        with pytest.raises(TuningError):
+            AutotuneConfig(max_evals=0)
+        with pytest.raises(TuningError):
+            AutotuneConfig(n_initial_points=0)
+
+
+class TestForBenchmark:
+    def test_swing_backend_runs(self):
+        bench = get_benchmark("cholesky", "large")
+        tuner = BayesianAutotuner.for_benchmark(
+            bench, AutotuneConfig(max_evals=10, seed=0)
+        )
+        result = tuner.run()
+        assert result.n_evals == 10
+        assert result.best_runtime > 0
+        # All proposed tiles are divisors of N=2000.
+        assert 2000 % result.best_config["P0"] == 0
+
+    def test_unknown_backend_rejected(self):
+        bench = get_benchmark("lu", "large")
+        with pytest.raises(TuningError):
+            BayesianAutotuner.for_benchmark(bench, backend="tpu")
+
+    def test_best_matches_search_result(self):
+        bench = get_benchmark("lu", "large")
+        tuner = BayesianAutotuner.for_benchmark(
+            bench, AutotuneConfig(max_evals=8, seed=1)
+        )
+        result = tuner.run()
+        cfg, cost = tuner.best()
+        assert cost == result.best_runtime
+
+    def test_run_max_evals_override(self):
+        bench = get_benchmark("lu", "large")
+        tuner = BayesianAutotuner.for_benchmark(
+            bench, AutotuneConfig(max_evals=100, seed=0)
+        )
+        result = tuner.run(max_evals=5)
+        assert result.n_evals == 5
+
+
+class TestForScheduleBuilder:
+    def test_local_real_execution(self):
+        from repro.configspace import ConfigurationSpace, OrdinalHyperparameter
+
+        space = ConfigurationSpace(seed=0)
+        space.add_hyperparameters(
+            [
+                OrdinalHyperparameter("P0", [1, 2, 4, 8]),
+                OrdinalHyperparameter("P1", [1, 2, 4, 8]),
+            ]
+        )
+        tuner = BayesianAutotuner.for_schedule_builder(
+            space,
+            lambda p: gemm_tuned(16, 16, 16, p),
+            config=AutotuneConfig(max_evals=6, n_initial_points=3, seed=0),
+        )
+        result = tuner.run()
+        assert result.n_evals == 6
+        assert result.best_runtime > 0

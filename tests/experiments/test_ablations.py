@@ -1,0 +1,81 @@
+"""Tests for the ablation drivers."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    AblationRow,
+    autoscheduler_comparison,
+    initial_points_sweep,
+    kappa_sweep,
+    measure_option_ablation,
+    surrogate_comparison,
+)
+
+
+class TestKappaSweep:
+    def test_rows_labeled_and_valid(self):
+        rows = kappa_sweep(kappas=(0.0, 1.96), max_evals=12, seed=0)
+        assert [r.setting for r in rows] == ["kappa=0.0", "kappa=1.96"]
+        assert all(r.best_runtime > 0 and r.n_evals == 12 for r in rows)
+
+
+class TestSurrogateComparison:
+    def test_all_three_surrogates(self):
+        rows = surrogate_comparison(max_evals=12, seed=0)
+        assert {r.setting for r in rows} == {
+            "surrogate=rf",
+            "surrogate=gbt",
+            "surrogate=none",
+        }
+
+    def test_model_helps_over_none(self):
+        # Averaged over a few seeds the RF surrogate should not lose to no
+        # model at all on the LU landscape.
+        rf_total, none_total = 0.0, 0.0
+        for seed in range(3):
+            rows = {r.setting: r for r in surrogate_comparison(max_evals=25, seed=seed)}
+            rf_total += rows["surrogate=rf"].best_runtime
+            none_total += rows["surrogate=none"].best_runtime
+        assert rf_total <= none_total * 1.1
+
+
+class TestInitialPointsSweep:
+    def test_counts_respected(self):
+        rows = initial_points_sweep(counts=(2, 10), max_evals=14, seed=0)
+        assert [r.setting for r in rows] == ["n_initial=2", "n_initial=10"]
+
+
+class TestAutoschedulerComparison:
+    def test_two_rows_same_units(self):
+        rows = autoscheduler_comparison(max_evals=12, seed=0)
+        assert [r.setting for r in rows] == [
+            "ytopt (predefined space)",
+            "AutoScheduler (auto space)",
+        ]
+        # Both priced by the same calibrated model: same order of magnitude.
+        a, b = rows[0].best_runtime, rows[1].best_runtime
+        assert 0.01 < a / b < 100
+
+    def test_only_3mm_supported(self):
+        with pytest.raises(ValueError):
+            autoscheduler_comparison(kernel="lu")
+
+
+class TestMeasureOptionAblation:
+    def test_four_settings(self):
+        rows = measure_option_ablation(max_evals=10, seed=0)
+        assert len(rows) == 4
+
+    def test_more_runs_cost_more_process_time(self):
+        rows = {r.setting: r for r in measure_option_ablation(max_evals=10, seed=0)}
+        assert (
+            rows["number=3, n_parallel=1"].total_time
+            > rows["number=1, n_parallel=1"].total_time
+        )
+
+    def test_parallel_builds_cost_less(self):
+        rows = {r.setting: r for r in measure_option_ablation(max_evals=10, seed=0)}
+        assert (
+            rows["number=1, n_parallel=8"].total_time
+            < rows["number=1, n_parallel=1"].total_time
+        )

@@ -1,0 +1,112 @@
+"""Tests for the experiment runner — the paper's qualitative claims in small.
+
+Full 100-eval runs live in the benchmark harness; here reduced budgets verify
+the machinery and the headline orderings the paper reports.
+"""
+
+import pytest
+
+from repro.common.errors import TuningError
+from repro.experiments import ALL_TUNERS, run_experiment, run_tuner
+from repro.kernels import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def lu_large_result():
+    # One shared 5-tuner run at a reduced budget (still exercises everything).
+    return run_experiment("lu", "large", max_evals=30, seed=1)
+
+
+class TestRunTuner:
+    @pytest.mark.parametrize("tuner", ALL_TUNERS)
+    def test_each_tuner_runs(self, tuner):
+        bench = get_benchmark("cholesky", "large")
+        run = run_tuner(bench, tuner, max_evals=12, seed=0)
+        assert run.tuner == tuner
+        assert 1 <= run.n_evals <= 12
+        assert run.best_runtime > 0
+        assert run.total_time > 0
+        assert len(run.trajectory) == run.n_evals
+
+    def test_unknown_tuner_rejected(self):
+        bench = get_benchmark("lu", "large")
+        with pytest.raises(TuningError):
+            run_tuner(bench, "AutoTVM-Annealing")
+
+    def test_trajectory_monotone_time(self):
+        bench = get_benchmark("lu", "large")
+        run = run_tuner(bench, "ytopt", max_evals=10, seed=0)
+        times = [t for t, _ in run.trajectory]
+        assert times == sorted(times)
+
+    def test_best_so_far_monotone(self):
+        bench = get_benchmark("lu", "large")
+        run = run_tuner(bench, "AutoTVM-Random", max_evals=16, seed=0)
+        bsf = run.best_so_far()
+        assert all(a >= b for a, b in zip(bsf, bsf[1:]))
+
+    def test_deterministic_given_seed(self):
+        bench = get_benchmark("lu", "large")
+        r1 = run_tuner(bench, "ytopt", max_evals=10, seed=5)
+        r2 = run_tuner(bench, "ytopt", max_evals=10, seed=5)
+        assert r1.best_config == r2.best_config
+        assert r1.total_time == r2.total_time
+
+
+class TestPaperClaims:
+    def test_all_five_tuners_present(self, lu_large_result):
+        assert set(lu_large_result.runs) == set(ALL_TUNERS)
+
+    def test_gridsearch_worst_best_runtime(self, lu_large_result):
+        """Paper: 'grid search tuner performed the worst for all experiments'."""
+        by_best = sorted(
+            lu_large_result.runs.values(), key=lambda r: r.best_runtime
+        )
+        assert by_best[-1].tuner == "AutoTVM-GridSearch"
+
+    def test_ytopt_process_time_among_fastest(self, lu_large_result):
+        """Paper: ytopt took the smallest autotuning process time (XGB runs
+        fewer evals when capped, so compare against full-budget tuners)."""
+        full = [r for r in lu_large_result.runs.values() if r.tuner != "AutoTVM-XGB"]
+        fastest = min(full, key=lambda r: r.total_time)
+        assert fastest.tuner == "ytopt"
+
+    def test_xgb_cap_enforced(self):
+        result = run_experiment(
+            "cholesky", "large", tuners=("AutoTVM-XGB",), max_evals=100, seed=0
+        )
+        assert result.runs["AutoTVM-XGB"].n_evals == 56
+
+    def test_xgb_cap_can_be_lifted(self):
+        result = run_experiment(
+            "cholesky",
+            "large",
+            tuners=("AutoTVM-XGB",),
+            max_evals=70,
+            seed=0,
+            xgb_trial_cap=None,
+        )
+        assert result.runs["AutoTVM-XGB"].n_evals == 70
+
+    def test_winner_and_fastest_accessors(self, lu_large_result):
+        w = lu_large_result.winner()
+        assert w.best_runtime == min(
+            r.best_runtime for r in lu_large_result.runs.values()
+        )
+        f = lu_large_result.fastest_process()
+        assert f.total_time == min(
+            r.total_time for r in lu_large_result.runs.values()
+        )
+
+    def test_model_guided_beats_grid_on_3mm(self):
+        result = run_experiment(
+            "3mm",
+            "large",
+            tuners=("ytopt", "AutoTVM-GridSearch"),
+            max_evals=25,
+            seed=0,
+        )
+        assert (
+            result.runs["ytopt"].best_runtime
+            < result.runs["AutoTVM-GridSearch"].best_runtime
+        )

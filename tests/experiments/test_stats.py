@@ -1,0 +1,127 @@
+"""Tests for the multi-seed statistics module."""
+
+import math
+
+import pytest
+
+from repro.common.errors import TuningError
+from repro.experiments.runner import TunerRun
+from repro.experiments.stats import (
+    MultiSeedStudy,
+    area_under_best_curve,
+    run_multi_seed_study,
+)
+
+
+def _run(tuner, best, total, trajectory=None):
+    return TunerRun(
+        tuner=tuner,
+        kernel="lu",
+        size_name="large",
+        best_config={"P0": 1, "P1": 1},
+        best_runtime=best,
+        n_evals=len(trajectory) if trajectory else 1,
+        total_time=total,
+        trajectory=trajectory or [(total, best)],
+    )
+
+
+def _study():
+    s = MultiSeedStudy(kernel="lu", size_name="large", max_evals=10)
+    s.runs = {
+        "A": [_run("A", 1.0, 100.0), _run("A", 2.0, 110.0)],
+        "B": [_run("B", 1.5, 50.0), _run("B", 1.8, 60.0)],
+        "C": [_run("C", 3.0, 200.0), _run("C", 4.0, 210.0)],
+    }
+    return s
+
+
+class TestAreaUnderBestCurve:
+    def test_early_finder_scores_lower(self):
+        early = _run("e", 1.0, 100.0, [(10.0, 1.0), (100.0, 5.0)])
+        late = _run("l", 1.0, 100.0, [(10.0, 5.0), (100.0, 1.0)])
+        assert area_under_best_curve(early) < area_under_best_curve(late)
+
+    def test_single_point(self):
+        run = _run("s", 2.0, 10.0, [(10.0, 2.0)])
+        assert area_under_best_curve(run) == pytest.approx(math.log10(2.0))
+
+    def test_no_success_rejected(self):
+        run = _run("f", float("inf"), 10.0, [(10.0, float("inf"))])
+        with pytest.raises(TuningError):
+            area_under_best_curve(run)
+
+
+class TestMultiSeedStudy:
+    def test_mean_best(self):
+        assert _study().mean_best("A") == pytest.approx(1.5)
+
+    def test_win_rate_best(self):
+        s = _study()
+        assert s.win_rate_best("A") == 0.5  # wins seed 0, loses seed 1 to B
+        assert s.win_rate_best("B") == 0.5
+        assert s.win_rate_best("C") == 0.0
+
+    def test_win_rate_with_tolerance(self):
+        s = _study()
+        # Within 2x of the per-seed best, both A and B "win" every seed.
+        assert s.win_rate_best("B", tolerance=2.0) == 1.0
+
+    def test_win_rate_process_time(self):
+        s = _study()
+        assert s.win_rate_process_time("B") == 1.0
+        assert s.win_rate_process_time("A") == 0.0
+
+    def test_win_rate_excludes(self):
+        s = _study()
+        assert s.win_rate_process_time("A", exclude=["B"]) == 1.0
+
+    def test_mean_rank(self):
+        s = _study()
+        assert s.mean_rank("C") == 3.0
+        assert s.mean_rank("A") == pytest.approx(1.5)
+
+    def test_worst_each_seed(self):
+        assert _study().worst_tuner_each_seed() == ["C", "C"]
+
+    def test_report_formats(self):
+        out = _study().report()
+        assert "mean rank" in out and "A" in out
+
+
+class TestSummarizeStudies:
+    def test_empty_rejected(self):
+        from repro.experiments.stats import summarize_studies
+
+        with pytest.raises(TuningError):
+            summarize_studies([])
+
+    def test_counts_on_synthetic_study(self):
+        from repro.experiments.stats import summarize_studies
+
+        s = _study()
+        # rename so the claim rows are countable: make 'A' the ytopt stand-in
+        s.runs["ytopt"] = s.runs.pop("A")
+        s.runs["AutoTVM-GridSearch"] = s.runs.pop("C")
+        out = summarize_studies([s])
+        assert "2/2" in out  # GridSearch stand-in worst in both seeds
+
+
+class TestRunMultiSeedStudy:
+    def test_small_real_study(self):
+        study = run_multi_seed_study(
+            "cholesky",
+            "large",
+            tuners=("ytopt", "AutoTVM-GridSearch"),
+            n_seeds=2,
+            max_evals=12,
+        )
+        assert study.n_seeds == 2
+        assert set(study.runs) == {"ytopt", "AutoTVM-GridSearch"}
+        # GridSearch loses on quality in every seed (the paper's claim).
+        assert study.win_rate_best("AutoTVM-GridSearch") == 0.0
+        assert study.worst_tuner_each_seed() == ["AutoTVM-GridSearch"] * 2
+
+    def test_validation(self):
+        with pytest.raises(TuningError):
+            run_multi_seed_study("lu", "large", n_seeds=0)

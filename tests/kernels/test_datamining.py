@@ -1,0 +1,113 @@
+"""Tests for the covariance/correlation kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import SpaceError
+from repro.kernels.datamining import (
+    correlation_reference,
+    correlation_tuned,
+    covariance_reference,
+    covariance_tuned,
+)
+from repro.runtime import build
+
+
+@pytest.fixture
+def data():
+    return np.random.default_rng(0).standard_normal((20, 8))
+
+
+class TestCovariance:
+    def test_reference_matches_numpy(self, data):
+        np.testing.assert_allclose(
+            covariance_reference(data), np.cov(data, rowvar=False), rtol=1e-12
+        )
+
+    def test_te_matches_reference(self, data):
+        s, args = covariance_tuned(20, 8, {"P0": 2, "P1": 4})
+        mod = build(s, args)
+        out = np.zeros((8, 8))
+        mod(data, out)
+        np.testing.assert_allclose(out, covariance_reference(data), rtol=1e-10)
+
+    def test_symmetry(self, data):
+        s, args = covariance_tuned(20, 8, {"P0": 4, "P1": 2})
+        mod = build(s, args)
+        out = np.zeros((8, 8))
+        mod(data, out)
+        np.testing.assert_allclose(out, out.T, rtol=1e-10)
+
+    def test_missing_params_rejected(self):
+        with pytest.raises(SpaceError):
+            covariance_tuned(10, 4, {"P0": 2})
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        ty=st.sampled_from([1, 2, 4, 8]),
+        tx=st.sampled_from([1, 2, 8]),
+        seed=st.integers(0, 100),
+    )
+    def test_property_tiles_do_not_change_result(self, ty, tx, seed):
+        d = np.random.default_rng(seed).standard_normal((12, 8))
+        s, args = covariance_tuned(12, 8, {"P0": ty, "P1": tx})
+        mod = build(s, args)
+        out = np.zeros((8, 8))
+        mod(d, out)
+        np.testing.assert_allclose(out, covariance_reference(d), rtol=1e-10)
+
+
+class TestCorrelation:
+    def test_te_matches_reference(self, data):
+        s, args = correlation_tuned(20, 8, {"P0": 2, "P1": 4})
+        mod = build(s, args)
+        out = np.zeros((8, 8))
+        mod(data, out)
+        np.testing.assert_allclose(out, correlation_reference(data), rtol=1e-10)
+
+    def test_unit_diagonal(self, data):
+        s, args = correlation_tuned(20, 8, {"P0": 4, "P1": 4})
+        mod = build(s, args)
+        out = np.zeros((8, 8))
+        mod(data, out)
+        np.testing.assert_allclose(np.diag(out), 1.0, rtol=1e-10)
+
+    def test_values_in_unit_range(self, data):
+        s, args = correlation_tuned(20, 8, {"P0": 1, "P1": 8})
+        mod = build(s, args)
+        out = np.zeros((8, 8))
+        mod(data, out)
+        assert np.all(np.abs(out) <= 1.0 + 1e-9)
+
+    def test_constant_column_floored_std(self):
+        # A constant column has zero stddev; the eps floor keeps the kernel
+        # finite (PolyBench's behaviour).
+        d = np.random.default_rng(1).standard_normal((16, 4))
+        d[:, 2] = 5.0
+        s, args = correlation_tuned(16, 4, {"P0": 2, "P1": 2})
+        mod = build(s, args)
+        out = np.zeros((4, 4))
+        mod(d, out)
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out, correlation_reference(d), rtol=1e-10)
+
+    def test_tunable_with_bo(self):
+        # End-to-end: the covariance kernel tunes under the BO framework.
+        from repro.configspace import ConfigurationSpace, OrdinalHyperparameter
+        from repro.core import AutotuneConfig, BayesianAutotuner
+
+        space = ConfigurationSpace(seed=0)
+        space.add_hyperparameters(
+            [
+                OrdinalHyperparameter("P0", [1, 2, 4, 8, 16]),
+                OrdinalHyperparameter("P1", [1, 2, 4, 8, 16]),
+            ]
+        )
+        tuner = BayesianAutotuner.for_schedule_builder(
+            space,
+            lambda p: covariance_tuned(32, 16, p),
+            config=AutotuneConfig(max_evals=6, n_initial_points=3, seed=0),
+        )
+        result = tuner.run()
+        assert result.best_runtime > 0

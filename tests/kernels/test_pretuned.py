@@ -1,0 +1,37 @@
+"""Tests for the shipped pre-tuned configurations."""
+
+import pytest
+
+from repro.common.errors import TuningError
+from repro.common.timing import VirtualClock
+from repro.kernels import get_benchmark, list_benchmarks
+from repro.kernels.pretuned import pretuned_config, validate_pretuned
+from repro.swing import SwingEvaluator
+
+
+class TestPretuned:
+    @pytest.mark.parametrize(("kernel", "size"), sorted(list_benchmarks()))
+    def test_every_benchmark_has_valid_pretuned(self, kernel, size):
+        bench = get_benchmark(kernel, size)
+        cfg = validate_pretuned(bench)
+        assert set(cfg) == set(bench.params)
+
+    @pytest.mark.parametrize(("kernel", "size"), sorted(list_benchmarks()))
+    def test_pretuned_within_2x_of_model_optimum(self, kernel, size):
+        bench = get_benchmark(kernel, size)
+        ev = SwingEvaluator(bench.profile, clock=VirtualClock())
+        cost = ev.evaluate(pretuned_config(kernel, size)).mean_cost
+        _, raw_best = ev.model.best_over_space(bench.profile)
+        best = raw_best * ev.model.calibration_scale(bench.profile)
+        assert cost <= 2.0 * best
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(TuningError):
+            pretuned_config("fft", "large")
+
+    def test_pretuned_beats_default_corner(self):
+        bench = get_benchmark("lu", "large")
+        ev = SwingEvaluator(bench.profile, clock=VirtualClock())
+        tuned = ev.evaluate(pretuned_config("lu", "large")).mean_cost
+        corner = ev.evaluate({"P0": 1, "P1": 1}).mean_cost
+        assert tuned < corner / 50

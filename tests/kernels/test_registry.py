@@ -1,0 +1,83 @@
+"""Tests for the kernel benchmark registry."""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.kernels import get_benchmark, list_benchmarks
+from repro.kernels.registry import PAPER_BEST_RUNTIMES
+
+
+class TestRegistry:
+    def test_all_paper_benchmarks_present(self):
+        assert set(list_benchmarks()) == {
+            ("3mm", "large"),
+            ("3mm", "extralarge"),
+            ("cholesky", "large"),
+            ("cholesky", "extralarge"),
+            ("lu", "large"),
+            ("lu", "extralarge"),
+        }
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ReproError):
+            get_benchmark("stencil", "large")
+
+    def test_space_size_matches_profile_candidates(self):
+        b = get_benchmark("3mm", "large")
+        assert b.space_size() == 74_649_600
+        assert b.profile.param_candidates == b.candidates
+
+    def test_gene_sizes(self):
+        assert get_benchmark("lu", "large").gene_sizes() == [20, 20]
+        assert len(get_benchmark("3mm", "extralarge").gene_sizes()) == 6
+
+    def test_config_from_indices(self):
+        b = get_benchmark("lu", "large")
+        cfg = b.config_from_indices([0, 19])
+        assert cfg == {"P0": 1, "P1": 2000}
+
+    def test_config_from_indices_validation(self):
+        b = get_benchmark("lu", "large")
+        with pytest.raises(ReproError):
+            b.config_from_indices([0])
+        with pytest.raises(ReproError):
+            b.config_from_indices([0, 99])
+
+    def test_profiles_carry_paper_best(self):
+        for (kernel, size), runtime in PAPER_BEST_RUNTIMES.items():
+            assert get_benchmark(kernel, size).profile.paper_best == runtime
+
+    def test_solver_flop_scales(self):
+        lu = get_benchmark("lu", "large").profile.stages[0]
+        ch = get_benchmark("cholesky", "large").profile.stages[0]
+        assert lu.flops == pytest.approx(2 / 3 * 2000**3)
+        assert ch.flops == pytest.approx(1 / 3 * 2000**3)
+
+    def test_3mm_stage_dims(self):
+        stages = get_benchmark("3mm", "extralarge").profile.stages
+        dims = {s.name: (s.m, s.n, s.k) for s in stages}
+        assert dims == {
+            "E": (1600, 2000, 1800),
+            "F": (2000, 2400, 2200),
+            "G": (1600, 2400, 2000),
+        }
+
+    def test_schedule_builder_runs_at_small_size(self):
+        import numpy as np
+
+        from repro.runtime import build
+
+        b = get_benchmark("3mm", "large")
+        # The builder itself must work; execute only a mini-size clone.
+        from repro.kernels import problem_size, threemm_tuned
+
+        size = problem_size("3mm", "mini")
+        params = {p: 2 for p in b.params}
+        sched, args = threemm_tuned(size, params)
+        mod = build(sched, args)
+        bufs = [np.zeros(t.shape, dtype=t.dtype) for t in args]
+        mod(*bufs)
+
+    def test_runner_factory_for_solvers(self):
+        assert get_benchmark("lu", "large").runner_factory is not None
+        assert get_benchmark("3mm", "large").runner_factory is None

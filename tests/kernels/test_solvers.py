@@ -1,0 +1,138 @@
+"""Tests for the blocked LU/Cholesky drivers and their TE updates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ExecutionError, SpaceError
+from repro.kernels import (
+    BlockedCholesky,
+    BlockedLU,
+    cholesky_trailing_update_tuned,
+    lu_trailing_update_tuned,
+)
+from repro.kernels.reference import (
+    cholesky_reference,
+    lu_reference,
+    make_lu_friendly,
+    make_spd,
+)
+from repro.runtime import build
+
+
+class TestTrailingUpdates:
+    def test_lu_update_matches_numpy(self, rng):
+        sched, args = lu_trailing_update_tuned(10, 12, 4, {"P0": 5, "P1": 4})
+        mod = build(sched, args)
+        l21 = rng.random((10, 4))
+        u12 = rng.random((4, 12))
+        trail = rng.random((10, 12))
+        new = np.zeros((10, 12))
+        mod(l21, u12, trail, new)
+        np.testing.assert_allclose(new, trail - l21 @ u12, rtol=1e-12)
+
+    def test_cholesky_update_matches_numpy(self, rng):
+        sched, args = cholesky_trailing_update_tuned(9, 3, {"P0": 3, "P1": 9})
+        mod = build(sched, args)
+        l21 = rng.random((9, 3))
+        trail = rng.random((9, 9))
+        new = np.zeros((9, 9))
+        mod(l21, trail, new)
+        np.testing.assert_allclose(new, trail - l21 @ l21.T, rtol=1e-12)
+
+    def test_missing_params_rejected(self):
+        with pytest.raises(SpaceError):
+            lu_trailing_update_tuned(4, 4, 2, {"P0": 2})
+        with pytest.raises(SpaceError):
+            cholesky_trailing_update_tuned(4, 2, {"P1": 2})
+
+
+class TestBlockedLU:
+    def test_matches_reference(self):
+        a = make_lu_friendly(24, seed=0)
+        out = BlockedLU(24, {"P0": 4, "P1": 6}, panel=8)(a)
+        np.testing.assert_allclose(out, lu_reference(a), rtol=1e-9, atol=1e-11)
+
+    def test_panel_size_does_not_change_result(self):
+        a = make_lu_friendly(20, seed=1)
+        out1 = BlockedLU(20, {"P0": 4, "P1": 4}, panel=4)(a)
+        out2 = BlockedLU(20, {"P0": 4, "P1": 4}, panel=20)(a)
+        np.testing.assert_allclose(out1, out2, rtol=1e-9, atol=1e-11)
+
+    def test_tiles_do_not_change_result(self):
+        a = make_lu_friendly(16, seed=2)
+        ref = lu_reference(a)
+        for tiles in [(1, 1), (2, 8), (16, 16), (400, 50)]:
+            out = BlockedLU(16, {"P0": tiles[0], "P1": tiles[1]}, panel=4)(a)
+            np.testing.assert_allclose(out, ref, rtol=1e-9, atol=1e-11)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ExecutionError):
+            BlockedLU(8, {"P0": 2, "P1": 2})(np.zeros((4, 4)))
+
+    def test_validation(self):
+        with pytest.raises(ExecutionError):
+            BlockedLU(0, {"P0": 1, "P1": 1})
+        with pytest.raises(ExecutionError):
+            BlockedLU(8, {"P0": 1, "P1": 1}, panel=0)
+        with pytest.raises(SpaceError):
+            BlockedLU(8, {"P0": 1})
+
+    def test_module_cache_reused(self):
+        solver = BlockedLU(16, {"P0": 4, "P1": 4}, panel=8)
+        a = make_lu_friendly(16, seed=3)
+        solver(a)
+        n_modules = len(solver._modules)
+        solver(a)
+        assert len(solver._modules) == n_modules  # second call hits the cache
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        n=st.sampled_from([8, 12, 16, 24]),
+        ty=st.sampled_from([1, 2, 4, 8]),
+        tx=st.sampled_from([1, 3, 5, 16]),
+        seed=st.integers(0, 100),
+    )
+    def test_property_blocked_equals_reference(self, n, ty, tx, seed):
+        a = make_lu_friendly(n, seed=seed)
+        out = BlockedLU(n, {"P0": ty, "P1": tx}, panel=4)(a)
+        np.testing.assert_allclose(out, lu_reference(a), rtol=1e-8, atol=1e-10)
+
+
+class TestBlockedCholesky:
+    def test_matches_reference(self):
+        a = make_spd(24, seed=0)
+        out = BlockedCholesky(24, {"P0": 6, "P1": 4}, panel=8)(a)
+        np.testing.assert_allclose(out, cholesky_reference(a), rtol=1e-9, atol=1e-11)
+
+    def test_factorization_identity(self):
+        a = make_spd(20, seed=1)
+        low = BlockedCholesky(20, {"P0": 5, "P1": 5}, panel=4)(a)
+        np.testing.assert_allclose(low @ low.T, a, rtol=1e-9, atol=1e-11)
+
+    def test_tiles_do_not_change_result(self):
+        a = make_spd(16, seed=2)
+        ref = cholesky_reference(a)
+        for ty, tx in [(1, 1), (8, 2), (80, 32)]:
+            out = BlockedCholesky(16, {"P0": ty, "P1": tx}, panel=4)(a)
+            np.testing.assert_allclose(out, ref, rtol=1e-9, atol=1e-11)
+
+    def test_non_spd_rejected(self):
+        from repro.common.errors import ReproError
+
+        bad = np.eye(8)
+        bad[3, 3] = -1.0
+        with pytest.raises(ReproError):
+            BlockedCholesky(8, {"P0": 2, "P1": 2}, panel=4)(bad)
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        n=st.sampled_from([8, 12, 20]),
+        ty=st.sampled_from([1, 2, 4]),
+        tx=st.sampled_from([1, 5, 8]),
+        seed=st.integers(0, 100),
+    )
+    def test_property_blocked_equals_reference(self, n, ty, tx, seed):
+        a = make_spd(n, seed=seed)
+        out = BlockedCholesky(n, {"P0": ty, "P1": tx}, panel=4)(a)
+        np.testing.assert_allclose(out, cholesky_reference(a), rtol=1e-8, atol=1e-10)

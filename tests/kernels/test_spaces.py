@@ -1,0 +1,75 @@
+"""Tests for the tuning parameter spaces — Table 1 of the paper."""
+
+import pytest
+
+from repro.common.divisors import divisors
+from repro.common.errors import SpaceError
+from repro.kernels import (
+    TABLE1_SPACE_SIZES,
+    build_config_space,
+    param_candidates,
+    problem_size,
+    space_size,
+)
+
+
+class TestTable1:
+    @pytest.mark.parametrize(("kernel", "size"), sorted(TABLE1_SPACE_SIZES))
+    def test_space_sizes_match_paper(self, kernel, size):
+        assert space_size(kernel, size) == TABLE1_SPACE_SIZES[(kernel, size)]
+
+    def test_3mm_extralarge_exact(self):
+        assert space_size("3mm", "extralarge") == 228_614_400
+
+    def test_3mm_large_exact(self):
+        assert space_size("3mm", "large") == 74_649_600
+
+    def test_solver_spaces_are_squares(self):
+        assert space_size("lu", "large") == 20**2
+        assert space_size("lu", "extralarge") == 24**2
+
+
+class TestCandidates:
+    def test_candidates_are_divisors_of_split_axes(self):
+        size = problem_size("3mm", "extralarge")
+        cands = param_candidates("3mm", "extralarge")
+        assert cands["P0"] == tuple(divisors(size.n))  # E rows (N=1600)
+        assert cands["P1"] == tuple(divisors(size.m))  # E cols (M=2000)
+        assert cands["P2"] == tuple(divisors(size.m))  # F rows (M=2000)
+        assert cands["P3"] == tuple(divisors(size.p))  # F cols (P=2400)
+        assert cands["P4"] == tuple(divisors(size.n))  # G rows (N=1600)
+        assert cands["P5"] == tuple(divisors(size.p))  # G cols (P=2400)
+
+    def test_paper_candidate_counts(self):
+        # The multiset of per-parameter counts matches the paper's printed
+        # ConfigSpace (20, 21, 36, 20, 36, 21) regardless of axis binding.
+        counts = sorted(len(c) for c in param_candidates("3mm", "extralarge").values())
+        assert counts == sorted([20, 21, 36, 20, 36, 21])
+
+    def test_solver_candidates(self):
+        cands = param_candidates("lu", "large")
+        assert cands["P0"] == cands["P1"] == tuple(divisors(2000))
+
+    def test_unknown_kernel_rejected(self):
+        from repro.common.errors import ReproError
+
+        with pytest.raises(ReproError):
+            param_candidates("fft", "large")
+
+
+class TestConfigSpaceConstruction:
+    def test_builds_ordinals(self):
+        cs = build_config_space("cholesky", "large", seed=0)
+        assert cs.get_hyperparameter_names() == ["P0", "P1"]
+        assert cs.size() == 400.0
+
+    def test_3mm_space(self):
+        cs = build_config_space("3mm", "extralarge", seed=0)
+        assert len(cs) == 6
+        assert int(cs.size()) == 228_614_400
+
+    def test_sampled_configs_are_valid_tiles(self):
+        cs = build_config_space("lu", "extralarge", seed=1)
+        for cfg in cs.sample_configuration(20):
+            assert 4000 % cfg["P0"] == 0
+            assert 4000 % cfg["P1"] == 0

@@ -1,0 +1,69 @@
+"""Tests for the 3mm TE kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import SpaceError
+from repro.kernels import problem_size, threemm_basic, threemm_tuned
+from repro.kernels.problem_sizes import ThreeMMSize
+from repro.kernels.reference import threemm_reference
+from repro.runtime import build
+
+MINI = problem_size("3mm", "mini")
+
+
+def _run(params, size=MINI, dtype="float64"):
+    sched, args = threemm_tuned(size, params, dtype=dtype)
+    mod = build(sched, args)
+    rng = np.random.default_rng(0)
+    a = rng.random((size.n, size.l))
+    b = rng.random((size.l, size.m))
+    c = rng.random((size.m, size.o))
+    d = rng.random((size.o, size.p))
+    g = np.zeros((size.n, size.p))
+    mod(a, b, c, d, g)
+    return g, threemm_reference(a, b, c, d)
+
+
+class TestThreemm:
+    def test_basic_matches_reference(self):
+        sched, args = threemm_basic(MINI)
+        assert len(args) == 5  # A, B, C, D, G (paper signature)
+        got, ref = _run(dict(zip(("P0", "P1", "P2", "P3", "P4", "P5"), [8] * 6)))
+        np.testing.assert_allclose(got, ref, rtol=1e-10)
+
+    def test_mixed_tiles(self):
+        got, ref = _run({"P0": 4, "P1": 5, "P2": 2, "P3": 6, "P4": 16, "P5": 3})
+        np.testing.assert_allclose(got, ref, rtol=1e-10)
+
+    def test_all_ones(self):
+        got, ref = _run({p: 1 for p in ("P0", "P1", "P2", "P3", "P4", "P5")})
+        np.testing.assert_allclose(got, ref, rtol=1e-10)
+
+    def test_full_extent_tiles(self):
+        got, ref = _run(
+            {"P0": MINI.n, "P1": MINI.m, "P2": MINI.m, "P3": MINI.p, "P4": MINI.n, "P5": MINI.p}
+        )
+        np.testing.assert_allclose(got, ref, rtol=1e-10)
+
+    def test_oversized_tiles_clamped(self):
+        got, ref = _run({p: 9999 for p in ("P0", "P1", "P2", "P3", "P4", "P5")})
+        np.testing.assert_allclose(got, ref, rtol=1e-10)
+
+    def test_missing_param_rejected(self):
+        with pytest.raises(SpaceError):
+            threemm_tuned(MINI, {"P0": 4})
+
+    def test_stage_names(self):
+        sched, _ = threemm_basic(MINI)
+        assert [st.op.name for st in sched.stages] == ["E", "F", "G"]
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        p=st.tuples(*[st.sampled_from([1, 2, 4, 8]) for _ in range(6)]),
+    )
+    def test_property_any_tile_combo_correct(self, p):
+        params = dict(zip(("P0", "P1", "P2", "P3", "P4", "P5"), p))
+        got, ref = _run(params)
+        np.testing.assert_allclose(got, ref, rtol=1e-9)

@@ -1,0 +1,84 @@
+"""Tests for the genetic algorithm."""
+
+import pytest
+
+from repro.common.errors import ReproError, TuningError
+from repro.ml import GeneticAlgorithm
+
+
+def _target_fitness(genome, target):
+    return -sum((a - b) ** 2 for a, b in zip(genome, target))
+
+
+class TestGA:
+    def test_converges_to_target(self):
+        ga = GeneticAlgorithm([12, 12, 12], pop_size=12, seed=0)
+        target = (9, 2, 7)
+        for _ in range(400):
+            g = ga.ask()
+            ga.tell(g, _target_fitness(g, target))
+        best, fitness = ga.best()
+        assert fitness >= -2  # essentially at the optimum
+
+    def test_genomes_within_gene_sizes(self):
+        ga = GeneticAlgorithm([3, 5, 2], pop_size=6, seed=1)
+        for _ in range(60):
+            g = ga.ask()
+            assert all(0 <= x < s for x, s in zip(g, (3, 5, 2)))
+            ga.tell(g, 0.0)
+
+    def test_elites_survive_generations(self):
+        ga = GeneticAlgorithm([10, 10], pop_size=6, elite_num=2, seed=2)
+        best_seen = float("-inf")
+        for _ in range(100):
+            g = ga.ask()
+            f = _target_fitness(g, (5, 5))
+            best_seen = max(best_seen, f)
+            ga.tell(g, f)
+        # The recorded best never regresses.
+        assert ga.best()[1] == best_seen
+
+    def test_tell_unknown_genome_rejected(self):
+        ga = GeneticAlgorithm([4, 4], seed=0)
+        with pytest.raises(TuningError):
+            ga.tell((0, 0), 1.0)
+
+    def test_best_before_tell_rejected(self):
+        ga = GeneticAlgorithm([4], seed=0)
+        with pytest.raises(TuningError):
+            ga.best()
+
+    def test_deterministic_with_seed(self):
+        a = GeneticAlgorithm([8, 8], pop_size=6, seed=7)
+        b = GeneticAlgorithm([8, 8], pop_size=6, seed=7)
+        for _ in range(30):
+            ga_g, gb_g = a.ask(), b.ask()
+            assert ga_g == gb_g
+            a.tell(ga_g, sum(ga_g))
+            b.tell(gb_g, sum(gb_g))
+
+    def test_generation_counter_advances(self):
+        ga = GeneticAlgorithm([6, 6], pop_size=4, seed=0)
+        for _ in range(20):
+            g = ga.ask()
+            ga.tell(g, 0.0)
+        assert ga.generation >= 1
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            GeneticAlgorithm([])
+        with pytest.raises(ReproError):
+            GeneticAlgorithm([0, 2])
+        with pytest.raises(ReproError):
+            GeneticAlgorithm([2], pop_size=1)
+        with pytest.raises(ReproError):
+            GeneticAlgorithm([2], elite_num=5, pop_size=4)
+        with pytest.raises(ReproError):
+            GeneticAlgorithm([2], mutation_prob=1.5)
+
+    def test_tiny_space_exhaustion_safe(self):
+        ga = GeneticAlgorithm([2, 2], pop_size=4, seed=0)
+        for _ in range(30):  # far more asks than the 4-point space
+            g = ga.ask()
+            ga.tell(g, _target_fitness(g, (1, 1)))
+        assert ga.best()[0] == (1, 1)

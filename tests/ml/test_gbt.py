@@ -1,0 +1,67 @@
+"""Tests for gradient-boosted trees."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ReproError
+from repro.ml import GradientBoostedTreesRegressor
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(1)
+    X = rng.random((150, 3))
+    y = 3 * X[:, 0] - 2 * X[:, 1] ** 2 + 0.05 * rng.standard_normal(150)
+    return X, y
+
+
+class TestGBT:
+    def test_training_loss_decreases(self, data):
+        X, y = data
+        m = GradientBoostedTreesRegressor(n_estimators=40, seed=0).fit(X, y)
+        curve = m.staged_mse(X, y)
+        assert curve[-1] < curve[0]
+        assert curve[-1] < 0.1 * float(np.var(y))
+
+    def test_generalizes(self, data):
+        X, y = data
+        m = GradientBoostedTreesRegressor(n_estimators=60, seed=0).fit(X[:120], y[:120])
+        mse = float(np.mean((m.predict(X[120:]) - y[120:]) ** 2))
+        assert mse < 0.3 * float(np.var(y[120:]))
+
+    def test_init_is_mean(self, data):
+        X, y = data
+        m = GradientBoostedTreesRegressor(n_estimators=1, seed=0).fit(X, y)
+        assert m.init_ == pytest.approx(float(y.mean()))
+
+    def test_seeded_determinism(self, data):
+        X, y = data
+        p1 = GradientBoostedTreesRegressor(subsample=0.7, seed=5).fit(X, y).predict(X[:5])
+        p2 = GradientBoostedTreesRegressor(subsample=0.7, seed=5).fit(X, y).predict(X[:5])
+        np.testing.assert_array_equal(p1, p2)
+
+    def test_subsample_still_learns(self, data):
+        X, y = data
+        m = GradientBoostedTreesRegressor(subsample=0.5, n_estimators=60, seed=0).fit(X, y)
+        mse = float(np.mean((m.predict(X) - y) ** 2))
+        assert mse < 0.2 * float(np.var(y))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(ReproError):
+            GradientBoostedTreesRegressor().predict(np.zeros((1, 3)))
+
+    def test_bad_learning_rate(self):
+        with pytest.raises(ReproError):
+            GradientBoostedTreesRegressor(learning_rate=0.0)
+        with pytest.raises(ReproError):
+            GradientBoostedTreesRegressor(learning_rate=1.5)
+
+    def test_bad_subsample(self):
+        with pytest.raises(ReproError):
+            GradientBoostedTreesRegressor(subsample=0.0)
+
+    def test_single_sample(self):
+        m = GradientBoostedTreesRegressor(n_estimators=3).fit(
+            np.array([[1.0, 2.0]]), np.array([5.0])
+        )
+        assert m.predict(np.array([[1.0, 2.0]]))[0] == pytest.approx(5.0)

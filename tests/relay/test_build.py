@@ -1,0 +1,149 @@
+"""Tests for lowering fused groups to TE and the GraphExecutor."""
+
+import numpy as np
+import pytest
+
+from repro import relay
+from repro.common.errors import ReproError
+from repro.relay import build_function, fuse_ops, infer_shapes
+from repro.relay.build import group_tile_params, lower_group
+from repro.runtime import build
+
+
+def _mlp(batch=4, in_f=8, hidden=6, out_f=3, seed=0):
+    rng = np.random.default_rng(seed)
+    weights = {
+        "w1": rng.standard_normal((hidden, in_f)),
+        "b1": rng.standard_normal(hidden),
+        "w2": rng.standard_normal((out_f, hidden)),
+        "b2": rng.standard_normal(out_f),
+    }
+    x = relay.var("x", (batch, in_f))
+    h = relay.relu(
+        relay.bias_add(relay.dense(x, relay.const(weights["w1"])), relay.const(weights["b1"]))
+    )
+    out = relay.softmax(
+        relay.bias_add(relay.dense(h, relay.const(weights["w2"])), relay.const(weights["b2"]))
+    )
+    return relay.Function([x], out), weights
+
+
+def _mlp_reference(xv, w):
+    h = np.maximum(xv @ w["w1"].T + w["b1"], 0)
+    o = h @ w["w2"].T + w["b2"]
+    e = np.exp(o - o.max(axis=-1, keepdims=True))
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+class TestLowerGroup:
+    def test_dense_group_executes(self):
+        f, w = _mlp()
+        infer_shapes(f)
+        group = fuse_ops(f)[0]
+        sched, args, externals = lower_group(group)
+        mod = build(sched, args)
+        rng = np.random.default_rng(1)
+        xv = rng.standard_normal((4, 8))
+        out = np.zeros((4, 6))
+        mod(xv, w["w1"], w["b1"], out)
+        np.testing.assert_allclose(
+            out, np.maximum(xv @ w["w1"].T + w["b1"], 0), rtol=1e-12
+        )
+
+    def test_tile_config_applied(self):
+        f, _ = _mlp(batch=8, hidden=8)
+        infer_shapes(f)
+        group = fuse_ops(f)[0]
+        py, px = group_tile_params(group)
+        sched, _, _ = lower_group(group, {py: 4, px: 2})
+        from repro.te.schedule import SplitRelation
+
+        anchor_stage = sched.stages[0]
+        splits = [r for r in anchor_stage.relations if isinstance(r, SplitRelation)]
+        assert [s.factor for s in splits] == [4, 2]
+
+
+class TestGraphExecutor:
+    def test_mlp_matches_numpy(self):
+        f, w = _mlp()
+        ex = build_function(f)
+        rng = np.random.default_rng(2)
+        xv = rng.standard_normal((4, 8))
+        np.testing.assert_allclose(ex.run(x=xv), _mlp_reference(xv, w), rtol=1e-10)
+
+    def test_tiles_do_not_change_result(self):
+        f, w = _mlp(batch=8, in_f=8, hidden=8, out_f=4)
+        infer_shapes(f)
+        groups = [g for g in fuse_ops(f) if g.is_tunable]
+        cfg = {}
+        for g in groups:
+            py, px = group_tile_params(g)
+            cfg[py], cfg[px] = 2, 4
+        rng = np.random.default_rng(3)
+        xv = rng.standard_normal((8, 8))
+        np.testing.assert_allclose(
+            build_function(f, cfg).run(x=xv),
+            build_function(f).run(x=xv),
+            rtol=1e-10,
+        )
+
+    def test_residual_add(self):
+        rng = np.random.default_rng(4)
+        x = relay.var("x", (4, 6))
+        w = relay.const(rng.standard_normal((6, 6)), "w")
+        out = relay.add(relay.relu(relay.dense(x, w)), x)  # residual connection
+        f = relay.Function([x], out)
+        xv = rng.standard_normal((4, 6))
+        got = build_function(f).run(x=xv)
+        np.testing.assert_allclose(got, np.maximum(xv @ w.value.T, 0) + xv, rtol=1e-12)
+
+    def test_flatten_lowering(self):
+        x = relay.var("x", (2, 3, 4))
+        f = relay.Function([x], relay.flatten(x))
+        rng = np.random.default_rng(5)
+        xv = rng.standard_normal((2, 3, 4))
+        np.testing.assert_allclose(
+            build_function(f).run(x=xv), xv.reshape(2, 12), rtol=1e-15
+        )
+
+    def test_missing_input_rejected(self):
+        f, _ = _mlp()
+        ex = build_function(f)
+        with pytest.raises(ReproError):
+            ex.run()
+
+    def test_unknown_input_rejected(self):
+        f, _ = _mlp()
+        ex = build_function(f)
+        with pytest.raises(ReproError):
+            ex.run(x=np.zeros((4, 8)), y=np.zeros(1))
+
+    def test_wrong_shape_rejected(self):
+        f, _ = _mlp()
+        ex = build_function(f)
+        with pytest.raises(ReproError):
+            ex.run(x=np.zeros((5, 8)))
+
+
+class TestTuneFunction:
+    def test_tuned_model_correct_and_configured(self):
+        from repro.relay import tune_function
+
+        f, w = _mlp(batch=8, in_f=16, hidden=8, out_f=4, seed=7)
+        tuned = tune_function(f, max_evals_per_group=6, seed=0)
+        # One (ty, tx) pair per dense group.
+        assert len(tuned.tile_config) == 4
+        assert len(tuned.per_group) == 2
+        rng = np.random.default_rng(8)
+        xv = rng.standard_normal((8, 16))
+        np.testing.assert_allclose(
+            tuned.run(x=xv), _mlp_reference(xv, w), rtol=1e-10
+        )
+
+    def test_tile_values_divide_dims(self):
+        from repro.relay import tune_function
+
+        f, _ = _mlp(batch=8, in_f=8, hidden=12, out_f=4)
+        tuned = tune_function(f, max_evals_per_group=5, seed=1)
+        for name, value in tuned.tile_config.items():
+            assert value >= 1

@@ -1,0 +1,140 @@
+"""Tests for conv2d / max_pool2d: shapes, folding, lowering, tuning."""
+
+import numpy as np
+import pytest
+
+from repro import relay
+from repro.common.errors import ReproError
+from repro.relay import build_function, fuse_ops, infer_shapes, tune_function
+from repro.relay.transform import _np_conv2d, _np_max_pool2d, fold_constants
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestShapes:
+    def test_conv_output_shape(self):
+        x = relay.var("x", (2, 3, 16, 16))
+        w = relay.const(np.zeros((8, 3, 3, 3)))
+        f = relay.Function([x], relay.conv2d(x, w, strides=1, padding=1))
+        infer_shapes(f)
+        assert f.body.shape == (2, 8, 16, 16)
+
+    def test_strided_no_pad(self):
+        x = relay.var("x", (1, 1, 9, 9))
+        w = relay.const(np.zeros((4, 1, 3, 3)))
+        f = relay.Function([x], relay.conv2d(x, w, strides=2))
+        infer_shapes(f)
+        assert f.body.shape == (1, 4, 4, 4)
+
+    def test_channel_mismatch_rejected(self):
+        x = relay.var("x", (1, 3, 8, 8))
+        w = relay.const(np.zeros((4, 2, 3, 3)))
+        f = relay.Function([x], relay.conv2d(x, w))
+        with pytest.raises(ReproError):
+            infer_shapes(f)
+
+    def test_kernel_too_large_rejected(self):
+        x = relay.var("x", (1, 1, 4, 4))
+        w = relay.const(np.zeros((1, 1, 7, 7)))
+        f = relay.Function([x], relay.conv2d(x, w))
+        with pytest.raises(ReproError):
+            infer_shapes(f)
+
+    def test_pool_shape(self):
+        x = relay.var("x", (2, 4, 8, 8))
+        f = relay.Function([x], relay.max_pool2d(x, pool_size=2))
+        infer_shapes(f)
+        assert f.body.shape == (2, 4, 4, 4)
+
+    def test_bias_axis_1(self):
+        x = relay.var("x", (1, 5, 4, 4))
+        b = relay.const(np.zeros(5))
+        f = relay.Function([x], relay.bias_add(x, b, axis=1))
+        infer_shapes(f)
+        assert f.body.shape == (1, 5, 4, 4)
+
+    def test_invalid_attrs_rejected(self):
+        x = relay.var("x", (1, 1, 8, 8))
+        w = relay.const(np.zeros((1, 1, 3, 3)))
+        with pytest.raises(ReproError):
+            relay.conv2d(x, w, strides=0)
+        with pytest.raises(ReproError):
+            relay.conv2d(x, w, padding=-1)
+        with pytest.raises(ReproError):
+            relay.max_pool2d(x, pool_size=0)
+
+
+class TestExecution:
+    @pytest.mark.parametrize(("strides", "padding"), [(1, 0), (1, 1), (2, 0), (2, 1)])
+    def test_conv_matches_numpy(self, rng, strides, padding):
+        x = relay.var("x", (2, 3, 8, 8))
+        w = relay.const(rng.standard_normal((4, 3, 3, 3)))
+        f = relay.Function([x], relay.conv2d(x, w, strides=strides, padding=padding))
+        xv = rng.standard_normal((2, 3, 8, 8))
+        got = build_function(f).run(x=xv)
+        np.testing.assert_allclose(
+            got, _np_conv2d(xv, w.value, strides, padding), rtol=1e-12, atol=1e-13
+        )
+
+    def test_pool_matches_numpy(self, rng):
+        x = relay.var("x", (2, 3, 8, 8))
+        f = relay.Function([x], relay.max_pool2d(x, pool_size=2))
+        xv = rng.standard_normal((2, 3, 8, 8))
+        np.testing.assert_allclose(
+            build_function(f).run(x=xv), _np_max_pool2d(xv, 2, 2), rtol=1e-15
+        )
+
+    def test_conv_bias_relu_fused(self, rng):
+        x = relay.var("x", (1, 2, 6, 6))
+        w = relay.const(rng.standard_normal((3, 2, 3, 3)))
+        b = relay.const(rng.standard_normal(3))
+        out = relay.relu(relay.bias_add(relay.conv2d(x, w, padding=1), b, axis=1))
+        f = relay.Function([x], out)
+        groups = fuse_ops(f)
+        assert [e.op for e in groups[0].epilogue] == ["bias_add", "relu"]
+        xv = rng.standard_normal((1, 2, 6, 6))
+        ref = np.maximum(
+            _np_conv2d(xv, w.value, 1, 1) + b.value.reshape(1, 3, 1, 1), 0
+        )
+        np.testing.assert_allclose(build_function(f).run(x=xv), ref, rtol=1e-12)
+
+    def test_conv_tiles_do_not_change_result(self, rng):
+        x = relay.var("x", (1, 2, 8, 8))
+        w = relay.const(rng.standard_normal((2, 2, 3, 3)))
+        f = relay.Function([x], relay.conv2d(x, w, padding=1))
+        infer_shapes(f)
+        group = fuse_ops(f)[0]
+        from repro.relay.build import group_tile_params
+
+        py, px = group_tile_params(group)
+        xv = rng.standard_normal((1, 2, 8, 8))
+        base = build_function(f).run(x=xv)
+        for ty, tx in [(1, 1), (2, 4), (8, 8)]:
+            got = build_function(f, {py: ty, px: tx}).run(x=xv)
+            np.testing.assert_allclose(got, base, rtol=1e-12)
+
+    def test_constant_folding_conv(self, rng):
+        cx = relay.const(rng.standard_normal((1, 1, 5, 5)))
+        w = relay.const(rng.standard_normal((1, 1, 3, 3)))
+        f = relay.Function([], relay.conv2d(cx, w))
+        infer_shapes(f)
+        folded = fold_constants(f)
+        assert folded.body.op == "const"
+        np.testing.assert_allclose(
+            folded.body.value, _np_conv2d(cx.value, w.value, 1, 0), rtol=1e-12
+        )
+
+
+class TestTuning:
+    def test_conv_group_tunable(self, rng):
+        x = relay.var("x", (1, 1, 12, 12))
+        w = relay.const(rng.standard_normal((2, 1, 3, 3)))
+        f = relay.Function([x], relay.relu(relay.conv2d(x, w, padding=1)))
+        tuned = tune_function(f, max_evals_per_group=5, seed=0)
+        assert len(tuned.tile_config) == 2
+        xv = rng.standard_normal((1, 1, 12, 12))
+        ref = np.maximum(_np_conv2d(xv, w.value, 1, 1), 0)
+        np.testing.assert_allclose(tuned.run(x=xv), ref, rtol=1e-12)

@@ -1,0 +1,85 @@
+"""Tests for the spec-based model importer."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ReproError
+from repro.relay import build_function, from_spec
+from repro.relay.transform import _np_conv2d, _np_max_pool2d
+
+
+@pytest.fixture
+def cnn_spec_and_params():
+    rng = np.random.default_rng(0)
+    spec = {
+        "input": {"name": "x", "shape": [2, 1, 8, 8]},
+        "layers": [
+            {"op": "conv2d", "weight": "w1", "bias": "b1", "padding": 1},
+            {"op": "relu"},
+            {"op": "max_pool2d", "pool_size": 2},
+            {"op": "flatten"},
+            {"op": "dense", "weight": "w2", "bias": "b2"},
+            {"op": "softmax"},
+        ],
+    }
+    params = {
+        "w1": rng.standard_normal((3, 1, 3, 3)) * 0.3,
+        "b1": rng.standard_normal(3) * 0.3,
+        "w2": rng.standard_normal((5, 3 * 4 * 4)) * 0.3,
+        "b2": rng.standard_normal(5) * 0.3,
+    }
+    return spec, params
+
+
+class TestFromSpec:
+    def test_imports_and_runs(self, cnn_spec_and_params):
+        spec, params = cnn_spec_and_params
+        func = from_spec(spec, params)
+        assert func.body.shape == (2, 5)
+        rng = np.random.default_rng(1)
+        xv = rng.standard_normal((2, 1, 8, 8))
+        out = build_function(func).run(x=xv)
+
+        conv = _np_conv2d(xv, params["w1"], 1, 1) + params["b1"].reshape(1, 3, 1, 1)
+        pooled = _np_max_pool2d(np.maximum(conv, 0), 2, 2).reshape(2, -1)
+        logits = pooled @ params["w2"].T + params["b2"]
+        e = np.exp(logits - logits.max(axis=-1, keepdims=True))
+        ref = e / e.sum(axis=-1, keepdims=True)
+        np.testing.assert_allclose(out, ref, rtol=1e-10)
+
+    def test_spec_is_json_roundtrippable(self, cnn_spec_and_params):
+        import json
+
+        spec, params = cnn_spec_and_params
+        func = from_spec(json.loads(json.dumps(spec)), params)
+        assert func.body.op == "softmax"
+
+    def test_missing_weight_rejected(self, cnn_spec_and_params):
+        spec, params = cnn_spec_and_params
+        del params["w2"]
+        with pytest.raises(ReproError, match="missing weight"):
+            from_spec(spec, params)
+
+    def test_unknown_op_rejected(self, cnn_spec_and_params):
+        spec, params = cnn_spec_and_params
+        spec["layers"].append({"op": "gelu"})
+        with pytest.raises(ReproError, match="unknown op"):
+            from_spec(spec, params)
+
+    def test_malformed_spec_rejected(self):
+        with pytest.raises(ReproError):
+            from_spec({"layers": []}, {})
+
+    def test_shape_errors_surface_at_import(self, cnn_spec_and_params):
+        spec, params = cnn_spec_and_params
+        params["w2"] = np.zeros((5, 7))  # wrong in_features
+        with pytest.raises(ReproError):
+            from_spec(spec, params)
+
+    def test_imported_model_is_tunable(self, cnn_spec_and_params):
+        from repro.relay import tune_function
+
+        spec, params = cnn_spec_and_params
+        func = from_spec(spec, params)
+        tuned = tune_function(func, max_evals_per_group=4, seed=0)
+        assert len(tuned.per_group) == 2  # one conv group + one dense group

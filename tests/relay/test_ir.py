@@ -1,0 +1,60 @@
+"""Tests for the mini-Relay graph IR."""
+
+import numpy as np
+import pytest
+
+from repro import relay
+from repro.common.errors import ReproError
+
+
+class TestBuilders:
+    def test_var(self):
+        x = relay.var("x", (4, 5))
+        assert x.op == "var" and x.shape == (4, 5) and x.name == "x"
+
+    def test_var_bad_shape(self):
+        with pytest.raises(ReproError):
+            relay.var("x", (0, 5))
+
+    def test_const_carries_value(self):
+        c = relay.const(np.ones((2, 3)))
+        assert c.op == "const"
+        assert c.shape == (2, 3)
+        np.testing.assert_array_equal(c.value, 1.0)
+
+    def test_node_names_unique(self):
+        x = relay.var("x", (2, 2))
+        a = relay.relu(x)
+        b = relay.relu(x)
+        assert a.name != b.name
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ReproError):
+            relay.GraphNode("conv3d")
+
+
+class TestFunction:
+    def test_nodes_topological(self):
+        x = relay.var("x", (2, 4))
+        w = relay.const(np.ones((3, 4)))
+        d = relay.dense(x, w)
+        f = relay.Function([x], relay.relu(d))
+        order = [n.name for n in f.nodes()]
+        assert order.index(x.name) < order.index(d.name)
+        assert order.index(d.name) < order.index(f.body.name)
+
+    def test_free_variable_detected(self):
+        x = relay.var("x", (2, 2))
+        y = relay.var("y", (2, 2))
+        with pytest.raises(ReproError):
+            relay.Function([x], relay.add(x, y))  # y not a param
+
+    def test_non_var_param_rejected(self):
+        c = relay.const(np.ones((2, 2)))
+        with pytest.raises(ReproError):
+            relay.Function([c], relay.relu(c))
+
+    def test_repr_mentions_ops(self):
+        x = relay.var("x", (2, 2))
+        f = relay.Function([x], relay.relu(x))
+        assert "relu" in repr(f)

@@ -1,0 +1,136 @@
+"""Tests for graph passes: shape inference, constant folding, FuseOps."""
+
+import numpy as np
+import pytest
+
+from repro import relay
+from repro.common.errors import ReproError
+from repro.relay import fold_constants, fuse_ops, infer_shapes
+
+
+def _mlp(batch=4, in_f=8, hidden=6, out_f=3, seed=0):
+    rng = np.random.default_rng(seed)
+    x = relay.var("x", (batch, in_f))
+    w1 = relay.const(rng.standard_normal((hidden, in_f)), "w1")
+    b1 = relay.const(rng.standard_normal(hidden), "b1")
+    w2 = relay.const(rng.standard_normal((out_f, hidden)), "w2")
+    h = relay.relu(relay.bias_add(relay.dense(x, w1), b1))
+    out = relay.softmax(relay.dense(h, w2))
+    return relay.Function([x], out)
+
+
+class TestInferShapes:
+    def test_mlp_shapes(self):
+        f = _mlp()
+        infer_shapes(f)
+        shapes = {n.name: n.shape for n in f.nodes()}
+        assert shapes["x"] == (4, 8)
+        assert f.body.shape == (4, 3)
+
+    def test_dense_mismatch_rejected(self):
+        x = relay.var("x", (2, 5))
+        w = relay.const(np.ones((3, 4)))  # in_features 4 != 5
+        f = relay.Function([x], relay.dense(x, w))
+        with pytest.raises(ReproError):
+            infer_shapes(f)
+
+    def test_bias_mismatch_rejected(self):
+        x = relay.var("x", (2, 5))
+        b = relay.const(np.ones(4))
+        f = relay.Function([x], relay.bias_add(x, b))
+        with pytest.raises(ReproError):
+            infer_shapes(f)
+
+    def test_add_shape_mismatch_rejected(self):
+        x = relay.var("x", (2, 3))
+        y = relay.var("y", (3, 2))
+        f = relay.Function([x, y], relay.add(x, y))
+        with pytest.raises(ReproError):
+            infer_shapes(f)
+
+    def test_flatten_shape(self):
+        x = relay.var("x", (2, 3, 4))
+        f = relay.Function([x], relay.flatten(x))
+        infer_shapes(f)
+        assert f.body.shape == (2, 12)
+
+
+class TestFoldConstants:
+    def test_const_subgraph_folded(self):
+        c1 = relay.const(np.full((2, 2), 3.0))
+        c2 = relay.const(np.full((2, 2), 4.0))
+        f = relay.Function([], relay.add(c1, c2))
+        infer_shapes(f)
+        folded = fold_constants(f)
+        assert folded.body.op == "const"
+        np.testing.assert_array_equal(folded.body.value, 7.0)
+
+    def test_var_dependent_not_folded(self):
+        x = relay.var("x", (2, 2))
+        c = relay.const(np.ones((2, 2)))
+        f = relay.Function([x], relay.add(x, c))
+        infer_shapes(f)
+        folded = fold_constants(f)
+        assert folded.body.op == "add"
+
+    def test_partial_folding(self):
+        x = relay.var("x", (2, 2))
+        c1 = relay.const(np.ones((2, 2)))
+        c2 = relay.const(np.ones((2, 2)))
+        pre = relay.add(c1, c2)  # foldable
+        f = relay.Function([x], relay.add(x, pre))
+        infer_shapes(f)
+        folded = fold_constants(f)
+        const_input = folded.body.inputs[1]
+        assert const_input.op == "const"
+        np.testing.assert_array_equal(const_input.value, 2.0)
+
+    def test_folding_preserves_semantics(self):
+        f = _mlp()
+        infer_shapes(f)
+        folded = fold_constants(f)
+        from repro.relay import build_function
+
+        rng = np.random.default_rng(1)
+        xv = rng.standard_normal((4, 8))
+        np.testing.assert_allclose(
+            build_function(f).run(x=xv),
+            build_function(folded).run(x=xv),
+            rtol=1e-12,
+        )
+
+
+class TestFuseOps:
+    def test_dense_absorbs_epilogue(self):
+        f = _mlp()
+        groups = fuse_ops(f)
+        kinds = [
+            (g.anchor.op, [e.op for e in g.epilogue], g.is_tunable) for g in groups
+        ]
+        assert kinds[0] == ("dense", ["bias_add", "relu"], True)
+        assert kinds[1] == ("dense", [], True)  # followed by softmax (not fusable)
+        assert kinds[2] == ("softmax", [], False)
+
+    def test_multi_consumer_blocks_fusion(self):
+        x = relay.var("x", (2, 4))
+        w = relay.const(np.ones((4, 4)))
+        d = relay.dense(x, w)
+        out = relay.add(relay.relu(d), d)  # d has two consumers
+        f = relay.Function([x], out)
+        groups = fuse_ops(f)
+        dense_group = next(g for g in groups if g.anchor.op == "dense")
+        assert dense_group.epilogue == []
+
+    def test_every_op_in_exactly_one_group(self):
+        f = _mlp()
+        groups = fuse_ops(f)
+        names = [n.name for g in groups for n in g.nodes]
+        compute_nodes = [n.name for n in f.nodes() if n.op not in ("var", "const")]
+        assert sorted(names) == sorted(compute_nodes)
+
+    def test_external_inputs(self):
+        f = _mlp()
+        groups = fuse_ops(f)
+        first = groups[0]
+        ext_ops = [n.op for n in first.external_inputs()]
+        assert ext_ops == ["var", "const", "const"]  # x, w1, b1

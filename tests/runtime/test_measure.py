@@ -1,0 +1,70 @@
+"""Tests for the shared measurement abstractions and LocalEvaluator."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ReproError
+from repro.kernels.extra import gemm_tuned
+from repro.runtime.measure import FAILED_COST, LocalEvaluator, MeasureResult
+
+
+def _builder(params):
+    return gemm_tuned(8, 8, 8, params)
+
+
+class TestMeasureResult:
+    def test_ok_mean(self):
+        r = MeasureResult({}, costs=(1.0, 3.0), compile_time=0.1, timestamp=1.0)
+        assert r.ok
+        assert r.mean_cost == 2.0
+        assert r.min_cost == 1.0
+
+    def test_error_gives_failed_cost(self):
+        r = MeasureResult({}, costs=(), compile_time=0.1, timestamp=1.0, error="boom")
+        assert not r.ok
+        assert r.mean_cost == FAILED_COST
+
+
+class TestLocalEvaluator:
+    def test_successful_evaluation(self):
+        ev = LocalEvaluator(_builder, seed=0)
+        res = ev.evaluate({"P0": 4, "P1": 4})
+        assert res.ok
+        assert res.mean_cost > 0
+        assert res.compile_time > 0
+        assert res.timestamp > 0
+
+    def test_costs_length_matches_repeat(self):
+        ev = LocalEvaluator(_builder, repeat=3, seed=0)
+        res = ev.evaluate({"P0": 2, "P1": 2})
+        assert len(res.costs) == 3
+
+    def test_compile_error_captured(self):
+        def bad_builder(params):
+            raise ReproError("bad tile")
+
+        ev = LocalEvaluator(bad_builder)
+        res = ev.evaluate({"P0": 1})
+        assert not res.ok
+        assert "compile error" in res.error
+
+    def test_validate_hook(self):
+        ev = LocalEvaluator(_builder, validate=lambda bufs: "validation failed")
+        res = ev.evaluate({"P0": 2, "P1": 2})
+        assert res.error == "validation failed"
+
+    def test_elapsed_monotone(self):
+        ev = LocalEvaluator(_builder)
+        a = ev.elapsed()
+        ev.evaluate({"P0": 2, "P1": 2})
+        assert ev.elapsed() > a
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ReproError):
+            LocalEvaluator(_builder, number=0)
+
+    def test_config_coerced_to_int(self):
+        ev = LocalEvaluator(_builder, seed=0)
+        res = ev.evaluate({"P0": np.int64(4), "P1": np.int64(2)})
+        assert res.ok
+        assert isinstance(res.config["P0"], int)

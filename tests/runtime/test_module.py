@@ -1,0 +1,81 @@
+"""Tests for build() and Module execution."""
+
+import numpy as np
+import pytest
+
+import repro.te as te
+from repro.common.errors import ExecutionError, ReproError
+from repro.runtime import NDArray, array, build, zeros
+from tests.conftest import make_matmul
+
+
+@pytest.fixture
+def built(matmul):
+    A, B, C = matmul
+    return build(te.create_schedule(C.op), [A, B, C])
+
+
+class TestBuild:
+    def test_codegen_backend_default(self, built):
+        assert built.backend == "codegen"
+
+    def test_interp_target(self, matmul):
+        A, B, C = matmul
+        mod = build(te.create_schedule(C.op), [A, B, C], target="interp")
+        assert mod.backend == "interp"
+
+    def test_swing_target_rejected(self, matmul):
+        A, B, C = matmul
+        with pytest.raises(ReproError):
+            build(te.create_schedule(C.op), [A, B, C], target="swing")
+
+    def test_name_propagates(self, matmul):
+        A, B, C = matmul
+        mod = build(te.create_schedule(C.op), [A, B, C], name="mm")
+        assert mod.name == "mm"
+
+
+class TestModuleCall:
+    def test_accepts_ndarray_and_numpy(self, built, rng):
+        a = rng.random((12, 8)).astype("float32")
+        b = rng.random((8, 10)).astype("float32")
+        c1 = zeros((12, 10))
+        built(array(a), array(b), c1)
+        c2 = np.zeros((12, 10), dtype="float32")
+        built(a, b, c2)
+        np.testing.assert_allclose(c1.numpy(), c2, rtol=1e-6)
+
+    def test_wrong_arg_count(self, built):
+        with pytest.raises(ExecutionError):
+            built(np.zeros((12, 8), dtype="float32"))
+
+    def test_wrong_shape(self, built):
+        with pytest.raises(ExecutionError):
+            built(
+                np.zeros((1, 1), dtype="float32"),
+                np.zeros((8, 10), dtype="float32"),
+                np.zeros((12, 10), dtype="float32"),
+            )
+
+    def test_wrong_dtype(self, built):
+        with pytest.raises(ExecutionError):
+            built(
+                np.zeros((12, 8), dtype="int32"),
+                np.zeros((8, 10), dtype="float32"),
+                np.zeros((12, 10), dtype="float32"),
+            )
+
+
+class TestTimeEvaluator:
+    def test_mean_and_results(self, built, rng):
+        a = rng.random((12, 8)).astype("float32")
+        b = rng.random((8, 10)).astype("float32")
+        c = np.zeros((12, 10), dtype="float32")
+        timer = built.time_evaluator(number=2, repeat=3)
+        res = timer(a, b, c)
+        assert len(res.results) == 3
+        assert res.mean >= res.min > 0
+
+    def test_invalid_counts_rejected(self, built):
+        with pytest.raises(ReproError):
+            built.time_evaluator(number=0)

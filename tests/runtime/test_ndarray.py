@@ -1,0 +1,54 @@
+"""Tests for the NDArray wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.runtime import NDArray, array, empty, zeros
+
+
+class TestNDArray:
+    def test_array_roundtrip(self):
+        nd = array([[1.0, 2.0], [3.0, 4.0]], dtype="float32")
+        assert nd.shape == (2, 2)
+        assert nd.dtype == "float32"
+        np.testing.assert_array_equal(nd.numpy(), [[1, 2], [3, 4]])
+
+    def test_numpy_returns_copy(self):
+        nd = zeros((3,))
+        out = nd.numpy()
+        out[0] = 99
+        assert nd.numpy()[0] == 0
+
+    def test_view_aliases(self):
+        nd = zeros((3,))
+        nd.view()[0] = 7
+        assert nd.numpy()[0] == 7
+
+    def test_asnumpy_alias(self):
+        nd = array([1.0, 2.0])
+        np.testing.assert_array_equal(nd.asnumpy(), nd.numpy())
+
+    def test_copyfrom(self):
+        nd = zeros((2, 2))
+        nd.copyfrom(np.ones((2, 2), dtype="float32"))
+        assert nd.numpy().sum() == 4
+
+    def test_copyfrom_ndarray(self):
+        a = array(np.full((2,), 5.0))
+        b = zeros((2,), dtype="float64")
+        b.copyfrom(a)
+        assert b.numpy().tolist() == [5.0, 5.0]
+
+    def test_copyfrom_shape_mismatch(self):
+        with pytest.raises(ExecutionError):
+            zeros((2, 2)).copyfrom(np.zeros((3, 3)))
+
+    def test_empty_shape_dtype(self):
+        nd = empty((4, 5), dtype="float64")
+        assert nd.shape == (4, 5) and nd.dtype == "float64"
+
+    def test_contiguous_enforced(self):
+        base = np.zeros((4, 4))[::2, ::2]
+        nd = NDArray(base)
+        assert nd.view().flags["C_CONTIGUOUS"]

@@ -1,0 +1,33 @@
+"""Tests for Target parsing."""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.runtime import Target
+
+
+class TestTarget:
+    def test_llvm(self):
+        assert Target("llvm").kind == "llvm"
+
+    def test_cpu_alias(self):
+        assert Target("cpu").kind == "llvm"
+
+    def test_cuda_is_swing(self):
+        assert Target("cuda").kind == "swing"
+        assert Target("cuda").is_simulated
+
+    def test_case_insensitive(self):
+        assert Target("LLVM").kind == "llvm"
+
+    def test_copy_constructor(self):
+        t = Target(Target("interp"))
+        assert t.kind == "interp"
+
+    def test_equality_and_hash(self):
+        assert Target("cpu") == Target("llvm")
+        assert hash(Target("cpu")) == hash(Target("llvm"))
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ReproError):
+            Target("vulkan")

@@ -1,0 +1,92 @@
+"""Tests for the energy model and energy-metric tuning."""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.common.timing import VirtualClock
+from repro.kernels import get_benchmark
+from repro.swing import EnergyModel, SwingEvaluator
+
+
+@pytest.fixture
+def profile():
+    return get_benchmark("lu", "large").profile
+
+
+@pytest.fixture
+def model():
+    return EnergyModel()
+
+
+class TestEnergyModel:
+    def test_power_within_envelope(self, model, profile):
+        for cfg in ({"P0": 1, "P1": 1}, {"P0": 80, "P1": 80}, {"P0": 2000, "P1": 2000}):
+            p = model.power(profile, cfg)
+            assert 55.0 < p <= 400.0
+
+    def test_efficient_tiles_draw_more_power(self, model, profile):
+        assert model.power(profile, {"P0": 80, "P1": 80}) > model.power(
+            profile, {"P0": 1, "P1": 1}
+        )
+
+    def test_energy_optimum_differs_from_runtime_optimum_direction(self, model, profile):
+        # Slow tiny tiles: less power but far more time -> much more energy.
+        e_bad = model.measured(profile, {"P0": 1, "P1": 1}, metric="energy")
+        e_good = model.measured(profile, {"P0": 80, "P1": 80}, metric="energy")
+        assert e_bad > e_good
+
+    def test_metric_relationships(self, model, profile):
+        cfg = {"P0": 40, "P1": 50}
+        rt = model.measured(profile, cfg, metric="runtime")
+        en = model.measured(profile, cfg, metric="energy")
+        edp = model.measured(profile, cfg, metric="edp")
+        assert en == pytest.approx(model.power(profile, cfg) * rt)
+        assert edp == pytest.approx(en * rt)
+
+    def test_unknown_metric_rejected(self, model, profile):
+        with pytest.raises(ReproError):
+            model.measured(profile, {"P0": 1, "P1": 1}, metric="carbon")
+
+    def test_utilization_bounded(self, model, profile):
+        for cfg in ({"P0": 1, "P1": 1}, {"P0": 80, "P1": 80}):
+            assert 0.0 < model.utilization(profile, cfg) <= 1.0
+
+    def test_bad_power_params_rejected(self):
+        with pytest.raises(ReproError):
+            EnergyModel(idle_watts=-1.0)
+
+
+class TestEnergyEvaluator:
+    def test_energy_metric_costs(self, profile):
+        ev = SwingEvaluator(profile, clock=VirtualClock(), metric="energy")
+        res = ev.evaluate({"P0": 80, "P1": 80})
+        assert res.ok
+        # Joules, not seconds: hundreds of watts x ~1.7 s.
+        assert res.mean_cost > 100.0
+
+    def test_clock_still_advances_by_runtime(self, profile):
+        ev_rt = SwingEvaluator(profile, clock=VirtualClock(), metric="runtime")
+        ev_en = SwingEvaluator(profile, clock=VirtualClock(), metric="energy")
+        cfg = {"P0": 80, "P1": 80}
+        ev_rt.evaluate(cfg)
+        ev_en.evaluate(cfg)
+        assert ev_rt.clock.now == pytest.approx(ev_en.clock.now)
+
+    def test_unknown_metric_rejected(self, profile):
+        with pytest.raises(ReproError):
+            SwingEvaluator(profile, metric="carbon")
+
+    def test_energy_tuning_end_to_end(self, profile):
+        from repro.core import AutotuneConfig, BayesianAutotuner
+        from repro.kernels import get_benchmark
+
+        bench = get_benchmark("lu", "large")
+        ev = SwingEvaluator(bench.profile, clock=VirtualClock(), metric="energy")
+        bo = BayesianAutotuner(
+            bench.config_space(seed=0), ev,
+            config=AutotuneConfig(max_evals=15, seed=0),
+        )
+        result = bo.run()
+        # Energy of the found config beats the pathological corner by a lot.
+        worst = EnergyModel().measured(bench.profile, {"P0": 1, "P1": 1}, "energy")
+        assert result.best_runtime < worst / 10

@@ -1,0 +1,88 @@
+"""Tests for kernel profiles."""
+
+import pytest
+
+from repro.common.errors import SpaceError
+from repro.swing import GemmStageProfile, KernelProfile
+
+
+def _stage(**kw):
+    defaults = dict(name="s", m=100, n=100, k=100, param_y="P0", param_x="P1")
+    defaults.update(kw)
+    return GemmStageProfile(**defaults)
+
+
+class TestGemmStageProfile:
+    def test_flops(self):
+        assert _stage().flops == 2.0 * 100**3
+
+    def test_flops_scale(self):
+        assert _stage(flops_scale=0.5).flops == 100**3
+
+    def test_tiles_extraction(self):
+        assert _stage().tiles({"P0": 8, "P1": 16}) == (8, 16)
+
+    def test_tiles_missing_param(self):
+        with pytest.raises(SpaceError):
+            _stage().tiles({"P0": 8})
+
+    def test_tiles_nonpositive(self):
+        with pytest.raises(SpaceError):
+            _stage().tiles({"P0": 0, "P1": 4})
+
+    def test_bad_dims_rejected(self):
+        with pytest.raises(SpaceError):
+            _stage(m=0)
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SpaceError):
+            _stage(flops_scale=0.0)
+
+    def test_bad_launches_rejected(self):
+        with pytest.raises(SpaceError):
+            _stage(launches=0)
+
+
+class TestKernelProfile:
+    def test_params_in_stage_order(self):
+        p = KernelProfile(
+            kernel="x",
+            size_name="s",
+            stages=(
+                _stage(name="a", param_y="P0", param_x="P1"),
+                _stage(name="b", param_y="P2", param_x="P3"),
+            ),
+        )
+        assert p.params == ["P0", "P1", "P2", "P3"]
+
+    def test_shared_params_deduped(self):
+        p = KernelProfile(
+            kernel="x",
+            size_name="s",
+            stages=(_stage(name="a"), _stage(name="b")),
+        )
+        assert p.params == ["P0", "P1"]
+
+    def test_empty_stages_rejected(self):
+        with pytest.raises(SpaceError):
+            KernelProfile(kernel="x", size_name="s", stages=())
+
+    def test_candidates_must_cover_params(self):
+        with pytest.raises(SpaceError):
+            KernelProfile(
+                kernel="x",
+                size_name="s",
+                stages=(_stage(),),
+                param_candidates={"P0": (1, 2)},  # P1 missing
+            )
+
+    def test_candidates_lookup(self):
+        p = KernelProfile(
+            kernel="x",
+            size_name="s",
+            stages=(_stage(),),
+            param_candidates={"P0": (1, 2), "P1": (1, 5)},
+        )
+        assert p.candidates("P1") == (1, 5)
+        with pytest.raises(SpaceError):
+            p.candidates("P9")

@@ -1,0 +1,30 @@
+"""Tests for hardware specs."""
+
+from repro.swing import A100_SPEC, SWING_NODE, A100Spec
+
+
+class TestA100Spec:
+    def test_published_numbers(self):
+        assert A100_SPEC.sm_count == 108
+        assert A100_SPEC.fp64_flops == 9.7e12
+        assert A100_SPEC.hbm_bandwidth == 1.555e12
+        assert A100_SPEC.hbm_bytes == 40 * 1024**3
+
+    def test_peak_flops_by_width(self):
+        assert A100_SPEC.peak_flops(8) == A100_SPEC.fp64_flops
+        assert A100_SPEC.peak_flops(4) == A100_SPEC.fp32_flops
+
+    def test_swing_node_matches_paper(self):
+        # Paper §5: 8x A100 per node, 2x AMD EPYC 7742 (64 cores each), 1 TB.
+        assert SWING_NODE.gpus_per_node == 8
+        assert SWING_NODE.cpu_sockets == 2
+        assert SWING_NODE.cpu_cores_per_socket == 64
+        assert SWING_NODE.ddr_bytes == 1024**4
+
+    def test_frozen(self):
+        import dataclasses
+
+        import pytest
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            A100Spec().sm_count = 1

@@ -1,0 +1,192 @@
+"""Tests for the TE expression AST."""
+
+import pytest
+
+import repro.te as te
+from repro.common.errors import ReproError
+from repro.te.expr import (
+    Add,
+    Cast,
+    Div,
+    EQ,
+    FloatImm,
+    FloorDiv,
+    IntImm,
+    LT,
+    Mul,
+    Select,
+    Sub,
+    Var,
+    all_vars,
+    const,
+    max_value,
+    min_value,
+    post_order_visit,
+    structural_equal,
+    substitute,
+)
+
+
+class TestConst:
+    def test_int_default_dtype(self):
+        c = const(5)
+        assert isinstance(c, IntImm) and c.dtype == "int32" and c.value == 5
+
+    def test_float_default_dtype(self):
+        c = const(2.5)
+        assert isinstance(c, FloatImm) and c.dtype == "float32"
+
+    def test_bool_dtype(self):
+        assert const(True).dtype == "bool"
+
+    def test_explicit_dtype(self):
+        assert const(1, "float64").dtype == "float64"
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ReproError):
+            const(1, "complex128")
+
+    def test_min_max_value_float(self):
+        assert min_value("float32").value == float("-inf")
+        assert max_value("float64").value == float("inf")
+
+    def test_min_max_value_int(self):
+        assert min_value("int32").value == -(2**31)
+        assert max_value("int32").value == 2**31 - 1
+
+
+class TestOperatorOverloading:
+    def test_add_builds_node(self):
+        v = Var("x")
+        e = v + 1
+        assert isinstance(e, Add)
+        assert e.a is v and isinstance(e.b, IntImm)
+
+    def test_radd(self):
+        e = 1 + Var("x")
+        assert isinstance(e, Add) and isinstance(e.a, IntImm)
+
+    def test_sub_mul(self):
+        v = Var("x")
+        assert isinstance(v - 1, Sub)
+        assert isinstance(2 * v, Mul)
+
+    def test_truediv_promotes_to_float(self):
+        e = Var("x") / Var("y")
+        assert isinstance(e, Div)
+        assert e.dtype == "float32"
+
+    def test_floordiv_stays_int(self):
+        e = Var("x") // 2
+        assert isinstance(e, FloorDiv) and e.dtype == "int32"
+
+    def test_neg(self):
+        e = -Var("x")
+        assert isinstance(e, Sub)
+
+    def test_comparison_builds_node_not_bool(self):
+        e = Var("x") == Var("y")
+        assert isinstance(e, EQ) and e.dtype == "bool"
+
+    def test_lt_dtype_bool(self):
+        assert isinstance(Var("x") < 3, LT)
+
+    def test_bool_context_raises(self):
+        with pytest.raises(TypeError):
+            bool(Var("x") + 1)
+
+    def test_dtype_promotion(self):
+        e = const(1, "int32") + const(1.0, "float64")
+        assert e.dtype == "float64"
+
+    def test_float32_int_promotion(self):
+        e = const(1.0, "float32") * const(2, "int32")
+        assert e.dtype == "float32"
+
+
+class TestIntrinsics:
+    def test_sqrt(self):
+        c = te.sqrt(const(4.0))
+        assert c.op == "sqrt" and c.dtype == "float32"
+
+    def test_unknown_intrinsic_rejected(self):
+        from repro.te.expr import Call
+
+        with pytest.raises(ReproError):
+            Call("fma", (const(1.0),))
+
+    def test_if_then_else(self):
+        e = te.if_then_else(Var("x") < 1, 1.0, 2.0)
+        assert isinstance(e, Select)
+
+
+class TestVisitorsAndSubstitution:
+    def test_post_order_visits_children_first(self):
+        x, y = Var("x"), Var("y")
+        order = []
+        post_order_visit(x + y, lambda e: order.append(e))
+        assert order[0] is x and order[1] is y
+        assert isinstance(order[2], Add)
+
+    def test_all_vars_dedup(self):
+        x, y = Var("x"), Var("y")
+        vs = all_vars(x * y + x)
+        assert vs == [x, y]
+
+    def test_substitute_replaces(self):
+        x, y = Var("x"), Var("y")
+        e = substitute(x + 1, {x: y})
+        assert isinstance(e, Add) and e.a is y
+
+    def test_substitute_untouched_reuses_node(self):
+        x, y = Var("x"), Var("y")
+        e = x + 1
+        assert substitute(e, {y: x}) is e
+
+    def test_substitute_nested(self):
+        x, y = Var("x"), Var("y")
+        e = substitute((x + 1) * (x + 2), {x: y})
+        assert structural_equal(e, (y + 1) * (y + 2))
+
+    def test_substitute_producer_load(self, matmul):
+        A, _, _ = matmul
+        i, j = Var("i"), Var("j")
+        e = substitute(A[i, j], {i: const(0)})
+        assert isinstance(e.indices[0], IntImm)
+
+    def test_rebuild_with_leaf_rejects_children(self):
+        with pytest.raises(ReproError):
+            Var("x").rebuild_with((const(1),))
+
+
+class TestStructuralEqual:
+    def test_same_structure(self):
+        x = Var("x")
+        assert structural_equal(x + 1, x + 1)
+
+    def test_different_var_identity(self):
+        assert not structural_equal(Var("x") + 1, Var("x") + 1)
+
+    def test_different_op(self):
+        x = Var("x")
+        assert not structural_equal(x + 1, x - 1)
+
+    def test_different_const(self):
+        x = Var("x")
+        assert not structural_equal(x + 1, x + 2)
+
+    def test_cast(self):
+        x = Var("x")
+        assert structural_equal(Cast(x, "float64"), Cast(x, "float64"))
+        assert not structural_equal(Cast(x, "float64"), Cast(x, "float32"))
+
+    def test_tensor_loads(self, matmul):
+        A, B, _ = matmul
+        i, j = Var("i"), Var("j")
+        assert structural_equal(A[i, j], A[i, j])
+        assert not structural_equal(A[i, j], B[i, j])
+
+    def test_expr_hash_is_identity(self):
+        x = Var("x")
+        e1, e2 = x + 1, x + 1
+        assert hash(e1) != hash(e2) or e1 is e2

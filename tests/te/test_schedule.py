@@ -1,0 +1,249 @@
+"""Tests for schedule primitives (split/fuse/reorder/tile/annotations)."""
+
+import pytest
+
+import repro.te as te
+from repro.common.errors import ScheduleError
+from tests.conftest import make_matmul
+
+
+class TestCreateSchedule:
+    def test_single_op(self, matmul):
+        _, _, C = matmul
+        s = te.create_schedule(C.op)
+        assert len(s.stages) == 1
+        assert s[C].op is C.op
+
+    def test_multi_stage_topo_order(self):
+        A = te.placeholder((4, 4), name="A")
+        B = te.compute((4, 4), lambda i, j: A[i, j] + 1.0, name="B")
+        C = te.compute((4, 4), lambda i, j: B[i, j] * 2.0, name="C")
+        s = te.create_schedule(C.op)
+        assert [st.op.name for st in s.stages] == ["B", "C"]
+
+    def test_lookup_by_tensor_or_op(self, matmul):
+        _, _, C = matmul
+        s = te.create_schedule(C.op)
+        assert s[C] is s[C.op]
+
+    def test_unknown_op_rejected(self, matmul):
+        _, _, C = matmul
+        s = te.create_schedule(C.op)
+        _, _, other = make_matmul()
+        with pytest.raises(ScheduleError):
+            s[other]
+
+    def test_tensor_instead_of_op_rejected(self, matmul):
+        _, _, C = matmul
+        with pytest.raises(ScheduleError):
+            te.create_schedule(C)  # must pass C.op
+
+    def test_empty_rejected(self):
+        with pytest.raises(ScheduleError):
+            te.create_schedule([])
+
+
+class TestSplit:
+    def test_divisible_split(self, matmul):
+        _, _, C = matmul
+        s = te.create_schedule(C.op)
+        y = s[C].op.axis[0]  # extent 12
+        yo, yi = s[C].split(y, factor=4)
+        assert yo.extent == 3 and yi.extent == 4
+        assert [iv.name for iv in s[C].leaf_iter_vars[:2]] == ["i.outer", "i.inner"]
+
+    def test_non_divisible_split_ceils(self, matmul):
+        _, _, C = matmul
+        s = te.create_schedule(C.op)
+        yo, yi = s[C].split(s[C].op.axis[0], factor=5)  # 12/5
+        assert yo.extent == 3 and yi.extent == 5
+
+    def test_nparts(self, matmul):
+        _, _, C = matmul
+        s = te.create_schedule(C.op)
+        yo, yi = s[C].split(s[C].op.axis[0], nparts=3)
+        assert yo.extent == 3 and yi.extent == 4
+
+    def test_split_reduce_axis(self, matmul):
+        _, _, C = matmul
+        s = te.create_schedule(C.op)
+        k = s[C].op.reduce_axis[0]
+        ko, ki = s[C].split(k, factor=2)
+        assert ko.is_reduce() and ki.is_reduce()
+
+    def test_both_factor_and_nparts_rejected(self, matmul):
+        _, _, C = matmul
+        s = te.create_schedule(C.op)
+        with pytest.raises(ScheduleError):
+            s[C].split(s[C].op.axis[0], factor=2, nparts=2)
+
+    def test_neither_rejected(self, matmul):
+        _, _, C = matmul
+        s = te.create_schedule(C.op)
+        with pytest.raises(ScheduleError):
+            s[C].split(s[C].op.axis[0])
+
+    def test_bad_factor_rejected(self, matmul):
+        _, _, C = matmul
+        s = te.create_schedule(C.op)
+        with pytest.raises(ScheduleError):
+            s[C].split(s[C].op.axis[0], factor=0)
+
+    def test_resplit_consumed_axis_rejected(self, matmul):
+        _, _, C = matmul
+        s = te.create_schedule(C.op)
+        y = s[C].op.axis[0]
+        s[C].split(y, factor=4)
+        with pytest.raises(ScheduleError):
+            s[C].split(y, factor=2)  # y is no longer a leaf
+
+    def test_chained_split(self, matmul):
+        _, _, C = matmul
+        s = te.create_schedule(C.op)
+        yo, yi = s[C].split(s[C].op.axis[0], factor=6)
+        yio, yii = s[C].split(yi, factor=2)
+        assert yio.extent == 3 and yii.extent == 2
+        assert len(s[C].leaf_iter_vars) == 5  # yo,yio,yii,x,k
+
+
+class TestFuse:
+    def test_fuse_adjacent(self, matmul):
+        _, _, C = matmul
+        s = te.create_schedule(C.op)
+        y, x = s[C].op.axis
+        fused = s[C].fuse(y, x)
+        assert fused.extent == 120
+        assert s[C].leaf_iter_vars[0] is fused
+
+    def test_fuse_non_adjacent_rejected(self, matmul):
+        _, _, C = matmul
+        s = te.create_schedule(C.op)
+        y, x = s[C].op.axis
+        k = s[C].op.reduce_axis[0]
+        with pytest.raises(ScheduleError):
+            s[C].fuse(y, k)  # x sits in between
+
+    def test_fuse_wrong_order_rejected(self, matmul):
+        _, _, C = matmul
+        s = te.create_schedule(C.op)
+        y, x = s[C].op.axis
+        with pytest.raises(ScheduleError):
+            s[C].fuse(x, y)
+
+    def test_fuse_mixed_kinds_rejected(self, matmul):
+        _, _, C = matmul
+        s = te.create_schedule(C.op)
+        x = s[C].op.axis[1]
+        k = s[C].op.reduce_axis[0]
+        with pytest.raises(ScheduleError):
+            s[C].fuse(x, k)
+
+
+class TestReorder:
+    def test_paper_reorder(self, matmul):
+        _, _, C = matmul
+        s = te.create_schedule(C.op)
+        y, x = s[C].op.axis
+        k = s[C].op.reduce_axis[0]
+        yo, yi = s[C].split(y, 4)
+        xo, xi = s[C].split(x, 5)
+        s[C].reorder(yo, xo, k, yi, xi)
+        assert s[C].leaf_iter_vars == [yo, xo, k, yi, xi]
+
+    def test_partial_reorder_keeps_others(self, matmul):
+        _, _, C = matmul
+        s = te.create_schedule(C.op)
+        y, x = s[C].op.axis
+        k = s[C].op.reduce_axis[0]
+        s[C].reorder(x, y)  # swap first two slots, k untouched
+        assert s[C].leaf_iter_vars == [x, y, k]
+
+    def test_duplicate_rejected(self, matmul):
+        _, _, C = matmul
+        s = te.create_schedule(C.op)
+        y = s[C].op.axis[0]
+        with pytest.raises(ScheduleError):
+            s[C].reorder(y, y)
+
+    def test_non_leaf_rejected(self, matmul):
+        _, _, C = matmul
+        s = te.create_schedule(C.op)
+        y = s[C].op.axis[0]
+        s[C].split(y, 4)
+        with pytest.raises(ScheduleError):
+            s[C].reorder(y)
+
+
+class TestTile:
+    def test_tile_shape(self, matmul):
+        _, _, C = matmul
+        s = te.create_schedule(C.op)
+        y, x = s[C].op.axis
+        xo, yo, xi, yi = s[C].tile(x, y, x_factor=5, y_factor=4)
+        assert [iv.name for iv in s[C].leaf_iter_vars[:4]] == [
+            "j.outer", "i.outer", "j.inner", "i.inner",
+        ]
+
+
+class TestAnnotations:
+    def test_unroll_vectorize_parallel(self, matmul):
+        _, _, C = matmul
+        s = te.create_schedule(C.op)
+        y, x = s[C].op.axis
+        yo, yi = s[C].split(y, 4)
+        s[C].parallel(yo)
+        s[C].unroll(yi)
+        s[C].vectorize(x)
+        assert s[C].iter_var_attrs[yo] == "parallel"
+        assert s[C].iter_var_attrs[yi] == "unroll"
+        assert s[C].iter_var_attrs[x] == "vectorize"
+
+    def test_double_annotation_rejected(self, matmul):
+        _, _, C = matmul
+        s = te.create_schedule(C.op)
+        x = s[C].op.axis[1]
+        s[C].vectorize(x)
+        with pytest.raises(ScheduleError):
+            s[C].unroll(x)
+
+    def test_vectorize_reduce_rejected(self, matmul):
+        _, _, C = matmul
+        s = te.create_schedule(C.op)
+        with pytest.raises(ScheduleError):
+            s[C].vectorize(s[C].op.reduce_axis[0])
+
+    def test_parallel_reduce_rejected(self, matmul):
+        _, _, C = matmul
+        s = te.create_schedule(C.op)
+        with pytest.raises(ScheduleError):
+            s[C].parallel(s[C].op.reduce_axis[0])
+
+    def test_annotated_axis_cannot_split(self, matmul):
+        _, _, C = matmul
+        s = te.create_schedule(C.op)
+        y = s[C].op.axis[0]
+        s[C].unroll(y)
+        with pytest.raises(ScheduleError):
+            s[C].split(y, factor=2)
+
+    def test_bind_thread_axis(self, matmul):
+        _, _, C = matmul
+        s = te.create_schedule(C.op)
+        y = s[C].op.axis[0]
+        bx = te.thread_axis(tag="blockIdx.x")
+        s[C].bind(y, bx)
+        assert s[C].binds[y] is bx
+
+    def test_bind_to_non_thread_rejected(self, matmul):
+        _, _, C = matmul
+        s = te.create_schedule(C.op)
+        y, x = s[C].op.axis
+        with pytest.raises(ScheduleError):
+            s[C].bind(y, x)
+
+    def test_pragma_recorded(self, matmul):
+        _, _, C = matmul
+        s = te.create_schedule(C.op)
+        y = s[C].op.axis[0]
+        s[C].pragma(y, "auto_unroll_max_step", 16)
+        assert s[C].pragmas[y]["auto_unroll_max_step"] == 16

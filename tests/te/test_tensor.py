@@ -1,0 +1,134 @@
+"""Tests for tensors and operations (placeholder/compute/reduce_axis)."""
+
+import pytest
+
+import repro.te as te
+from repro.common.errors import ReproError
+from repro.te.expr import ProducerLoad, Reduce
+from repro.te.tensor import ComputeOp, IterVar, PlaceholderOp, Range
+
+
+class TestRange:
+    def test_positive_extent(self):
+        r = Range(0, 5)
+        assert r.min == 0 and r.extent == 5
+
+    def test_zero_extent_rejected(self):
+        with pytest.raises(ReproError):
+            Range(0, 0)
+
+    def test_equality(self):
+        assert Range(0, 4) == Range(0, 4)
+        assert Range(0, 4) != Range(1, 4)
+
+
+class TestPlaceholder:
+    def test_basic(self):
+        A = te.placeholder((3, 4), name="A")
+        assert A.shape == (3, 4)
+        assert A.dtype == "float32"
+        assert isinstance(A.op, PlaceholderOp)
+
+    def test_dtype(self):
+        assert te.placeholder((2,), dtype="float64").dtype == "float64"
+
+    def test_invalid_dtype(self):
+        with pytest.raises(ReproError):
+            te.placeholder((2,), dtype="complex64")
+
+    def test_nonpositive_dim_rejected(self):
+        with pytest.raises(ReproError):
+            te.placeholder((3, 0))
+
+    def test_indexing_builds_load(self):
+        A = te.placeholder((3, 4), name="A")
+        load = A[1, 2]
+        assert isinstance(load, ProducerLoad)
+        assert load.tensor is A
+
+    def test_wrong_arity_indexing(self):
+        A = te.placeholder((3, 4))
+        with pytest.raises(ReproError):
+            A[1]
+
+    def test_invalid_index_type(self):
+        A = te.placeholder((3,))
+        with pytest.raises(ReproError):
+            A["x"]
+
+
+class TestReduceAxis:
+    def test_domain(self):
+        k = te.reduce_axis((2, 10), name="k")
+        assert k.dom.min == 2 and k.extent == 8
+        assert k.is_reduce()
+
+    def test_thread_axis(self):
+        t = te.thread_axis(32, "threadIdx.x")
+        assert t.kind == "thread" and t.thread_tag == "threadIdx.x"
+
+    def test_thread_axis_requires_tag(self):
+        with pytest.raises(ReproError):
+            te.thread_axis(32, "")
+
+
+class TestCompute:
+    def test_elementwise(self):
+        A = te.placeholder((4, 5), name="A")
+        B = te.compute((4, 5), lambda i, j: A[i, j] * 2.0, name="B")
+        assert B.shape == (4, 5)
+        assert isinstance(B.op, ComputeOp)
+        assert len(B.op.axis) == 2
+        assert B.op.reduce_axis == ()
+
+    def test_axis_names_from_lambda(self):
+        C = te.compute((2, 3), lambda row, col: row + col, name="C")
+        assert [iv.name for iv in C.op.axis] == ["row", "col"]
+
+    def test_reduction(self, matmul):
+        _, _, C = matmul
+        assert isinstance(C.op.body, Reduce)
+        assert len(C.op.reduce_axis) == 1
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            te.compute((2, 3), lambda i: i)
+
+    def test_scalar_body_wrapped(self):
+        C = te.compute((2,), lambda i: 1.0, name="ones")
+        assert C.dtype == "float32"
+
+    def test_nested_reduce_rejected(self):
+        A = te.placeholder((4, 4))
+        k1 = te.reduce_axis((0, 4), "k1")
+        k2 = te.reduce_axis((0, 4), "k2")
+        with pytest.raises(ReproError):
+            te.compute(
+                (4,),
+                lambda i: te.sum(te.sum(A[i, k1], axis=k1) * 1.0, axis=k2),
+            )
+
+    def test_sum_requires_reduce_axis(self):
+        A = te.placeholder((4,))
+        data_iv = IterVar(Range(0, 4), te.Var("i"), "data_par")
+        with pytest.raises(ReproError):
+            te.sum(A[data_iv.var], axis=data_iv)
+
+    def test_multi_axis_reduction(self):
+        A = te.placeholder((3, 4, 5), name="A")
+        k1 = te.reduce_axis((0, 4), "k1")
+        k2 = te.reduce_axis((0, 5), "k2")
+        C = te.compute((3,), lambda i: te.sum(A[i, k1, k2], axis=[k1, k2]))
+        assert len(C.op.reduce_axis) == 2
+
+    def test_input_tensors(self, matmul):
+        A, B, C = matmul
+        inputs = C.op.input_tensors()
+        assert set(id(t) for t in inputs) == {id(A), id(B)}
+
+    def test_max_min_reduce_identities(self):
+        A = te.placeholder((4,), dtype="float64")
+        k = te.reduce_axis((0, 4), "k")
+        assert te.max_reduce(A[k], k).identity.value == float("-inf")
+        k2 = te.reduce_axis((0, 4), "k2")
+        assert te.min_reduce(A[k2], k2).identity.value == float("inf")

@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_lists_benchmarks_and_tuners(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "228,614,400" in out
+        assert "ytopt" in out and "AutoTVM-GridSearch" in out
+
+
+class TestTable1:
+    def test_all_match(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("match") == 6
+        assert "MISMATCH" not in out
+
+
+class TestTune:
+    def test_basic_run(self, capsys):
+        rc = main(
+            ["tune", "--kernel", "lu", "--size", "large", "--tuner", "ytopt",
+             "--max-evals", "8", "--seed", "0"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "best" in out and "lu-large" in out
+
+    def test_csv_output(self, tmp_path, capsys):
+        csv = tmp_path / "traj.csv"
+        rc = main(
+            ["tune", "--kernel", "cholesky", "--size", "large",
+             "--max-evals", "5", "--csv", str(csv)]
+        )
+        assert rc == 0
+        lines = csv.read_text().strip().splitlines()
+        assert lines[0] == "eval,elapsed_s,runtime_s"
+        assert len(lines) == 6
+
+    def test_xgb_cap_flag(self, capsys):
+        rc = main(
+            ["tune", "--kernel", "cholesky", "--size", "large",
+             "--tuner", "AutoTVM-XGB", "--max-evals", "60", "--no-xgb-cap"]
+        )
+        assert rc == 0
+        assert "60 evals" in capsys.readouterr().out
+
+    def test_bad_kernel_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["tune", "--kernel", "fft", "--size", "large"])
+
+
+class TestExperiment:
+    def test_runs_named_experiment(self, capsys, tmp_path):
+        csv = tmp_path / "exp.csv"
+        rc = main(["experiment", "lu-large", "--evals", "6", "--csv", str(csv)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figures 4-5" in out
+        assert "Minimum runtimes" in out
+        assert csv.read_text().startswith("tuner,eval,elapsed_s,runtime_s")
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestAblation:
+    def test_kappa(self, capsys):
+        assert main(["ablation", "kappa", "--evals", "8"]) == 0
+        assert "kappa=" in capsys.readouterr().out
+
+    def test_measure(self, capsys):
+        assert main(["ablation", "measure", "--evals", "8"]) == 0
+        assert "n_parallel" in capsys.readouterr().out
+
+
+class TestAutoschedule:
+    def test_runs_on_3mm(self, capsys):
+        rc = main(["autoschedule", "--kernel", "3mm", "--size", "large",
+                   "--trials", "10"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sketch parameters" in out
+        assert "E.y" in out and "G.x" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,123 @@
+"""Tests for compute_inline (inlining elementwise stages into consumers)."""
+
+import numpy as np
+import pytest
+
+import repro.te as te
+from repro.common.errors import LoweringError, ScheduleError
+from repro.runtime import build
+from repro.tir import lower, simplify_func
+from repro.tir.stmt import Allocate, visit_stmt
+
+
+def _scaled_matmul(n=8, m=8, k=8):
+    """B = A*2 (elementwise, inlinable); C = B @ W."""
+    A = te.placeholder((n, k), name="A")
+    W = te.placeholder((k, m), name="W")
+    B = te.compute((n, k), lambda i, j: A[i, j] * 2.0, name="B")
+    kk = te.reduce_axis((0, k), name="kk")
+    C = te.compute(
+        (n, m), lambda i, j: te.sum(B[i, kk] * W[kk, j], axis=kk), name="C"
+    )
+    return A, W, B, C
+
+
+def _count_allocs(func):
+    out = []
+    visit_stmt(func.body, lambda s: out.append(s) if isinstance(s, Allocate) else None)
+    return len(out)
+
+
+class TestComputeInline:
+    def test_inline_removes_intermediate_buffer(self):
+        A, W, B, C = _scaled_matmul()
+        s = te.create_schedule(C.op)
+        func_with = simplify_func(lower(s, [A, W, C]))
+        assert _count_allocs(func_with) == 1  # B materialized
+
+        s2 = te.create_schedule(C.op)
+        s2[B].compute_inline()
+        func_inline = simplify_func(lower(s2, [A, W, C]))
+        assert _count_allocs(func_inline) == 0  # B folded into C
+
+    def test_inline_preserves_semantics(self, rng):
+        A, W, B, C = _scaled_matmul()
+        a = rng.random((8, 8)).astype("float32")
+        w = rng.random((8, 8)).astype("float32")
+
+        s = te.create_schedule(C.op)
+        c_ref = np.zeros((8, 8), dtype="float32")
+        build(s, [A, W, C])(a, w, c_ref)
+
+        A2, W2, B2, C2 = _scaled_matmul()
+        s2 = te.create_schedule(C2.op)
+        s2[B2].compute_inline()
+        c_inl = np.zeros((8, 8), dtype="float32")
+        build(s2, [A2, W2, C2])(a, w, c_inl)
+        np.testing.assert_allclose(c_inl, c_ref, rtol=1e-6)
+        np.testing.assert_allclose(c_inl, (2 * a) @ w, rtol=1e-5)
+
+    def test_inline_chain(self, rng):
+        # A -> B (=A+1) -> C (=B*3) -> D (sum); inline both B and C.
+        A = te.placeholder((6, 4), name="A")
+        B = te.compute((6, 4), lambda i, j: A[i, j] + 1.0, name="B")
+        C = te.compute((6, 4), lambda i, j: B[i, j] * 3.0, name="C")
+        k = te.reduce_axis((0, 4), name="k")
+        D = te.compute((6,), lambda i: te.sum(C[i, k], axis=k), name="D")
+        s = te.create_schedule(D.op)
+        s[B].compute_inline()
+        s[C].compute_inline()
+        func = simplify_func(lower(s, [A, D]))
+        assert _count_allocs(func) == 0
+        a = rng.random((6, 4)).astype("float32")
+        d = np.zeros(6, dtype="float32")
+        build(s, [A, D])(a, d)
+        np.testing.assert_allclose(d, ((a + 1) * 3).sum(axis=1), rtol=1e-5)
+
+    def test_inline_with_index_remapping(self, rng):
+        # The inlined stage is read transposed: axis substitution must remap.
+        A = te.placeholder((5, 7), name="A")
+        B = te.compute((5, 7), lambda i, j: A[i, j] * 2.0, name="B")
+        C = te.compute((7, 5), lambda i, j: B[j, i] + 1.0, name="C")
+        s = te.create_schedule(C.op)
+        s[B].compute_inline()
+        a = rng.random((5, 7)).astype("float32")
+        c = np.zeros((7, 5), dtype="float32")
+        build(s, [A, C])(a, c)
+        np.testing.assert_allclose(c, (a * 2).T + 1, rtol=1e-6)
+
+    def test_inline_into_tiled_consumer(self, rng):
+        A, W, B, C = _scaled_matmul(8, 10, 6)
+        s = te.create_schedule(C.op)
+        s[B].compute_inline()
+        y, x = s[C].op.axis
+        kk = s[C].op.reduce_axis[0]
+        yo, yi = s[C].split(y, 4)
+        xo, xi = s[C].split(x, 5)
+        s[C].reorder(yo, xo, kk, yi, xi)
+        s[C].vectorize(xi)
+        a = rng.random((8, 6)).astype("float32")
+        w = rng.random((6, 10)).astype("float32")
+        c = np.zeros((8, 10), dtype="float32")
+        build(s, [A, W, C])(a, w, c)
+        np.testing.assert_allclose(c, (2 * a) @ w, rtol=1e-5)
+
+    def test_cannot_inline_reduction(self):
+        _, _, _, C = _scaled_matmul()
+        s = te.create_schedule(C.op)
+        with pytest.raises(ScheduleError):
+            s[C].compute_inline()
+
+    def test_cannot_inline_transformed_stage(self):
+        A, W, B, C = _scaled_matmul()
+        s = te.create_schedule(C.op)
+        s[B].split(s[B].op.axis[0], 2)
+        with pytest.raises(ScheduleError):
+            s[B].compute_inline()
+
+    def test_cannot_inline_function_output(self):
+        A, W, B, C = _scaled_matmul()
+        s = te.create_schedule(C.op)
+        s[B].compute_inline()
+        with pytest.raises(LoweringError):
+            lower(s, [A, W, B, C])  # B is a parameter but inlined

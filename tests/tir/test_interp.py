@@ -1,0 +1,103 @@
+"""Tests for the reference TIR interpreter."""
+
+import numpy as np
+import pytest
+
+import repro.te as te
+from repro.common.errors import ExecutionError
+from repro.tir import lower
+from repro.tir.interp import TIRInterpreter
+
+
+def _run(sched, args, *arrays):
+    TIRInterpreter(lower(sched, list(args)))(*arrays)
+
+
+class TestInterpreterExecution:
+    def test_elementwise(self, rng):
+        A = te.placeholder((4, 5), name="A")
+        B = te.compute((4, 5), lambda i, j: A[i, j] * 2.0 + 1.0, name="B")
+        a = rng.random((4, 5)).astype("float32")
+        b = np.zeros((4, 5), dtype="float32")
+        _run(te.create_schedule(B.op), [A, B], a, b)
+        np.testing.assert_allclose(b, a * 2 + 1, rtol=1e-6)
+
+    def test_matmul(self, matmul, rng):
+        A, B, C = matmul
+        a = rng.random((12, 8)).astype("float32")
+        b = rng.random((8, 10)).astype("float32")
+        c = np.zeros((12, 10), dtype="float32")
+        _run(te.create_schedule(C.op), [A, B, C], a, b, c)
+        np.testing.assert_allclose(c, a @ b, rtol=1e-5)
+
+    def test_max_reduction(self, rng):
+        A = te.placeholder((6, 7), name="A", dtype="float64")
+        k = te.reduce_axis((0, 7), "k")
+        M = te.compute((6,), lambda i: te.max_reduce(A[i, k], k), name="M")
+        a = rng.random((6, 7))
+        m = np.zeros(6)
+        _run(te.create_schedule(M.op), [A, M], a, m)
+        np.testing.assert_allclose(m, a.max(axis=1))
+
+    def test_min_reduction(self, rng):
+        A = te.placeholder((5, 4), name="A", dtype="float64")
+        k = te.reduce_axis((0, 4), "k")
+        M = te.compute((5,), lambda i: te.min_reduce(A[i, k], k), name="M")
+        a = rng.random((5, 4))
+        m = np.zeros(5)
+        _run(te.create_schedule(M.op), [A, M], a, m)
+        np.testing.assert_allclose(m, a.min(axis=1))
+
+    def test_sqrt_intrinsic(self, rng):
+        A = te.placeholder((8,), name="A", dtype="float64")
+        B = te.compute((8,), lambda i: te.sqrt(A[i]), name="B")
+        a = rng.random(8) + 0.5
+        b = np.zeros(8)
+        _run(te.create_schedule(B.op), [A, B], a, b)
+        np.testing.assert_allclose(b, np.sqrt(a))
+
+    def test_select(self, rng):
+        A = te.placeholder((9,), name="A", dtype="float64")
+        B = te.compute(
+            (9,), lambda i: te.if_then_else(A[i] > 0.5, A[i], 0.0), name="B"
+        )
+        a = rng.random(9)
+        b = np.zeros(9)
+        _run(te.create_schedule(B.op), [A, B], a, b)
+        np.testing.assert_allclose(b, np.where(a > 0.5, a, 0.0))
+
+    def test_transposed_access(self, rng):
+        A = te.placeholder((4, 6), name="A", dtype="float64")
+        B = te.compute((6, 4), lambda i, j: A[j, i], name="B")
+        a = rng.random((4, 6))
+        b = np.zeros((6, 4))
+        _run(te.create_schedule(B.op), [A, B], a, b)
+        np.testing.assert_allclose(b, a.T)
+
+
+class TestInterpreterErrors:
+    def test_wrong_arg_count(self, matmul):
+        A, B, C = matmul
+        interp = TIRInterpreter(lower(te.create_schedule(C.op), [A, B, C]))
+        with pytest.raises(ExecutionError):
+            interp(np.zeros((12, 8), dtype="float32"))
+
+    def test_wrong_shape(self, matmul):
+        A, B, C = matmul
+        interp = TIRInterpreter(lower(te.create_schedule(C.op), [A, B, C]))
+        with pytest.raises(ExecutionError):
+            interp(
+                np.zeros((3, 3), dtype="float32"),
+                np.zeros((8, 10), dtype="float32"),
+                np.zeros((12, 10), dtype="float32"),
+            )
+
+    def test_wrong_dtype(self, matmul):
+        A, B, C = matmul
+        interp = TIRInterpreter(lower(te.create_schedule(C.op), [A, B, C]))
+        with pytest.raises(ExecutionError):
+            interp(
+                np.zeros((12, 8), dtype="float64"),
+                np.zeros((8, 10), dtype="float32"),
+                np.zeros((12, 10), dtype="float32"),
+            )

@@ -1,0 +1,167 @@
+"""Tests for schedule -> TIR lowering."""
+
+import pytest
+
+import repro.te as te
+from repro.common.errors import LoweringError
+from repro.tir import For, IfThenElse, SeqStmt, count_loops, lower, simplify_func
+from repro.tir.stmt import Allocate, BufferStore
+from tests.conftest import make_matmul
+
+
+def _loops_in_order(stmt):
+    out = []
+    from repro.tir.stmt import visit_stmt
+
+    visit_stmt(stmt, lambda s: out.append(s) if isinstance(s, For) else None)
+    return out
+
+
+class TestBasicLowering:
+    def test_elementwise_loop_order(self):
+        A = te.placeholder((4, 6), name="A")
+        B = te.compute((4, 6), lambda i, j: A[i, j] + 1.0, name="B")
+        s = te.create_schedule(B.op)
+        func = lower(s, [A, B])
+        loops = _loops_in_order(func.body)
+        assert [l.loop_var.name for l in loops] == ["i", "j"]
+        assert [int(l.extent.value) for l in loops] == [4, 6]
+
+    def test_param_order_preserved(self, matmul):
+        A, B, C = matmul
+        func = lower(te.create_schedule(C.op), [A, B, C])
+        assert [b.name for b in func.params] == ["A", "B", "C"]
+
+    def test_reduction_has_init_and_update(self, matmul):
+        A, B, C = matmul
+        func = lower(te.create_schedule(C.op), [A, B, C])
+        stores = []
+        from repro.tir.stmt import visit_stmt
+
+        visit_stmt(
+            func.body, lambda s: stores.append(s) if isinstance(s, BufferStore) else None
+        )
+        assert len(stores) == 2  # init + update
+
+    def test_missing_placeholder_rejected(self, matmul):
+        A, B, C = matmul
+        with pytest.raises(LoweringError):
+            lower(te.create_schedule(C.op), [A, C])  # B missing
+
+    def test_duplicate_arg_rejected(self, matmul):
+        A, B, C = matmul
+        with pytest.raises(LoweringError):
+            lower(te.create_schedule(C.op), [A, A, B, C])
+
+    def test_intermediate_allocated(self):
+        A = te.placeholder((4, 4), name="A")
+        B = te.compute((4, 4), lambda i, j: A[i, j] + 1.0, name="B")
+        C = te.compute((4, 4), lambda i, j: B[i, j] * 2.0, name="C")
+        func = lower(te.create_schedule(C.op), [A, C])
+        assert isinstance(func.body, Allocate)
+        assert func.body.buffer.name == "B"
+
+    def test_buffer_name_collision_resolved(self):
+        A1 = te.placeholder((2,), name="X")
+        A2 = te.placeholder((2,), name="X")
+        B = te.compute((2,), lambda i: A1[i] + A2[i], name="B")
+        func = lower(te.create_schedule(B.op), [A1, A2, B])
+        names = [b.name for b in func.params]
+        assert len(set(names)) == 3
+
+
+class TestSplitLowering:
+    def test_paper_reorder_loop_structure(self, matmul):
+        A, B, C = matmul
+        s = te.create_schedule(C.op)
+        y, x = s[C].op.axis
+        k = s[C].op.reduce_axis[0]
+        yo, yi = s[C].split(y, 4)
+        xo, xi = s[C].split(x, 5)
+        s[C].reorder(yo, xo, k, yi, xi)
+        func = lower(s, [A, B, C])
+        names = [l.loop_var.name for l in _loops_in_order(func.body)]
+        # outer loops, then the init nest (yi, xi), then update nest (k, yi, xi)
+        assert names == ["i.outer", "j.outer", "i.inner", "j.inner", "k", "i.inner", "j.inner"]
+
+    def test_divisible_split_has_no_guard(self, matmul):
+        A, B, C = matmul
+        s = te.create_schedule(C.op)
+        s[C].split(s[C].op.axis[0], factor=4)  # 12 % 4 == 0
+        func = simplify_func(lower(s, [A, B, C]))
+        guards = []
+        from repro.tir.stmt import visit_stmt
+
+        visit_stmt(
+            func.body,
+            lambda st: guards.append(st) if isinstance(st, IfThenElse) else None,
+        )
+        assert not guards
+
+    def test_non_divisible_split_guarded(self, matmul):
+        A, B, C = matmul
+        s = te.create_schedule(C.op)
+        s[C].split(s[C].op.axis[0], factor=5)  # ceil(12/5)*5 > 12
+        func = lower(s, [A, B, C])
+        guards = []
+        from repro.tir.stmt import visit_stmt
+
+        visit_stmt(
+            func.body,
+            lambda st: guards.append(st) if isinstance(st, IfThenElse) else None,
+        )
+        assert guards
+
+    def test_fuse_lowering_extent(self, matmul):
+        A, B, C = matmul
+        s = te.create_schedule(C.op)
+        fused = s[C].fuse(*s[C].op.axis)
+        func = lower(s, [A, B, C])
+        loops = _loops_in_order(func.body)
+        assert int(loops[0].extent.value) == 120
+
+
+class TestAnnotationsLowering:
+    def test_kinds_propagate(self, matmul):
+        A, B, C = matmul
+        s = te.create_schedule(C.op)
+        y, x = s[C].op.axis
+        yo, yi = s[C].split(y, 4)
+        s[C].parallel(yo)
+        s[C].vectorize(x)
+        func = lower(s, [A, B, C])
+        counts = count_loops(func.body)
+        assert counts.get("parallel") == 1
+        assert counts.get("vectorized", 0) >= 1
+
+    def test_vectorize_non_innermost_rejected(self, matmul):
+        A, B, C = matmul
+        s = te.create_schedule(C.op)
+        y, x = s[C].op.axis
+        s[C].vectorize(y)  # y is outer; x and k are inside
+        with pytest.raises(LoweringError):
+            lower(s, [A, B, C])
+
+    def test_thread_binding_tag(self, matmul):
+        A, B, C = matmul
+        s = te.create_schedule(C.op)
+        s[C].bind(s[C].op.axis[0], te.thread_axis(tag="blockIdx.x"))
+        func = lower(s, [A, B, C])
+        loops = _loops_in_order(func.body)
+        assert loops[0].kind == "thread_binding"
+        assert loops[0].thread_tag == "blockIdx.x"
+
+
+class TestMultiStage:
+    def test_three_stage_3mm_structure(self):
+        from repro.kernels import problem_size, threemm_tuned
+
+        size = problem_size("3mm", "mini")
+        sched, args = threemm_tuned(
+            size, {"P0": 4, "P1": 5, "P2": 4, "P3": 6, "P4": 8, "P5": 4}
+        )
+        func = lower(sched, args)
+        # E and F are intermediates -> two Allocates wrap the body.
+        assert isinstance(func.body, Allocate)
+        assert isinstance(func.body.body, Allocate)
+        assert func.attrs["num_stages"] == 3

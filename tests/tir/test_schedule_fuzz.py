@@ -1,0 +1,89 @@
+"""Schedule fuzzing: random legal transformation sequences stay correct.
+
+Hypothesis drives a random sequence of schedule actions (split / fuse /
+reorder / unroll / vectorize / parallel) on a matmul stage; whatever nest
+results, the built module must still compute A @ B. This explores corners of
+lowering (guard placement, init-nest positioning, annotation interactions)
+no hand-written test enumerates.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+import repro.te as te
+from repro.common.errors import LoweringError, ScheduleError
+from repro.runtime import build
+from tests.conftest import make_matmul
+
+N, M, K = 12, 10, 8
+
+
+def _apply_random_actions(s, stage, data) -> None:
+    """Apply up to 5 random legal actions; illegal draws are skipped."""
+    n_actions = data.draw(st.integers(0, 5), label="n_actions")
+    for step in range(n_actions):
+        leaves = list(stage.leaf_iter_vars)
+        action = data.draw(
+            st.sampled_from(["split", "fuse", "reorder", "annotate"]),
+            label=f"action{step}",
+        )
+        try:
+            if action == "split":
+                iv = data.draw(st.sampled_from(leaves), label=f"axis{step}")
+                factor = data.draw(st.integers(1, 7), label=f"factor{step}")
+                stage.split(iv, factor=factor)
+            elif action == "fuse" and len(leaves) >= 2:
+                i = data.draw(st.integers(0, len(leaves) - 2), label=f"fuse_at{step}")
+                stage.fuse(leaves[i], leaves[i + 1])
+            elif action == "reorder":
+                perm = data.draw(st.permutations(leaves), label=f"perm{step}")
+                stage.reorder(*perm)
+            elif action == "annotate":
+                iv = data.draw(st.sampled_from(leaves), label=f"ann_axis{step}")
+                kind = data.draw(
+                    st.sampled_from(["unroll", "parallel"]), label=f"ann{step}"
+                )
+                getattr(stage, kind)(iv)
+        except ScheduleError:
+            continue  # illegal draw for the current state: skip the action
+
+
+class TestScheduleFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data(), seed=st.integers(0, 10_000))
+    def test_random_schedules_compute_matmul(self, data, seed):
+        A, B, C = make_matmul(N, M, K)
+        s = te.create_schedule(C.op)
+        _apply_random_actions(s, s[C], data)
+        try:
+            mod = build(s, [A, B, C])
+        except LoweringError:
+            # e.g. a parallel/unroll annotation stranded non-innermost after
+            # later actions; rejecting is correct behaviour, not a bug.
+            return
+        rng = np.random.default_rng(seed)
+        a = rng.random((N, K)).astype("float32")
+        b = rng.random((K, M)).astype("float32")
+        c = np.zeros((N, M), dtype="float32")
+        mod(a, b, c)
+        np.testing.assert_allclose(c, a @ b, rtol=1e-4, atol=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_random_schedules_interp_codegen_agree(self, data):
+        A, B, C = make_matmul(N, M, K)
+        s = te.create_schedule(C.op)
+        _apply_random_actions(s, s[C], data)
+        try:
+            mod_cg = build(s, [A, B, C], target="llvm")
+            mod_in = build(s, [A, B, C], target="interp")
+        except LoweringError:
+            return
+        rng = np.random.default_rng(0)
+        a = rng.random((N, K)).astype("float32")
+        b = rng.random((K, M)).astype("float32")
+        c1 = np.zeros((N, M), dtype="float32")
+        c2 = np.zeros((N, M), dtype="float32")
+        mod_cg(a, b, c1)
+        mod_in(a, b, c2)
+        np.testing.assert_allclose(c1, c2, rtol=1e-6)

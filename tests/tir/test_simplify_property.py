@@ -1,0 +1,95 @@
+"""Property: simplification preserves expression values.
+
+Random integer expression trees over a few variables are evaluated with random
+environments before and after ``simplify_expr`` — the results must be
+identical. This fuzzes the constant-folding/identity rules far beyond the
+hand-written cases.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.te.expr import (
+    Add,
+    Expr,
+    FloorDiv,
+    FloorMod,
+    IntImm,
+    Max,
+    Min,
+    Mul,
+    Sub,
+    Var,
+    const,
+)
+from repro.tir.transform import simplify_expr
+
+_VARS = [Var("a"), Var("b"), Var("c")]
+
+
+def _eval(expr: Expr, env: dict) -> int:
+    if isinstance(expr, Var):
+        return env[expr.name]
+    if isinstance(expr, IntImm):
+        return expr.value
+    if isinstance(expr, Add):
+        return _eval(expr.a, env) + _eval(expr.b, env)
+    if isinstance(expr, Sub):
+        return _eval(expr.a, env) - _eval(expr.b, env)
+    if isinstance(expr, Mul):
+        return _eval(expr.a, env) * _eval(expr.b, env)
+    if isinstance(expr, FloorDiv):
+        return _eval(expr.a, env) // _eval(expr.b, env)
+    if isinstance(expr, FloorMod):
+        return _eval(expr.a, env) % _eval(expr.b, env)
+    if isinstance(expr, Min):
+        return min(_eval(expr.a, env), _eval(expr.b, env))
+    if isinstance(expr, Max):
+        return max(_eval(expr.a, env), _eval(expr.b, env))
+    raise AssertionError(f"unhandled {type(expr).__name__}")
+
+
+def _expr_strategy() -> st.SearchStrategy:
+    leaves = st.one_of(
+        st.sampled_from(_VARS),
+        st.integers(min_value=0, max_value=12).map(lambda v: const(v, "int32")),
+    )
+
+    def extend(children):
+        binary = st.sampled_from([Add, Sub, Mul, Min, Max])
+        # Division/modulo get positive constant denominators only (matching
+        # how lowering uses them), to keep semantics total.
+        posdenom = st.integers(min_value=1, max_value=7).map(lambda v: const(v, "int32"))
+        return st.one_of(
+            st.tuples(binary, children, children).map(lambda t: t[0](t[1], t[2])),
+            st.tuples(st.sampled_from([FloorDiv, FloorMod]), children, posdenom).map(
+                lambda t: t[0](t[1], t[2])
+            ),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=24)
+
+
+class TestSimplifyProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(expr=_expr_strategy(), a=st.integers(0, 50), b=st.integers(0, 50), c=st.integers(0, 50))
+    def test_value_preserved(self, expr, a, b, c):
+        env = {"a": a, "b": b, "c": c}
+        assert _eval(simplify_expr(expr), env) == _eval(expr, env)
+
+    @settings(max_examples=100, deadline=None)
+    @given(expr=_expr_strategy())
+    def test_idempotent(self, expr):
+        once = simplify_expr(expr)
+        twice = simplify_expr(once)
+        from repro.te.expr import structural_equal
+
+        assert structural_equal(once, twice)
+
+    @settings(max_examples=100, deadline=None)
+    @given(expr=_expr_strategy())
+    def test_never_grows(self, expr):
+        def size(e):
+            return 1 + sum(size(ch) for ch in e.children())
+
+        assert size(simplify_expr(expr)) <= size(expr)

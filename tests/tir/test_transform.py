@@ -1,0 +1,138 @@
+"""Tests for TIR passes: simplification and unrolling."""
+
+import pytest
+
+import repro.te as te
+from repro.common.errors import LoweringError
+from repro.te.expr import Add, FloorDiv, FloorMod, IntImm, Mul, Var, const
+from repro.tir import (
+    BufferStore,
+    For,
+    IfThenElse,
+    SeqStmt,
+    count_loops,
+    lower,
+    simplify_func,
+    simplify_stmt,
+    unroll_loops,
+)
+from repro.tir.stmt import Buffer, Evaluate
+from repro.tir.transform import simplify_expr
+
+
+class TestSimplifyExpr:
+    def test_const_folding_int(self):
+        e = simplify_expr(const(3) + const(4))
+        assert isinstance(e, IntImm) and e.value == 7
+
+    def test_const_folding_mul(self):
+        e = simplify_expr(const(3) * const(4))
+        assert e.value == 12
+
+    def test_add_zero_elided(self):
+        x = Var("x")
+        assert simplify_expr(x + 0) is x
+        assert simplify_expr(0 + x) is x
+
+    def test_mul_one_elided(self):
+        x = Var("x")
+        assert simplify_expr(x * 1) is x
+
+    def test_mul_zero_collapses(self):
+        x = Var("x")
+        e = simplify_expr(x * 0)
+        assert isinstance(e, IntImm) and e.value == 0
+
+    def test_floordiv_by_one(self):
+        x = Var("x")
+        assert simplify_expr(FloorDiv(x, const(1))) is x
+
+    def test_floormod_by_one(self):
+        x = Var("x")
+        e = simplify_expr(FloorMod(x, const(1)))
+        assert isinstance(e, IntImm) and e.value == 0
+
+    def test_nested_folding(self):
+        x = Var("x")
+        # (x * 1) + (2 + 3) -> x + 5
+        e = simplify_expr(Add(Mul(x, const(1)), Add(const(2), const(3))))
+        assert isinstance(e, Add)
+        assert e.a is x and e.b.value == 5
+
+    def test_float_folding(self):
+        e = simplify_expr(const(1.5) + const(2.5))
+        assert e.value == 4.0
+
+
+class TestSimplifyStmt:
+    def _store(self, value):
+        buf = Buffer("b", (4,), "float32")
+        return BufferStore(buf, value, (const(0),))
+
+    def test_true_guard_pruned(self):
+        stmt = IfThenElse(const(1), self._store(const(1.0)))
+        out = simplify_stmt(stmt)
+        assert isinstance(out, BufferStore)
+
+    def test_false_guard_without_else_becomes_empty(self):
+        out = simplify_stmt(IfThenElse(const(0), self._store(const(1.0))))
+        assert isinstance(out, SeqStmt) and not out.stmts
+
+    def test_false_guard_takes_else(self):
+        out = simplify_stmt(
+            IfThenElse(const(0), self._store(const(1.0)), self._store(const(2.0)))
+        )
+        assert isinstance(out, BufferStore) and out.value.value == 2.0
+
+    def test_dynamic_guard_kept(self):
+        out = simplify_stmt(IfThenElse(Var("x") < 3, self._store(const(1.0))))
+        assert isinstance(out, IfThenElse)
+
+
+class TestUnroll:
+    def _loop(self, extent, kind="unrolled"):
+        buf = Buffer("b", (16,), "float32")
+        v = Var("i")
+        body = BufferStore(buf, const(1.0), (v,))
+        return For(v, const(0), const(extent), kind, body)
+
+    def test_unroll_expands(self):
+        out = unroll_loops(self._loop(4))
+        assert isinstance(out, SeqStmt) and len(out.stmts) == 4
+        # Loop var replaced by constants 0..3.
+        assert [s.indices[0].value for s in out.stmts] == [0, 1, 2, 3]
+
+    def test_serial_untouched(self):
+        loop = self._loop(4, kind="serial")
+        out = unroll_loops(loop)
+        assert isinstance(out, For) and out.kind == "serial"
+
+    def test_oversized_unroll_degrades_to_serial(self):
+        out = unroll_loops(self._loop(100), max_steps=8)
+        assert isinstance(out, For) and out.kind == "serial"
+
+    def test_non_constant_extent_rejected(self):
+        buf = Buffer("b", (16,), "float32")
+        v, n = Var("i"), Var("n")
+        loop = For(v, const(0), n, "unrolled", BufferStore(buf, const(1.0), (v,)))
+        with pytest.raises(LoweringError):
+            unroll_loops(loop)
+
+    def test_unroll_through_schedule(self, matmul):
+        A, B, C = matmul
+        s = te.create_schedule(C.op)
+        yo, yi = s[C].split(s[C].op.axis[0], factor=3)
+        s[C].unroll(yi)
+        func = simplify_func(lower(s, [A, B, C]))
+        assert count_loops(func.body).get("unrolled", 0) == 0  # expanded away
+
+
+class TestCountLoops:
+    def test_counts_by_kind(self, matmul):
+        A, B, C = matmul
+        s = te.create_schedule(C.op)
+        func = lower(s, [A, B, C])
+        counts = count_loops(func.body)
+        # Outer i, j; the init store needs no extra loops (reduce axis is
+        # innermost), then the k update loop: 3 serial loops.
+        assert counts == {"serial": 3}

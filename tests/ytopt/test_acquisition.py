@@ -1,0 +1,69 @@
+"""Tests for acquisition functions."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ReproError
+from repro.ytopt.acquisition import (
+    ExpectedImprovement,
+    LowerConfidenceBound,
+    ProbabilityOfImprovement,
+)
+
+
+class TestLCB:
+    def test_prefers_low_mean(self):
+        lcb = LowerConfidenceBound(kappa=0.0)
+        scores = lcb.score(np.array([1.0, 2.0]), np.array([0.1, 0.1]), best_y=1.0)
+        assert scores[0] < scores[1]
+
+    def test_kappa_buys_exploration(self):
+        mean = np.array([1.0, 1.2])
+        std = np.array([0.0, 1.0])
+        exploit = LowerConfidenceBound(kappa=0.0).score(mean, std, 1.0)
+        explore = LowerConfidenceBound(kappa=3.0).score(mean, std, 1.0)
+        assert np.argmin(exploit) == 0  # pure exploitation: low mean wins
+        assert np.argmin(explore) == 1  # high uncertainty wins with big kappa
+
+    def test_kappa_zero_is_mean(self):
+        mean = np.array([3.0, 1.0, 2.0])
+        scores = LowerConfidenceBound(kappa=0.0).score(mean, np.ones(3), 1.0)
+        np.testing.assert_array_equal(scores, mean)
+
+    def test_negative_kappa_rejected(self):
+        with pytest.raises(ReproError):
+            LowerConfidenceBound(kappa=-1.0)
+
+
+class TestEI:
+    def test_improvement_preferred(self):
+        ei = ExpectedImprovement(xi=0.0)
+        mean = np.array([0.5, 2.0])  # best so far is 1.0: first improves
+        scores = ei.score(mean, np.array([0.1, 0.1]), best_y=1.0)
+        assert scores[0] < scores[1]
+
+    def test_zero_std_no_improvement(self):
+        ei = ExpectedImprovement(xi=0.0)
+        s = ei.score(np.array([2.0]), np.array([0.0]), best_y=1.0)
+        assert s[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_uncertainty_adds_value(self):
+        ei = ExpectedImprovement(xi=0.0)
+        s = ei.score(np.array([1.5, 1.5]), np.array([0.01, 1.0]), best_y=1.0)
+        assert s[1] < s[0]  # more uncertain -> more (negative) EI
+
+    def test_negative_xi_rejected(self):
+        with pytest.raises(ReproError):
+            ExpectedImprovement(xi=-0.1)
+
+
+class TestPI:
+    def test_scores_in_valid_range(self):
+        pi = ProbabilityOfImprovement()
+        s = pi.score(np.array([0.0, 1.0, 2.0]), np.ones(3), best_y=1.0)
+        assert ((-1 <= s) & (s <= 0)).all()
+
+    def test_clear_improvement_near_minus_one(self):
+        pi = ProbabilityOfImprovement(xi=0.0)
+        s = pi.score(np.array([-10.0]), np.array([0.1]), best_y=1.0)
+        assert s[0] == pytest.approx(-1.0, abs=1e-6)

@@ -1,0 +1,93 @@
+"""Tests for code molds and the Plopper."""
+
+import pytest
+
+from repro.common.errors import SpaceError
+from repro.runtime import build
+from repro.ytopt import CodeMold, Plopper
+
+MOLD = """
+def build_schedule():
+    A = te.placeholder((8, 6), name="A")
+    B = te.placeholder((6, 4), name="B")
+    k = te.reduce_axis((0, 6), name="k")
+    C = te.compute((8, 4), lambda i, j: te.sum(A[i, k] * B[k, j], axis=k), name="C")
+    s = te.create_schedule(C.op)
+    y, x = s[C].op.axis
+    yo, yi = s[C].split(y, #P0)
+    xo, xi = s[C].split(x, #P1)
+    return s, [A, B, C]
+"""
+
+
+class TestCodeMold:
+    def test_params_detected_in_order(self):
+        assert CodeMold(MOLD).params == ("P0", "P1")
+
+    def test_duplicate_markers_deduped(self):
+        mold = CodeMold("x = #P0 + #P0 + #P1")
+        assert mold.params == ("P0", "P1")
+
+    def test_no_markers_rejected(self):
+        with pytest.raises(SpaceError):
+            CodeMold("def f(): pass")
+
+    def test_instantiate_substitutes_all(self):
+        src = CodeMold(MOLD).instantiate({"P0": 4, "P1": 2})
+        assert "#P" not in src
+        assert "split(y, 4)" in src
+        assert "split(x, 2)" in src
+
+    def test_missing_value_rejected(self):
+        with pytest.raises(SpaceError):
+            CodeMold(MOLD).instantiate({"P0": 4})
+
+    def test_extra_value_rejected(self):
+        with pytest.raises(SpaceError):
+            CodeMold(MOLD).instantiate({"P0": 4, "P1": 2, "P9": 1})
+
+    def test_named_markers(self):
+        mold = CodeMold("split(y, #Ptile)")
+        assert mold.params == ("Ptile",)
+        assert mold.instantiate({"Ptile": 16}) == "split(y, 16)"
+
+
+class TestPlopper:
+    def test_build_returns_schedule(self):
+        plopper = Plopper(MOLD)
+        sched, args = plopper.build({"P0": 4, "P1": 2})
+        assert len(args) == 3
+        mod = build(sched, args)
+        assert mod.backend in ("codegen", "interp")
+
+    def test_executes_correctly(self, rng):
+        import numpy as np
+
+        plopper = Plopper(MOLD)
+        sched, args = plopper.build({"P0": 2, "P1": 4})
+        mod = build(sched, args)
+        a = rng.random((8, 6)).astype("float32")
+        b = rng.random((6, 4)).astype("float32")
+        c = np.zeros((8, 4), dtype="float32")
+        mod(a, b, c)
+        np.testing.assert_allclose(c, a @ b, rtol=1e-5)
+
+    def test_missing_entry_rejected(self):
+        plopper = Plopper("x = #P0", entry="build_schedule")
+        with pytest.raises(SpaceError):
+            plopper.build({"P0": 1})
+
+    def test_syntax_error_reported(self):
+        plopper = Plopper("def build_schedule(:\n    pass #P0")
+        with pytest.raises(SpaceError):
+            plopper.build({"P0": 1})
+
+    def test_wrong_return_type_rejected(self):
+        plopper = Plopper("def build_schedule():\n    return #P0, []")
+        with pytest.raises(SpaceError):
+            plopper.build({"P0": 1})
+
+    def test_schedule_builder_adapter(self):
+        builder = Plopper(MOLD).schedule_builder()
+        sched, args = builder({"P0": 2, "P1": 2})
+        assert len(args) == 3

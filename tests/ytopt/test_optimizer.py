@@ -1,0 +1,123 @@
+"""Tests for the ask/tell Bayesian optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import TuningError
+from repro.configspace import ConfigurationSpace, OrdinalHyperparameter
+from repro.ytopt import Optimizer
+from repro.ytopt.surrogate import DummySurrogate
+
+
+def _space(seed=None, n=16):
+    cs = ConfigurationSpace(seed=seed)
+    cs.add_hyperparameters(
+        [
+            OrdinalHyperparameter("a", list(range(n))),
+            OrdinalHyperparameter("b", list(range(n))),
+        ]
+    )
+    return cs
+
+
+def _cost(cfg):
+    # Smooth bowl with optimum at (12, 4); strictly positive for log-cost.
+    return 1.0 + (cfg["a"] - 12) ** 2 + (cfg["b"] - 4) ** 2
+
+
+class TestAskTell:
+    def test_initial_phase_is_random_unseen(self):
+        opt = Optimizer(_space(seed=0), n_initial_points=5, seed=0)
+        seen = set()
+        for _ in range(5):
+            c = opt.ask()
+            key = (c["a"], c["b"])
+            assert key not in seen
+            seen.add(key)
+            opt.tell(c, _cost(c))
+
+    def test_tell_accepts_plain_dict(self):
+        opt = Optimizer(_space(seed=0), seed=0)
+        opt.tell({"a": 1, "b": 2}, 5.0)
+        assert opt.n_told == 1
+
+    def test_tell_rejects_nonfinite(self):
+        opt = Optimizer(_space(seed=0), seed=0)
+        with pytest.raises(TuningError):
+            opt.tell({"a": 1, "b": 2}, float("inf"))
+
+    def test_best_before_tell_rejected(self):
+        with pytest.raises(TuningError):
+            Optimizer(_space(), seed=0).best()
+
+    def test_best_returns_min(self):
+        opt = Optimizer(_space(seed=0), seed=0)
+        opt.tell({"a": 0, "b": 0}, 10.0)
+        opt.tell({"a": 12, "b": 4}, 1.0)
+        opt.tell({"a": 3, "b": 3}, 5.0)
+        cfg, cost = opt.best()
+        assert cost == 1.0 and cfg == {"a": 12, "b": 4}
+
+    def test_no_duplicate_proposals_in_model_phase(self):
+        opt = Optimizer(_space(seed=1), n_initial_points=4, seed=1)
+        seen = set()
+        for _ in range(30):
+            c = opt.ask()
+            key = (c["a"], c["b"])
+            assert key not in seen, "optimizer re-proposed an evaluated config"
+            seen.add(key)
+            opt.tell(c, _cost(c))
+
+    def test_validation(self):
+        with pytest.raises(TuningError):
+            Optimizer(_space(), n_initial_points=0)
+        with pytest.raises(TuningError):
+            Optimizer(_space(), n_candidates=0)
+        with pytest.raises(TuningError):
+            Optimizer(_space(), refit_interval=0)
+
+
+class TestSearchQuality:
+    def _run(self, opt, budget=35):
+        best = float("inf")
+        for _ in range(budget):
+            c = opt.ask()
+            y = _cost(c)
+            best = min(best, y)
+            opt.tell(c, y)
+        return best
+
+    def test_bo_beats_random_on_average(self):
+        bo_results = []
+        rnd_results = []
+        for seed in range(5):
+            bo_results.append(
+                self._run(Optimizer(_space(seed=seed), n_initial_points=8, seed=seed))
+            )
+            rnd_results.append(
+                self._run(
+                    Optimizer(
+                        _space(seed=100 + seed),
+                        surrogate=DummySurrogate(),
+                        n_initial_points=8,
+                        seed=100 + seed,
+                    )
+                )
+            )
+        assert float(np.mean(bo_results)) <= float(np.mean(rnd_results))
+
+    def test_bo_finds_near_optimum(self):
+        best = self._run(Optimizer(_space(seed=3), n_initial_points=8, seed=3), budget=45)
+        assert best <= 10.0  # within short distance of the optimum (cost 1)
+
+    def test_seeded_run_deterministic(self):
+        def trace(seed):
+            opt = Optimizer(_space(seed=seed), n_initial_points=5, seed=seed)
+            out = []
+            for _ in range(15):
+                c = opt.ask()
+                out.append((c["a"], c["b"]))
+                opt.tell(c, _cost(c))
+            return out
+
+        assert trace(7) == trace(7)

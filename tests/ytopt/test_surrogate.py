@@ -1,0 +1,83 @@
+"""Tests for surrogate models."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ReproError
+from repro.ytopt import DummySurrogate, GBTSurrogate, RandomForestSurrogate
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(0)
+    X = rng.random((60, 4))
+    y = np.exp(2 * X[:, 0])  # positive costs spanning a range
+    return X, y
+
+
+class TestRandomForestSurrogate:
+    def test_predict_shapes(self, data):
+        X, y = data
+        s = RandomForestSurrogate(seed=0)
+        s.fit(X, y)
+        mean, std = s.predict(X[:5])
+        assert mean.shape == std.shape == (5,)
+
+    def test_log_cost_space(self, data):
+        X, y = data
+        s = RandomForestSurrogate(seed=0)
+        s.fit(X, y)
+        mean, _ = s.predict(X)
+        # Predictions are in log space: bounded by log of target range.
+        assert mean.min() >= np.log(y.min()) - 1e-9
+        assert mean.max() <= np.log(y.max()) + 1e-9
+
+    def test_nonpositive_cost_rejected_in_log_mode(self, data):
+        X, _ = data
+        s = RandomForestSurrogate()
+        with pytest.raises(ReproError):
+            s.fit(X, np.zeros(X.shape[0]))
+
+    def test_linear_mode_allows_any_cost(self, data):
+        X, _ = data
+        s = RandomForestSurrogate(log_cost=False, seed=0)
+        s.fit(X, np.linspace(-1, 1, X.shape[0]))
+        mean, _ = s.predict(X[:3])
+        assert mean.shape == (3,)
+
+    def test_predict_before_fit(self, data):
+        X, _ = data
+        with pytest.raises(ReproError):
+            RandomForestSurrogate().predict(X)
+
+
+class TestGBTSurrogate:
+    def test_predict_shapes(self, data):
+        X, y = data
+        s = GBTSurrogate(seed=0)
+        s.fit(X, y)
+        mean, std = s.predict(X[:4])
+        assert mean.shape == std.shape == (4,)
+        assert (std >= 0).all()
+
+    def test_needs_two_members(self):
+        with pytest.raises(ReproError):
+            GBTSurrogate(n_models=1)
+
+    def test_learns(self, data):
+        X, y = data
+        s = GBTSurrogate(seed=0)
+        s.fit(X, y)
+        mean, _ = s.predict(X)
+        corr = np.corrcoef(mean, np.log(y))[0, 1]
+        assert corr > 0.9
+
+
+class TestDummySurrogate:
+    def test_constant_prediction(self, data):
+        X, y = data
+        s = DummySurrogate()
+        s.fit(X, y)
+        mean, std = s.predict(X[:6])
+        assert np.allclose(mean, mean[0])
+        assert np.allclose(std, 1.0)
