@@ -16,16 +16,26 @@ from dataclasses import dataclass
 from repro.autotvm.space import ConfigEntity
 from repro.common.errors import TuningError
 from repro.runtime.measure import Evaluator, MeasureResult
+from repro.runtime.parallel import evaluate_batch
 
 
 @dataclass(frozen=True)
 class MeasureOption:
-    """Measurement settings (AutoTVM ``measure_option``)."""
+    """Measurement settings (AutoTVM ``measure_option``).
+
+    ``jobs`` is the *runner* parallelism: >1 measures each batch in waves of
+    ``jobs`` configurations through :func:`repro.runtime.parallel.evaluate_batch`
+    (real worker pool for a :class:`~repro.runtime.parallel.ParallelEvaluator`;
+    max-of-wave virtual-clock accounting under simulation). The default of 1
+    preserves the paper's single-runner semantics: compilation amortized over
+    ``n_parallel`` builders, executions serialized on one device.
+    """
 
     number: int = 3  # kernel executions averaged per measurement
     repeat: int = 1  # independent measurements per config
     n_parallel: int = 8  # parallel builder width
     batch_overhead: float = 0.5  # per-batch dispatch/teardown (seconds)
+    jobs: int = 1  # parallel runner width (measurement fleet)
 
     def __post_init__(self) -> None:
         if self.number < 1 or self.repeat < 1:
@@ -34,13 +44,19 @@ class MeasureOption:
             raise TuningError("n_parallel must be >= 1")
         if self.batch_overhead < 0:
             raise TuningError("batch_overhead must be >= 0")
+        if self.jobs < 1:
+            raise TuningError("jobs must be >= 1")
 
 
 def measure_option(
-    number: int = 3, repeat: int = 1, n_parallel: int = 8, batch_overhead: float = 0.5
+    number: int = 3,
+    repeat: int = 1,
+    n_parallel: int = 8,
+    batch_overhead: float = 0.5,
+    jobs: int = 1,
 ) -> MeasureOption:
     """Convenience constructor mirroring ``autotvm.measure_option``."""
-    return MeasureOption(number, repeat, n_parallel, batch_overhead)
+    return MeasureOption(number, repeat, n_parallel, batch_overhead, jobs)
 
 
 class Measurer:
@@ -72,7 +88,10 @@ class Measurer:
         clock = getattr(self.evaluator, "clock", None)
         if clock is not None:
             clock.advance(self.option.batch_overhead)
-        return [self.evaluator.evaluate(c.to_dict()) for c in configs]
+        dicts = [c.to_dict() for c in configs]
+        if self.option.jobs > 1:
+            return evaluate_batch(self.evaluator, dicts, jobs=self.option.jobs)
+        return [self.evaluator.evaluate(d) for d in dicts]
 
     def elapsed(self) -> float:
         return self.evaluator.elapsed()

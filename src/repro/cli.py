@@ -67,6 +67,8 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         max_evals=args.max_evals,
         seed=args.seed,
         xgb_trial_cap=None if args.no_xgb_cap else 56,
+        jobs=args.jobs,
+        timeout=args.timeout,
     )
     print(f"{run.tuner} on {benchmark.name}: best {run.best_runtime:.4g}s at "
           f"{format_tensor_size(args.kernel, run.best_config)} "
@@ -87,7 +89,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(f"unknown experiment {args.name!r}; known: "
               f"{', '.join(EXPERIMENT_FIGURES)}", file=sys.stderr)
         return 2
-    result = run_experiment(kernel, size, max_evals=args.evals, seed=args.seed)
+    result = run_experiment(
+        kernel,
+        size,
+        max_evals=args.evals,
+        seed=args.seed,
+        jobs=args.jobs,
+        timeout=args.timeout,
+    )
     print(f"{figures} — {kernel}/{size}")
     print(process_summary_table(result))
     print()
@@ -166,12 +175,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--csv", help="write the evaluation trajectory here")
     p_tune.add_argument("--no-xgb-cap", action="store_true",
                         help="lift the paper's 56-evaluation XGB stall")
+    p_tune.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="parallel measurement width (batched proposals, "
+                        "max-of-wave process-time accounting)")
+    p_tune.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-trial kernel wall-clock budget in seconds "
+                        "(timed-out trials are recorded as failed)")
 
     p_exp = sub.add_parser("experiment", help="run a full 5-tuner paper experiment")
     p_exp.add_argument("name", help=f"one of: {', '.join(EXPERIMENT_FIGURES)}")
     p_exp.add_argument("--evals", type=int, default=100)
     p_exp.add_argument("--seed", type=int, default=0)
     p_exp.add_argument("--csv", help="write all trajectories here")
+    p_exp.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="parallel measurement width for every tuner")
+    p_exp.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-trial kernel wall-clock budget in seconds")
 
     p_auto = sub.add_parser(
         "autoschedule", help="run the mini-AutoScheduler (auto-generated space)"

@@ -47,6 +47,10 @@ class AutotuneConfig:
     n_initial_points: int = 10
     kappa: float = 1.0
     seed: int | None = None
+    #: >1 proposes constant-liar batches and measures them in parallel
+    #: (``jobs`` wide; None = one worker per batched configuration).
+    batch_size: int = 1
+    jobs: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_evals < 1:
@@ -55,6 +59,10 @@ class AutotuneConfig:
             raise TuningError(
                 f"n_initial_points must be >= 1, got {self.n_initial_points}"
             )
+        if self.batch_size < 1:
+            raise TuningError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.jobs is not None and self.jobs < 1:
+            raise TuningError(f"jobs must be >= 1, got {self.jobs}")
 
 
 class BayesianAutotuner:
@@ -87,6 +95,8 @@ class BayesianAutotuner:
             max_evals=self.config.max_evals,
             max_time=self.config.max_time,
             tuner_name="ytopt",
+            batch_size=self.config.batch_size,
+            jobs=self.config.jobs,
         )
 
     # -- constructors -----------------------------------------------------

@@ -96,6 +96,7 @@ def _make_evaluator(
     for_autotvm: bool,
     model: SwingPerformanceModel | None,
     seed: int,
+    timeout: float | None = None,
 ) -> SwingEvaluator:
     return SwingEvaluator(
         benchmark.profile,
@@ -105,6 +106,7 @@ def _make_evaluator(
         clock=VirtualClock(),
         number=3 if for_autotvm else 1,
         compile_parallelism=8 if for_autotvm else 1,
+        timeout=timeout,
     )
 
 
@@ -115,14 +117,29 @@ def run_tuner(
     seed: int = 0,
     model: SwingPerformanceModel | None = None,
     xgb_trial_cap: int | None = PAPER_XGB_TRIAL_CAP,
+    jobs: int = 1,
+    timeout: float | None = None,
 ) -> TunerRun:
-    """Run one tuner on one benchmark under the simulated Swing backend."""
+    """Run one tuner on one benchmark under the simulated Swing backend.
+
+    ``jobs`` > 1 measures in parallel waves: ytopt proposes constant-liar
+    batches of ``jobs`` configurations, AutoTVM runs each 8-config batch on a
+    ``jobs``-wide fleet; under simulation the virtual clock advances by the
+    max of each wave, not the sum. ``timeout`` is the per-trial kernel budget
+    (a timed-out configuration is recorded as failed and charged the budget).
+    """
+    if jobs < 1:
+        raise TuningError(f"jobs must be >= 1, got {jobs}")
     if tuner == "ytopt":
-        evaluator = _make_evaluator(benchmark, for_autotvm=False, model=model, seed=seed)
+        evaluator = _make_evaluator(
+            benchmark, for_autotvm=False, model=model, seed=seed, timeout=timeout
+        )
         bo = BayesianAutotuner(
             benchmark.config_space(seed=seed),
             evaluator,
-            config=AutotuneConfig(max_evals=max_evals, seed=seed),
+            config=AutotuneConfig(
+                max_evals=max_evals, seed=seed, batch_size=jobs, jobs=jobs
+            ),
             name=benchmark.name,
         )
         result = bo.run()
@@ -140,13 +157,15 @@ def run_tuner(
     cls = _AUTOTVM_CLASSES.get(tuner)
     if cls is None:
         raise TuningError(f"unknown tuner {tuner!r}; known: {ALL_TUNERS}")
-    evaluator = _make_evaluator(benchmark, for_autotvm=True, model=model, seed=seed)
+    evaluator = _make_evaluator(
+        benchmark, for_autotvm=True, model=model, seed=seed, timeout=timeout
+    )
     task = task_from_benchmark(benchmark, evaluator)
     if cls is XGBTuner:
         t = XGBTuner(task, trial_cap=xgb_trial_cap, seed=seed)
     else:
         t = cls(task, seed=seed)
-    measurer = Measurer(evaluator, measure_option())
+    measurer = Measurer(evaluator, measure_option(jobs=jobs))
     records = t.tune(n_trial=max_evals, measurer=measurer)
     best_config, best_runtime = t.best()
     return TunerRun(
@@ -168,12 +187,20 @@ def run_experiment(
     max_evals: int = 100,
     seed: int = 0,
     xgb_trial_cap: int | None = PAPER_XGB_TRIAL_CAP,
+    jobs: int = 1,
+    timeout: float | None = None,
 ) -> ExperimentResult:
     """Run all requested tuners on one (kernel, size) experiment."""
     benchmark = get_benchmark(kernel, size_name)
     runs = {
         t: run_tuner(
-            benchmark, t, max_evals=max_evals, seed=seed, xgb_trial_cap=xgb_trial_cap
+            benchmark,
+            t,
+            max_evals=max_evals,
+            seed=seed,
+            xgb_trial_cap=xgb_trial_cap,
+            jobs=jobs,
+            timeout=timeout,
         )
         for t in tuners
     }

@@ -8,8 +8,10 @@ the reference interpreter for ``interp``).
 
 from repro.runtime.ndarray import NDArray, array, empty, zeros
 from repro.runtime.target import Target
-from repro.runtime.module import Module, build
+from repro.runtime.module import Module, build, build_from_primfunc
 from repro.runtime.measure import MeasureResult, LocalEvaluator, Evaluator
+from repro.runtime.build_cache import BuildCache, schedule_key
+from repro.runtime.parallel import ParallelEvaluator, evaluate_batch
 
 __all__ = [
     "NDArray",
@@ -19,7 +21,12 @@ __all__ = [
     "Target",
     "Module",
     "build",
+    "build_from_primfunc",
     "MeasureResult",
     "LocalEvaluator",
     "Evaluator",
+    "BuildCache",
+    "schedule_key",
+    "ParallelEvaluator",
+    "evaluate_batch",
 ]

@@ -34,6 +34,14 @@ ScheduleBuilder = Callable[[Mapping[str, int]], tuple[Schedule, Sequence[Tensor]
 FAILED_COST = 1.0e10
 
 
+def _describe_error(exc: BaseException) -> str:
+    """Error text for MeasureResult: keep ReproError messages bare (they are
+    already descriptive), prefix foreign exceptions with their type."""
+    if isinstance(exc, ReproError):
+        return str(exc)
+    return f"{type(exc).__name__}: {exc}"
+
+
 @dataclass
 class MeasureResult:
     """Outcome of evaluating one configuration.
@@ -114,13 +122,16 @@ class LocalEvaluator(Evaluator):
         try:
             sched, args = self.builder(cfg)
             mod = build(sched, args, target=self.target)
-        except ReproError as exc:
+        except Exception as exc:  # noqa: BLE001 — any builder/compile failure
+            # must become a failed MeasureResult, not kill the whole search;
+            # kernels and user builders raise plain Exceptions, not just
+            # ReproError.
             return MeasureResult(
                 config=cfg,
                 costs=(),
                 compile_time=time.perf_counter() - t0,
                 timestamp=self.elapsed(),
-                error=f"compile error: {exc}",
+                error=f"compile error: {_describe_error(exc)}",
             )
         compile_time = time.perf_counter() - t0
 
@@ -139,13 +150,14 @@ class LocalEvaluator(Evaluator):
                     mod(*buffers)
                 costs.append((time.perf_counter() - start) / self.number)
             error = self.validate(buffers) if self.validate is not None else None
-        except ReproError as exc:
+        except Exception as exc:  # noqa: BLE001 — same isolation as the
+            # compile path: a crashing kernel or validator is a failed trial.
             return MeasureResult(
                 config=cfg,
                 costs=(),
                 compile_time=compile_time,
                 timestamp=self.elapsed(),
-                error=f"runtime error: {exc}",
+                error=f"runtime error: {_describe_error(exc)}",
             )
         return MeasureResult(
             config=cfg,

@@ -117,6 +117,23 @@ def build(
             "evaluate through repro.swing.SwingEvaluator"
         )
     func = simplify_func(lower(sched, args, name=name))
+    return build_from_primfunc(func, tgt)
+
+
+def build_from_primfunc(func: PrimFunc, target: "str | Target" = "llvm") -> Module:
+    """Wrap an already-lowered PrimFunc in a runnable :class:`Module`.
+
+    Skips the lower/simplify pipeline — this is the rehydration path of the
+    measurement engine's build cache, where the lowered function was produced
+    by an earlier build of the same schedule content (possibly in another
+    worker process; PrimFuncs pickle, compiled entry points do not).
+    """
+    tgt = Target(target) if not isinstance(target, Target) else target
+    if tgt.is_simulated:
+        raise ReproError(
+            "target 'swing' is measurement-simulated only; build with 'llvm' or "
+            "evaluate through repro.swing.SwingEvaluator"
+        )
     if tgt.kind == "interp":
         return Module(func, TIRInterpreter(func), tgt, backend="interp")
     try:

@@ -159,6 +159,22 @@ def _lower_stage(
         if _int_max_eval(val, varmax) >= root.extent:
             guards_reduce.append(LT(val, const(root.extent, "int32")))
 
+    # Intermediate split parents need guards too: the root guard cannot catch an
+    # over-covering split of a *non-root* axis (e.g. an extent-1 axis split by
+    # factor 2), whose duplicate coverage re-visits valid root values and would
+    # double-accumulate reductions.
+    root_ids = {id(ax) for ax in op.axis} | {id(ax) for ax in op.reduce_axis}
+    for rel in stage.relations:
+        if not isinstance(rel, SplitRelation) or id(rel.parent) in root_ids:
+            continue
+        val = vmap[id(rel.parent)]
+        if _int_max_eval(val, varmax) >= rel.parent.extent:
+            guard = LT(val, const(rel.parent.extent, "int32"))
+            if rel.parent.is_reduce():
+                guards_reduce.append(guard)
+            else:
+                guards_data.append(guard)
+
     store_indices = tuple(vmap.get(id(ax), ax.var) for ax in op.axis)
 
     if isinstance(op.body, Reduce):

@@ -8,11 +8,12 @@ particular parameter configuration" of the paper's Figure 2/3.
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 
 from repro.common.errors import SpaceError
 from repro.configspace import ConfigurationSpace
 from repro.runtime.measure import Evaluator, MeasureResult
+from repro.runtime.parallel import evaluate_batch
 
 
 class TuningProblem:
@@ -33,6 +34,18 @@ class TuningProblem:
     def objective(self, params: Mapping[str, int]) -> MeasureResult:
         """Evaluate one configuration (Steps 2–5 of the paper's loop)."""
         return self.evaluator.evaluate(params)
+
+    def objective_batch(
+        self, batch: Sequence[Mapping[str, int]], jobs: int = 1
+    ) -> list[MeasureResult]:
+        """Evaluate a batch of configurations, ``jobs`` at a time.
+
+        Dispatches through :func:`repro.runtime.parallel.evaluate_batch`: a
+        :class:`~repro.runtime.parallel.ParallelEvaluator` measures with its
+        worker pool; simulated evaluators charge the virtual clock by the
+        max of each wave (a ``jobs``-wide fleet), not the sum.
+        """
+        return evaluate_batch(self.evaluator, batch, jobs=jobs)
 
     def __repr__(self) -> str:
         return f"TuningProblem({self.name!r}, space={self.space!r})"

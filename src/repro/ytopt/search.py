@@ -54,6 +54,11 @@ class AMBS:
         #: >1 enables ytopt's async mode: configurations are proposed in
         #: constant-liar batches (parallel evaluation on a multi-GPU node).
         batch_size: int = 1,
+        #: Measurement parallelism for each batch. None (default) measures a
+        #: batch ``batch_size`` wide — the constant-liar batch maps 1:1 onto
+        #: the measurement fleet. Set explicitly to decouple proposal batching
+        #: from worker count.
+        jobs: int | None = None,
         #: Resume a previous run: its records pre-train the optimizer and are
         #: carried into this run's database; already-evaluated configurations
         #: are never re-measured.
@@ -65,6 +70,8 @@ class AMBS:
             raise TuningError(f"max_time must be positive, got {max_time}")
         if batch_size < 1:
             raise TuningError(f"batch_size must be >= 1, got {batch_size}")
+        if jobs is not None and jobs < 1:
+            raise TuningError(f"jobs must be >= 1, got {jobs}")
         self.problem = problem
         self.optimizer = (
             optimizer
@@ -76,6 +83,7 @@ class AMBS:
         self.tuner_name = tuner_name
         self.optimizer_overhead = optimizer_overhead
         self.batch_size = batch_size
+        self.jobs = jobs
         self.database = PerformanceDatabase(name=f"{problem.name}:{tuner_name}")
         if resume_from is not None:
             for rec in resume_from:
@@ -96,8 +104,12 @@ class AMBS:
             )  # Step 1
             if clock is not None:
                 clock.advance(self.optimizer_overhead)
-            for config in configs:
-                result = self.problem.objective(config)  # Steps 2-4
+            if len(configs) == 1:
+                results = [self.problem.objective(configs[0])]  # Steps 2-4
+            else:
+                jobs = self.jobs if self.jobs is not None else len(configs)
+                results = self.problem.objective_batch(configs, jobs=jobs)
+            for config, result in zip(configs, results):
                 self.database.add(result, tuner=self.tuner_name)  # Step 5
                 cost = result.mean_cost if result.ok else FAILED_COST
                 self.optimizer.tell(config, cost)

@@ -46,6 +46,25 @@ class TestDivisors:
     def test_divisor_count_matches_bruteforce(self, n):
         assert divisors(n) == [d for d in range(1, n + 1) if n % d == 0]
 
+    @given(st.integers(min_value=1, max_value=1_000_000))
+    def test_factorizations_multiply_back_to_extent(self, n):
+        """Every divisor pairs with a cofactor: d * (n // d) == n exactly.
+
+        This is what guarantees tiling-factor splits from divisors() cover a
+        loop with no remainder iteration (the paper's perfect-split spaces)."""
+        for d in divisors(n):
+            assert d * (n // d) == n
+
+    @given(st.integers(min_value=1, max_value=100_000))
+    def test_divisors_closed_under_cofactor(self, n):
+        ds = set(divisors(n))
+        assert {n // d for d in ds} == ds
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_no_duplicates(self, n):
+        ds = divisors(n)
+        assert len(ds) == len(set(ds))
+
 
 class TestCommonFactors:
     def test_basic(self):

@@ -1,0 +1,132 @@
+"""Module-level schedule builders for ParallelEvaluator tests.
+
+Worker processes pickle the builder by reference, so every builder (and
+validator) used in tests must live at module level in an importable module —
+closures and lambdas would break under the spawn start method. The fault
+injectors simulate the real failure modes a measurement fleet sees: compile
+errors, kernel exceptions, hung builds, hard worker crashes, and transient
+crashes that succeed on retry.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+
+import repro.te as te
+from repro.common.errors import ReproError
+
+
+def _matmul_graph(n: int = 12, m: int = 10, k: int = 8):
+    A = te.placeholder((n, k), name="A", dtype="float32")
+    B = te.placeholder((k, m), name="B", dtype="float32")
+    kk = te.reduce_axis((0, k), name="k")
+    C = te.compute((n, m), lambda i, j: te.sum(A[i, kk] * B[kk, j], axis=kk), name="C")
+    return A, B, C
+
+
+def good_builder(params):
+    """A small tiled matmul; P0 tiles rows (any divisor of 12 works)."""
+    A, B, C = _matmul_graph()
+    s = te.create_schedule(C.op)
+    p0 = int(params.get("P0", 1))
+    if p0 > 1:
+        i = s[C].op.axis[0]
+        s[C].split(i, factor=p0)
+    return s, [A, B, C]
+
+
+def compile_error_builder(params):
+    """Raises ReproError during build (a rejected configuration)."""
+    raise ReproError(f"unsatisfiable configuration {dict(params)}")
+
+
+def plain_exception_builder(params):
+    """Raises a plain Exception — the escape that used to kill LocalEvaluator."""
+    raise ValueError(f"kernel bug for {dict(params)}")
+
+
+def crash_builder(params):
+    """Kills the worker process outright (simulated segfault)."""
+    os._exit(17)
+
+
+def hang_builder(params):
+    """Hangs for a long time; interruptible by the worker's SIGALRM watchdog."""
+    time.sleep(600)
+    return good_builder(params)
+
+
+def hard_hang_builder(params):
+    """Blocks SIGALRM then hangs: only the parent's grace-kill can stop it."""
+    signal.pthread_sigmask(signal.SIG_BLOCK, {signal.SIGALRM})
+    time.sleep(600)
+    return good_builder(params)
+
+
+def faulty_20pct_builder(params):
+    """Fault-injection mix: ~20% of configurations crash or hang.
+
+    Deterministic in the configuration: P0 % 10 == 4 crashes the worker,
+    P0 % 10 == 9 hangs (watchdog-interruptible); everything else builds the
+    small matmul.
+    """
+    p0 = int(params.get("P0", 0))
+    if p0 % 10 == 4:
+        os._exit(17)
+    if p0 % 10 == 9:
+        time.sleep(600)
+    return good_builder({"P0": 1})
+
+
+def logged_crash_builder(params):
+    """Appends one line per attempt to $REPRO_ATTEMPT_LOG, then crashes.
+
+    Lets tests count exactly how many attempts a crashing configuration got
+    (bounded-retry verification).
+    """
+    log = os.environ.get("REPRO_ATTEMPT_LOG")
+    if log:
+        with open(log, "a") as fh:
+            fh.write(f"{dict(params)}\n")
+            fh.flush()
+    os._exit(17)
+
+
+def transient_crash_builder(params):
+    """Crashes on the first attempt only: a retry finds the marker file and
+    succeeds. Marker directory comes from $REPRO_ATTEMPT_LOG's directory."""
+    log = os.environ.get("REPRO_ATTEMPT_LOG")
+    marker = log + ".once" if log else None
+    if marker and not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("attempted\n")
+        os._exit(17)
+    return good_builder(params)
+
+
+def slow_builder(params):
+    """Adds a fixed wall-clock cost per measurement (speedup benchmarks)."""
+    time.sleep(0.05)
+    return good_builder(params)
+
+
+def bad_result_validator(buffers) -> str | None:
+    """A validator that always rejects the output."""
+    return "validation failed: output rejected"
+
+
+def crashing_validator(buffers) -> str | None:
+    """A validator that raises a plain Exception."""
+    raise RuntimeError("validator exploded")
+
+
+def check_matmul_validator(buffers) -> str | None:
+    """Real validation: the output buffer must equal A @ B."""
+    a, b, c = buffers
+    if np.allclose(c, a @ b, rtol=1e-4, atol=1e-6):
+        return None
+    return "validation failed: wrong matmul result"

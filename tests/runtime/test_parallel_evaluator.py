@@ -1,0 +1,256 @@
+"""ParallelEvaluator failure-path battery: crash, timeout, compile error,
+plain exceptions, bounded retries, cache behaviour, ordering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ReproError
+from repro.runtime import BuildCache, ParallelEvaluator
+from repro.runtime.measure import FAILED_COST
+from repro.runtime.parallel import evaluate_batch
+
+from tests.runtime.parallel_targets import (
+    check_matmul_validator,
+    compile_error_builder,
+    crash_builder,
+    crashing_validator,
+    good_builder,
+    hang_builder,
+    hard_hang_builder,
+    logged_crash_builder,
+    plain_exception_builder,
+    transient_crash_builder,
+)
+
+
+@pytest.fixture
+def evaluator():
+    made: list[ParallelEvaluator] = []
+
+    def make(builder, **kwargs) -> ParallelEvaluator:
+        kwargs.setdefault("jobs", 2)
+        ev = ParallelEvaluator(builder, **kwargs)
+        made.append(ev)
+        return ev
+
+    yield make
+    for ev in made:
+        ev.close()
+
+
+class TestHappyPath:
+    def test_single_evaluate(self, evaluator):
+        ev = evaluator(good_builder, jobs=1)
+        res = ev.evaluate({"P0": 2})
+        assert res.ok
+        assert res.costs and res.mean_cost > 0
+        assert res.config == {"P0": 2}
+        assert res.extra["cache_hit"] == 0.0
+
+    def test_batch_preserves_order(self, evaluator):
+        ev = evaluator(good_builder, jobs=2)
+        configs = [{"P0": p} for p in (1, 2, 3, 4, 6)]
+        results = ev.evaluate_batch(configs)
+        assert [r.config for r in results] == configs
+        assert all(r.ok for r in results)
+
+    def test_validator_runs_in_worker(self, evaluator):
+        ev = evaluator(good_builder, jobs=1, validate=check_matmul_validator)
+        assert ev.evaluate({"P0": 3}).ok
+
+    def test_constructor_validation(self):
+        with pytest.raises(ReproError):
+            ParallelEvaluator(good_builder, jobs=0)
+        with pytest.raises(ReproError):
+            ParallelEvaluator(good_builder, timeout=0)
+        with pytest.raises(ReproError):
+            ParallelEvaluator(good_builder, max_retries=-1)
+        with pytest.raises(ReproError):
+            ParallelEvaluator(good_builder, number=0)
+
+
+class TestFaultIsolation:
+    def test_compile_error_is_failed_result(self, evaluator):
+        ev = evaluator(compile_error_builder, jobs=1)
+        res = ev.evaluate({"P0": 2})
+        assert not res.ok
+        assert res.mean_cost == FAILED_COST
+        assert "compile error" in res.error
+
+    def test_plain_exception_is_failed_result(self, evaluator):
+        ev = evaluator(plain_exception_builder, jobs=1)
+        res = ev.evaluate({"P0": 2})
+        assert not res.ok
+        assert res.mean_cost == FAILED_COST
+        assert "ValueError" in res.error
+
+    def test_worker_crash_is_failed_result(self, evaluator):
+        ev = evaluator(crash_builder, jobs=1, max_retries=1, retry_backoff=0.0)
+        res = ev.evaluate({"P0": 2})
+        assert not res.ok
+        assert res.mean_cost == FAILED_COST
+        assert "crash" in res.error
+        assert ev.n_crashes >= 1
+
+    def test_crash_does_not_poison_subsequent_batches(self, evaluator):
+        ev = evaluator(crash_builder, jobs=2, max_retries=0, retry_backoff=0.0)
+        first = ev.evaluate_batch([{"P0": 1}, {"P0": 2}])
+        assert all(not r.ok for r in first)
+        ev.builder = good_builder  # pool was rebuilt; engine still works
+        res = ev.evaluate({"P0": 2})
+        assert res.ok
+
+    def test_crashing_validator_is_failed_result(self, evaluator):
+        ev = evaluator(good_builder, jobs=1, validate=crashing_validator)
+        res = ev.evaluate({"P0": 2})
+        assert not res.ok
+        assert "RuntimeError" in res.error
+
+    def test_watchdog_timeout_is_failed_result(self, evaluator):
+        ev = evaluator(hang_builder, jobs=1, timeout=0.5, parent_grace=10.0)
+        res = ev.evaluate({"P0": 2})
+        assert not res.ok
+        assert res.mean_cost == FAILED_COST
+        assert "timeout" in res.error
+        assert ev.n_timeouts == 1  # watchdog timeouts count, not just hard kills
+
+    @pytest.mark.slow
+    def test_hard_hang_killed_by_parent(self, evaluator):
+        ev = evaluator(hard_hang_builder, jobs=1, timeout=0.3, parent_grace=0.7)
+        res = ev.evaluate({"P0": 2})
+        assert not res.ok
+        assert "timeout" in res.error
+        assert ev.n_timeouts == 1
+        ev.builder = good_builder  # engine recovered from the kill
+        assert ev.evaluate({"P0": 2}).ok
+
+
+class TestBoundedRetries:
+    def test_attempts_are_bounded(self, evaluator, tmp_path, monkeypatch):
+        log = tmp_path / "attempts.log"
+        monkeypatch.setenv("REPRO_ATTEMPT_LOG", str(log))
+        ev = evaluator(
+            logged_crash_builder, jobs=1, max_retries=2, retry_backoff=0.0
+        )
+        res = ev.evaluate({"P0": 2})
+        assert not res.ok
+        attempts = log.read_text().strip().splitlines()
+        assert len(attempts) == 3  # 1 initial + max_retries
+        assert res.extra["retries"] == 2.0
+
+    def test_zero_retries_single_attempt(self, evaluator, tmp_path, monkeypatch):
+        log = tmp_path / "attempts.log"
+        monkeypatch.setenv("REPRO_ATTEMPT_LOG", str(log))
+        ev = evaluator(
+            logged_crash_builder, jobs=1, max_retries=0, retry_backoff=0.0
+        )
+        assert not ev.evaluate({"P0": 2}).ok
+        assert len(log.read_text().strip().splitlines()) == 1
+
+    def test_transient_crash_recovers_on_retry(self, evaluator, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ATTEMPT_LOG", str(tmp_path / "t.log"))
+        ev = evaluator(
+            transient_crash_builder, jobs=1, max_retries=2, retry_backoff=0.0
+        )
+        res = ev.evaluate({"P0": 2})
+        assert res.ok
+        assert res.extra["retries"] >= 1.0
+        assert ev.n_retries >= 1
+
+    def test_deterministic_errors_not_retried(self, evaluator, tmp_path, monkeypatch):
+        # Compile errors come back as payloads, not crashes: no retry loop.
+        ev = evaluator(compile_error_builder, jobs=1, max_retries=5)
+        ev.evaluate({"P0": 2})
+        assert ev.n_retries == 0
+
+
+class TestBuildCacheIntegration:
+    def test_duplicate_config_hits_cache(self, evaluator):
+        ev = evaluator(good_builder, jobs=1)
+        first = ev.evaluate({"P0": 2})
+        second = ev.evaluate({"P0": 2})
+        assert first.extra["cache_hit"] == 0.0
+        assert second.extra["cache_hit"] == 1.0
+        assert ev.cache.hits == 1
+        assert second.ok
+
+    def test_shared_cache_across_evaluators(self, evaluator):
+        shared = BuildCache()
+        ev1 = evaluator(good_builder, jobs=1, cache=shared)
+        ev1.evaluate({"P0": 2})
+        ev2 = evaluator(good_builder, jobs=1, cache=shared)
+        res = ev2.evaluate({"P0": 2})
+        assert res.extra["cache_hit"] == 1.0
+
+    def test_cache_disabled(self, evaluator):
+        ev = evaluator(good_builder, jobs=1, use_cache=False)
+        ev.evaluate({"P0": 2})
+        ev.evaluate({"P0": 2})
+        assert ev.cache.hits == 0 and ev.cache.misses == 0
+
+    def test_cached_run_matches_uncached(self, evaluator):
+        ev = evaluator(good_builder, jobs=1, validate=check_matmul_validator)
+        assert ev.evaluate({"P0": 2}).ok
+        assert ev.evaluate({"P0": 2}).ok  # rehydrated module still correct
+
+
+class TestEvaluateBatchDispatch:
+    def test_dispatches_to_native_batch(self, evaluator):
+        ev = evaluator(good_builder, jobs=2)
+        results = evaluate_batch(ev, [{"P0": 1}, {"P0": 2}], jobs=99)
+        assert all(r.ok for r in results)
+
+    def test_jobs_validation(self, evaluator):
+        ev = evaluator(good_builder, jobs=1)
+        with pytest.raises(ReproError):
+            evaluate_batch(ev, [{"P0": 1}], jobs=0)
+
+
+class TestLocalEvaluatorRegression:
+    """Satellite: LocalEvaluator must survive plain Exceptions (the old code
+    caught only ReproError and let anything else kill the search)."""
+
+    def test_plain_exception_in_builder_is_failed_result(self):
+        from repro.runtime import LocalEvaluator
+
+        ev = LocalEvaluator(plain_exception_builder)
+        res = ev.evaluate({"P0": 2})
+        assert not res.ok
+        assert res.mean_cost == FAILED_COST
+        assert "ValueError" in res.error
+
+    def test_plain_exception_in_validator_is_failed_result(self):
+        from repro.runtime import LocalEvaluator
+
+        ev = LocalEvaluator(good_builder, validate=crashing_validator)
+        res = ev.evaluate({"P0": 2})
+        assert not res.ok
+        assert "RuntimeError" in res.error
+
+    def test_search_survives_exception_heavy_space(self):
+        """A whole AMBS run over a builder that always raises completes."""
+        from repro.configspace import ConfigurationSpace, OrdinalHyperparameter
+        from repro.runtime import LocalEvaluator
+        from repro.ytopt.problem import TuningProblem
+        from repro.ytopt.search import AMBS
+        from repro.common.errors import TuningError
+
+        space = ConfigurationSpace(name="s", seed=0)
+        space.add_hyperparameters([OrdinalHyperparameter("P0", [1, 2, 3, 4])])
+        problem = TuningProblem(space, LocalEvaluator(plain_exception_builder))
+        search = AMBS(problem, max_evals=4, seed=0)
+        with pytest.raises(TuningError):
+            # every eval failed -> no best; but the search loop itself survived
+            search.run()
+        assert len(search.database) == 4
+        assert all(not r.ok for r in search.database)
+
+
+def test_failed_costs_use_sentinel():
+    assert FAILED_COST == pytest.approx(1.0e10)
+    r = ParallelEvaluator(good_builder)._failure({"P0": 1}, "boom")
+    assert r.mean_cost == FAILED_COST
+    assert r.min_cost == FAILED_COST
+    assert not np.isnan(r.mean_cost)
