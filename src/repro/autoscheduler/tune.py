@@ -32,6 +32,14 @@ from repro.swing.evaluator import SwingEvaluator
 from repro.swing.profile import GemmStageProfile, KernelProfile
 from repro.te.schedule import Schedule
 from repro.te.tensor import Tensor
+from repro.telemetry.context import get_telemetry
+from repro.telemetry.events import (
+    RunFinished,
+    RunStarted,
+    TrialMeasured,
+    make_run_id,
+)
+from repro.telemetry.meta import run_metadata
 from repro.ytopt.database import PerformanceDatabase
 
 GraphBuilder = Callable[[], Sequence[Tensor]]
@@ -154,21 +162,58 @@ def auto_schedule(
         task.sketch, cost_model=cost_model, params=opts.evolution, seed=opts.seed
     )
     database = PerformanceDatabase(name=f"{task.name}:autoscheduler")
-    measured = 0
-    while measured < opts.n_trials:
-        batch = policy.propose_batch()
-        if not batch:
-            break
-        for annotation in batch:
-            if measured >= opts.n_trials:
-                break
-            result: MeasureResult = task.evaluator.evaluate(annotation)
-            database.add(result, tuner="AutoScheduler")
-            policy.tell(
-                annotation, result.mean_cost if result.ok else float("inf")
+    tel = get_telemetry()
+    clock = getattr(task.evaluator, "clock", None)
+    run_id = make_run_id(task.name, "auto", "AutoScheduler", opts.seed)
+    if tel.enabled:
+        tel.emit(
+            RunStarted(
+                run_id=run_id,
+                kernel=task.name,
+                size_name="auto",
+                tuner="AutoScheduler",
+                seed=opts.seed,
+                max_evals=opts.n_trials,
+                metadata=run_metadata(seed=opts.seed, extra={"n_trials": opts.n_trials}),
             )
-            measured += 1
+        )
+    measured = 0
+    with tel.span("autoschedule", clock=clock):
+        while measured < opts.n_trials:
+            batch = policy.propose_batch()
+            if not batch:
+                break
+            for annotation in batch:
+                if measured >= opts.n_trials:
+                    break
+                result: MeasureResult = task.evaluator.evaluate(annotation)
+                database.add(result, tuner="AutoScheduler")
+                policy.tell(
+                    annotation, result.mean_cost if result.ok else float("inf")
+                )
+                measured += 1
+                if tel.enabled:
+                    tel.emit(
+                        TrialMeasured(
+                            config=dict(result.config),
+                            runtime=result.mean_cost,
+                            compile_time=result.compile_time,
+                            elapsed=result.timestamp,
+                            error=result.error,
+                            cache_hit=bool(result.extra.get("cache_hit")),
+                        )
+                    )
     best_annotation, best_cost = policy.best()
+    if tel.enabled:
+        tel.emit(
+            RunFinished(
+                run_id=run_id,
+                best_runtime=best_cost,
+                best_config={k: int(v) for k, v in best_annotation.items()},
+                n_evals=measured,
+                total_time=task.evaluator.elapsed(),
+            )
+        )
     return AutoScheduleResult(
         best_annotation=best_annotation,
         best_cost=best_cost,

@@ -17,6 +17,8 @@ from repro.autotvm.space import ConfigEntity
 from repro.common.errors import TuningError
 from repro.runtime.measure import Evaluator, MeasureResult
 from repro.runtime.parallel import evaluate_batch
+from repro.telemetry.context import get_telemetry
+from repro.telemetry.events import TrialMeasured
 
 
 @dataclass(frozen=True)
@@ -85,13 +87,29 @@ class Measurer:
     def measure_batch(self, configs: list[ConfigEntity]) -> list[MeasureResult]:
         if not configs:
             return []
+        tel = get_telemetry()
         clock = getattr(self.evaluator, "clock", None)
-        if clock is not None:
-            clock.advance(self.option.batch_overhead)
-        dicts = [c.to_dict() for c in configs]
-        if self.option.jobs > 1:
-            return evaluate_batch(self.evaluator, dicts, jobs=self.option.jobs)
-        return [self.evaluator.evaluate(d) for d in dicts]
+        with tel.span("measure_batch", clock=clock):
+            if clock is not None:
+                clock.advance(self.option.batch_overhead)
+            dicts = [c.to_dict() for c in configs]
+            if self.option.jobs > 1:
+                results = evaluate_batch(self.evaluator, dicts, jobs=self.option.jobs)
+            else:
+                results = [self.evaluator.evaluate(d) for d in dicts]
+        if tel.enabled:
+            for result in results:
+                tel.emit(
+                    TrialMeasured(
+                        config=dict(result.config),
+                        runtime=result.mean_cost,
+                        compile_time=result.compile_time,
+                        elapsed=result.timestamp,
+                        error=result.error,
+                        cache_hit=bool(result.extra.get("cache_hit")),
+                    )
+                )
+        return results
 
     def elapsed(self) -> float:
         return self.evaluator.elapsed()

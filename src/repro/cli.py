@@ -7,14 +7,23 @@ Installed as the ``repro`` console script::
     repro tune --kernel lu --size large --tuner ytopt --max-evals 100
     repro experiment lu-large --evals 100 --csv results/lu-large.csv
     repro ablation kappa
+    repro report --db results/runs.sqlite       # paper tables from the store
+    repro compare old.sqlite new.sqlite         # regression diff of two stores
 
 All simulated experiments run against the calibrated Swing/A100 model and are
-fully reproducible via ``--seed``.
+fully reproducible via ``--seed``. ``tune`` and ``experiment`` record
+telemetry when asked: ``--db`` persists every run and evaluation to a SQLite
+run store, ``--trace`` appends a JSONL event trace, ``--quiet`` silences
+progress, ``--json`` makes stdout a single JSON document, and
+``--no-telemetry`` disables the subsystem entirely (trajectories are identical
+either way — telemetry never touches the RNG or the virtual clock).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import math
 import sys
 from collections.abc import Sequence
 
@@ -31,6 +40,15 @@ from repro.experiments import (
     format_tensor_size,
 )
 from repro.kernels import TABLE1_SPACE_SIZES, get_benchmark, list_benchmarks, space_size
+from repro.telemetry import (
+    ConsoleSink,
+    JsonlSink,
+    RunStore,
+    StoreSink,
+    Telemetry,
+    format_metrics_summary,
+    telemetry_session,
+)
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -59,26 +77,80 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _console_from_args(args: argparse.Namespace) -> ConsoleSink:
+    if getattr(args, "json", False):
+        mode = "json"
+    elif getattr(args, "quiet", False):
+        mode = "quiet"
+    else:
+        mode = "text"
+    return ConsoleSink(mode=mode)
+
+
+def _telemetry_from_args(
+    args: argparse.Namespace, console: ConsoleSink
+) -> Telemetry | None:
+    """Build the session's telemetry from CLI flags (None = disabled)."""
+    if getattr(args, "no_telemetry", False):
+        return None
+    sinks: list = [console]
+    if getattr(args, "trace", None):
+        sinks.append(JsonlSink(args.trace))
+    if getattr(args, "db", None):
+        sinks.append(StoreSink(RunStore(args.db)))
+    return Telemetry(sinks=sinks)
+
+
+def _finite_or_none(x: float) -> float | None:
+    return x if math.isfinite(x) else None
+
+
+def _run_payload(run) -> dict:
+    """A JSON-safe summary of one TunerRun."""
+    return {
+        "tuner": run.tuner,
+        "kernel": run.kernel,
+        "size": run.size_name,
+        "best_runtime": run.best_runtime,
+        "best_config": run.best_config,
+        "n_evals": run.n_evals,
+        "total_time": run.total_time,
+        "trajectory": [
+            [round(t, 6), _finite_or_none(rt)] for t, rt in run.trajectory
+        ],
+    }
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
     benchmark = get_benchmark(args.kernel, args.size)
-    run = run_tuner(
-        benchmark,
-        args.tuner,
-        max_evals=args.max_evals,
-        seed=args.seed,
-        xgb_trial_cap=None if args.no_xgb_cap else 56,
-        jobs=args.jobs,
-        timeout=args.timeout,
-    )
-    print(f"{run.tuner} on {benchmark.name}: best {run.best_runtime:.4g}s at "
-          f"{format_tensor_size(args.kernel, run.best_config)} "
-          f"({run.n_evals} evals, {run.total_time:,.0f}s process time)")
-    if args.csv:
-        with open(args.csv, "w") as fh:
-            fh.write("eval,elapsed_s,runtime_s\n")
-            for i, (t, rt) in enumerate(run.trajectory):
-                fh.write(f"{i},{t:.3f},{rt:.6g}\n")
-        print(f"trajectory written to {args.csv}")
+    console = _console_from_args(args)
+    telemetry = _telemetry_from_args(args, console)
+    with telemetry_session(telemetry) as tel:
+        run = run_tuner(
+            benchmark,
+            args.tuner,
+            max_evals=args.max_evals,
+            seed=args.seed,
+            xgb_trial_cap=None if args.no_xgb_cap else 56,
+            jobs=args.jobs,
+            timeout=args.timeout,
+        )
+        console.info(
+            f"{run.tuner} on {benchmark.name}: best {run.best_runtime:.4g}s at "
+            f"{format_tensor_size(args.kernel, run.best_config)} "
+            f"({run.n_evals} evals, {run.total_time:,.0f}s process time)"
+        )
+        if args.csv:
+            with open(args.csv, "w") as fh:
+                fh.write("eval,elapsed_s,runtime_s\n")
+                for i, (t, rt) in enumerate(run.trajectory):
+                    fh.write(f"{i},{t:.3f},{rt:.6g}\n")
+            console.info(f"trajectory written to {args.csv}")
+        if args.db:
+            console.progress(f"run stored in {args.db}")
+        if tel.enabled:
+            console.progress(format_metrics_summary(tel.metrics))
+        console.result_json(_run_payload(run))
     return 0
 
 
@@ -89,22 +161,67 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(f"unknown experiment {args.name!r}; known: "
               f"{', '.join(EXPERIMENT_FIGURES)}", file=sys.stderr)
         return 2
-    result = run_experiment(
-        kernel,
-        size,
-        max_evals=args.evals,
-        seed=args.seed,
-        jobs=args.jobs,
-        timeout=args.timeout,
-    )
-    print(f"{figures} — {kernel}/{size}")
-    print(process_summary_table(result))
-    print()
-    print(min_runtime_table(result))
-    if args.csv:
-        with open(args.csv, "w") as fh:
-            fh.write(trajectory_csv(result))
-        print(f"\ntrajectories written to {args.csv}")
+    console = _console_from_args(args)
+    telemetry = _telemetry_from_args(args, console)
+    with telemetry_session(telemetry) as tel:
+        result = run_experiment(
+            kernel,
+            size,
+            max_evals=args.evals,
+            seed=args.seed,
+            jobs=args.jobs,
+            timeout=args.timeout,
+        )
+        console.info(f"{figures} — {kernel}/{size}")
+        console.info(process_summary_table(result))
+        console.info("")
+        console.info(min_runtime_table(result))
+        if args.csv:
+            with open(args.csv, "w") as fh:
+                fh.write(trajectory_csv(result))
+            console.info(f"\ntrajectories written to {args.csv}")
+        if args.db:
+            console.progress(f"runs stored in {args.db}")
+        if tel.enabled:
+            console.progress(format_metrics_summary(tel.metrics))
+        console.result_json(
+            {
+                "kernel": kernel,
+                "size": size,
+                "figures": figures,
+                "runs": {name: _run_payload(r) for name, r in result.runs.items()},
+            }
+        )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.telemetry.report import report_text
+
+    with RunStore(args.db) as store:
+        text = report_text(store, kernel=args.kernel, size_name=args.size)
+    print(text)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.telemetry.report import compare_stores
+
+    with RunStore(args.baseline) as base, RunStore(args.candidate) as cand:
+        text, regressed = compare_stores(
+            base,
+            cand,
+            threshold=args.threshold,
+            kernel=args.kernel,
+            size_name=args.size,
+        )
+    print(text)
+    if regressed:
+        print(
+            f"\n{len(regressed)} regression(s) at the {args.threshold:.0%} threshold",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -154,6 +271,22 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("telemetry")
+    group.add_argument("--db", default=None, metavar="PATH",
+                       help="persist every run + evaluation to this SQLite run "
+                       "store (read back with 'repro report' / 'repro compare')")
+    group.add_argument("--trace", default=None, metavar="PATH",
+                       help="append a JSONL event trace (runs, trials, spans, "
+                       "cache hits, worker faults)")
+    group.add_argument("--quiet", action="store_true",
+                       help="suppress live progress output")
+    group.add_argument("--json", action="store_true",
+                       help="emit one JSON document on stdout instead of text")
+    group.add_argument("--no-telemetry", action="store_true",
+                       help="disable the telemetry subsystem entirely")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -181,6 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--timeout", type=float, default=None, metavar="S",
                         help="per-trial kernel wall-clock budget in seconds "
                         "(timed-out trials are recorded as failed)")
+    _add_telemetry_args(p_tune)
 
     p_exp = sub.add_parser("experiment", help="run a full 5-tuner paper experiment")
     p_exp.add_argument("name", help=f"one of: {', '.join(EXPERIMENT_FIGURES)}")
@@ -191,6 +325,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="parallel measurement width for every tuner")
     p_exp.add_argument("--timeout", type=float, default=None, metavar="S",
                        help="per-trial kernel wall-clock budget in seconds")
+    _add_telemetry_args(p_exp)
+
+    p_report = sub.add_parser(
+        "report", help="regenerate the paper tables from a telemetry run store"
+    )
+    p_report.add_argument("--db", default="results/runs.sqlite",
+                          help="SQLite run store written by tune/experiment --db")
+    p_report.add_argument("--kernel", default=None,
+                          help="restrict to one kernel (default: all stored)")
+    p_report.add_argument("--size", default=None,
+                          help="restrict to one problem size")
+
+    p_cmp = sub.add_parser(
+        "compare", help="diff two run stores and flag regressions"
+    )
+    p_cmp.add_argument("baseline", help="baseline run store (SQLite)")
+    p_cmp.add_argument("candidate", help="candidate run store (SQLite)")
+    p_cmp.add_argument("--threshold", type=float, default=0.10, metavar="FRAC",
+                       help="flag best-runtime/process-time increases >= this "
+                       "fraction (default 0.10)")
+    p_cmp.add_argument("--kernel", default=None)
+    p_cmp.add_argument("--size", default=None)
 
     p_auto = sub.add_parser(
         "autoschedule", help="run the mini-AutoScheduler (auto-generated space)"
@@ -216,6 +372,8 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "tune": _cmd_tune,
     "experiment": _cmd_experiment,
+    "report": _cmd_report,
+    "compare": _cmd_compare,
     "autoschedule": _cmd_autoschedule,
     "ablation": _cmd_ablation,
 }

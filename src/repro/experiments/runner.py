@@ -33,6 +33,9 @@ from repro.common.timing import VirtualClock
 from repro.core.framework import AutotuneConfig, BayesianAutotuner
 from repro.kernels.registry import KernelBenchmark, get_benchmark
 from repro.swing import SwingEvaluator, SwingPerformanceModel
+from repro.telemetry.context import get_telemetry
+from repro.telemetry.events import RunFinished, RunStarted, make_run_id
+from repro.telemetry.meta import run_metadata
 
 #: Display names, matching the paper's figure legends.
 ALL_TUNERS = (
@@ -130,10 +133,61 @@ def run_tuner(
     """
     if jobs < 1:
         raise TuningError(f"jobs must be >= 1, got {jobs}")
-    if tuner == "ytopt":
-        evaluator = _make_evaluator(
-            benchmark, for_autotvm=False, model=model, seed=seed, timeout=timeout
+    if tuner != "ytopt" and tuner not in _AUTOTVM_CLASSES:
+        raise TuningError(f"unknown tuner {tuner!r}; known: {ALL_TUNERS}")
+
+    tel = get_telemetry()
+    evaluator = _make_evaluator(
+        benchmark, for_autotvm=tuner != "ytopt", model=model, seed=seed, timeout=timeout
+    )
+    run_id = make_run_id(benchmark.kernel, benchmark.size_name, tuner, seed)
+    if tel.enabled:
+        tel.emit(
+            RunStarted(
+                run_id=run_id,
+                kernel=benchmark.kernel,
+                size_name=benchmark.size_name,
+                tuner=tuner,
+                seed=seed,
+                max_evals=max_evals,
+                metadata=run_metadata(
+                    seed=seed,
+                    extra={
+                        "max_evals": max_evals,
+                        "jobs": jobs,
+                        "timeout": timeout,
+                        "xgb_trial_cap": xgb_trial_cap if tuner == "AutoTVM-XGB" else None,
+                    },
+                ),
+            )
         )
+    with tel.span("tuner_run", clock=evaluator.clock):
+        run = _run_tuner_inner(
+            benchmark, tuner, evaluator, max_evals, seed, xgb_trial_cap, jobs
+        )
+    if tel.enabled:
+        tel.emit(
+            RunFinished(
+                run_id=run_id,
+                best_runtime=run.best_runtime,
+                best_config=run.best_config,
+                n_evals=run.n_evals,
+                total_time=run.total_time,
+            )
+        )
+    return run
+
+
+def _run_tuner_inner(
+    benchmark: KernelBenchmark,
+    tuner: str,
+    evaluator: SwingEvaluator,
+    max_evals: int,
+    seed: int,
+    xgb_trial_cap: int | None,
+    jobs: int,
+) -> TunerRun:
+    if tuner == "ytopt":
         bo = BayesianAutotuner(
             benchmark.config_space(seed=seed),
             evaluator,
@@ -154,12 +208,7 @@ def run_tuner(
             trajectory=result.database.trajectory(),
         )
 
-    cls = _AUTOTVM_CLASSES.get(tuner)
-    if cls is None:
-        raise TuningError(f"unknown tuner {tuner!r}; known: {ALL_TUNERS}")
-    evaluator = _make_evaluator(
-        benchmark, for_autotvm=True, model=model, seed=seed, timeout=timeout
-    )
+    cls = _AUTOTVM_CLASSES[tuner]
     task = task_from_benchmark(benchmark, evaluator)
     if cls is XGBTuner:
         t = XGBTuner(task, trial_cap=xgb_trial_cap, seed=seed)

@@ -27,6 +27,8 @@ from collections.abc import Mapping
 from typing import Any
 
 from repro.common.errors import ReproError
+from repro.telemetry.context import get_telemetry
+from repro.telemetry.events import CacheHit, CacheMiss
 
 
 def builder_fingerprint(builder: Any) -> str:
@@ -99,9 +101,14 @@ class BuildCache:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self.hits += 1
-                return self._entries[key]
-            self.misses += 1
-            return None
+                artifact = self._entries[key]
+            else:
+                self.misses += 1
+                artifact = None
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.emit(CacheHit(key=key) if artifact is not None else CacheMiss(key=key))
+        return artifact
 
     def peek(self, key: str) -> Any | None:
         """Like :meth:`get` but without touching the counters or LRU order."""
@@ -127,6 +134,26 @@ class BuildCache:
                 "cache_misses": float(self.misses),
                 "cache_entries": float(len(self._entries)),
             }
+
+    def stats_snapshot(self) -> dict[str, int]:
+        """Point-in-time counters, for computing per-run deltas.
+
+        A shared cache accumulates hits/misses across its whole lifetime;
+        consumers that report *per-run* numbers snapshot at run start and
+        subtract (see :meth:`ParallelEvaluator._cache_extra
+        <repro.runtime.parallel.ParallelEvaluator>`)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._entries),
+            }
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters (entries are kept)."""
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
 
     def clear(self) -> None:
         with self._lock:

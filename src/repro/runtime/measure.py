@@ -26,6 +26,7 @@ from repro.common.rng import ensure_rng
 from repro.te.schedule import Schedule
 from repro.te.tensor import Tensor
 from repro.runtime.module import build
+from repro.telemetry.context import get_telemetry
 
 ScheduleBuilder = Callable[[Mapping[str, int]], tuple[Schedule, Sequence[Tensor]]]
 
@@ -117,11 +118,13 @@ class LocalEvaluator(Evaluator):
         return time.perf_counter() - self._start
 
     def evaluate(self, params: Mapping[str, int]) -> MeasureResult:
+        tel = get_telemetry()
         cfg = {k: int(v) for k, v in params.items()}
         t0 = time.perf_counter()
         try:
-            sched, args = self.builder(cfg)
-            mod = build(sched, args, target=self.target)
+            with tel.span("compile"):
+                sched, args = self.builder(cfg)
+                mod = build(sched, args, target=self.target)
         except Exception as exc:  # noqa: BLE001 — any builder/compile failure
             # must become a failed MeasureResult, not kill the whole search;
             # kernels and user builders raise plain Exceptions, not just
@@ -143,13 +146,14 @@ class LocalEvaluator(Evaluator):
             for i, t in enumerate(args)
         ]
         try:
-            costs = []
-            for _ in range(self.repeat):
-                start = time.perf_counter()
-                for _ in range(self.number):
-                    mod(*buffers)
-                costs.append((time.perf_counter() - start) / self.number)
-            error = self.validate(buffers) if self.validate is not None else None
+            with tel.span("run"):
+                costs = []
+                for _ in range(self.repeat):
+                    start = time.perf_counter()
+                    for _ in range(self.number):
+                        mod(*buffers)
+                    costs.append((time.perf_counter() - start) / self.number)
+                error = self.validate(buffers) if self.validate is not None else None
         except Exception as exc:  # noqa: BLE001 — same isolation as the
             # compile path: a crashing kernel or validator is a failed trial.
             return MeasureResult(

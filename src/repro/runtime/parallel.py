@@ -47,6 +47,8 @@ from repro.runtime.measure import (
     _describe_error,
 )
 from repro.runtime.module import build, build_from_primfunc
+from repro.telemetry.context import get_telemetry
+from repro.telemetry.events import PoolRebuilt, WorkerCrashed
 
 __all__ = ["ParallelEvaluator", "evaluate_batch"]
 
@@ -250,6 +252,10 @@ class ParallelEvaluator(Evaluator):
         self.parent_grace = parent_grace
         self._mp_context = mp_context
         self._pool: ProcessPoolExecutor | None = None
+        # Per-run cache accounting: the shared cache may predate this
+        # evaluator, so results report deltas from this baseline, not the
+        # cache's process-lifetime totals.
+        self._cache_baseline = self.cache.stats_snapshot()
         self._start = time.perf_counter()
         self.n_evaluations = 0
         self.n_crashes = 0
@@ -265,12 +271,15 @@ class ParallelEvaluator(Evaluator):
             )
         return self._pool
 
-    def _kill_pool(self) -> None:
+    def _kill_pool(self, reason: str = "") -> None:
         """Terminate every worker and discard the pool (hung/crashed state)."""
         pool = self._pool
         self._pool = None
         if pool is None:
             return
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.emit(PoolRebuilt(reason=reason))
         for proc in list(getattr(pool, "_processes", {}).values()):
             try:
                 proc.terminate()
@@ -348,6 +357,15 @@ class ParallelEvaluator(Evaluator):
     def _parent_budget(self) -> float | None:
         return None if self.timeout is None else self.timeout + self.parent_grace
 
+    def _cache_extra(self) -> dict[str, float]:
+        """Per-run cache counters: deltas from this evaluator's baseline."""
+        snap = self.cache.stats_snapshot()
+        return {
+            "cache_hits": float(snap["hits"] - self._cache_baseline["hits"]),
+            "cache_misses": float(snap["misses"] - self._cache_baseline["misses"]),
+            "cache_entries": float(snap["entries"]),
+        }
+
     def _finalize(
         self, cfg: dict[str, int], key: str | None, payload: dict
     ) -> MeasureResult:
@@ -356,7 +374,7 @@ class ParallelEvaluator(Evaluator):
         if key is not None and payload.get("func") is not None:
             self.cache.put(key, payload["func"])
         extra: dict[str, float] = {"cache_hit": 1.0 if payload["cache_hit"] else 0.0}
-        extra.update(self.cache.stats())
+        extra.update(self._cache_extra())
         return MeasureResult(
             config=cfg,
             costs=tuple(payload["costs"]),
@@ -368,7 +386,7 @@ class ParallelEvaluator(Evaluator):
 
     def _failure(self, cfg: dict[str, int], error: str, retries: int = 0) -> MeasureResult:
         extra: dict[str, float] = {"cache_hit": 0.0, "retries": float(retries)}
-        extra.update(self.cache.stats())
+        extra.update(self._cache_extra())
         return MeasureResult(
             config=cfg,
             costs=(),
@@ -405,7 +423,10 @@ class ParallelEvaluator(Evaluator):
                 payload = fut.result(timeout=self._parent_budget())
             except FuturesTimeoutError:
                 self.n_timeouts += 1
-                self._kill_pool()
+                self._emit_worker_fault(
+                    f"hung beyond {self._parent_budget():.1f}s", cfgs[i], "timeout"
+                )
+                self._kill_pool(reason="worker hung")
                 broken = True
                 if self.retry_on_timeout:
                     results[i] = self._measure_with_retries(requests[i], attempt=1)
@@ -418,7 +439,8 @@ class ParallelEvaluator(Evaluator):
                 # A worker in this wave crashed; every unresolved future is
                 # poisoned. Rebuild the pool and retry each config one by one.
                 self.n_crashes += 1
-                self._kill_pool()
+                self._emit_worker_fault(_describe_error(exc), cfgs[i], "crash")
+                self._kill_pool(reason="worker crashed")
                 broken = True
                 results[i] = self._measure_with_retries(
                     requests[i], attempt=1, last_error=_describe_error(exc)
@@ -446,7 +468,10 @@ class ParallelEvaluator(Evaluator):
                 payload = fut.result(timeout=self._parent_budget())
             except FuturesTimeoutError:
                 self.n_timeouts += 1
-                self._kill_pool()
+                self._emit_worker_fault(
+                    f"hung beyond {self._parent_budget():.1f}s", cfg, "timeout"
+                )
+                self._kill_pool(reason="worker hung")
                 if not self.retry_on_timeout:
                     return self._failure(
                         cfg,
@@ -458,7 +483,8 @@ class ParallelEvaluator(Evaluator):
                 continue
             except (BrokenExecutor, EOFError, OSError) as exc:
                 self.n_crashes += 1
-                self._kill_pool()
+                self._emit_worker_fault(_describeerror_safe(exc), cfg, "crash")
+                self._kill_pool(reason="worker crashed")
                 last_error = _describeerror_safe(exc)
                 attempt += 1
                 continue
@@ -470,6 +496,13 @@ class ParallelEvaluator(Evaluator):
             f"worker crashed after {self.max_retries + 1} attempts: {last_error}",
             retries=self.max_retries,
         )
+
+    def _emit_worker_fault(
+        self, error: str, cfg: dict[str, int], reason: str
+    ) -> None:
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.emit(WorkerCrashed(error=error, config=cfg, reason=reason))
 
     def stats(self) -> dict[str, float]:
         """Engine counters (also mirrored into each result's ``extra``)."""

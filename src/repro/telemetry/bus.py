@@ -1,0 +1,101 @@
+"""The telemetry event bus: ordered fan-out with per-sink fault isolation.
+
+Sinks are consumers (JSONL trace writer, SQLite run store, console progress,
+metrics aggregation). The bus delivers every event to every healthy sink **in
+emission order**; a sink that raises is charged a strike and — after
+``max_sink_failures`` strikes — quarantined, so one broken sink (full disk,
+locked database, closed stream) can never kill the search that is being
+observed. Failures are recorded on the bus for post-hoc inspection rather than
+propagated.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.telemetry.events import Event
+
+
+class Sink:
+    """Consumer interface: receive events, release resources on close."""
+
+    def handle(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - default no-op
+        """Flush and release resources (called by :meth:`EventBus.close`)."""
+
+
+class EventBus:
+    """Fan every emitted event out to the subscribed sinks, in order."""
+
+    def __init__(self, max_sink_failures: int = 5) -> None:
+        if max_sink_failures < 1:
+            raise ValueError(
+                f"max_sink_failures must be >= 1, got {max_sink_failures}"
+            )
+        self.max_sink_failures = max_sink_failures
+        self._sinks: list[Sink] = []
+        self._failures: dict[int, int] = {}  # id(sink) -> strike count
+        self._quarantined: set[int] = set()
+        self._lock = threading.Lock()
+        self.events_emitted = 0
+        #: (sink class name, event kind, error text) per delivery failure.
+        self.sink_errors: list[tuple[str, str, str]] = []
+
+    def subscribe(self, sink: Sink) -> Sink:
+        with self._lock:
+            if sink not in self._sinks:
+                self._sinks.append(sink)
+        return sink
+
+    def unsubscribe(self, sink: Sink) -> None:
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+            self._failures.pop(id(sink), None)
+            self._quarantined.discard(id(sink))
+
+    @property
+    def sinks(self) -> list[Sink]:
+        with self._lock:
+            return list(self._sinks)
+
+    def quarantined(self) -> list[Sink]:
+        """Sinks disabled after repeated delivery failures."""
+        with self._lock:
+            return [s for s in self._sinks if id(s) in self._quarantined]
+
+    def emit(self, event: Event) -> None:
+        """Deliver ``event`` to every healthy sink; never raises."""
+        event.ts = time.time()
+        with self._lock:
+            sinks = list(self._sinks)
+            self.events_emitted += 1
+        for sink in sinks:
+            if id(sink) in self._quarantined:
+                continue
+            try:
+                sink.handle(event)
+            except Exception as exc:  # noqa: BLE001 - sink faults must not
+                # reach the search loop; isolate, count, maybe quarantine.
+                with self._lock:
+                    self.sink_errors.append(
+                        (type(sink).__name__, event.kind, f"{type(exc).__name__}: {exc}")
+                    )
+                    strikes = self._failures.get(id(sink), 0) + 1
+                    self._failures[id(sink)] = strikes
+                    if strikes >= self.max_sink_failures:
+                        self._quarantined.add(id(sink))
+
+    def close(self) -> None:
+        """Close every sink (isolated: one failing close doesn't stop the rest)."""
+        for sink in self.sinks:
+            try:
+                sink.close()
+            except Exception as exc:  # noqa: BLE001 - same isolation as emit
+                with self._lock:
+                    self.sink_errors.append(
+                        (type(sink).__name__, "close", f"{type(exc).__name__}: {exc}")
+                    )

@@ -1,0 +1,154 @@
+"""Typed telemetry events emitted by the search → build → measure pipeline.
+
+Every event is a plain dataclass with a class-level ``kind`` tag and a
+``to_dict()`` serialization used by the JSONL trace sink and the SQLite run
+store. Events are *data*, not behaviour: the :class:`~repro.telemetry.bus.EventBus`
+stamps each one with an emission wall-clock ``ts`` and fans it out to sinks.
+
+The lifecycle of one tuner run::
+
+    RunStarted
+      (SurrogateFitted | CacheHit | CacheMiss | WorkerCrashed | PoolRebuilt
+       | SpanClosed | TrialMeasured)*
+    RunFinished
+
+``RunStarted``/``RunFinished`` bracket a run and carry the identity key the
+run store indexes by — (kernel, size, tuner, seed) — plus reproducibility
+metadata (git SHA, package version, platform; see
+:func:`repro.telemetry.meta.run_metadata`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any
+
+
+def make_run_id(kernel: str, size_name: str, tuner: str, seed: int | None) -> str:
+    """The natural key of one tuner run in the run store."""
+    return f"{kernel}:{size_name}:{tuner}:seed{seed}"
+
+
+@dataclass
+class Event:
+    """Base class: ``kind`` tags the concrete type; ``ts`` is stamped by the bus."""
+
+    kind = "event"
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"event": self.kind}
+        ts = getattr(self, "ts", None)
+        if ts is not None:
+            out["ts"] = ts
+        for f in dataclasses.fields(self):
+            out[f.name] = getattr(self, f.name)
+        return out
+
+
+@dataclass
+class RunStarted(Event):
+    """A tuner run began (one tuner × one kernel × one problem size)."""
+
+    kind = "run_started"
+
+    run_id: str
+    kernel: str
+    size_name: str
+    tuner: str
+    seed: int | None
+    max_evals: int
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class TrialMeasured(Event):
+    """One configuration was measured (successfully or not)."""
+
+    kind = "trial_measured"
+
+    config: dict[str, int]
+    runtime: float  # mean kernel cost; FAILED_COST sentinel on failure
+    compile_time: float
+    elapsed: float  # process clock when the measurement finished
+    error: str | None = None
+    cache_hit: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class CacheHit(Event):
+    """A build-cache lookup reused a compiled artifact."""
+
+    kind = "cache_hit"
+
+    key: str
+
+
+@dataclass
+class CacheMiss(Event):
+    """A build-cache lookup found nothing; a fresh compile follows."""
+
+    kind = "cache_miss"
+
+    key: str
+
+
+@dataclass
+class WorkerCrashed(Event):
+    """A measurement worker died or hung (``reason``: "crash" or "timeout")."""
+
+    kind = "worker_crashed"
+
+    error: str
+    config: dict[str, int] | None = None
+    reason: str = "crash"
+
+
+@dataclass
+class PoolRebuilt(Event):
+    """The parallel-measurement worker pool was killed and will be rebuilt."""
+
+    kind = "pool_rebuilt"
+
+    reason: str = ""
+
+
+@dataclass
+class SurrogateFitted(Event):
+    """The Bayesian optimizer refit its surrogate model."""
+
+    kind = "surrogate_fitted"
+
+    n_samples: int
+    wall_time: float = 0.0
+
+
+@dataclass
+class SpanClosed(Event):
+    """A tracing span completed (see :mod:`repro.telemetry.spans`)."""
+
+    kind = "span_closed"
+
+    name: str
+    wall_time: float
+    virtual_time: float | None = None
+    depth: int = 0
+    parent: str | None = None
+
+
+@dataclass
+class RunFinished(Event):
+    """A tuner run completed; carries the numbers the paper's tables report."""
+
+    kind = "run_finished"
+
+    run_id: str
+    best_runtime: float
+    best_config: dict[str, int]
+    n_evals: int
+    total_time: float
+    error: str | None = None

@@ -1,0 +1,53 @@
+"""Reproducibility metadata recorded with every stored run.
+
+A stored trajectory is only comparable to a later one if we know *what*
+produced it: the RNG seed, the package version, the exact source revision, and
+the platform. :func:`run_metadata` captures all four (best effort — a missing
+git binary or a tarball checkout degrade to ``"unknown"`` rather than fail).
+"""
+
+from __future__ import annotations
+
+import functools
+import platform
+import subprocess
+from pathlib import Path
+from typing import Any
+
+
+@functools.lru_cache(maxsize=1)
+def git_sha() -> str:
+    """The current source revision, or "unknown" outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
+
+
+def run_metadata(
+    seed: int | None = None, extra: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """Everything needed to reproduce and compare a stored run."""
+    import numpy as np
+
+    from repro import __version__
+
+    meta: dict[str, Any] = {
+        "seed": seed,
+        "repro_version": __version__,
+        "git_sha": git_sha(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "numpy": np.__version__,
+    }
+    if extra:
+        meta.update(extra)
+    return meta

@@ -1,0 +1,229 @@
+"""Regenerate the paper's tables from the run store; diff two stores.
+
+``repro report`` rebuilds each stored (kernel, size) experiment into the same
+:class:`~repro.experiments.runner.ExperimentResult` shape the in-process
+drivers produce and renders it through the *same* formatting code
+(:func:`~repro.experiments.figures.min_runtime_table`,
+:func:`~repro.experiments.figures.process_summary_table`), so a report
+generated from disk matches the live experiment output exactly — number for
+number, character for character.
+
+``repro compare`` matches runs across two stores by identity
+(kernel, size, tuner, seed) and flags regressions: a best-runtime or
+process-time increase at or beyond the threshold fraction (default 10%).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.errors import ReproError
+from repro.telemetry.store import RunStore, StoredRun
+
+
+def _trajectory(store: RunStore, run: StoredRun) -> list[tuple[float, float]]:
+    """Rebuild the (process time, runtime) trajectory a TunerRun carries.
+
+    The in-process representations differ by tuner family: ytopt's database
+    records FAILED_COST for failed evaluations, the AutoTVM record path maps
+    them to ``inf``. Reproduce each convention exactly so reports match the
+    in-process tables byte for byte.
+    """
+    evals = store.evaluations(run.run_id)
+    if run.tuner == "ytopt":
+        return [(e.elapsed, e.runtime) for e in evals]
+    return [(e.elapsed, e.runtime if e.ok else float("inf")) for e in evals]
+
+
+def experiment_from_store(store: RunStore, kernel: str, size_name: str):
+    """Reconstruct an ExperimentResult for one stored (kernel, size)."""
+    from repro.experiments.runner import ExperimentResult, TunerRun
+
+    stored = store.runs(kernel=kernel, size_name=size_name)
+    if not stored:
+        raise ReproError(f"no stored runs for {kernel}/{size_name} in {store.path}")
+    runs: dict[str, TunerRun] = {}
+    max_evals = 0
+    for run in stored:
+        runs[run.tuner] = TunerRun(
+            tuner=run.tuner,
+            kernel=run.kernel,
+            size_name=run.size_name,
+            best_config=run.best_config,
+            best_runtime=run.best_runtime,
+            n_evals=run.n_evals,
+            total_time=run.total_time,
+            trajectory=_trajectory(store, run),
+        )
+        max_evals = max(max_evals, run.max_evals or 0)
+    return ExperimentResult(
+        kernel=kernel, size_name=size_name, max_evals=max_evals, runs=runs
+    )
+
+
+def evaluation_count_table(store: RunStore, kernel: str, size_name: str) -> str:
+    """Evaluation counts + failures + cache hits per tuner (store-only view)."""
+    from repro.common.tabulate import format_table
+
+    rows = []
+    for run in store.runs(kernel=kernel, size_name=size_name):
+        evals = store.evaluations(run.run_id)
+        failures = sum(1 for e in evals if not e.ok)
+        hits = sum(1 for e in evals if e.cache_hit)
+        seed = run.metadata.get("seed", run.seed)
+        rows.append([run.tuner, run.n_evals, failures, hits, seed])
+    rows.sort(key=lambda r: str(r[0]))
+    return format_table(
+        rows,
+        headers=["tuner", "evals", "failures", "cache hits", "seed"],
+        title=f"Evaluations — {kernel} / {size_name}",
+    )
+
+
+def report_text(
+    store: RunStore, kernel: str | None = None, size_name: str | None = None
+) -> str:
+    """The full ``repro report`` text for every matching stored experiment."""
+    from repro.experiments.figures import min_runtime_table, process_summary_table
+
+    pairs = [
+        (k, s)
+        for k, s in store.experiments()
+        if (kernel is None or k == kernel) and (size_name is None or s == size_name)
+    ]
+    if not pairs:
+        raise ReproError(
+            f"no stored runs{' for ' + kernel if kernel else ''}"
+            f"{'/' + size_name if size_name else ''} in {store.path}"
+        )
+    sections = []
+    for k, s in pairs:
+        result = experiment_from_store(store, k, s)
+        sections.append(
+            "\n\n".join(
+                [
+                    process_summary_table(result),
+                    min_runtime_table(result),
+                    evaluation_count_table(store, k, s),
+                ]
+            )
+        )
+    return "\n\n".join(sections)
+
+
+# ---------------------------------------------------------------------------
+# repro compare
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunComparison:
+    """One matched run across the two stores."""
+
+    kernel: str
+    size_name: str
+    tuner: str
+    seed: int | None
+    baseline_best: float
+    candidate_best: float
+    baseline_time: float
+    candidate_time: float
+
+    @property
+    def best_change(self) -> float:
+        """Fractional change in best runtime (positive = candidate slower)."""
+        return _fractional_change(self.baseline_best, self.candidate_best)
+
+    @property
+    def time_change(self) -> float:
+        """Fractional change in total process time."""
+        return _fractional_change(self.baseline_time, self.candidate_time)
+
+    def regressed(self, threshold: float) -> bool:
+        return self.best_change >= threshold or self.time_change >= threshold
+
+
+def _fractional_change(baseline: float, candidate: float) -> float:
+    if baseline == 0:
+        return 0.0 if candidate == 0 else math.inf
+    return (candidate - baseline) / baseline
+
+
+def compare_stores(
+    baseline: RunStore,
+    candidate: RunStore,
+    threshold: float = 0.10,
+    kernel: str | None = None,
+    size_name: str | None = None,
+) -> tuple[str, list[RunComparison]]:
+    """Diff two stores; returns (report text, regressed comparisons).
+
+    Runs are matched by (kernel, size, tuner, seed); unmatched runs on either
+    side are listed but never flagged. A comparison regresses when best
+    runtime or process time worsened by ``threshold`` (fraction) or more.
+    """
+    from repro.common.tabulate import format_table
+
+    if threshold <= 0:
+        raise ReproError(f"threshold must be positive, got {threshold}")
+    base_runs = {
+        (r.kernel, r.size_name, r.tuner, r.seed): r
+        for r in baseline.runs(kernel=kernel, size_name=size_name)
+    }
+    cand_runs = {
+        (r.kernel, r.size_name, r.tuner, r.seed): r
+        for r in candidate.runs(kernel=kernel, size_name=size_name)
+    }
+    matched = sorted(base_runs.keys() & cand_runs.keys())
+    comparisons = [
+        RunComparison(
+            kernel=k[0],
+            size_name=k[1],
+            tuner=k[2],
+            seed=k[3],
+            baseline_best=base_runs[k].best_runtime,
+            candidate_best=cand_runs[k].best_runtime,
+            baseline_time=base_runs[k].total_time,
+            candidate_time=cand_runs[k].total_time,
+        )
+        for k in matched
+    ]
+    regressed = [c for c in comparisons if c.regressed(threshold)]
+
+    rows = []
+    for c in comparisons:
+        rows.append(
+            [
+                f"{c.kernel}/{c.size_name}",
+                c.tuner,
+                f"{c.baseline_best:.4g}",
+                f"{c.candidate_best:.4g}",
+                f"{c.best_change:+.1%}",
+                f"{c.time_change:+.1%}",
+                "REGRESSION" if c.regressed(threshold) else "ok",
+            ]
+        )
+    text = format_table(
+        rows,
+        headers=[
+            "experiment",
+            "tuner",
+            "base best (s)",
+            "new best (s)",
+            "Δbest",
+            "Δtime",
+            f"@{threshold:.0%}",
+        ],
+        title=f"Run comparison — {len(matched)} matched, {len(regressed)} regressed",
+    )
+    only_base = sorted(base_runs.keys() - cand_runs.keys())
+    only_cand = sorted(cand_runs.keys() - base_runs.keys())
+    notes = []
+    if only_base:
+        notes.append(f"only in baseline: {', '.join(':'.join(map(str, k)) for k in only_base)}")
+    if only_cand:
+        notes.append(f"only in candidate: {', '.join(':'.join(map(str, k)) for k in only_cand)}")
+    if notes:
+        text += "\n" + "\n".join(notes)
+    return text, regressed

@@ -1,0 +1,162 @@
+"""Concrete event sinks: JSONL trace writer and live console progress.
+
+The third sink — the SQLite run store — lives in
+:mod:`repro.telemetry.store`; the metrics aggregator in
+:mod:`repro.telemetry.metrics`.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.telemetry.bus import Sink
+from repro.telemetry.events import Event, RunFinished, RunStarted, TrialMeasured
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion to a JSON-serializable value."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+class JsonlSink(Sink):
+    """Append every event as one JSON line (the machine-readable trace).
+
+    The file opens lazily on the first event and is line-buffered, so a
+    crashed process still leaves a readable prefix of the trace.
+    """
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+        self._fh: TextIO | None = None
+        self.n_written = 0
+
+    def _file(self) -> TextIO:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", buffering=1)
+        return self._fh
+
+    def handle(self, event: Event) -> None:
+        line = json.dumps(_jsonable(event.to_dict()), sort_keys=True)
+        self._file().write(line + "\n")
+        self.n_written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class ConsoleSink(Sink):
+    """Human-readable live progress, with machine-parseable stdout discipline.
+
+    Three modes:
+
+    * ``"text"`` (default) — progress lines (run start/finish, every
+      ``progress_every``-th trial) go to **stderr**; results passed through
+      :meth:`info` go to stdout. stdout therefore stays parseable even with
+      progress enabled.
+    * ``"quiet"`` — progress suppressed; :meth:`info` results still printed.
+    * ``"json"`` — everything suppressed except :meth:`result_json`, which
+      prints one JSON document to stdout.
+    """
+
+    MODES = ("text", "quiet", "json")
+
+    def __init__(
+        self,
+        mode: str = "text",
+        out: TextIO | None = None,
+        err: TextIO | None = None,
+        progress_every: int = 25,
+    ) -> None:
+        if mode not in self.MODES:
+            raise ValueError(f"unknown console mode {mode!r}; expected {self.MODES}")
+        if progress_every < 1:
+            raise ValueError(f"progress_every must be >= 1, got {progress_every}")
+        self.mode = mode
+        self.out = out if out is not None else sys.stdout
+        self.err = err if err is not None else sys.stderr
+        self.progress_every = progress_every
+        self._trials = 0
+        self._best = float("inf")
+        self._max_evals = 0
+
+    # -- event-driven progress ---------------------------------------------
+
+    def handle(self, event: Event) -> None:
+        if self.mode != "text":
+            return
+        if isinstance(event, RunStarted):
+            self._trials = 0
+            self._best = float("inf")
+            self._max_evals = event.max_evals
+            self.progress(
+                f"▶ {event.tuner} on {event.kernel}/{event.size_name} "
+                f"(seed {event.seed}, {event.max_evals} evals)"
+            )
+        elif isinstance(event, TrialMeasured):
+            self._trials += 1
+            if event.error is None:
+                self._best = min(self._best, event.runtime)
+            if self._trials % self.progress_every == 0:
+                best = f"{self._best:.4g}s" if self._best < float("inf") else "-"
+                self.progress(
+                    f"  … {self._trials}/{self._max_evals or '?'} evals, "
+                    f"best {best}, t={event.elapsed:,.0f}s"
+                )
+        elif isinstance(event, RunFinished):
+            if event.error is None:
+                self.progress(
+                    f"✓ best {event.best_runtime:.4g}s after {event.n_evals} evals "
+                    f"({event.total_time:,.0f}s process time)"
+                )
+            else:
+                self.progress(f"✗ run failed: {event.error}")
+
+    # -- ad-hoc output routed by the CLI / runner ---------------------------
+
+    def progress(self, msg: str) -> None:
+        """A transient status line (stderr; suppressed in quiet/json modes)."""
+        if self.mode == "text":
+            print(msg, file=self.err)
+
+    def info(self, msg: str) -> None:
+        """A result line (stdout; suppressed in json mode)."""
+        if self.mode != "json":
+            print(msg, file=self.out)
+
+    def result_json(self, payload: Any) -> None:
+        """The single JSON document json-mode stdout consists of."""
+        if self.mode == "json":
+            json.dump(_jsonable(payload), self.out, indent=2, sort_keys=True)
+            self.out.write("\n")
+
+    def close(self) -> None:
+        for fh in (self.out, self.err):
+            try:
+                fh.flush()
+            except (ValueError, OSError):  # closed capture streams in tests
+                pass
+
+
+class RecordingSink(Sink):
+    """Keep every event in memory (tests, programmatic inspection)."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def handle(self, event: Event) -> None:
+        self.events.append(event)
+
+    def kinds(self) -> list[str]:
+        return [e.kind for e in self.events]

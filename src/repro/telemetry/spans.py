@@ -1,0 +1,109 @@
+"""Span-based tracing that charges both wall time and the virtual clock.
+
+The tuning stack accounts "autotuning process time" through clock objects
+(:class:`~repro.common.timing.VirtualClock` under simulation, real wall time
+otherwise), so a span here records **two** durations:
+
+* ``wall_time`` — real ``perf_counter`` seconds spent inside the span (what
+  telemetry itself costs, what a real run would cost);
+* ``virtual_time`` — how far the supplied virtual clock advanced while the
+  span was open (what the paper's process-time axis is charged).
+
+Spans nest: compile/measure sit inside a measure-batch span which sits inside
+a tuner-run span. Each completed span is emitted as a
+:class:`~repro.telemetry.events.SpanClosed` event carrying its depth and
+parent name, so a JSONL trace can be folded back into a tree.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.telemetry.events import Event, SpanClosed
+
+
+@dataclass
+class ActiveSpan:
+    """An open span; finalized into a :class:`SpanClosed` event on exit."""
+
+    name: str
+    wall_start: float
+    virtual_start: float | None
+    depth: int
+    parent: str | None
+
+
+class _SpanContext:
+    """Context manager for one span (re-entrant tracers hand out fresh ones)."""
+
+    def __init__(self, tracer: "Tracer", name: str, clock) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._clock = clock
+        self._span: ActiveSpan | None = None
+
+    def __enter__(self) -> ActiveSpan:
+        self._span = self._tracer._open(self._name, self._clock)
+        return self._span
+
+    def __exit__(self, *exc_info) -> None:
+        if self._span is not None:
+            self._tracer._close(self._span, self._clock)
+
+
+class Tracer:
+    """Produce nested spans; emit a SpanClosed event for each completion."""
+
+    def __init__(self, emit: Callable[[Event], None] | None = None) -> None:
+        self._emit = emit
+        self._stack: list[ActiveSpan] = []
+        #: Completed spans, newest last (bounded; the full stream goes to sinks).
+        self.completed: list[SpanClosed] = []
+        self.max_completed = 4096
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def span(self, name: str, clock=None) -> _SpanContext:
+        """Open a span; ``clock`` (optional) is read at enter/exit to charge
+        virtual time. Use as ``with tracer.span("compile", clock=vc): ...``."""
+        return _SpanContext(self, name, clock)
+
+    # -- internals ----------------------------------------------------------
+
+    def _open(self, name: str, clock) -> ActiveSpan:
+        span = ActiveSpan(
+            name=name,
+            wall_start=time.perf_counter(),
+            virtual_start=float(clock.now) if clock is not None else None,
+            depth=len(self._stack),
+            parent=self._stack[-1].name if self._stack else None,
+        )
+        self._stack.append(span)
+        return span
+
+    def _close(self, span: ActiveSpan, clock) -> None:
+        # Tolerate exits out of order (an inner span leaked by an exception):
+        # drop everything above the closing span.
+        if span in self._stack:
+            while self._stack and self._stack[-1] is not span:
+                self._stack.pop()
+            self._stack.pop()
+        virtual = None
+        if clock is not None and span.virtual_start is not None:
+            virtual = float(clock.now) - span.virtual_start
+        event = SpanClosed(
+            name=span.name,
+            wall_time=time.perf_counter() - span.wall_start,
+            virtual_time=virtual,
+            depth=span.depth,
+            parent=span.parent,
+        )
+        self.completed.append(event)
+        if len(self.completed) > self.max_completed:
+            del self.completed[: len(self.completed) - self.max_completed]
+        if self._emit is not None:
+            self._emit(event)

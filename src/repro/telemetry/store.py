@@ -1,0 +1,307 @@
+"""Persistent run store: every tuner run and evaluation in one SQLite file.
+
+The store is keyed by the experiment identity — (kernel, size, tuner, seed) —
+so re-running the same configuration *replaces* the stored run (latest wins),
+while different seeds/tuners/sizes accumulate side by side. Two tables:
+
+* ``runs`` — one row per tuner run: identity, the headline numbers the paper's
+  tables report (best runtime, best config, evaluation count, total process
+  time), and JSON reproducibility metadata (git SHA, versions, platform);
+* ``evaluations`` — one row per measured configuration: config JSON, mean
+  runtime, compile time, process clock at completion, error text, cache hit.
+
+:class:`StoreSink` adapts the store to the event bus: it buffers
+``TrialMeasured`` events between a ``RunStarted``/``RunFinished`` pair and
+commits the whole run in one transaction, so a crashed search never leaves a
+half-written run behind.
+
+``repro report`` / ``repro compare`` (:mod:`repro.telemetry.report`) are built
+entirely on this store — the paper's tables regenerate from disk, not from
+in-process state.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.common.errors import ReproError
+from repro.telemetry.bus import Sink
+from repro.telemetry.events import Event, RunFinished, RunStarted, TrialMeasured
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_id       TEXT PRIMARY KEY,
+    kernel       TEXT NOT NULL,
+    size_name    TEXT NOT NULL,
+    tuner        TEXT NOT NULL,
+    seed         INTEGER,
+    max_evals    INTEGER,
+    best_runtime REAL,
+    best_config  TEXT,
+    n_evals      INTEGER,
+    total_time   REAL,
+    error        TEXT,
+    started_ts   REAL,
+    finished_ts  REAL,
+    metadata     TEXT
+);
+CREATE UNIQUE INDEX IF NOT EXISTS idx_runs_identity
+    ON runs (kernel, size_name, tuner, seed);
+CREATE TABLE IF NOT EXISTS evaluations (
+    run_id       TEXT NOT NULL,
+    idx          INTEGER NOT NULL,
+    config       TEXT NOT NULL,
+    runtime      REAL NOT NULL,
+    compile_time REAL NOT NULL,
+    elapsed      REAL NOT NULL,
+    error        TEXT,
+    cache_hit    INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (run_id, idx)
+);
+"""
+
+
+@dataclass(frozen=True)
+class StoredEvaluation:
+    """One evaluation row read back from the store."""
+
+    index: int
+    config: dict[str, int]
+    runtime: float
+    compile_time: float
+    elapsed: float
+    error: str | None = None
+    cache_hit: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass(frozen=True)
+class StoredRun:
+    """One run row read back from the store."""
+
+    run_id: str
+    kernel: str
+    size_name: str
+    tuner: str
+    seed: int | None
+    max_evals: int | None
+    best_runtime: float
+    best_config: dict[str, int]
+    n_evals: int
+    total_time: float
+    error: str | None = None
+    started_ts: float | None = None
+    finished_ts: float | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+class RunStore:
+    """SQLite-backed archive of tuner runs (see module docstring)."""
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(str(self.path))
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    # -- writing ------------------------------------------------------------
+
+    def save_run(
+        self,
+        started: RunStarted,
+        finished: RunFinished,
+        trials: list[TrialMeasured],
+    ) -> str:
+        """Persist one complete run atomically; returns its run_id.
+
+        An existing run with the same (kernel, size, tuner, seed) identity is
+        replaced — including its evaluations — so the store always holds the
+        latest trajectory per experiment.
+        """
+        run_id = started.run_id
+        with self._conn:  # one transaction: run row + all evaluation rows
+            self._conn.execute(
+                "DELETE FROM runs WHERE kernel=? AND size_name=? AND tuner=? "
+                "AND seed IS ?",
+                (started.kernel, started.size_name, started.tuner, started.seed),
+            )
+            self._conn.execute("DELETE FROM evaluations WHERE run_id=?", (run_id,))
+            self._conn.execute(
+                "INSERT OR REPLACE INTO runs (run_id, kernel, size_name, tuner, "
+                "seed, max_evals, best_runtime, best_config, n_evals, total_time, "
+                "error, started_ts, finished_ts, metadata) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    run_id,
+                    started.kernel,
+                    started.size_name,
+                    started.tuner,
+                    started.seed,
+                    started.max_evals,
+                    finished.best_runtime,
+                    json.dumps(finished.best_config, sort_keys=True),
+                    finished.n_evals,
+                    finished.total_time,
+                    finished.error,
+                    getattr(started, "ts", None),
+                    getattr(finished, "ts", None),
+                    json.dumps(started.metadata, sort_keys=True, default=repr),
+                ),
+            )
+            self._conn.executemany(
+                "INSERT INTO evaluations (run_id, idx, config, runtime, "
+                "compile_time, elapsed, error, cache_hit) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                [
+                    (
+                        run_id,
+                        i,
+                        json.dumps(t.config, sort_keys=True),
+                        t.runtime,
+                        t.compile_time,
+                        t.elapsed,
+                        t.error,
+                        1 if t.cache_hit else 0,
+                    )
+                    for i, t in enumerate(trials)
+                ],
+            )
+        return run_id
+
+    # -- reading ------------------------------------------------------------
+
+    _RUN_COLS = (
+        "run_id, kernel, size_name, tuner, seed, max_evals, best_runtime, "
+        "best_config, n_evals, total_time, error, started_ts, finished_ts, metadata"
+    )
+
+    @staticmethod
+    def _run_from_row(row: tuple) -> StoredRun:
+        return StoredRun(
+            run_id=row[0],
+            kernel=row[1],
+            size_name=row[2],
+            tuner=row[3],
+            seed=row[4],
+            max_evals=row[5],
+            best_runtime=row[6],
+            best_config={k: int(v) for k, v in json.loads(row[7] or "{}").items()},
+            n_evals=row[8],
+            total_time=row[9],
+            error=row[10],
+            started_ts=row[11],
+            finished_ts=row[12],
+            metadata=json.loads(row[13] or "{}"),
+        )
+
+    def runs(
+        self,
+        kernel: str | None = None,
+        size_name: str | None = None,
+        tuner: str | None = None,
+    ) -> list[StoredRun]:
+        """Stored runs, optionally filtered, ordered by identity."""
+        clauses, params = [], []
+        for col, val in (("kernel", kernel), ("size_name", size_name), ("tuner", tuner)):
+            if val is not None:
+                clauses.append(f"{col}=?")
+                params.append(val)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        rows = self._conn.execute(
+            f"SELECT {self._RUN_COLS} FROM runs{where} "
+            "ORDER BY kernel, size_name, tuner, seed",
+            params,
+        ).fetchall()
+        return [self._run_from_row(r) for r in rows]
+
+    def get_run(
+        self, kernel: str, size_name: str, tuner: str, seed: int | None
+    ) -> StoredRun:
+        rows = self._conn.execute(
+            f"SELECT {self._RUN_COLS} FROM runs "
+            "WHERE kernel=? AND size_name=? AND tuner=? AND seed IS ?",
+            (kernel, size_name, tuner, seed),
+        ).fetchall()
+        if not rows:
+            raise ReproError(
+                f"no stored run for {kernel}/{size_name}/{tuner}/seed{seed} "
+                f"in {self.path}"
+            )
+        return self._run_from_row(rows[0])
+
+    def evaluations(self, run_id: str) -> list[StoredEvaluation]:
+        rows = self._conn.execute(
+            "SELECT idx, config, runtime, compile_time, elapsed, error, cache_hit "
+            "FROM evaluations WHERE run_id=? ORDER BY idx",
+            (run_id,),
+        ).fetchall()
+        return [
+            StoredEvaluation(
+                index=r[0],
+                config={k: int(v) for k, v in json.loads(r[1]).items()},
+                runtime=r[2],
+                compile_time=r[3],
+                elapsed=r[4],
+                error=r[5],
+                cache_hit=bool(r[6]),
+            )
+            for r in rows
+        ]
+
+    def experiments(self) -> list[tuple[str, str]]:
+        """Distinct (kernel, size) pairs present in the store."""
+        rows = self._conn.execute(
+            "SELECT DISTINCT kernel, size_name FROM runs ORDER BY kernel, size_name"
+        ).fetchall()
+        return [(r[0], r[1]) for r in rows]
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class StoreSink(Sink):
+    """Bus adapter: buffer one run's trials, commit on ``RunFinished``.
+
+    Trials observed outside a RunStarted/RunFinished bracket (e.g. ad-hoc
+    evaluator use) are ignored — only complete runs enter the archive.
+    """
+
+    def __init__(self, store: RunStore, own_store: bool = True) -> None:
+        self.store = store
+        self.own_store = own_store
+        self._started: RunStarted | None = None
+        self._trials: list[TrialMeasured] = []
+        self.runs_saved = 0
+
+    def handle(self, event: Event) -> None:
+        if isinstance(event, RunStarted):
+            self._started = event
+            self._trials = []
+        elif isinstance(event, TrialMeasured):
+            if self._started is not None:
+                self._trials.append(event)
+        elif isinstance(event, RunFinished):
+            if self._started is not None and self._started.run_id == event.run_id:
+                self.store.save_run(self._started, event, self._trials)
+                self.runs_saved += 1
+            self._started = None
+            self._trials = []
+
+    def close(self) -> None:
+        if self.own_store:
+            self.store.close()

@@ -14,6 +14,7 @@ been observed it falls back to re-sampling.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Mapping
 
 import numpy as np
@@ -21,6 +22,8 @@ import numpy as np
 from repro.common.errors import TuningError
 from repro.common.rng import ensure_rng
 from repro.configspace import Configuration, ConfigurationSpace
+from repro.telemetry.context import get_telemetry
+from repro.telemetry.events import SurrogateFitted
 from repro.ytopt.acquisition import AcquisitionFunction, LowerConfidenceBound
 from repro.ytopt.surrogate import RandomForestSurrogate, Surrogate
 
@@ -139,9 +142,19 @@ class Optimizer:
 
     def _maybe_refit(self) -> None:
         if not self._fitted or self._since_fit >= self.refit_interval:
-            self.surrogate.fit(np.vstack(self._X), np.asarray(self._y))
+            tel = get_telemetry()
+            t0 = time.perf_counter()
+            with tel.span("fit"):
+                self.surrogate.fit(np.vstack(self._X), np.asarray(self._y))
             self._fitted = True
             self._since_fit = 0
+            if tel.enabled:
+                tel.emit(
+                    SurrogateFitted(
+                        n_samples=len(self._y),
+                        wall_time=time.perf_counter() - t0,
+                    )
+                )
 
     def _suggest(self) -> Configuration:
         candidates: list[Configuration] = []

@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 from repro.common.errors import TuningError
 from repro.runtime.measure import FAILED_COST
+from repro.telemetry.context import get_telemetry
+from repro.telemetry.events import TrialMeasured
 from repro.ytopt.database import PerformanceDatabase
 from repro.ytopt.optimizer import Optimizer
 from repro.ytopt.problem import TuningProblem
@@ -92,6 +94,7 @@ class AMBS:
 
     def run(self) -> SearchResult:
         """Execute the search; returns the best configuration found."""
+        tel = get_telemetry()
         evaluator = self.problem.evaluator
         clock = getattr(evaluator, "clock", None)
         remaining = self.max_evals
@@ -99,20 +102,33 @@ class AMBS:
             if self.max_time is not None and evaluator.elapsed() >= self.max_time:
                 break
             n = min(self.batch_size, remaining)
-            configs = (
-                [self.optimizer.ask()] if n == 1 else self.optimizer.ask_batch(n)
-            )  # Step 1
-            if clock is not None:
-                clock.advance(self.optimizer_overhead)
-            if len(configs) == 1:
-                results = [self.problem.objective(configs[0])]  # Steps 2-4
-            else:
-                jobs = self.jobs if self.jobs is not None else len(configs)
-                results = self.problem.objective_batch(configs, jobs=jobs)
+            with tel.span("acquisition", clock=clock):
+                configs = (
+                    [self.optimizer.ask()] if n == 1 else self.optimizer.ask_batch(n)
+                )  # Step 1
+                if clock is not None:
+                    clock.advance(self.optimizer_overhead)
+            with tel.span("measure", clock=clock):
+                if len(configs) == 1:
+                    results = [self.problem.objective(configs[0])]  # Steps 2-4
+                else:
+                    jobs = self.jobs if self.jobs is not None else len(configs)
+                    results = self.problem.objective_batch(configs, jobs=jobs)
             for config, result in zip(configs, results):
                 self.database.add(result, tuner=self.tuner_name)  # Step 5
                 cost = result.mean_cost if result.ok else FAILED_COST
                 self.optimizer.tell(config, cost)
+                if tel.enabled:
+                    tel.emit(
+                        TrialMeasured(
+                            config=dict(result.config),
+                            runtime=result.mean_cost,
+                            compile_time=result.compile_time,
+                            elapsed=result.timestamp,
+                            error=result.error,
+                            cache_hit=bool(result.extra.get("cache_hit")),
+                        )
+                    )
             remaining -= len(configs)
 
         best = self.database.best()

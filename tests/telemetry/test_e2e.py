@@ -1,0 +1,173 @@
+"""End-to-end acceptance: experiment → SQLite/JSONL → report/compare parity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import run_experiment, run_tuner
+from repro.experiments.figures import min_runtime_table, process_summary_table
+from repro.experiments.runner import ALL_TUNERS
+from repro.kernels import get_benchmark
+from repro.telemetry import (
+    JsonlSink,
+    RunStore,
+    StoreSink,
+    Telemetry,
+    telemetry_session,
+)
+from repro.telemetry.report import compare_stores, experiment_from_store, report_text
+
+
+@pytest.fixture(scope="module")
+def traced_experiment(tmp_path_factory):
+    """One 5-tuner experiment with full telemetry, shared across tests."""
+    root = tmp_path_factory.mktemp("e2e")
+    db = root / "runs.sqlite"
+    trace = root / "trace.jsonl"
+    tel = Telemetry(
+        sinks=[JsonlSink(trace), StoreSink(RunStore(db), own_store=True)]
+    )
+    with telemetry_session(tel):
+        result = run_experiment("lu", "large", tuners=ALL_TUNERS, max_evals=6, seed=0)
+    tel.close()
+    return result, db, trace
+
+
+class TestStoreMatchesInProcess:
+    def test_all_five_tuners_persisted(self, traced_experiment):
+        result, db, _ = traced_experiment
+        with RunStore(db) as store:
+            stored = store.runs()
+        assert {r.tuner for r in stored} == set(ALL_TUNERS)
+        assert len(result.runs) == len(stored) == 5
+
+    def test_headline_numbers_match_exactly(self, traced_experiment):
+        result, db, _ = traced_experiment
+        with RunStore(db) as store:
+            rebuilt = experiment_from_store(store, "lu", "large")
+        for tuner, live in result.runs.items():
+            run = rebuilt.runs[tuner]
+            assert run.best_runtime == live.best_runtime
+            assert run.best_config == live.best_config
+            assert run.n_evals == live.n_evals
+            assert run.total_time == live.total_time
+            assert run.trajectory == live.trajectory
+
+    def test_report_tables_byte_identical(self, traced_experiment):
+        """Acceptance: `repro report` from disk == the in-process tables."""
+        result, db, _ = traced_experiment
+        with RunStore(db) as store:
+            rebuilt = experiment_from_store(store, "lu", "large")
+            text = report_text(store, kernel="lu", size_name="large")
+        assert min_runtime_table(rebuilt) == min_runtime_table(result)
+        assert process_summary_table(rebuilt) == process_summary_table(result)
+        assert min_runtime_table(result) in text
+        assert process_summary_table(result) in text
+
+    def test_run_metadata_recorded(self, traced_experiment):
+        _, db, _ = traced_experiment
+        with RunStore(db) as store:
+            run = store.get_run("lu", "large", "ytopt", 0)
+        meta = run.metadata
+        assert meta["seed"] == 0
+        assert meta["max_evals"] == 6
+        assert isinstance(meta["git_sha"], str) and meta["git_sha"]
+        assert meta["repro_version"]
+        assert meta["python"] and meta["platform"] and meta["numpy"]
+
+
+class TestTrace:
+    def test_jsonl_trace_well_formed(self, traced_experiment):
+        result, _, trace = traced_experiment
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        kinds = [e["event"] for e in events]
+        assert kinds.count("run_started") == 5
+        assert kinds.count("run_finished") == 5
+        total_evals = sum(r.n_evals for r in result.runs.values())
+        assert kinds.count("trial_measured") == total_evals
+        assert all("ts" in e for e in events)
+
+    def test_spans_nest_under_tuner_run(self, traced_experiment):
+        _, _, trace = traced_experiment
+        spans = [
+            json.loads(line)
+            for line in trace.read_text().splitlines()
+            if json.loads(line)["event"] == "span_closed"
+        ]
+        tuner_runs = [s for s in spans if s["name"] == "tuner_run"]
+        assert len(tuner_runs) == 5
+        assert all(s["depth"] == 0 for s in tuner_runs)
+        nested = [s for s in spans if s["parent"] == "tuner_run"]
+        assert nested  # measure/acquisition spans charged inside the run
+        assert all(s["depth"] == 1 for s in nested)
+        # virtual-clock accounting: the tuner_run span carries simulated time
+        assert all(s["virtual_time"] > 0 for s in tuner_runs)
+
+    def test_events_bracket_each_run(self, traced_experiment):
+        _, _, trace = traced_experiment
+        open_run = None
+        for line in trace.read_text().splitlines():
+            e = json.loads(line)
+            if e["event"] == "run_started":
+                assert open_run is None
+                open_run = e["run_id"]
+            elif e["event"] == "run_finished":
+                assert e["run_id"] == open_run
+                open_run = None
+        assert open_run is None
+
+
+class TestCompareRegression:
+    def test_injected_regression_flagged(self, traced_experiment):
+        """Acceptance: `repro compare` flags an injected >=10% regression."""
+        import shutil
+        import sqlite3
+
+        _, db, _ = traced_experiment
+        worse = db.parent / "worse.sqlite"
+        shutil.copy(db, worse)
+        conn = sqlite3.connect(worse)
+        conn.execute(
+            "UPDATE runs SET best_runtime = best_runtime * 1.15 WHERE tuner='ytopt'"
+        )
+        conn.commit()
+        conn.close()
+
+        with RunStore(db) as base, RunStore(worse) as cand:
+            text, regressed = compare_stores(base, cand, threshold=0.10)
+        assert len(regressed) == 1
+        assert regressed[0].tuner == "ytopt"
+        assert regressed[0].best_change == pytest.approx(0.15)
+        assert "REGRESSION" in text
+
+    def test_identical_stores_no_regression(self, traced_experiment):
+        _, db, _ = traced_experiment
+        with RunStore(db) as base, RunStore(db.parent / "runs.sqlite") as cand:
+            _, regressed = compare_stores(base, cand, threshold=0.10)
+        assert regressed == []
+
+
+class TestNoTelemetryParity:
+    @pytest.mark.parametrize("tuner", ["ytopt", "AutoTVM-GA"])
+    def test_trajectories_byte_identical(self, tmp_path, tuner):
+        """Acceptance: telemetry on vs off changes nothing about the search."""
+        benchmark = get_benchmark("lu", "large")
+
+        plain = run_tuner(benchmark, tuner, max_evals=6, seed=0)
+
+        tel = Telemetry(
+            sinks=[
+                JsonlSink(tmp_path / "t.jsonl"),
+                StoreSink(RunStore(tmp_path / "r.sqlite"), own_store=True),
+            ]
+        )
+        with telemetry_session(tel):
+            traced = run_tuner(benchmark, tuner, max_evals=6, seed=0)
+        tel.close()
+
+        assert traced.trajectory == plain.trajectory
+        assert traced.best_config == plain.best_config
+        assert traced.best_runtime == plain.best_runtime
+        assert traced.total_time == plain.total_time

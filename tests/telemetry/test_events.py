@@ -1,0 +1,196 @@
+"""Event bus: ordered delivery, fan-out, and sink fault isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import (
+    EventBus,
+    NullTelemetry,
+    RecordingSink,
+    RunFinished,
+    RunStarted,
+    Sink,
+    Telemetry,
+    TrialMeasured,
+    get_telemetry,
+    make_run_id,
+    set_telemetry,
+    telemetry_session,
+)
+
+
+def _started(run_id: str = "lu:large:ytopt:seed0") -> RunStarted:
+    return RunStarted(
+        run_id=run_id,
+        kernel="lu",
+        size_name="large",
+        tuner="ytopt",
+        seed=0,
+        max_evals=3,
+    )
+
+
+def _trial(rt: float = 1.0) -> TrialMeasured:
+    return TrialMeasured(
+        config={"P0": 10, "P1": 20}, runtime=rt, compile_time=0.5, elapsed=rt + 1
+    )
+
+
+def _finished(run_id: str = "lu:large:ytopt:seed0") -> RunFinished:
+    return RunFinished(
+        run_id=run_id,
+        best_runtime=1.0,
+        best_config={"P0": 10},
+        n_evals=3,
+        total_time=9.0,
+    )
+
+
+class FailingSink(Sink):
+    def __init__(self, fail_first_n: int = 10**9) -> None:
+        self.fail_first_n = fail_first_n
+        self.calls = 0
+        self.received = []
+
+    def handle(self, event):
+        self.calls += 1
+        if self.calls <= self.fail_first_n:
+            raise RuntimeError("disk full")
+        self.received.append(event)
+
+
+class TestOrdering:
+    def test_events_delivered_in_emission_order(self):
+        bus = EventBus()
+        a, b = RecordingSink(), RecordingSink()
+        bus.subscribe(a)
+        bus.subscribe(b)
+        events = [_started(), _trial(1.0), _trial(2.0), _finished()]
+        for e in events:
+            bus.emit(e)
+        assert a.events == events
+        assert b.events == events
+        assert a.kinds() == [
+            "run_started",
+            "trial_measured",
+            "trial_measured",
+            "run_finished",
+        ]
+
+    def test_ts_stamped_monotonically(self):
+        bus = EventBus()
+        sink = RecordingSink()
+        bus.subscribe(sink)
+        for _ in range(5):
+            bus.emit(_trial())
+        stamps = [e.ts for e in sink.events]
+        assert all(s is not None for s in stamps)
+        assert stamps == sorted(stamps)
+
+    def test_to_dict_has_kind_and_fields(self):
+        bus = EventBus()
+        sink = RecordingSink()
+        bus.subscribe(sink)
+        bus.emit(_started())
+        d = sink.events[0].to_dict()
+        assert d["event"] == "run_started"
+        assert d["kernel"] == "lu" and d["tuner"] == "ytopt"
+        assert "ts" in d
+
+
+class TestSinkFaultIsolation:
+    def test_failing_sink_never_stops_delivery(self):
+        bus = EventBus()
+        bad, good = FailingSink(), RecordingSink()
+        bus.subscribe(bad)
+        bus.subscribe(good)
+        for i in range(10):
+            bus.emit(_trial(float(i)))
+        assert len(good.events) == 10  # healthy sink saw everything
+        assert bus.sink_errors  # failures were recorded, not raised
+
+    def test_sink_quarantined_after_max_failures(self):
+        bus = EventBus(max_sink_failures=3)
+        bad = FailingSink()
+        bus.subscribe(bad)
+        for _ in range(10):
+            bus.emit(_trial())
+        assert bad.calls == 3  # no deliveries after quarantine
+        assert bad in bus.quarantined()
+
+    def test_transiently_failing_sink_survives_below_threshold(self):
+        bus = EventBus(max_sink_failures=5)
+        flaky = FailingSink(fail_first_n=3)
+        bus.subscribe(flaky)
+        for _ in range(10):
+            bus.emit(_trial())
+        assert flaky not in bus.quarantined()
+        assert len(flaky.received) == 7
+
+    def test_failing_close_is_isolated(self):
+        class BadClose(RecordingSink):
+            def close(self):
+                raise OSError("already closed")
+
+        bus = EventBus()
+        bus.subscribe(BadClose())
+        ok = RecordingSink()
+        closed = []
+        ok.close = lambda: closed.append(True)  # type: ignore[method-assign]
+        bus.subscribe(ok)
+        bus.close()  # must not raise
+        assert closed == [True]
+
+    def test_sink_failure_does_not_kill_a_search(self):
+        """A broken sink under a live tuner run: the search still finishes."""
+        from repro.experiments import run_tuner
+        from repro.kernels import get_benchmark
+
+        tel = Telemetry(sinks=[FailingSink()])
+        with telemetry_session(tel):
+            run = run_tuner(get_benchmark("lu", "large"), "ytopt", max_evals=4, seed=0)
+        assert run.n_evals == 4
+        assert tel.bus.sink_errors
+
+
+class TestContext:
+    def test_default_is_null_telemetry(self):
+        assert isinstance(get_telemetry(), NullTelemetry)
+        assert not get_telemetry().enabled
+
+    def test_session_installs_and_restores(self):
+        tel = Telemetry()
+        before = get_telemetry()
+        with telemetry_session(tel) as active:
+            assert active is tel
+            assert get_telemetry() is tel
+        assert get_telemetry() is before
+
+    def test_session_restores_on_exception(self):
+        tel = Telemetry()
+        before = get_telemetry()
+        with pytest.raises(ValueError):
+            with telemetry_session(tel):
+                raise ValueError("boom")
+        assert get_telemetry() is before
+
+    def test_set_telemetry_returns_previous(self):
+        tel = Telemetry()
+        prev = set_telemetry(tel)
+        try:
+            assert get_telemetry() is tel
+        finally:
+            set_telemetry(prev)
+
+    def test_null_session(self):
+        with telemetry_session(None) as tel:
+            assert not tel.enabled
+            tel.emit(_trial())  # no-op, no error
+            with tel.span("x"):
+                pass
+
+
+def test_make_run_id():
+    assert make_run_id("lu", "large", "ytopt", 0) == "lu:large:ytopt:seed0"
+    assert make_run_id("3mm", "extralarge", "AutoTVM-GA", None).endswith("seedNone")

@@ -1,0 +1,108 @@
+"""Tracing spans: nesting, wall-clock vs virtual-clock accounting."""
+
+from __future__ import annotations
+
+from repro.common.timing import VirtualClock
+from repro.telemetry import SpanClosed, Telemetry, Tracer
+from repro.telemetry.sinks import RecordingSink
+
+
+class TestNesting:
+    def test_depth_and_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                with tracer.span("leaf"):
+                    assert tracer.depth == 3
+        names = {s.name: s for s in tracer.completed}
+        assert names["outer"].depth == 0 and names["outer"].parent is None
+        assert names["inner"].depth == 1 and names["inner"].parent == "outer"
+        assert names["leaf"].depth == 2 and names["leaf"].parent == "inner"
+
+    def test_completion_order_is_innermost_first(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert [s.name for s in tracer.completed] == ["b", "a"]
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("x"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert tracer.depth == 0
+        assert [s.name for s in tracer.completed] == ["x"]
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("s1"):
+                pass
+            with tracer.span("s2"):
+                pass
+        s1, s2 = tracer.completed[0], tracer.completed[1]
+        assert (s1.parent, s2.parent) == ("parent", "parent")
+        assert s1.depth == s2.depth == 1
+
+
+class TestClockAccounting:
+    def test_virtual_time_is_clock_delta(self):
+        tracer = Tracer()
+        clock = VirtualClock()
+        with tracer.span("measure", clock=clock):
+            clock.advance(12.5)
+        span = tracer.completed[0]
+        assert span.virtual_time == 12.5
+        assert span.wall_time >= 0.0
+        # Virtual seconds are simulated; they must not be mistaken for wall
+        # time — a 12.5-virtual-second span completes in microseconds.
+        assert span.wall_time < 1.0
+
+    def test_no_clock_means_no_virtual_time(self):
+        tracer = Tracer()
+        with tracer.span("compile"):
+            pass
+        assert tracer.completed[0].virtual_time is None
+
+    def test_nested_spans_charge_virtual_time_independently(self):
+        tracer = Tracer()
+        clock = VirtualClock()
+        with tracer.span("outer", clock=clock):
+            clock.advance(1.0)
+            with tracer.span("inner", clock=clock):
+                clock.advance(2.0)
+            clock.advance(3.0)
+        inner, outer = tracer.completed
+        assert inner.virtual_time == 2.0
+        assert outer.virtual_time == 6.0  # inner's advance is nested inside
+
+    def test_wall_time_measures_real_elapsed(self):
+        import time
+
+        tracer = Tracer()
+        with tracer.span("sleepy"):
+            time.sleep(0.02)
+        assert tracer.completed[0].wall_time >= 0.015
+
+
+class TestEmission:
+    def test_spans_emitted_to_bus(self):
+        sink = RecordingSink()
+        tel = Telemetry(sinks=[sink])
+        clock = VirtualClock()
+        with tel.span("outer", clock=clock):
+            clock.advance(4.0)
+        spans = [e for e in sink.events if isinstance(e, SpanClosed)]
+        assert len(spans) == 1
+        assert spans[0].name == "outer" and spans[0].virtual_time == 4.0
+
+    def test_completed_list_is_bounded(self):
+        tracer = Tracer()
+        tracer.max_completed = 10
+        for _ in range(25):
+            with tracer.span("s"):
+                pass
+        assert len(tracer.completed) == 10

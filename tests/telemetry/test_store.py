@@ -1,0 +1,193 @@
+"""SQLite run store: round-trip, identity upsert, StoreSink bracketing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.telemetry import (
+    EventBus,
+    RunFinished,
+    RunStarted,
+    RunStore,
+    StoreSink,
+    TrialMeasured,
+    make_run_id,
+)
+
+
+def _started(
+    kernel="lu", size="large", tuner="ytopt", seed=0, metadata=None
+) -> RunStarted:
+    return RunStarted(
+        run_id=make_run_id(kernel, size, tuner, seed),
+        kernel=kernel,
+        size_name=size,
+        tuner=tuner,
+        seed=seed,
+        max_evals=3,
+        metadata=metadata or {"seed": seed, "git_sha": "abc123"},
+    )
+
+
+def _finished(started: RunStarted, best=1.5, total=9.0) -> RunFinished:
+    return RunFinished(
+        run_id=started.run_id,
+        best_runtime=best,
+        best_config={"P0": 16, "P1": 8},
+        n_evals=3,
+        total_time=total,
+    )
+
+
+def _trials():
+    return [
+        TrialMeasured(config={"P0": 4}, runtime=2.0, compile_time=0.2, elapsed=3.0),
+        TrialMeasured(
+            config={"P0": 8},
+            runtime=1e10,
+            compile_time=0.1,
+            elapsed=5.0,
+            error="validation failed",
+        ),
+        TrialMeasured(
+            config={"P0": 16},
+            runtime=1.5,
+            compile_time=0.0,
+            elapsed=9.0,
+            cache_hit=True,
+        ),
+    ]
+
+
+class TestRoundTrip:
+    def test_write_reopen_read(self, tmp_path):
+        """The acceptance path: write in one connection, read in a fresh one."""
+        path = tmp_path / "runs.sqlite"
+        started = _started()
+        with RunStore(path) as store:
+            store.save_run(started, _finished(started), _trials())
+
+        with RunStore(path) as store:
+            runs = store.runs()
+            assert len(runs) == 1
+            run = runs[0]
+            assert run.run_id == "lu:large:ytopt:seed0"
+            assert (run.kernel, run.size_name, run.tuner, run.seed) == (
+                "lu",
+                "large",
+                "ytopt",
+                0,
+            )
+            assert run.best_runtime == 1.5
+            assert run.best_config == {"P0": 16, "P1": 8}
+            assert run.n_evals == 3 and run.total_time == 9.0
+            assert run.metadata["git_sha"] == "abc123"
+
+            evals = store.evaluations(run.run_id)
+            assert [e.index for e in evals] == [0, 1, 2]
+            assert evals[0].config == {"P0": 4}
+            assert evals[1].error == "validation failed" and not evals[1].ok
+            assert evals[2].cache_hit and evals[2].ok
+            assert [e.elapsed for e in evals] == [3.0, 5.0, 9.0]
+
+    def test_get_run_and_missing(self, tmp_path):
+        with RunStore(tmp_path / "r.sqlite") as store:
+            started = _started()
+            store.save_run(started, _finished(started), [])
+            assert store.get_run("lu", "large", "ytopt", 0).best_runtime == 1.5
+            with pytest.raises(ReproError, match="no stored run"):
+                store.get_run("lu", "large", "ytopt", 99)
+
+    def test_experiments_listing(self, tmp_path):
+        with RunStore(tmp_path / "r.sqlite") as store:
+            for kernel, size in [("lu", "large"), ("lu", "extralarge"), ("3mm", "large")]:
+                s = _started(kernel=kernel, size=size)
+                store.save_run(s, _finished(s), [])
+            assert store.experiments() == [
+                ("3mm", "large"),
+                ("lu", "extralarge"),
+                ("lu", "large"),
+            ]
+
+    def test_parent_directory_created(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "runs.sqlite"
+        with RunStore(path) as store:
+            assert path.exists()
+            assert store.runs() == []
+
+
+class TestIdentityUpsert:
+    def test_rerun_replaces_same_identity(self, tmp_path):
+        with RunStore(tmp_path / "r.sqlite") as store:
+            s = _started()
+            store.save_run(s, _finished(s, best=2.0), _trials())
+            store.save_run(s, _finished(s, best=1.0), _trials()[:1])
+            runs = store.runs()
+            assert len(runs) == 1
+            assert runs[0].best_runtime == 1.0
+            assert len(store.evaluations(runs[0].run_id)) == 1  # old trials gone
+
+    def test_different_seeds_accumulate(self, tmp_path):
+        with RunStore(tmp_path / "r.sqlite") as store:
+            for seed in (0, 1, 2):
+                s = _started(seed=seed)
+                store.save_run(s, _finished(s), [])
+            assert len(store.runs()) == 3
+
+    def test_runs_filtering(self, tmp_path):
+        with RunStore(tmp_path / "r.sqlite") as store:
+            for tuner in ("ytopt", "AutoTVM-GA"):
+                s = _started(tuner=tuner)
+                store.save_run(s, _finished(s), [])
+            assert len(store.runs(tuner="ytopt")) == 1
+            assert len(store.runs(kernel="lu")) == 2
+            assert store.runs(kernel="nope") == []
+
+
+class TestStoreSink:
+    def test_buffers_and_commits_on_finished(self, tmp_path):
+        store = RunStore(tmp_path / "r.sqlite")
+        sink = StoreSink(store, own_store=False)
+        bus = EventBus()
+        bus.subscribe(sink)
+
+        started = _started()
+        bus.emit(started)
+        for t in _trials():
+            bus.emit(t)
+        assert store.runs() == []  # nothing written before the run closes
+        bus.emit(_finished(started))
+        assert sink.runs_saved == 1
+        run = store.runs()[0]
+        assert len(store.evaluations(run.run_id)) == 3
+        store.close()
+
+    def test_orphan_trials_ignored(self, tmp_path):
+        store = RunStore(tmp_path / "r.sqlite")
+        sink = StoreSink(store, own_store=False)
+        sink.handle(
+            TrialMeasured(config={"P0": 1}, runtime=1.0, compile_time=0.0, elapsed=1.0)
+        )
+        started = _started()
+        sink.handle(started)
+        sink.handle(_finished(started))
+        run = store.runs()[0]
+        assert store.evaluations(run.run_id) == []  # pre-run trial not attributed
+        store.close()
+
+    def test_unfinished_run_never_written(self, tmp_path):
+        store = RunStore(tmp_path / "r.sqlite")
+        sink = StoreSink(store, own_store=False)
+        sink.handle(_started())
+        for t in _trials():
+            sink.handle(t)
+        sink.close()  # own_store=False: close is a no-op on the store
+        assert store.runs() == []  # crashed search leaves no half-written run
+        store.close()
+
+    def test_own_store_closed_with_sink(self, tmp_path):
+        store = RunStore(tmp_path / "r.sqlite")
+        StoreSink(store, own_store=True).close()
+        with pytest.raises(Exception):
+            store.runs()

@@ -90,6 +90,97 @@ class TestAutoschedule:
         assert "E.y" in out and "G.x" in out
 
 
+class TestTelemetryFlags:
+    TUNE = ["tune", "--kernel", "lu", "--size", "large", "--tuner", "ytopt",
+            "--max-evals", "5", "--seed", "0"]
+
+    def test_db_and_trace_written(self, tmp_path, capsys):
+        db, trace = tmp_path / "runs.sqlite", tmp_path / "trace.jsonl"
+        rc = main(self.TUNE + ["--db", str(db), "--trace", str(trace)])
+        assert rc == 0
+        assert db.exists() and trace.exists()
+        err = capsys.readouterr().err
+        assert "telemetry:" in err  # metrics summary goes to stderr
+
+    def test_json_mode_emits_single_document(self, tmp_path, capsys):
+        import json
+
+        rc = main(self.TUNE + ["--json", "--db", str(tmp_path / "r.sqlite")])
+        assert rc == 0
+        captured = capsys.readouterr()
+        doc = json.loads(captured.out)  # stdout is exactly one JSON document
+        assert doc["tuner"] == "ytopt" and doc["n_evals"] == 5
+        assert len(doc["trajectory"]) == 5
+        assert captured.err == ""  # json mode silences progress too
+
+    def test_quiet_suppresses_progress(self, capsys):
+        rc = main(self.TUNE + ["--quiet"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert captured.err == ""
+        assert "best" in captured.out  # the result line itself still prints
+
+    def test_no_telemetry_still_works(self, capsys):
+        rc = main(self.TUNE + ["--no-telemetry"])
+        assert rc == 0
+        assert "best" in capsys.readouterr().out
+
+
+class TestReportCompare:
+    def _make_store(self, path):
+        rc = main(["tune", "--kernel", "lu", "--size", "large", "--tuner",
+                   "ytopt", "--max-evals", "5", "--quiet", "--db", str(path)])
+        assert rc == 0
+
+    def test_report_regenerates_tables(self, tmp_path, capsys):
+        db = tmp_path / "runs.sqlite"
+        self._make_store(db)
+        capsys.readouterr()
+        assert main(["report", "--db", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "Minimum runtimes — lu / large" in out
+        assert "Autotuning process — lu / large" in out
+        assert "Evaluations — lu / large" in out
+
+    def test_report_missing_store_errors(self, tmp_path, capsys):
+        rc = main(["report", "--db", str(tmp_path / "empty.sqlite")])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_compare_flags_regression_and_exits_1(self, tmp_path, capsys):
+        import shutil
+        import sqlite3
+
+        base = tmp_path / "base.sqlite"
+        self._make_store(base)
+        cand = tmp_path / "cand.sqlite"
+        shutil.copy(base, cand)
+        conn = sqlite3.connect(cand)
+        conn.execute("UPDATE runs SET best_runtime = best_runtime * 1.2")
+        conn.commit()
+        conn.close()
+        capsys.readouterr()
+
+        rc = main(["compare", str(base), str(cand), "--threshold", "0.10"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "REGRESSION" in captured.out
+        assert "regression(s) at the 10% threshold" in captured.err
+
+    def test_compare_identical_stores_passes(self, tmp_path, capsys):
+        import shutil
+
+        base = tmp_path / "base.sqlite"
+        self._make_store(base)
+        cand = tmp_path / "cand.sqlite"
+        shutil.copy(base, cand)
+        capsys.readouterr()
+
+        rc = main(["compare", str(base), str(cand)])
+        assert rc == 0
+        assert "0 regressed" in capsys.readouterr().out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
