@@ -107,6 +107,7 @@ class Measurer:
                         elapsed=result.timestamp,
                         error=result.error,
                         cache_hit=bool(result.extra.get("cache_hit")),
+                        fidelity=result.fidelity,
                     )
                 )
         return results

@@ -134,6 +134,12 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             xgb_trial_cap=None if args.no_xgb_cap else 56,
             jobs=args.jobs,
             timeout=args.timeout,
+            repeats=args.repeats,
+            probe_repeats=args.probe_repeats,
+            promote_margin=args.promote_margin,
+            prune=args.prune,
+            prune_threshold=args.prune_threshold,
+            warm_start_db=args.warm_start_db,
         )
         console.info(
             f"{run.tuner} on {benchmark.name}: best {run.best_runtime:.4g}s at "
@@ -171,6 +177,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             seed=args.seed,
             jobs=args.jobs,
             timeout=args.timeout,
+            repeats=args.repeats,
+            probe_repeats=args.probe_repeats,
+            promote_margin=args.promote_margin,
+            prune=args.prune,
+            prune_threshold=args.prune_threshold,
+            warm_start_db=args.warm_start_db,
         )
         console.info(f"{figures} — {kernel}/{size}")
         console.info(process_summary_table(result))
@@ -271,6 +283,33 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_fidelity_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("measurement fidelity")
+    group.add_argument("--repeats", type=int, default=1, metavar="N",
+                       help="full per-configuration repeat budget (default 1)")
+    group.add_argument("--probe-repeats", type=int, default=None, metavar="N",
+                       help="multi-fidelity probing: measure N repeats first "
+                       "and promote to the full --repeats budget only when the "
+                       "candidate is competitive (losers keep their probe "
+                       "estimate, flagged low-fidelity)")
+    group.add_argument("--promote-margin", type=float, default=0.15,
+                       metavar="FRAC",
+                       help="promote when the probe's lower confidence bound "
+                       "is within this fraction of the incumbent (default 0.15)")
+    group.add_argument("--prune", action="store_true",
+                       help="ytopt: skip compilation entirely when the "
+                       "surrogate's lower confidence bound says the candidate "
+                       "cannot beat --prune-threshold x the incumbent")
+    group.add_argument("--prune-threshold", type=float, default=1.25,
+                       metavar="MULT",
+                       help="prune multiplier over the incumbent (default 1.25)")
+    group.add_argument("--warm-start-db", default=None, metavar="PATH",
+                       help="ytopt: pre-train the surrogate from matching "
+                       "prior runs (same kernel, size, and space hash) in this "
+                       "telemetry run store; loaded records count toward the "
+                       "evaluation budget")
+
+
 def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
     group = parser.add_argument_group("telemetry")
     group.add_argument("--db", default=None, metavar="PATH",
@@ -314,6 +353,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--timeout", type=float, default=None, metavar="S",
                         help="per-trial kernel wall-clock budget in seconds "
                         "(timed-out trials are recorded as failed)")
+    _add_fidelity_args(p_tune)
     _add_telemetry_args(p_tune)
 
     p_exp = sub.add_parser("experiment", help="run a full 5-tuner paper experiment")
@@ -325,6 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="parallel measurement width for every tuner")
     p_exp.add_argument("--timeout", type=float, default=None, metavar="S",
                        help="per-trial kernel wall-clock budget in seconds")
+    _add_fidelity_args(p_exp)
     _add_telemetry_args(p_exp)
 
     p_report = sub.add_parser(

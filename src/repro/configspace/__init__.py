@@ -17,7 +17,7 @@ from repro.configspace.hyperparameters import (
     Constant,
 )
 from repro.configspace.conditions import Condition, EqualsCondition, InCondition
-from repro.configspace.space import Configuration, ConfigurationSpace
+from repro.configspace.space import Configuration, ConfigurationSpace, space_hash
 
 __all__ = [
     "Hyperparameter",
@@ -31,4 +31,5 @@ __all__ = [
     "InCondition",
     "Configuration",
     "ConfigurationSpace",
+    "space_hash",
 ]

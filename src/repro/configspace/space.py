@@ -240,3 +240,31 @@ class ConfigurationSpace:
         sz = self.size()
         sz_s = "inf" if math.isinf(sz) else f"{int(sz):,}"
         return f"ConfigurationSpace({self.name!r}, {len(self._params)} params, size={sz_s})"
+
+
+def space_hash(space: ConfigurationSpace) -> str:
+    """Stable digest of a configuration space's *structure*.
+
+    Two spaces hash equal iff they have the same hyperparameter names, types,
+    and candidate sets (value lists / ranges / constants) and the same
+    conditions. The space's display name and RNG state are deliberately
+    excluded, so renaming or reseeding a space does not invalidate stored runs.
+    Used by warm starting to refuse prior runs whose search space differs.
+    """
+    import hashlib
+
+    parts: list[str] = []
+    for name in sorted(space.get_hyperparameter_names()):
+        hp = space.get_hyperparameter(name)
+        desc = [type(hp).__name__, name]
+        values = getattr(hp, "_values", None)
+        if values is not None:  # Ordinal / Categorical
+            desc.append(repr(values))
+        elif hasattr(hp, "lower"):  # UniformInteger / UniformFloat
+            desc.append(repr((hp.lower, hp.upper, getattr(hp, "log", False))))
+        else:  # Constant
+            desc.append(repr(getattr(hp, "value", None)))
+        parts.append("|".join(desc))
+    for child in sorted(space._conditions):
+        parts.append(f"cond|{space._conditions[child]!r}")
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()[:16]

@@ -51,6 +51,12 @@ class AutotuneConfig:
     #: (``jobs`` wide; None = one worker per batched configuration).
     batch_size: int = 1
     jobs: int | None = None
+    #: Surrogate-guided pruning (see :class:`repro.ytopt.search.AMBS`): skip
+    #: compilation when the surrogate's lower confidence bound says the
+    #: candidate cannot beat ``prune_threshold`` × the incumbent.
+    prune: bool = False
+    prune_threshold: float = 1.25
+    prune_overhead: float = 0.02
 
     def __post_init__(self) -> None:
         if self.max_evals < 1:
@@ -75,6 +81,7 @@ class BayesianAutotuner:
         config: AutotuneConfig | None = None,
         surrogate: Surrogate | None = None,
         name: str = "tvm-bo",
+        warm_start=None,
     ) -> None:
         self.config = config if config is not None else AutotuneConfig()
         self.problem = TuningProblem(space, evaluator, name=name)
@@ -89,6 +96,8 @@ class BayesianAutotuner:
             n_initial_points=self.config.n_initial_points,
             seed=self.config.seed,
         )
+        # warm_start accepts a WarmStart loader or a bare PerformanceDatabase.
+        warm_db = getattr(warm_start, "database", warm_start)
         self._search = AMBS(
             self.problem,
             optimizer=self.optimizer,
@@ -97,6 +106,10 @@ class BayesianAutotuner:
             tuner_name="ytopt",
             batch_size=self.config.batch_size,
             jobs=self.config.jobs,
+            prune=self.config.prune,
+            prune_threshold=self.config.prune_threshold,
+            prune_overhead=self.config.prune_overhead,
+            warm_start=warm_db,
         )
 
     # -- constructors -----------------------------------------------------

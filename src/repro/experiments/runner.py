@@ -30,12 +30,16 @@ from repro.autotvm import (
 )
 from repro.common.errors import TuningError
 from repro.common.timing import VirtualClock
+from repro.configspace import space_hash
 from repro.core.framework import AutotuneConfig, BayesianAutotuner
 from repro.kernels.registry import KernelBenchmark, get_benchmark
+from repro.runtime.fidelity import AdaptiveRepeatPolicy, MultiFidelityEvaluator
+from repro.runtime.measure import Evaluator
 from repro.swing import SwingEvaluator, SwingPerformanceModel
 from repro.telemetry.context import get_telemetry
 from repro.telemetry.events import RunFinished, RunStarted, make_run_id
 from repro.telemetry.meta import run_metadata
+from repro.ytopt.warmstart import WarmStart
 
 #: Display names, matching the paper's figure legends.
 ALL_TUNERS = (
@@ -100,6 +104,7 @@ def _make_evaluator(
     model: SwingPerformanceModel | None,
     seed: int,
     timeout: float | None = None,
+    repeats: int = 1,
 ) -> SwingEvaluator:
     return SwingEvaluator(
         benchmark.profile,
@@ -108,6 +113,7 @@ def _make_evaluator(
         else SwingPerformanceModel(seed_tag=f"swing-v1-seed{seed}"),
         clock=VirtualClock(),
         number=3 if for_autotvm else 1,
+        repeat=repeats,
         compile_parallelism=8 if for_autotvm else 1,
         timeout=timeout,
     )
@@ -122,6 +128,12 @@ def run_tuner(
     xgb_trial_cap: int | None = PAPER_XGB_TRIAL_CAP,
     jobs: int = 1,
     timeout: float | None = None,
+    repeats: int = 1,
+    probe_repeats: int | None = None,
+    promote_margin: float = 0.15,
+    prune: bool = False,
+    prune_threshold: float = 1.25,
+    warm_start_db: "str | None" = None,
 ) -> TunerRun:
     """Run one tuner on one benchmark under the simulated Swing backend.
 
@@ -130,16 +142,47 @@ def run_tuner(
     ``jobs``-wide fleet; under simulation the virtual clock advances by the
     max of each wave, not the sum. ``timeout`` is the per-trial kernel budget
     (a timed-out configuration is recorded as failed and charged the budget).
+
+    ``repeats`` sets the full per-config repeat budget; ``probe_repeats``
+    (when smaller) turns on multi-fidelity measurement — probe first, promote
+    to the full budget only if the candidate looks competitive within
+    ``promote_margin`` of the incumbent. ``prune`` enables ytopt's
+    surrogate-guided pruning, and ``warm_start_db`` points at a telemetry run
+    store whose matching prior trials pre-train the ytopt surrogate.
     """
     if jobs < 1:
         raise TuningError(f"jobs must be >= 1, got {jobs}")
+    if repeats < 1:
+        raise TuningError(f"repeats must be >= 1, got {repeats}")
     if tuner != "ytopt" and tuner not in _AUTOTVM_CLASSES:
         raise TuningError(f"unknown tuner {tuner!r}; known: {ALL_TUNERS}")
 
     tel = get_telemetry()
-    evaluator = _make_evaluator(
-        benchmark, for_autotvm=tuner != "ytopt", model=model, seed=seed, timeout=timeout
+    evaluator: Evaluator = _make_evaluator(
+        benchmark,
+        for_autotvm=tuner != "ytopt",
+        model=model,
+        seed=seed,
+        timeout=timeout,
+        repeats=repeats,
     )
+    clock = evaluator.clock
+    if probe_repeats is not None:
+        evaluator = MultiFidelityEvaluator(
+            evaluator,
+            policy=AdaptiveRepeatPolicy(
+                probe_repeats=probe_repeats, promote_margin=promote_margin
+            ),
+            jobs=jobs,
+        )
+    warm = None
+    if warm_start_db is not None and tuner == "ytopt":
+        warm = WarmStart.from_store(
+            warm_start_db,
+            benchmark.kernel,
+            benchmark.size_name,
+            benchmark.config_space(seed=seed),
+        )
     run_id = make_run_id(benchmark.kernel, benchmark.size_name, tuner, seed)
     if tel.enabled:
         tel.emit(
@@ -157,13 +200,30 @@ def run_tuner(
                         "jobs": jobs,
                         "timeout": timeout,
                         "xgb_trial_cap": xgb_trial_cap if tuner == "AutoTVM-XGB" else None,
+                        "space_hash": space_hash(benchmark.config_space(seed=seed)),
+                        "repeats": repeats,
+                        "probe_repeats": probe_repeats,
+                        "promote_margin": promote_margin if probe_repeats else None,
+                        "prune": prune,
+                        "prune_threshold": prune_threshold if prune else None,
+                        "warm_start": len(warm) if warm is not None else None,
                     },
                 ),
             )
         )
-    with tel.span("tuner_run", clock=evaluator.clock):
+    with tel.span("tuner_run", clock=clock):
         run = _run_tuner_inner(
-            benchmark, tuner, evaluator, max_evals, seed, xgb_trial_cap, jobs
+            benchmark,
+            tuner,
+            evaluator,
+            max_evals,
+            seed,
+            xgb_trial_cap,
+            jobs,
+            repeats=repeats,
+            prune=prune,
+            prune_threshold=prune_threshold,
+            warm_start=warm,
         )
     if tel.enabled:
         tel.emit(
@@ -181,20 +241,30 @@ def run_tuner(
 def _run_tuner_inner(
     benchmark: KernelBenchmark,
     tuner: str,
-    evaluator: SwingEvaluator,
+    evaluator: Evaluator,
     max_evals: int,
     seed: int,
     xgb_trial_cap: int | None,
     jobs: int,
+    repeats: int = 1,
+    prune: bool = False,
+    prune_threshold: float = 1.25,
+    warm_start: WarmStart | None = None,
 ) -> TunerRun:
     if tuner == "ytopt":
         bo = BayesianAutotuner(
             benchmark.config_space(seed=seed),
             evaluator,
             config=AutotuneConfig(
-                max_evals=max_evals, seed=seed, batch_size=jobs, jobs=jobs
+                max_evals=max_evals,
+                seed=seed,
+                batch_size=jobs,
+                jobs=jobs,
+                prune=prune,
+                prune_threshold=prune_threshold,
             ),
             name=benchmark.name,
+            warm_start=warm_start,
         )
         result = bo.run()
         return TunerRun(
@@ -214,7 +284,7 @@ def _run_tuner_inner(
         t = XGBTuner(task, trial_cap=xgb_trial_cap, seed=seed)
     else:
         t = cls(task, seed=seed)
-    measurer = Measurer(evaluator, measure_option(jobs=jobs))
+    measurer = Measurer(evaluator, measure_option(jobs=jobs, repeat=repeats))
     records = t.tune(n_trial=max_evals, measurer=measurer)
     best_config, best_runtime = t.best()
     return TunerRun(
@@ -238,6 +308,12 @@ def run_experiment(
     xgb_trial_cap: int | None = PAPER_XGB_TRIAL_CAP,
     jobs: int = 1,
     timeout: float | None = None,
+    repeats: int = 1,
+    probe_repeats: int | None = None,
+    promote_margin: float = 0.15,
+    prune: bool = False,
+    prune_threshold: float = 1.25,
+    warm_start_db: "str | None" = None,
 ) -> ExperimentResult:
     """Run all requested tuners on one (kernel, size) experiment."""
     benchmark = get_benchmark(kernel, size_name)
@@ -250,6 +326,12 @@ def run_experiment(
             xgb_trial_cap=xgb_trial_cap,
             jobs=jobs,
             timeout=timeout,
+            repeats=repeats,
+            probe_repeats=probe_repeats,
+            promote_margin=promote_margin,
+            prune=prune,
+            prune_threshold=prune_threshold,
+            warm_start_db=warm_start_db,
         )
         for t in tuners
     }

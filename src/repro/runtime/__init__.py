@@ -11,6 +11,12 @@ from repro.runtime.target import Target
 from repro.runtime.module import Module, build, build_from_primfunc
 from repro.runtime.measure import MeasureResult, LocalEvaluator, Evaluator
 from repro.runtime.build_cache import BuildCache, schedule_key
+from repro.runtime.fidelity import (
+    AdaptiveRepeatPolicy,
+    FidelityDecision,
+    MultiFidelityEvaluator,
+    probe_statistics,
+)
 from repro.runtime.parallel import ParallelEvaluator, evaluate_batch
 
 __all__ = [
@@ -27,6 +33,10 @@ __all__ = [
     "Evaluator",
     "BuildCache",
     "schedule_key",
+    "AdaptiveRepeatPolicy",
+    "FidelityDecision",
+    "MultiFidelityEvaluator",
+    "probe_statistics",
     "ParallelEvaluator",
     "evaluate_batch",
 ]

@@ -50,6 +50,12 @@ class MeasureResult:
     ``costs`` holds per-repeat kernel runtimes in seconds; ``compile_time`` the
     build cost; ``timestamp`` the process-clock time when the evaluation finished
     (virtual seconds under simulation). ``error`` is None on success.
+
+    ``fidelity`` classifies how the measurement was obtained: ``"full"`` (the
+    whole repeat budget, the default), ``"promoted"`` (probe then top-up under
+    :class:`~repro.runtime.fidelity.MultiFidelityEvaluator`), ``"probe"``
+    (terminated early — costs are a low-fidelity estimate), or ``"pruned"``
+    (never measured; ``costs`` carry a surrogate estimate).
     """
 
     config: dict[str, int]
@@ -58,6 +64,12 @@ class MeasureResult:
     timestamp: float
     error: str | None = None
     extra: dict[str, float] = field(default_factory=dict)
+    fidelity: str = "full"
+
+    @property
+    def low_fidelity(self) -> bool:
+        """True when the recorded cost is not a full-budget measurement."""
+        return self.fidelity in ("probe", "pruned")
 
     @property
     def ok(self) -> bool:

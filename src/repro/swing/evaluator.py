@@ -41,6 +41,7 @@ class SwingEvaluator(Evaluator):
         timeout: float | None = None,
         metric: str = "runtime",
         run_parallelism: int = 1,
+        cache_builds: bool = False,
     ) -> None:
         if number < 1 or repeat < 1:
             raise ReproError("SwingEvaluator requires number >= 1 and repeat >= 1")
@@ -59,6 +60,12 @@ class SwingEvaluator(Evaluator):
         self.measure_overhead = measure_overhead
         self.timeout = timeout
         self.n_evaluations = 0
+        # Opt-in build memoisation: re-evaluating a configuration (the
+        # multi-fidelity promotion top-up) charges zero compile time the
+        # second time, as a real artifact cache would. Off by default so the
+        # seed tables' time accounting is unchanged.
+        self.cache_builds = cache_builds
+        self._built: set[tuple[tuple[str, int], ...]] = set()
         # Swing nodes carry 8 GPUs; a runner can spread a config's repeated
         # runs across them, dividing the wall-clock charge.
         self.run_parallelism = run_parallelism
@@ -93,8 +100,12 @@ class SwingEvaluator(Evaluator):
                 timestamp=self.clock.now,
                 error=f"compile error: {exc}",
             )
-        charged_compile = compile_t / self.compile_parallelism
+        cache_key = tuple(sorted(cfg.items()))
+        cache_hit = self.cache_builds and cache_key in self._built
+        charged_compile = 0.0 if cache_hit else compile_t / self.compile_parallelism
         self.clock.advance(charged_compile)
+        if self.cache_builds:
+            self._built.add(cache_key)
 
         costs: list[float] = []
         timed_out = False
@@ -133,10 +144,13 @@ class SwingEvaluator(Evaluator):
                 timestamp=self.clock.now,
                 error=f"timeout after {self.timeout:.1f}s",
             )
+        extra = {"charged_compile": charged_compile}
+        if cache_hit:
+            extra["cache_hit"] = 1.0
         return MeasureResult(
             config=cfg,
             costs=tuple(costs),
             compile_time=compile_t,
             timestamp=self.clock.now,
-            extra={"charged_compile": charged_compile},
+            extra=extra,
         )

@@ -44,6 +44,8 @@ from repro.telemetry.events import (
     SpanClosed,
     SurrogateFitted,
     TrialMeasured,
+    TrialPromoted,
+    TrialPruned,
     WorkerCrashed,
     make_run_id,
 )
@@ -73,6 +75,8 @@ __all__ = [
     "Event",
     "RunStarted",
     "TrialMeasured",
+    "TrialPruned",
+    "TrialPromoted",
     "CacheHit",
     "CacheMiss",
     "WorkerCrashed",

@@ -9,7 +9,7 @@ The lifecycle of one tuner run::
 
     RunStarted
       (SurrogateFitted | CacheHit | CacheMiss | WorkerCrashed | PoolRebuilt
-       | SpanClosed | TrialMeasured)*
+       | SpanClosed | TrialPruned | TrialPromoted | TrialMeasured)*
     RunFinished
 
 ``RunStarted``/``RunFinished`` bracket a run and carry the identity key the
@@ -63,7 +63,12 @@ class RunStarted(Event):
 
 @dataclass
 class TrialMeasured(Event):
-    """One configuration was measured (successfully or not)."""
+    """One configuration was measured (successfully or not).
+
+    ``fidelity`` mirrors :attr:`repro.runtime.measure.MeasureResult.fidelity`:
+    ``"full"``, ``"promoted"``, ``"probe"`` (early-terminated estimate), or
+    ``"pruned"`` (surrogate estimate, never compiled or run).
+    """
 
     kind = "trial_measured"
 
@@ -73,10 +78,52 @@ class TrialMeasured(Event):
     elapsed: float  # process clock when the measurement finished
     error: str | None = None
     cache_hit: bool = False
+    fidelity: str = "full"
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def low_fidelity(self) -> bool:
+        return self.fidelity in ("probe", "pruned")
+
+
+@dataclass
+class TrialPruned(Event):
+    """A candidate was dropped before (or instead of) full measurement.
+
+    ``source`` says which mechanism fired: ``"surrogate"`` — the optimizer's
+    prediction lower bound exceeded the incumbent by the prune threshold, so
+    compilation was skipped entirely; ``"fidelity"`` — the probe measurement's
+    confidence bound showed the candidate cannot be competitive, so the full
+    repeat budget was withheld.
+    """
+
+    kind = "trial_pruned"
+
+    config: dict[str, int]
+    estimate: float  # the cost estimate the trial keeps (probe mean / surrogate mean)
+    bound: float  # the lower confidence bound the decision used
+    incumbent: float | None  # best trusted cost at decision time
+    limit: float  # threshold the bound was compared against
+    elapsed: float
+    source: str = "fidelity"
+    reason: str = ""
+
+
+@dataclass
+class TrialPromoted(Event):
+    """A probed candidate was promoted to the full repeat budget."""
+
+    kind = "trial_promoted"
+
+    config: dict[str, int]
+    probe_mean: float
+    runtime: float  # mean over all repeats after the top-up
+    probe_repeats: int
+    total_repeats: int
+    elapsed: float
 
 
 @dataclass

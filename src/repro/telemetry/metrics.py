@@ -23,6 +23,8 @@ from repro.telemetry.events import (
     SpanClosed,
     SurrogateFitted,
     TrialMeasured,
+    TrialPromoted,
+    TrialPruned,
     WorkerCrashed,
 )
 
@@ -164,6 +166,18 @@ class MetricsSink(Sink):
             else:
                 reg.histogram("trial_runtime").observe(event.runtime)
             reg.histogram("trial_compile_time").observe(event.compile_time)
+            if event.low_fidelity:
+                reg.counter("trials_low_fidelity").inc()
+        elif isinstance(event, TrialPruned):
+            reg.counter(
+                "trials_pruned_surrogate"
+                if event.source == "surrogate"
+                else "trials_pruned_fidelity"
+            ).inc()
+            reg.histogram("pruned_estimate").observe(event.estimate)
+        elif isinstance(event, TrialPromoted):
+            reg.counter("trials_promoted").inc()
+            reg.histogram("promoted_repeats").observe(float(event.total_repeats))
         elif isinstance(event, CacheHit):
             reg.counter("cache_hits").inc()
         elif isinstance(event, CacheMiss):
@@ -194,6 +208,9 @@ def format_metrics_summary(registry: MetricsRegistry) -> str:
     if snap.get("cache_hits", 0.0) or snap.get("cache_misses", 0.0):
         parts.append(f"cache hit ratio {snap.get('cache_hit_ratio', 0.0):.1%}")
     for key, label in (
+        ("trials_pruned_surrogate", "surrogate-pruned"),
+        ("trials_pruned_fidelity", "probe-terminated"),
+        ("trials_promoted", "promoted"),
         ("worker_crashes", "crashes"),
         ("worker_timeouts", "timeouts"),
         ("pool_rebuilds", "pool rebuilds"),

@@ -63,7 +63,8 @@ def experiment_from_store(store: RunStore, kernel: str, size_name: str):
 
 
 def evaluation_count_table(store: RunStore, kernel: str, size_name: str) -> str:
-    """Evaluation counts + failures + cache hits per tuner (store-only view)."""
+    """Per-tuner evaluation counts, failures, cache hits, and fidelity
+    breakdown (pruned / promoted) — a store-only view."""
     from repro.common.tabulate import format_table
 
     rows = []
@@ -71,12 +72,14 @@ def evaluation_count_table(store: RunStore, kernel: str, size_name: str) -> str:
         evals = store.evaluations(run.run_id)
         failures = sum(1 for e in evals if not e.ok)
         hits = sum(1 for e in evals if e.cache_hit)
+        pruned = sum(1 for e in evals if e.fidelity in ("pruned", "probe"))
+        promoted = sum(1 for e in evals if e.fidelity == "promoted")
         seed = run.metadata.get("seed", run.seed)
-        rows.append([run.tuner, run.n_evals, failures, hits, seed])
+        rows.append([run.tuner, run.n_evals, failures, hits, pruned, promoted, seed])
     rows.sort(key=lambda r: str(r[0]))
     return format_table(
         rows,
-        headers=["tuner", "evals", "failures", "cache hits", "seed"],
+        headers=["tuner", "evals", "failures", "cache hits", "pruned", "promoted", "seed"],
         title=f"Evaluations — {kernel} / {size_name}",
     )
 

@@ -8,7 +8,9 @@ while different seeds/tuners/sizes accumulate side by side. Two tables:
   tables report (best runtime, best config, evaluation count, total process
   time), and JSON reproducibility metadata (git SHA, versions, platform);
 * ``evaluations`` — one row per measured configuration: config JSON, mean
-  runtime, compile time, process clock at completion, error text, cache hit.
+  runtime, compile time, process clock at completion, error text, cache hit,
+  and measurement fidelity ("full", "promoted", "probe", or "pruned" — see
+  :class:`repro.runtime.measure.MeasureResult`).
 
 :class:`StoreSink` adapts the store to the event bus: it buffers
 ``TrialMeasured`` events between a ``RunStarted``/``RunFinished`` pair and
@@ -60,6 +62,7 @@ CREATE TABLE IF NOT EXISTS evaluations (
     elapsed      REAL NOT NULL,
     error        TEXT,
     cache_hit    INTEGER NOT NULL DEFAULT 0,
+    fidelity     TEXT NOT NULL DEFAULT 'full',
     PRIMARY KEY (run_id, idx)
 );
 """
@@ -76,10 +79,16 @@ class StoredEvaluation:
     elapsed: float
     error: str | None = None
     cache_hit: bool = False
+    fidelity: str = "full"
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def low_fidelity(self) -> bool:
+        """True when the stored cost is not a full-budget measurement."""
+        return self.fidelity in ("probe", "pruned")
 
 
 @dataclass(frozen=True)
@@ -111,7 +120,20 @@ class RunStore:
             self.path.parent.mkdir(parents=True, exist_ok=True)
         self._conn = sqlite3.connect(str(self.path))
         self._conn.executescript(_SCHEMA)
+        self._migrate()
         self._conn.commit()
+
+    def _migrate(self) -> None:
+        """Bring pre-fidelity stores up to the current schema in place."""
+        cols = {
+            row[1]
+            for row in self._conn.execute("PRAGMA table_info(evaluations)").fetchall()
+        }
+        if "fidelity" not in cols:
+            self._conn.execute(
+                "ALTER TABLE evaluations "
+                "ADD COLUMN fidelity TEXT NOT NULL DEFAULT 'full'"
+            )
 
     # -- writing ------------------------------------------------------------
 
@@ -159,8 +181,8 @@ class RunStore:
             )
             self._conn.executemany(
                 "INSERT INTO evaluations (run_id, idx, config, runtime, "
-                "compile_time, elapsed, error, cache_hit) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                "compile_time, elapsed, error, cache_hit, fidelity) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 [
                     (
                         run_id,
@@ -171,6 +193,7 @@ class RunStore:
                         t.elapsed,
                         t.error,
                         1 if t.cache_hit else 0,
+                        getattr(t, "fidelity", "full"),
                     )
                     for i, t in enumerate(trials)
                 ],
@@ -240,8 +263,8 @@ class RunStore:
 
     def evaluations(self, run_id: str) -> list[StoredEvaluation]:
         rows = self._conn.execute(
-            "SELECT idx, config, runtime, compile_time, elapsed, error, cache_hit "
-            "FROM evaluations WHERE run_id=? ORDER BY idx",
+            "SELECT idx, config, runtime, compile_time, elapsed, error, cache_hit, "
+            "fidelity FROM evaluations WHERE run_id=? ORDER BY idx",
             (run_id,),
         ).fetchall()
         return [
@@ -253,6 +276,7 @@ class RunStore:
                 elapsed=r[4],
                 error=r[5],
                 cache_hit=bool(r[6]),
+                fidelity=r[7] or "full",
             )
             for r in rows
         ]

@@ -14,6 +14,7 @@ from repro.ytopt.acquisition import LowerConfidenceBound, ExpectedImprovement
 from repro.ytopt.optimizer import Optimizer
 from repro.ytopt.database import PerformanceDatabase, EvaluationRecord
 from repro.ytopt.search import AMBS, SearchResult
+from repro.ytopt.warmstart import WarmStart
 from repro.ytopt.codemold import CodeMold, Plopper
 
 __all__ = [
@@ -28,6 +29,7 @@ __all__ = [
     "EvaluationRecord",
     "AMBS",
     "SearchResult",
+    "WarmStart",
     "CodeMold",
     "Plopper",
 ]

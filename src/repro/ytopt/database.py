@@ -30,10 +30,16 @@ class EvaluationRecord:
     elapsed: float  # process time when the evaluation finished
     tuner: str
     error: str | None = None
+    fidelity: str = "full"  # "full" | "promoted" | "probe" | "pruned"
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def low_fidelity(self) -> bool:
+        """True when ``runtime`` is an estimate, not a full-budget measurement."""
+        return self.fidelity in ("probe", "pruned")
 
 
 class PerformanceDatabase:
@@ -54,6 +60,7 @@ class PerformanceDatabase:
             elapsed=result.timestamp,
             tuner=tuner,
             error=result.error,
+            fidelity=result.fidelity,
         )
         self._records.append(rec)
         return rec
@@ -70,6 +77,7 @@ class PerformanceDatabase:
                     elapsed=rec.elapsed,
                     tuner=rec.tuner,
                     error=rec.error,
+                    fidelity=rec.fidelity,
                 )
             )
 
@@ -112,7 +120,16 @@ class PerformanceDatabase:
 
     # -- persistence ------------------------------------------------------------
 
-    _FIELDS = ("index", "tuner", "runtime", "compile_time", "elapsed", "error", "config")
+    _FIELDS = (
+        "index",
+        "tuner",
+        "runtime",
+        "compile_time",
+        "elapsed",
+        "error",
+        "fidelity",
+        "config",
+    )
 
     def to_csv(self, path: "str | Path") -> None:
         with open(path, "w", newline="") as fh:
@@ -127,6 +144,7 @@ class PerformanceDatabase:
                         "compile_time": r.compile_time,
                         "elapsed": r.elapsed,
                         "error": r.error or "",
+                        "fidelity": r.fidelity,
                         "config": json.dumps(r.config, sort_keys=True),
                     }
                 )
@@ -145,6 +163,8 @@ class PerformanceDatabase:
                         elapsed=float(row["elapsed"]),
                         tuner=row["tuner"],
                         error=row["error"] or None,
+                        # pre-fidelity CSVs have no column: default to "full"
+                        fidelity=row.get("fidelity") or "full",
                     )
                 )
         return db

@@ -131,6 +131,29 @@ class Optimizer:
         i = int(np.argmin(self._y))
         return self._configs[i].get_dictionary(), self._y[i]
 
+    def predict_cost(
+        self, config: "Configuration | Mapping[str, int]", z: float = 1.0
+    ) -> tuple[float, float] | None:
+        """Surrogate cost prediction ``(mean, lower bound)`` in cost units.
+
+        Returns None while the optimizer is still in its initial random phase
+        (too few observations for the surrogate to be meaningful). Predictions
+        from log-cost surrogates are mapped back through ``exp`` so callers
+        compare directly against measured runtimes. ``z`` scales how many
+        standard deviations below the mean the lower bound sits.
+        """
+        if self.n_told < self.n_initial_points:
+            return None
+        self._maybe_refit()  # ask_batch retracts lies and clears _fitted
+        if not isinstance(config, Configuration):
+            config = Configuration(self.space, dict(config))
+        X = config.get_array().reshape(1, -1)
+        mean, std = self.surrogate.predict(X)
+        m, s = float(mean[0]), float(std[0])
+        if getattr(self.surrogate, "log_cost", False):
+            return float(np.exp(m)), float(np.exp(m - z * s))
+        return m, m - z * s
+
     # -- internals ----------------------------------------------------------
 
     def _sample_unseen(self) -> Configuration:

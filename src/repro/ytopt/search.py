@@ -10,12 +10,13 @@ wall-clock budget is exhausted.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.common.errors import TuningError
-from repro.runtime.measure import FAILED_COST
+from repro.runtime.measure import FAILED_COST, MeasureResult
 from repro.telemetry.context import get_telemetry
-from repro.telemetry.events import TrialMeasured
+from repro.telemetry.events import TrialMeasured, TrialPruned
 from repro.ytopt.database import PerformanceDatabase
 from repro.ytopt.optimizer import Optimizer
 from repro.ytopt.problem import TuningProblem
@@ -65,6 +66,22 @@ class AMBS:
         #: carried into this run's database; already-evaluated configurations
         #: are never re-measured.
         resume_from: PerformanceDatabase | None = None,
+        #: Surrogate-guided pruning: once the surrogate is trained, skip
+        #: compilation entirely for candidates whose predicted lower confidence
+        #: bound exceeds ``prune_threshold`` × the incumbent runtime. Pruned
+        #: trials are charged ``prune_overhead`` seconds of process time,
+        #: recorded with the surrogate estimate (fidelity "pruned"), and count
+        #: against ``max_evals``.
+        prune: bool = False,
+        prune_threshold: float = 1.25,
+        prune_overhead: float = 0.02,
+        prune_z: float = 0.5,
+        #: Warm start from prior runs (see :class:`repro.ytopt.WarmStart`):
+        #: records pre-train the surrogate and land in the database, and —
+        #: unlike ``resume_from`` — count toward ``max_evals``, so a warm
+        #: start with a matching budget replays the stored result without
+        #: re-measuring anything.
+        warm_start: PerformanceDatabase | None = None,
     ) -> None:
         if max_evals < 1:
             raise TuningError(f"max_evals must be >= 1, got {max_evals}")
@@ -74,6 +91,13 @@ class AMBS:
             raise TuningError(f"batch_size must be >= 1, got {batch_size}")
         if jobs is not None and jobs < 1:
             raise TuningError(f"jobs must be >= 1, got {jobs}")
+        if prune_threshold < 1.0:
+            raise TuningError(
+                f"prune_threshold must be >= 1.0 (a multiple of the incumbent), "
+                f"got {prune_threshold}"
+            )
+        if prune_overhead < 0:
+            raise TuningError(f"prune_overhead must be >= 0, got {prune_overhead}")
         self.problem = problem
         self.optimizer = (
             optimizer
@@ -86,18 +110,80 @@ class AMBS:
         self.optimizer_overhead = optimizer_overhead
         self.batch_size = batch_size
         self.jobs = jobs
+        self.prune = prune
+        self.prune_threshold = prune_threshold
+        self.prune_overhead = prune_overhead
+        self.prune_z = prune_z
+        self.n_pruned = 0
+        self._incumbent = math.inf  # best *measured* runtime (never an estimate)
+        self._preloaded = 0
         self.database = PerformanceDatabase(name=f"{problem.name}:{tuner_name}")
-        if resume_from is not None:
-            for rec in resume_from:
+        for source, counts in ((resume_from, False), (warm_start, True)):
+            if source is None:
+                continue
+            for rec in source:
                 self.optimizer.tell(rec.config, rec.runtime)
-            self.database.extend(resume_from)
+                if rec.ok and not rec.low_fidelity:
+                    self._incumbent = min(self._incumbent, rec.runtime)
+            self.database.extend(source)
+            if counts:
+                self._preloaded += len(source)
+
+    def _try_prune(self, config, evaluator, clock) -> MeasureResult | None:
+        """Surrogate-prune ``config`` if its predicted lower bound is hopeless.
+
+        Returns the synthetic "pruned" MeasureResult, or None when the trial
+        must be measured for real (pruning off, surrogate not yet trained, no
+        incumbent, or the candidate looks competitive). The prune decision
+        costs ``prune_overhead`` seconds of process time — charged to the
+        clock so the total-time tables stay honest.
+        """
+        if not self.prune or not math.isfinite(self._incumbent):
+            return None
+        pred = self.optimizer.predict_cost(config, z=self.prune_z)
+        if pred is None:  # still in the initial random design
+            return None
+        est, lower = pred
+        limit = self.prune_threshold * self._incumbent
+        if lower <= limit:
+            return None
+        if clock is not None:
+            clock.advance(self.prune_overhead)
+        # The recorded estimate is >= the lower bound > incumbent, so a pruned
+        # record can never displace a measured best().
+        estimate = max(est, lower)
+        result = MeasureResult(
+            config=dict(config),
+            costs=(estimate,),
+            compile_time=0.0,
+            timestamp=evaluator.elapsed(),
+            extra={"pruned": 1.0, "prune_bound": lower},
+            fidelity="pruned",
+        )
+        self.n_pruned += 1
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.emit(
+                TrialPruned(
+                    config=dict(result.config),
+                    estimate=estimate,
+                    bound=lower,
+                    incumbent=self._incumbent,
+                    limit=limit,
+                    elapsed=result.timestamp,
+                    source="surrogate",
+                    reason=f"lcb {lower:.4g} > {self.prune_threshold:g}x "
+                    f"incumbent {self._incumbent:.4g}",
+                )
+            )
+        return result
 
     def run(self) -> SearchResult:
         """Execute the search; returns the best configuration found."""
         tel = get_telemetry()
         evaluator = self.problem.evaluator
         clock = getattr(evaluator, "clock", None)
-        remaining = self.max_evals
+        remaining = max(0, self.max_evals - self._preloaded)
         while remaining > 0:
             if self.max_time is not None and evaluator.elapsed() >= self.max_time:
                 break
@@ -108,16 +194,26 @@ class AMBS:
                 )  # Step 1
                 if clock is not None:
                     clock.advance(self.optimizer_overhead)
+            results: list[MeasureResult | None] = [
+                self._try_prune(c, evaluator, clock) for c in configs
+            ]
+            to_measure = [c for c, r in zip(configs, results) if r is None]
             with tel.span("measure", clock=clock):
-                if len(configs) == 1:
-                    results = [self.problem.objective(configs[0])]  # Steps 2-4
+                if len(to_measure) == 1:
+                    measured = [self.problem.objective(to_measure[0])]  # Steps 2-4
+                elif to_measure:
+                    jobs = self.jobs if self.jobs is not None else len(to_measure)
+                    measured = self.problem.objective_batch(to_measure, jobs=jobs)
                 else:
-                    jobs = self.jobs if self.jobs is not None else len(configs)
-                    results = self.problem.objective_batch(configs, jobs=jobs)
+                    measured = []
+            it = iter(measured)
+            results = [r if r is not None else next(it) for r in results]
             for config, result in zip(configs, results):
                 self.database.add(result, tuner=self.tuner_name)  # Step 5
                 cost = result.mean_cost if result.ok else FAILED_COST
                 self.optimizer.tell(config, cost)
+                if result.ok and not result.low_fidelity:
+                    self._incumbent = min(self._incumbent, result.mean_cost)
                 if tel.enabled:
                     tel.emit(
                         TrialMeasured(
@@ -127,6 +223,7 @@ class AMBS:
                             elapsed=result.timestamp,
                             error=result.error,
                             cache_hit=bool(result.extra.get("cache_hit")),
+                            fidelity=result.fidelity,
                         )
                     )
             remaining -= len(configs)

@@ -1,0 +1,74 @@
+"""Regression battery for the paper's headline claims (SC'23 §5).
+
+Pins the qualitative results the reproduction must keep exhibiting:
+
+* AutoTVM-XGB stalls at 56 evaluations no matter how large the budget;
+* GridSearch finds the worst (or tied-worst) kernel of the five tuners;
+* ytopt has the lowest total autotuning process time at EXTRALARGE sizes,
+  where AutoTVM's number=3 re-execution of 14-second kernels dominates;
+* the multi-fidelity options (``--prune --probe-repeats 2``) cut ytopt's
+  total process time substantially without degrading the best kernel found.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment, run_tuner
+from repro.experiments.runner import ALL_TUNERS
+from repro.kernels import get_benchmark
+
+
+class TestXGBTrialCap:
+    @pytest.mark.parametrize("budget", [60, 150])
+    def test_xgb_stalls_at_56_regardless_of_budget(self, budget):
+        run = run_tuner(
+            get_benchmark("lu", "large"), "AutoTVM-XGB", max_evals=budget, seed=0
+        )
+        assert run.n_evals == 56
+
+
+class TestGridSearchIsWorst:
+    @pytest.mark.parametrize("kernel", ["lu", "cholesky"])
+    def test_gridsearch_worst_or_tied(self, kernel):
+        result = run_experiment(
+            kernel, "large", tuners=ALL_TUNERS, max_evals=20, seed=0
+        )
+        grid = result.runs["AutoTVM-GridSearch"].best_runtime
+        others = [
+            r.best_runtime
+            for name, r in result.runs.items()
+            if name != "AutoTVM-GridSearch"
+        ]
+        assert all(grid >= o for o in others)
+
+
+class TestYtoptFastestAtExtralarge:
+    def test_lowest_total_process_time(self):
+        # Paper Fig. 7/8: at EXTRALARGE the kernel takes ~14 s per run, so
+        # AutoTVM's 3-run averaging dwarfs ytopt's single measurement.
+        result = run_experiment(
+            "lu",
+            "extralarge",
+            tuners=("ytopt", "AutoTVM-Random", "AutoTVM-GA"),
+            max_evals=20,
+            seed=0,
+        )
+        assert result.fastest_process().tuner == "ytopt"
+        ytopt_time = result.runs["ytopt"].total_time
+        for name in ("AutoTVM-Random", "AutoTVM-GA"):
+            assert ytopt_time < result.runs[name].total_time
+
+
+class TestFidelityAcceptance:
+    def test_prune_and_probe_cut_process_time_without_losing_quality(self):
+        """Acceptance: --prune --probe-repeats 2 improves ytopt's total
+        process time by >= 15% while the best runtime stays within 5%."""
+        bench = get_benchmark("lu", "large")
+        baseline = run_tuner(bench, "ytopt", max_evals=100, seed=0)
+        tuned = run_tuner(
+            bench, "ytopt", max_evals=100, seed=0, prune=True, probe_repeats=2
+        )
+        assert tuned.total_time <= 0.85 * baseline.total_time
+        assert tuned.best_runtime <= 1.05 * baseline.best_runtime
+        assert tuned.n_evals == baseline.n_evals  # pruned trials still count

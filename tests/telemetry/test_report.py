@@ -144,8 +144,8 @@ class TestGoldenReport:
             text = evaluation_count_table(store, "lu", "large")
         lines = text.splitlines()
         ytopt_row = next(l for l in lines if "ytopt" in l)
-        # 3 evals, 1 failure, 1 cache hit, seed 0
-        assert ytopt_row.split()[-4:] == ["3", "1", "1", "0"]
+        # 3 evals, 1 failure, 1 cache hit, 0 pruned, 0 promoted, seed 0
+        assert ytopt_row.split()[-6:] == ["3", "1", "1", "0", "0", "0"]
 
 
 def regenerate_golden() -> None:  # pragma: no cover - maintenance helper

@@ -126,6 +126,37 @@ class TestTelemetryFlags:
         assert "best" in capsys.readouterr().out
 
 
+class TestFidelityFlags:
+    def test_prune_and_probe_counts_reach_the_report(self, tmp_path, capsys):
+        """Acceptance: `repro report` shows per-run pruned/promoted counts."""
+        db = tmp_path / "runs.sqlite"
+        rc = main(
+            ["tune", "--kernel", "lu", "--size", "large", "--tuner", "ytopt",
+             "--max-evals", "20", "--seed", "0", "--repeats", "3",
+             "--probe-repeats", "2", "--prune", "--quiet", "--db", str(db)]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        assert main(["report", "--db", str(db)]) == 0
+        out = capsys.readouterr().out
+        table = out[out.index("Evaluations — lu / large"):]
+        ytopt_row = next(l for l in table.splitlines() if l.startswith("ytopt"))
+        fields = ytopt_row.split()
+        pruned, promoted = int(fields[-3]), int(fields[-2])
+        assert pruned > 0 and promoted > 0
+
+    def test_warm_start_flag_round_trips(self, tmp_path, capsys):
+        db = tmp_path / "runs.sqlite"
+        base = ["tune", "--kernel", "lu", "--size", "large", "--tuner", "ytopt",
+                "--max-evals", "6", "--seed", "0", "--quiet"]
+        assert main(base + ["--db", str(db)]) == 0
+        first = capsys.readouterr().out
+        assert main(base + ["--warm-start-db", str(db)]) == 0
+        second = capsys.readouterr().out
+        # matching budget: the warm-started run replays the stored best
+        assert first.split("best")[1] == second.split("best")[1]
+
+
 class TestReportCompare:
     def _make_store(self, path):
         rc = main(["tune", "--kernel", "lu", "--size", "large", "--tuner",

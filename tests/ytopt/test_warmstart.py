@@ -1,0 +1,215 @@
+"""Warm-start round trip: store → WarmStart → pre-trained search.
+
+Run A archives its trials in the telemetry run store; run B warm-starts from
+that store. The contract: stored configurations are never re-measured, a
+matching budget replays run A's best without measuring anything, and runs
+whose search space does not hash-match are ignored wholesale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.configspace import space_hash
+from repro.experiments import run_tuner
+from repro.kernels import get_benchmark
+from repro.telemetry import (
+    RecordingSink,
+    RunFinished,
+    RunStarted,
+    RunStore,
+    StoreSink,
+    Telemetry,
+    TrialMeasured,
+    telemetry_session,
+)
+from repro.ytopt.warmstart import WarmStart
+
+
+def _traced(db_path, **kw):
+    """One traced ytopt run on lu/large, archived into ``db_path``."""
+    tel = Telemetry(sinks=[StoreSink(RunStore(db_path), own_store=True)])
+    with telemetry_session(tel):
+        run = run_tuner(get_benchmark("lu", "large"), "ytopt", **kw)
+    tel.close()
+    return run
+
+
+def _manual_run(store, seed, trials, hash_value, kernel="lu", size="large"):
+    run_id = f"{kernel}:{size}:ytopt:seed{seed}"
+    store.save_run(
+        RunStarted(
+            run_id=run_id,
+            kernel=kernel,
+            size_name=size,
+            tuner="ytopt",
+            seed=seed,
+            max_evals=len(trials),
+            metadata={"space_hash": hash_value},
+        ),
+        RunFinished(
+            run_id=run_id,
+            best_runtime=min(t.runtime for t in trials),
+            best_config=trials[0].config,
+            n_evals=len(trials),
+            total_time=trials[-1].elapsed,
+        ),
+        trials,
+    )
+
+
+def _trial(config, runtime, elapsed, fidelity="full"):
+    return TrialMeasured(
+        config=config,
+        runtime=runtime,
+        compile_time=0.1,
+        elapsed=elapsed,
+        fidelity=fidelity,
+    )
+
+
+class TestSpaceHash:
+    def test_stable_across_seeds_and_instances(self):
+        bench = get_benchmark("lu", "large")
+        assert space_hash(bench.config_space(seed=0)) == space_hash(
+            bench.config_space(seed=99)
+        )
+
+    def test_different_spaces_hash_differently(self):
+        # lu and cholesky share an identical (P0, P1) space — the hash covers
+        # the space's *shape*, not its name — so compare against 3mm, whose
+        # parameter set genuinely differs.
+        lu = get_benchmark("lu", "large").config_space(seed=0)
+        mm = get_benchmark("3mm", "large").config_space(seed=0)
+        assert space_hash(lu) != space_hash(mm)
+
+
+class TestFromStore:
+    def test_loads_matching_records(self, tmp_path):
+        db = tmp_path / "runs.sqlite"
+        a = _traced(db, max_evals=10, seed=0)
+        space = get_benchmark("lu", "large").config_space(seed=0)
+        ws = WarmStart.from_store(db, "lu", "large", space)
+        assert ws.matched_runs == 1
+        assert ws.skipped_runs == 0
+        assert len(ws) == 10
+        assert min(r.runtime for r in ws.database if r.ok) == a.best_runtime
+
+    def test_mismatched_space_hash_skips_the_run(self, tmp_path):
+        db = tmp_path / "runs.sqlite"
+        space = get_benchmark("lu", "large").config_space(seed=0)
+        with RunStore(db) as store:
+            _manual_run(
+                store, 0, [_trial({"P0": 8}, 1.0, 5.0)], hash_value="0000deadbeef"
+            )
+        ws = WarmStart.from_store(db, "lu", "large", space)
+        assert ws.matched_runs == 0
+        assert ws.skipped_runs == 1
+        assert len(ws) == 0
+
+    def test_pruned_rows_are_dropped(self, tmp_path):
+        db = tmp_path / "runs.sqlite"
+        space = get_benchmark("lu", "large").config_space(seed=0)
+        good = space_hash(space)
+        with RunStore(db) as store:
+            _manual_run(
+                store,
+                0,
+                [
+                    _trial({"P0": 8}, 1.0, 5.0),
+                    _trial({"P0": 16}, 2.0, 6.0, fidelity="pruned"),
+                    _trial({"P0": 32}, 1.5, 7.0, fidelity="probe"),
+                ],
+                hash_value=good,
+            )
+        ws = WarmStart.from_store(db, "lu", "large", space)
+        assert len(ws) == 2  # pruned dropped, probe kept (it was measured)
+        assert ws.skipped_records == 1
+        assert {r.fidelity for r in ws.database} == {"full", "probe"}
+
+    def test_duplicate_configs_deduped_across_runs(self, tmp_path):
+        db = tmp_path / "runs.sqlite"
+        space = get_benchmark("lu", "large").config_space(seed=0)
+        good = space_hash(space)
+        trials = [_trial({"P0": 8}, 1.0, 5.0), _trial({"P0": 16}, 2.0, 6.0)]
+        with RunStore(db) as store:
+            _manual_run(store, 0, trials, hash_value=good)
+            _manual_run(store, 1, trials, hash_value=good)
+        ws = WarmStart.from_store(db, "lu", "large", space)
+        assert ws.matched_runs == 2
+        assert len(ws) == 2
+        assert ws.skipped_records == 2
+
+    def test_max_records_caps_the_load(self, tmp_path):
+        db = tmp_path / "runs.sqlite"
+        _traced(db, max_evals=10, seed=0)
+        space = get_benchmark("lu", "large").config_space(seed=0)
+        ws = WarmStart.from_store(db, "lu", "large", space, max_records=4)
+        assert len(ws) == 4
+
+    def test_missing_store_raises(self, tmp_path):
+        space = get_benchmark("lu", "large").config_space(seed=0)
+        with pytest.raises(ReproError, match="not found"):
+            WarmStart.from_store(tmp_path / "nope.sqlite", "lu", "large", space)
+
+
+class TestRoundTrip:
+    def _warm(self, db, max_evals, seed=0):
+        """Run B, warm-started; returns (run, measured TrialMeasured events)."""
+        sink = RecordingSink()
+        tel = Telemetry(sinks=[sink])
+        with telemetry_session(tel):
+            run = run_tuner(
+                get_benchmark("lu", "large"),
+                "ytopt",
+                max_evals=max_evals,
+                seed=seed,
+                warm_start_db=str(db),
+            )
+        tel.close()
+        measured = [e for e in sink.events if isinstance(e, TrialMeasured)]
+        return run, measured
+
+    def test_matching_budget_replays_without_measuring(self, tmp_path):
+        db = tmp_path / "runs.sqlite"
+        a = _traced(db, max_evals=10, seed=0)
+        b, measured = self._warm(db, max_evals=10)
+        assert measured == []  # nothing re-measured, at any fidelity
+        assert b.best_runtime == a.best_runtime
+        assert b.best_config == a.best_config
+        assert b.n_evals == 10  # warm-started records count toward the budget
+
+    def test_larger_budget_never_remeasures_stored_configs(self, tmp_path):
+        db = tmp_path / "runs.sqlite"
+        a = _traced(db, max_evals=10, seed=0)
+        with RunStore(db) as store:
+            (run_a,) = store.runs()
+            stored = {
+                tuple(sorted(e.config.items()))
+                for e in store.evaluations(run_a.run_id)
+            }
+        b, measured = self._warm(db, max_evals=14)
+        assert len(measured) == 4  # only the budget remainder is measured
+        new = {tuple(sorted(e.config.items())) for e in measured}
+        assert new.isdisjoint(stored)
+        assert b.n_evals == 14
+        assert b.best_runtime <= a.best_runtime
+
+    def test_oversized_archive_still_replays_best(self, tmp_path):
+        # More stored records than budget: nothing measured, best preserved.
+        db = tmp_path / "runs.sqlite"
+        a = _traced(db, max_evals=12, seed=0)
+        b, measured = self._warm(db, max_evals=8)
+        assert measured == []
+        assert b.best_runtime == a.best_runtime
+
+    def test_warm_start_ignored_for_autotvm_tuners(self, tmp_path):
+        db = tmp_path / "runs.sqlite"
+        _traced(db, max_evals=10, seed=0)
+        bench = get_benchmark("lu", "large")
+        cold = run_tuner(bench, "AutoTVM-GA", max_evals=6, seed=0)
+        warm = run_tuner(
+            bench, "AutoTVM-GA", max_evals=6, seed=0, warm_start_db=str(db)
+        )
+        assert warm.trajectory == cold.trajectory
