@@ -1,0 +1,253 @@
+"""Perf-regression harness for the tiered execution backend and BO hot path.
+
+Not a pytest-benchmark file: run it directly. It produces two JSON documents
+(see ``scripts/bench_to_json.py`` for the CI entry point that writes
+``BENCH_compiler.json`` / ``BENCH_search.json``):
+
+* **compiler** — for a fixed set of kernel instances, the wall time of one
+  kernel execution under each backend tier (``tensor`` / ``codegen`` /
+  ``interp``) plus the derived speedups, and the *coverage* of the tensorized
+  tier over the paper's registered benchmarks (the fraction of default builds
+  whose ladder lands on ``tensor`` instead of falling back).
+* **search** — the BO hot path: batched configuration sampling vs the
+  sequential API, and two 100-step ask/tell loops on a large synthetic space
+  with no kernel execution. The *overhead* loop swaps in ``DummySurrogate``
+  so only the optimizer's own sampling/dedup/acquisition code is measured
+  (the quantity the vectorized ``_suggest`` targets); the *rf* loop runs the
+  production Random-Forest surrogate and includes model fitting.
+
+Presets: ``quick`` keeps every instance small enough that the interpreter
+tier finishes in seconds (this is what CI runs); ``full`` adds the paper's
+``large`` instances, where the interpreter is skipped and the tensor tier is
+compared against vectorized-python codegen only.
+
+CI gating compares *speedup ratios*, not absolute seconds — ratios transfer
+across machines, absolute times do not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.kernels import problem_size
+from repro.kernels.cholesky import cholesky_trailing_update_tuned
+from repro.kernels.extra import gemm_tuned
+from repro.kernels.lu import lu_trailing_update_tuned
+from repro.kernels.registry import get_benchmark, list_benchmarks
+from repro.kernels.threemm import threemm_tuned
+from repro.runtime.module import BACKEND_TIERS, build_from_primfunc
+from repro.tir import lower, simplify_func
+
+
+def _median_time(fn, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times))
+
+
+def _buffers(args, seed: int = 0) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [
+        rng.standard_normal(t.shape).astype(t.dtype)
+        if i < len(args) - 1
+        else np.zeros(t.shape, dtype=t.dtype)
+        for i, t in enumerate(args)
+    ]
+
+
+def bench_case(name: str, sched, args, tiers, repeats: int) -> dict:
+    """Time one kernel instance under each requested tier (pinned ladder)."""
+    func = simplify_func(lower(sched, args))
+    out: dict = {"name": name, "tiers": {}}
+    for tier in tiers:
+        mod = build_from_primfunc(func, backend=tier)
+        bufs = _buffers(args)
+        mod(*bufs)  # warm-up (first call pays any lazy allocation)
+        out["tiers"][tier] = {
+            "selected": mod.backend,
+            "seconds": _median_time(lambda m=mod, b=bufs: m(*b), repeats),
+        }
+    t = out["tiers"]
+    if "tensor" in t and "interp" in t:
+        out["speedup_tensor_vs_interp"] = t["interp"]["seconds"] / t["tensor"]["seconds"]
+    if "tensor" in t and "codegen" in t:
+        out["speedup_tensor_vs_codegen"] = (
+            t["codegen"]["seconds"] / t["tensor"]["seconds"]
+        )
+    return out
+
+
+def _quick_cases() -> list[tuple[str, tuple, Mapping[str, int]]]:
+    mini = problem_size("3mm", "mini")
+    return [
+        ("gemm-48", gemm_tuned(48, 48, 48, {"P0": 8, "P1": 8}), {}),
+        ("lu-96", lu_trailing_update_tuned(96, 96, 32, {"P0": 8, "P1": 8}), {}),
+        (
+            "cholesky-96",
+            cholesky_trailing_update_tuned(96, 32, {"P0": 8, "P1": 8}),
+            {},
+        ),
+        ("3mm-mini", threemm_tuned(mini, {p: 4 for p in
+                                          ("P0", "P1", "P2", "P3", "P4", "P5")}), {}),
+    ]
+
+
+def _full_cases() -> list[tuple[str, tuple, Mapping[str, int]]]:
+    n = problem_size("lu", "large").n
+    return [
+        (
+            "lu-large",
+            lu_trailing_update_tuned(n, n, 64, {"P0": 100, "P1": 100}),
+            {},
+        ),
+        (
+            "cholesky-large",
+            cholesky_trailing_update_tuned(n, 64, {"P0": 100, "P1": 100}),
+            {},
+        ),
+    ]
+
+
+def default_config(bench) -> dict[str, int]:
+    """Deterministic mid-point configuration of a registered benchmark."""
+    return {p: bench.candidates[p][len(bench.candidates[p]) // 2]
+            for p in bench.params}
+
+
+def tier_coverage() -> dict:
+    """Default-ladder tier per registered paper benchmark (build only, no run)."""
+    selected: dict[str, str] = {}
+    for kernel, size_name in list_benchmarks():
+        bench = get_benchmark(kernel, size_name)
+        sched, args = bench.schedule_builder(default_config(bench))
+        func = simplify_func(lower(sched, args))
+        mod = build_from_primfunc(func)
+        selected[f"{kernel}/{size_name}"] = mod.backend
+    hits = sum(1 for tier in selected.values() if tier != "interp")
+    return {
+        "selected": selected,
+        "coverage": hits / len(selected),
+        "tensor_fraction": sum(
+            1 for tier in selected.values() if tier == "tensor"
+        ) / len(selected),
+    }
+
+
+def compiler_bench(preset: str, repeats: int) -> dict:
+    cases = []
+    for name, (sched, args), _ in _quick_cases():
+        cases.append(bench_case(name, sched, args, BACKEND_TIERS, repeats))
+    if preset == "full":
+        for name, (sched, args), _ in _full_cases():
+            # The interpreter needs minutes on the large instances; the
+            # tensor-vs-codegen ratio is the quantity that tracks the tier's
+            # health there.
+            cases.append(bench_case(name, sched, args, ("tensor", "codegen"), repeats))
+    return {"preset": preset, "repeats": repeats,
+            "cases": cases, "coverage": tier_coverage()}
+
+
+def _synthetic_space(seed: int = 0):
+    from repro.configspace import ConfigurationSpace, OrdinalHyperparameter
+
+    space = ConfigurationSpace(seed=seed)
+    for i in range(6):
+        space.add_hyperparameter(
+            OrdinalHyperparameter(f"P{i}", tuple(range(2, 66, 2)))
+        )
+    return space
+
+
+def _ask_loop_seconds(surrogate_factory, evals: int, trials: int) -> float:
+    from repro.ytopt.optimizer import Optimizer
+
+    best = None
+    for _ in range(trials):
+        opt = Optimizer(
+            _synthetic_space(seed=0),
+            surrogate=surrogate_factory(),
+            seed=0,
+            n_initial_points=10,
+        )
+        t0 = time.perf_counter()
+        for _ in range(evals):
+            config = opt.ask()
+            cost = 1.0 + sum(v * 0.01 for v in config.get_dictionary().values())
+            opt.tell(config, cost)
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+    return float(best)
+
+
+def search_bench(preset: str) -> dict:
+    from repro.ytopt.surrogate import DummySurrogate, RandomForestSurrogate
+
+    n = 2000 if preset == "quick" else 5000
+    # Batched vs sequential sampling — same RNG stream, so the draw sequence
+    # is identical; the delta is per-call overhead plus the fused index draw.
+    space = _synthetic_space(seed=0)
+    t0 = time.perf_counter()
+    space.sample_configuration_batch(n)
+    batch_s = time.perf_counter() - t0
+    space = _synthetic_space(seed=0)
+    t0 = time.perf_counter()
+    for _ in range(n):
+        c = space.sample_configuration()
+        c.get_array()  # the hot path needs encodings too
+    seq_s = time.perf_counter() - t0
+
+    evals, trials = 100, (2 if preset == "quick" else 3)
+    # Headline metric: ask-loop *overhead* — DummySurrogate replaces the
+    # model, so only sampling, dedup, neighbor generation, and acquisition
+    # scoring are measured (the code the vectorized hot path targets).
+    overhead_s = _ask_loop_seconds(DummySurrogate, evals, trials)
+    # Informational: the production loop with the Random-Forest surrogate
+    # (includes surrogate fit/predict; dominated by tree building).
+    rf_s = _ask_loop_seconds(lambda: RandomForestSurrogate(seed=0), evals, trials)
+
+    return {
+        "preset": preset,
+        "sample_n": n,
+        "batch_sampling_seconds": batch_s,
+        "sequential_sampling_seconds": seq_s,
+        "batch_sampling_speedup": seq_s / batch_s,
+        "ask_loop_evals": evals,
+        "ask_overhead_seconds": overhead_s,
+        "ask_overhead_ms_per_eval": 1000.0 * overhead_s / evals,
+        "ask_loop_rf_seconds": rf_s,
+        "ask_loop_rf_ms_per_eval": 1000.0 * rf_s / evals,
+    }
+
+
+def run(preset: str, repeats: int) -> dict:
+    return {"compiler": compiler_bench(preset, repeats), "search": search_bench(preset)}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--preset", choices=("quick", "full"), default="quick")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per tier (median is reported)")
+    parser.add_argument("--json", type=str, default=None,
+                        help="write the combined result document to this path")
+    opts = parser.parse_args(argv)
+    result = run(opts.preset, opts.repeats)
+    text = json.dumps(result, indent=2, sort_keys=True)
+    if opts.json:
+        with open(opts.json, "w") as fh:
+            fh.write(text + "\n")
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,8 +34,16 @@ def test_lower_3mm(benchmark):
 
 
 def test_build_gemm(benchmark):
-    """Full build (lower + passes + codegen compile)."""
+    """Full build (lower + passes + backend ladder)."""
     mod = benchmark(lambda: build(*gemm_tuned(32, 32, 32, {"P0": 8, "P1": 8})))
+    assert mod.backend == "tensor"
+
+
+def test_build_gemm_codegen_tier(benchmark):
+    """Same build with the tensor tier skipped (vectorized-python codegen)."""
+    mod = benchmark(
+        lambda: build(*gemm_tuned(32, 32, 32, {"P0": 8, "P1": 8}), backend="codegen")
+    )
     assert mod.backend == "codegen"
 
 

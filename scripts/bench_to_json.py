@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""CI entry point for the backend-tier / BO-hot-path benchmark harness.
+
+Runs ``benchmarks/bench_backend_tiers.py`` (quick preset by default) and
+splits the result into the two committed baseline documents:
+
+* ``BENCH_compiler.json`` — per-case tier timings, tensor-vs-interp /
+  tensor-vs-codegen speedup ratios, and the tensorized tier's coverage over
+  the registered paper benchmarks;
+* ``BENCH_search.json`` — batched-sampling speedup and the 100-eval
+  ask-loop overhead / full-RF loop times.
+
+Modes:
+
+* default — run the harness and (over)write both JSON files;
+* ``--check`` — run the harness and compare against the committed files
+  *without* rewriting them. Exits non-zero when the tensorized tier
+  regresses: any case's ``speedup_tensor_vs_interp`` (or ``_vs_codegen``)
+  below ``RATIO_FLOOR`` × baseline, or tier coverage dropping below the
+  baseline. Only dimensionless ratios are gated — absolute seconds do not
+  transfer across machines, so they are reported but never compared.
+
+Run:  python scripts/bench_to_json.py [--check] [--preset quick|full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+COMPILER_JSON = REPO_ROOT / "BENCH_compiler.json"
+SEARCH_JSON = REPO_ROOT / "BENCH_search.json"
+
+# A fresh run must stay within this fraction of the committed speedup ratio.
+# 0.8 == "fail when the tensorized tier regresses by more than 20%".
+RATIO_FLOOR = 0.8
+
+_RATIO_KEYS = ("speedup_tensor_vs_interp", "speedup_tensor_vs_codegen")
+
+
+def _write(path: Path, doc: dict) -> None:
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def check(compiler: dict, search: dict) -> list[str]:
+    """Compare a fresh harness run against the committed baselines.
+
+    Returns a list of human-readable failure strings (empty == pass).
+    """
+    failures: list[str] = []
+    if not COMPILER_JSON.exists():
+        return [f"missing baseline {COMPILER_JSON.name} — run without --check first"]
+    baseline = json.loads(COMPILER_JSON.read_text())
+
+    base_cases = {c["name"]: c for c in baseline.get("cases", [])}
+    new_cases = {c["name"]: c for c in compiler.get("cases", [])}
+    for name, base in base_cases.items():
+        new = new_cases.get(name)
+        if new is None:
+            failures.append(f"case {name!r} present in baseline but not in this run")
+            continue
+        for key in _RATIO_KEYS:
+            if key not in base:
+                continue
+            if key not in new:
+                failures.append(f"{name}: baseline has {key} but this run does not")
+                continue
+            floor = RATIO_FLOOR * base[key]
+            if new[key] < floor:
+                failures.append(
+                    f"{name}: {key} regressed — {new[key]:.1f}x vs baseline "
+                    f"{base[key]:.1f}x (floor {floor:.1f}x)"
+                )
+
+    base_cov = baseline.get("coverage", {})
+    new_cov = compiler.get("coverage", {})
+    for key in ("coverage", "tensor_fraction"):
+        if new_cov.get(key, 0.0) < base_cov.get(key, 0.0):
+            failures.append(
+                f"backend-tier {key} dropped: {new_cov.get(key)} < "
+                f"baseline {base_cov.get(key)}"
+            )
+
+    # The search document is informational (absolute seconds dominate it);
+    # the one machine-independent invariant is that batching actually wins.
+    if search.get("batch_sampling_speedup", 0.0) < 1.0:
+        failures.append(
+            "batch sampling slower than sequential: speedup "
+            f"{search.get('batch_sampling_speedup'):.2f}x < 1.0x"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--preset", choices=("quick", "full"), default="quick")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed BENCH_*.json instead of rewriting",
+    )
+    opts = parser.parse_args(argv)
+
+    from bench_backend_tiers import run  # noqa: E402 (sys.path set above)
+
+    result = run(opts.preset, opts.repeats)
+    compiler, search = result["compiler"], result["search"]
+
+    if opts.check:
+        failures = check(compiler, search)
+        if failures:
+            print("PERF REGRESSION:", file=sys.stderr)
+            for f in failures:
+                print(f"  - {f}", file=sys.stderr)
+            return 1
+        print("perf check passed:")
+        for case in compiler["cases"]:
+            ratios = ", ".join(
+                f"{k.split('_vs_')[1]} {case[k]:.1f}x" for k in _RATIO_KEYS if k in case
+            )
+            print(f"  {case['name']}: {ratios}")
+        cov = compiler["coverage"]
+        print(f"  coverage {cov['coverage']:.2f}, tensor fraction "
+              f"{cov['tensor_fraction']:.2f}")
+        print(f"  ask overhead {search['ask_overhead_ms_per_eval']:.2f} ms/eval, "
+              f"batch sampling {search['batch_sampling_speedup']:.1f}x")
+        return 0
+
+    _write(COMPILER_JSON, compiler)
+    _write(SEARCH_JSON, search)
+    print(f"wrote {COMPILER_JSON.name} and {SEARCH_JSON.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

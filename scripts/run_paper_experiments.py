@@ -162,6 +162,25 @@ def main() -> int:
     sections.append(multi_seed_section(args.evals))
 
     sections += [
+        "## Performance baselines (`BENCH_compiler.json` / `BENCH_search.json`)",
+        "",
+        "The committed `BENCH_*.json` files are the perf-regression baselines from",
+        "`scripts/bench_to_json.py` (quick preset of",
+        "`benchmarks/bench_backend_tiers.py`). Read `BENCH_compiler.json` per case:",
+        "`tiers.<tier>.seconds` are median single-call kernel times under each",
+        "execution backend, and `speedup_tensor_vs_interp` / `speedup_tensor_vs_codegen`",
+        "are the derived ratios — the numbers CI gates on, since ratios transfer",
+        "across machines while absolute seconds do not. `coverage` reports the",
+        "fraction of registered paper benchmarks whose default build ladder avoids",
+        "the interpreter (`tensor_fraction` counts outright tensorized selections;",
+        "both are 1.0 at the baseline). `BENCH_search.json` covers the BO hot path:",
+        "`batch_sampling_speedup` (batched vs sequential configuration sampling,",
+        "identical RNG stream) and two 100-eval ask/tell loops —",
+        "`ask_overhead_seconds` isolates optimizer overhead with a constant",
+        "surrogate, `ask_loop_rf_seconds` is the production Random-Forest loop. CI",
+        "fails when any speedup ratio falls below 0.8× its committed value or",
+        "coverage drops (`scripts/bench_to_json.py --check`).",
+        "",
         "## Summary of reproduced claims",
         "",
         "| Paper claim | Reproduced? |",

@@ -201,6 +201,7 @@ def auto_schedule(
                             elapsed=result.timestamp,
                             error=result.error,
                             cache_hit=bool(result.extra.get("cache_hit")),
+                            backend=result.backend,
                         )
                     )
     best_annotation, best_cost = policy.best()

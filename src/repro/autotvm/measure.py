@@ -108,6 +108,7 @@ class Measurer:
                         error=result.error,
                         cache_hit=bool(result.extra.get("cache_hit")),
                         fidelity=result.fidelity,
+                        backend=result.backend,
                     )
                 )
         return results

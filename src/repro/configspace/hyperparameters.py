@@ -29,6 +29,13 @@ class Hyperparameter:
     def sample(self, rng: np.random.Generator) -> object:
         raise NotImplementedError
 
+    def sample_encoded(self, rng: np.random.Generator) -> tuple[object, float]:
+        """Sample a value together with its encoding (one RNG draw, same
+        stream as :meth:`sample`). Hot-path helper for batch sampling;
+        subclasses that know the drawn index skip the value->index lookup."""
+        v = self.sample(rng)
+        return v, self.encode(v)
+
     def is_legal(self, value: object) -> bool:
         raise NotImplementedError
 
@@ -73,6 +80,11 @@ class _FiniteHyperparameter(Hyperparameter):
 
     def sample(self, rng: np.random.Generator) -> object:
         return self._values[int(rng.integers(len(self._values)))]
+
+    def sample_encoded(self, rng: np.random.Generator) -> tuple[object, float]:
+        n = len(self._values)
+        i = int(rng.integers(n))
+        return self._values[i], 0.0 if n == 1 else i / (n - 1)
 
     def is_legal(self, value: object) -> bool:
         return value in self._index
@@ -157,6 +169,13 @@ class CategoricalHyperparameter(_FiniteHyperparameter):
         if self._weights is None:
             return super().sample(rng)
         return self._values[int(rng.choice(len(self._values), p=self._weights))]
+
+    def sample_encoded(self, rng: np.random.Generator) -> tuple[object, float]:
+        if self._weights is None:
+            return super().sample_encoded(rng)
+        n = len(self._values)
+        i = int(rng.choice(n, p=self._weights))
+        return self._values[i], 0.0 if n == 1 else i / (n - 1)
 
     def neighbors(self, value: object, rng: np.random.Generator, n: int = 4) -> list[object]:
         others = [v for v in self._values if v != value]

@@ -17,10 +17,29 @@ import numpy as np
 from repro.common.errors import SpaceError
 from repro.common.rng import ensure_rng
 from repro.configspace.conditions import Condition
-from repro.configspace.hyperparameters import Hyperparameter
+from repro.configspace.hyperparameters import Hyperparameter, _FiniteHyperparameter
 
 #: Encoding slot for hyperparameters inactive under the space's conditions.
 INACTIVE = -1.0
+
+
+def _uniform_cardinality(hps: "Sequence[Hyperparameter]") -> int | None:
+    """The shared value count when every hyperparameter is an unweighted
+    finite one with the same cardinality, else None. Such spaces (all of the
+    paper's tiling spaces qualify) admit a single fused index draw in
+    :meth:`ConfigurationSpace.sample_configuration_batch`."""
+    card: int | None = None
+    for hp in hps:
+        if not isinstance(hp, _FiniteHyperparameter):
+            return None
+        if getattr(hp, "_weights", None) is not None:
+            return None
+        k = len(hp._values)
+        if card is None:
+            card = k
+        elif k != card:
+            return None
+    return card
 
 
 class Configuration(Mapping):
@@ -29,13 +48,36 @@ class Configuration(Mapping):
     def __init__(self, space: "ConfigurationSpace", values: Mapping[str, object]) -> None:
         self.space = space
         self._values = dict(values)
+        self._array: np.ndarray | None = None
         space.check_configuration(self._values)
+
+    @classmethod
+    def _from_trusted(
+        cls,
+        space: "ConfigurationSpace",
+        values: dict[str, object],
+        array: "np.ndarray | None" = None,
+    ) -> "Configuration":
+        """Construct without validation — for values the space itself produced
+        (batch sampling), where re-checking would only re-derive what the
+        sampler already guaranteed."""
+        self = cls.__new__(cls)
+        self.space = space
+        self._values = values
+        if array is not None:
+            array.setflags(write=False)
+        self._array = array
+        return self
 
     def get_dictionary(self) -> dict[str, object]:
         return dict(self._values)
 
     def get_array(self) -> np.ndarray:
-        return self.space.encode(self._values)
+        """The encoded float vector (memoized; treat as read-only)."""
+        if self._array is None:
+            self._array = self.space.encode(self._values)
+            self._array.setflags(write=False)
+        return self._array
 
     def __getitem__(self, key: str) -> object:
         return self._values[key]
@@ -67,6 +109,7 @@ class ConfigurationSpace:
         self._rng = ensure_rng(seed)
         self._params: dict[str, Hyperparameter] = {}
         self._conditions: dict[str, Condition] = {}
+        self._topo_cache: list[str] | None = None
 
     # -- construction ------------------------------------------------------
 
@@ -74,6 +117,7 @@ class ConfigurationSpace:
         if hp.name in self._params:
             raise SpaceError(f"hyperparameter {hp.name} already in space")
         self._params[hp.name] = hp
+        self._topo_cache = None
         return hp
 
     def add_hyperparameters(self, hps: Sequence[Hyperparameter]) -> list[Hyperparameter]:
@@ -97,6 +141,7 @@ class ConfigurationSpace:
             seen.add(pname)
             cur = self._conditions.get(pname)
         self._conditions[cond.child.name] = cond
+        self._topo_cache = None
         return cond
 
     # -- introspection -----------------------------------------------------
@@ -158,7 +203,10 @@ class ConfigurationSpace:
         return [self._sample_one() for _ in range(size)]
 
     def _topo_order(self) -> list[str]:
-        """Hyperparameter names with every condition parent before its child."""
+        """Hyperparameter names with every condition parent before its child
+        (cached; construction invalidates)."""
+        if self._topo_cache is not None:
+            return self._topo_cache
         order: list[str] = []
         visited: set[str] = set()
 
@@ -173,6 +221,7 @@ class ConfigurationSpace:
 
         for n in self._params:
             visit(n)
+        self._topo_cache = order
         return order
 
     def _sample_one(self) -> Configuration:
@@ -181,6 +230,122 @@ class ConfigurationSpace:
             if self._is_active(name, values):
                 values[name] = self._params[name].sample(self._rng)
         return Configuration(self, values)
+
+    def sample_configuration_batch(
+        self, n: int
+    ) -> tuple[list[Configuration], np.ndarray]:
+        """Sample ``n`` configurations plus their dense encoded matrix.
+
+        Draws from the space RNG in exactly the same order as ``n`` calls to
+        :meth:`sample_configuration` — the trajectories of seeded tuners are
+        unchanged — but skips per-configuration re-validation (the sampler
+        itself guarantees completeness/activity) and encodes each row once
+        into a preallocated ``(n, len(space))`` matrix. The returned
+        configurations carry views of those rows as their memoized
+        :meth:`Configuration.get_array`.
+        """
+        if n < 0:
+            raise SpaceError(f"sample size must be >= 0, got {n}")
+        order = self._topo_order()
+        names = list(self._params)
+        slot = {name: i for i, name in enumerate(names)}
+        params = self._params
+        rng = self._rng
+        X = np.full((n, len(names)), INACTIVE, dtype=float)
+        configs: list[Configuration] = []
+        if not self._conditions:
+            # Unconditional fast path: every parameter is active in every
+            # row, so the (name, hp) walk and the encoded-row layout are
+            # loop-invariant and each row is written in one assignment.
+            pairs = [(name, params[name]) for name in order]
+            cols = [slot[name] for name in order]
+            contiguous = cols == list(range(len(names)))
+            card = _uniform_cardinality([hp for _, hp in pairs])
+            if card is not None and n > 0:
+                # All parameters draw an unweighted index with the same bound,
+                # so the whole row-major draw sequence collapses into a single
+                # Generator.integers call — NumPy fills batched bounded draws
+                # element by element from the same bit stream, so both the
+                # values and the post-call RNG state are identical to per-call
+                # sampling (asserted by the configspace test battery).
+                idx = rng.integers(card, size=(n, len(pairs)))
+                enc = idx / (card - 1) if card > 1 else np.zeros_like(idx, dtype=float)
+                if contiguous:
+                    X[:, :] = enc
+                else:
+                    X[:, cols] = enc
+                value_lists = [hp._values for _, hp in pairs]
+                keys = [name for name, _ in pairs]
+                for row in range(n):
+                    ii = idx[row]
+                    values = {
+                        k: vals[ii[j]]
+                        for j, (k, vals) in enumerate(zip(keys, value_lists))
+                    }
+                    configs.append(Configuration._from_trusted(self, values, X[row]))
+                return configs, X
+            for row in range(n):
+                values = {}
+                encoded: list[float] = []
+                for name, hp in pairs:
+                    v, e = hp.sample_encoded(rng)
+                    values[name] = v
+                    encoded.append(e)
+                if contiguous:
+                    X[row] = encoded
+                else:
+                    X[row, cols] = encoded
+                configs.append(Configuration._from_trusted(self, values, X[row]))
+            return configs, X
+        for row in range(n):
+            values = {}
+            for name in order:
+                if self._is_active(name, values):
+                    v, e = params[name].sample_encoded(rng)
+                    values[name] = v
+                    X[row, slot[name]] = e
+            configs.append(Configuration._from_trusted(self, values, X[row]))
+        return configs, X
+
+    def enumerate_configurations(self) -> list[Configuration]:
+        """Every distinct configuration of a finite space, in parameter order.
+
+        Raises :class:`SpaceError` when any hyperparameter is continuous
+        (infinite size). Conditions are honored: inactive children are left
+        unset on each branch. Intended for small spaces — callers should check
+        :meth:`size` first.
+        """
+        order = self._topo_order()
+        out: list[Configuration] = []
+
+        def values_of(hp: Hyperparameter) -> Sequence[object]:
+            finite = getattr(hp, "_values", None)
+            if finite is not None:  # Ordinal / Categorical
+                return list(finite)
+            if not math.isfinite(hp.size()):
+                raise SpaceError(
+                    f"cannot enumerate continuous hyperparameter {hp.name}"
+                )
+            lower = getattr(hp, "lower", None)
+            if lower is not None:  # UniformInteger
+                return list(range(int(lower), int(hp.upper) + 1))
+            return [hp.value]  # Constant
+
+        def rec(i: int, values: dict[str, object]) -> None:
+            if i == len(order):
+                out.append(Configuration._from_trusted(self, dict(values)))
+                return
+            name = order[i]
+            if not self._is_active(name, values):
+                rec(i + 1, values)
+                return
+            for v in values_of(self._params[name]):
+                values[name] = v
+                rec(i + 1, values)
+                del values[name]
+
+        rec(0, {})
+        return out
 
     def default_configuration(self) -> Configuration:
         values = {

@@ -376,6 +376,7 @@ class MultiFidelityEvaluator(Evaluator):
             error=None,
             extra={**probe_result.extra, **rest.extra},
             fidelity="promoted",
+            backend=rest.backend or probe_result.backend,
         )
         merged.extra["fidelity_repeats"] = float(len(merged.costs))
         self.n_promoted += 1

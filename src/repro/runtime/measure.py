@@ -56,6 +56,10 @@ class MeasureResult:
     :class:`~repro.runtime.fidelity.MultiFidelityEvaluator`), ``"probe"``
     (terminated early — costs are a low-fidelity estimate), or ``"pruned"``
     (never measured; ``costs`` carry a surrogate estimate).
+
+    ``backend`` records the execution tier that ran the kernel (``"tensor"``,
+    ``"codegen"``, ``"interp"``; ``"swing"`` for simulated measurement; empty
+    when no kernel ran, e.g. compile failures and surrogate-pruned trials).
     """
 
     config: dict[str, int]
@@ -65,6 +69,7 @@ class MeasureResult:
     error: str | None = None
     extra: dict[str, float] = field(default_factory=dict)
     fidelity: str = "full"
+    backend: str = ""
 
     @property
     def low_fidelity(self) -> bool:
@@ -174,6 +179,7 @@ class LocalEvaluator(Evaluator):
                 compile_time=compile_time,
                 timestamp=self.elapsed(),
                 error=f"runtime error: {_describe_error(exc)}",
+                backend=mod.backend,
             )
         return MeasureResult(
             config=cfg,
@@ -181,4 +187,5 @@ class LocalEvaluator(Evaluator):
             compile_time=compile_time,
             timestamp=self.elapsed(),
             error=error,
+            backend=mod.backend,
         )

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import time
 from collections.abc import Sequence
 
@@ -11,12 +12,31 @@ from repro.common.errors import ExecutionError, ReproError
 from repro.te.schedule import Schedule
 from repro.te.tensor import Tensor
 from repro.tir.codegen_py import CodegenUnsupported, build_callable
+from repro.tir.codegen_tensor import build_callable_tensor
 from repro.tir.interp import TIRInterpreter
 from repro.tir.lower import lower
 from repro.tir.stmt import PrimFunc
 from repro.tir.transform import simplify_func
 from repro.runtime.ndarray import NDArray
 from repro.runtime.target import Target
+
+#: Backend tiers, fastest first. Each entry names a tier and how to build it.
+BACKEND_TIERS = ("tensor", "codegen", "interp")
+
+
+def default_backend() -> str:
+    """The preferred backend tier (``REPRO_BACKEND`` env var overrides).
+
+    ``tensor`` (the default) tries the tensorized NumPy backend first, then
+    the vectorized-python codegen, then the interpreter; ``codegen`` skips the
+    tensor tier; ``interp`` forces the reference interpreter.
+    """
+    backend = os.environ.get("REPRO_BACKEND", "tensor").strip().lower()
+    if backend not in BACKEND_TIERS:
+        raise ReproError(
+            f"REPRO_BACKEND={backend!r} is not one of {BACKEND_TIERS}"
+        )
+    return backend
 
 
 class Module:
@@ -30,7 +50,7 @@ class Module:
         self.func = func
         self._entry = entry
         self.target = target
-        self.backend = backend  # "codegen" or "interp"
+        self.backend = backend  # "tensor", "codegen", or "interp"
 
     @property
     def name(self) -> str:
@@ -102,13 +122,18 @@ def build(
     args: Sequence[Tensor],
     target: "str | Target" = "llvm",
     name: str = "main",
+    backend: str | None = None,
 ) -> Module:
     """Lower a schedule and produce a runnable :class:`Module`.
 
-    For the ``llvm`` target the Python/NumPy codegen is used, falling back to the
-    reference interpreter when the codegen cannot express the function. The
-    ``swing`` target cannot be built into an executable module (there is no GPU
-    here) — use :class:`repro.swing.SwingEvaluator` for simulated measurement.
+    For the ``llvm`` target the backend ladder is walked fastest-tier first:
+    the tensorized NumPy backend (whole loop nests as array ops), then the
+    vectorized-python codegen, then the reference interpreter — falling back
+    per PrimFunc on :class:`CodegenUnsupported`. ``backend`` pins the starting
+    tier (``"tensor"``/``"codegen"``/``"interp"``; lower tiers still apply as
+    fallback), defaulting to :func:`default_backend`. The ``swing`` target
+    cannot be built into an executable module (there is no GPU here) — use
+    :class:`repro.swing.SwingEvaluator` for simulated measurement.
     """
     tgt = Target(target)
     if tgt.is_simulated:
@@ -117,10 +142,14 @@ def build(
             "evaluate through repro.swing.SwingEvaluator"
         )
     func = simplify_func(lower(sched, args, name=name))
-    return build_from_primfunc(func, tgt)
+    return build_from_primfunc(func, tgt, backend=backend)
 
 
-def build_from_primfunc(func: PrimFunc, target: "str | Target" = "llvm") -> Module:
+def build_from_primfunc(
+    func: PrimFunc,
+    target: "str | Target" = "llvm",
+    backend: str | None = None,
+) -> Module:
     """Wrap an already-lowered PrimFunc in a runnable :class:`Module`.
 
     Skips the lower/simplify pipeline — this is the rehydration path of the
@@ -134,12 +163,43 @@ def build_from_primfunc(func: PrimFunc, target: "str | Target" = "llvm") -> Modu
             "target 'swing' is measurement-simulated only; build with 'llvm' or "
             "evaluate through repro.swing.SwingEvaluator"
         )
+    requested = backend if backend is not None else default_backend()
+    if requested not in BACKEND_TIERS:
+        raise ReproError(f"backend {requested!r} is not one of {BACKEND_TIERS}")
     if tgt.kind == "interp":
-        return Module(func, TIRInterpreter(func), tgt, backend="interp")
-    try:
-        entry = build_callable(func)
-        backend = "codegen"
-    except CodegenUnsupported:
-        entry = TIRInterpreter(func)
-        backend = "interp"
-    return Module(func, entry, tgt, backend=backend)
+        requested = "interp"
+    ladder = BACKEND_TIERS[BACKEND_TIERS.index(requested):]
+    entry = None
+    selected = "interp"
+    reason = ""
+    for tier in ladder:
+        try:
+            if tier == "tensor":
+                entry = build_callable_tensor(func)
+            elif tier == "codegen":
+                entry = build_callable(func)
+            else:
+                entry = TIRInterpreter(func)
+            selected = tier
+            break
+        except CodegenUnsupported as exc:
+            reason = str(exc)
+    _emit_backend_selected(func.name, requested, selected, reason)
+    return Module(func, entry, tgt, backend=selected)
+
+
+def _emit_backend_selected(
+    name: str, requested: str, selected: str, reason: str
+) -> None:
+    from repro.telemetry import BackendSelected, get_telemetry
+
+    tel = get_telemetry()
+    if tel.enabled:
+        tel.emit(
+            BackendSelected(
+                func=name,
+                requested=requested,
+                selected=selected,
+                reason=reason if selected != requested else "",
+            )
+        )

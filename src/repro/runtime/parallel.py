@@ -96,6 +96,7 @@ def _worker_measure(request: dict) -> dict:
             "func": None,
             "cache_hit": bool(request.get("cached_func") is not None),
             "timed_out": True,
+            "backend": "",
         }
     except BaseException as exc:  # noqa: BLE001 - isolation boundary
         return {
@@ -105,6 +106,7 @@ def _worker_measure(request: dict) -> dict:
             "error": f"worker error: {_describe_error(exc)}",
             "func": None,
             "cache_hit": False,
+            "backend": "",
         }
     finally:
         if watchdog:
@@ -138,6 +140,7 @@ def _measure_payload(request: dict) -> dict:
             "error": f"compile error: {_describe_error(exc)}",
             "func": None,
             "cache_hit": False,
+            "backend": "",
         }
     compile_time = time.perf_counter() - t0
 
@@ -165,6 +168,7 @@ def _measure_payload(request: dict) -> dict:
             "error": f"runtime error: {_describe_error(exc)}",
             "func": None,
             "cache_hit": cached_func is not None,
+            "backend": mod.backend,
         }
     return {
         "ok": error is None,
@@ -173,6 +177,7 @@ def _measure_payload(request: dict) -> dict:
         "error": error,
         "func": mod.func if (want_func and cached_func is None) else None,
         "cache_hit": cached_func is not None,
+        "backend": mod.backend,
     }
 
 
@@ -382,6 +387,7 @@ class ParallelEvaluator(Evaluator):
             timestamp=self.elapsed(),
             error=payload["error"],
             extra=extra,
+            backend=payload.get("backend", ""),
         )
 
     def _failure(self, cfg: dict[str, int], error: str, retries: int = 0) -> MeasureResult:

@@ -143,6 +143,7 @@ class SwingEvaluator(Evaluator):
                 compile_time=compile_t,
                 timestamp=self.clock.now,
                 error=f"timeout after {self.timeout:.1f}s",
+                backend="swing",
             )
         extra = {"charged_compile": charged_compile}
         if cache_hit:
@@ -153,4 +154,5 @@ class SwingEvaluator(Evaluator):
             compile_time=compile_t,
             timestamp=self.clock.now,
             extra=extra,
+            backend="swing",
         )

@@ -171,4 +171,5 @@ class ScheduleSwingEvaluator(Evaluator):
             costs=(runtime,) * self.number,
             compile_time=self.compile_time_s,
             timestamp=self.clock.now,
+            backend="swing",
         )

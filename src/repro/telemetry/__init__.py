@@ -35,6 +35,7 @@ from repro.telemetry.context import (
     telemetry_session,
 )
 from repro.telemetry.events import (
+    BackendSelected,
     CacheHit,
     CacheMiss,
     Event,
@@ -77,6 +78,7 @@ __all__ = [
     "TrialMeasured",
     "TrialPruned",
     "TrialPromoted",
+    "BackendSelected",
     "CacheHit",
     "CacheMiss",
     "WorkerCrashed",

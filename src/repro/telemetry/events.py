@@ -79,6 +79,7 @@ class TrialMeasured(Event):
     error: str | None = None
     cache_hit: bool = False
     fidelity: str = "full"
+    backend: str = ""  # execution tier that ran the trial ("tensor"/"codegen"/"interp"/"swing")
 
     @property
     def ok(self) -> bool:
@@ -161,6 +162,24 @@ class PoolRebuilt(Event):
 
     kind = "pool_rebuilt"
 
+    reason: str = ""
+
+
+@dataclass
+class BackendSelected(Event):
+    """The build ladder settled on an execution tier for a PrimFunc.
+
+    ``requested`` is the preferred tier (``REPRO_BACKEND`` or an explicit
+    ``backend=`` argument); ``selected`` is the tier actually built after
+    per-function fallback. ``reason`` carries the ``CodegenUnsupported``
+    message when a faster tier was skipped.
+    """
+
+    kind = "backend_selected"
+
+    func: str
+    requested: str
+    selected: str
     reason: str = ""
 
 

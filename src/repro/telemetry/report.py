@@ -62,9 +62,21 @@ def experiment_from_store(store: RunStore, kernel: str, size_name: str):
     )
 
 
+def _backend_summary(evals) -> str:
+    """Collapse per-trial execution tiers into one cell: the single tier when
+    uniform (``tensor``), all tiers by descending frequency when mixed
+    (``tensor/interp``), ``-`` when no trial recorded one (pre-backend store)."""
+    from collections import Counter
+
+    tiers = Counter(e.backend for e in evals if e.backend)
+    if not tiers:
+        return "-"
+    return "/".join(t for t, _ in tiers.most_common())
+
+
 def evaluation_count_table(store: RunStore, kernel: str, size_name: str) -> str:
-    """Per-tuner evaluation counts, failures, cache hits, and fidelity
-    breakdown (pruned / promoted) — a store-only view."""
+    """Per-tuner evaluation counts, failures, cache hits, fidelity breakdown
+    (pruned / promoted), and execution-backend tier — a store-only view."""
     from repro.common.tabulate import format_table
 
     rows = []
@@ -74,12 +86,18 @@ def evaluation_count_table(store: RunStore, kernel: str, size_name: str) -> str:
         hits = sum(1 for e in evals if e.cache_hit)
         pruned = sum(1 for e in evals if e.fidelity in ("pruned", "probe"))
         promoted = sum(1 for e in evals if e.fidelity == "promoted")
+        backend = _backend_summary(evals)
         seed = run.metadata.get("seed", run.seed)
-        rows.append([run.tuner, run.n_evals, failures, hits, pruned, promoted, seed])
+        rows.append(
+            [run.tuner, run.n_evals, failures, hits, pruned, promoted, backend, seed]
+        )
     rows.sort(key=lambda r: str(r[0]))
     return format_table(
         rows,
-        headers=["tuner", "evals", "failures", "cache hits", "pruned", "promoted", "seed"],
+        headers=[
+            "tuner", "evals", "failures", "cache hits",
+            "pruned", "promoted", "backend", "seed",
+        ],
         title=f"Evaluations — {kernel} / {size_name}",
     )
 

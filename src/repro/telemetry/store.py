@@ -63,6 +63,7 @@ CREATE TABLE IF NOT EXISTS evaluations (
     error        TEXT,
     cache_hit    INTEGER NOT NULL DEFAULT 0,
     fidelity     TEXT NOT NULL DEFAULT 'full',
+    backend      TEXT NOT NULL DEFAULT '',
     PRIMARY KEY (run_id, idx)
 );
 """
@@ -80,6 +81,7 @@ class StoredEvaluation:
     error: str | None = None
     cache_hit: bool = False
     fidelity: str = "full"
+    backend: str = ""
 
     @property
     def ok(self) -> bool:
@@ -134,6 +136,11 @@ class RunStore:
                 "ALTER TABLE evaluations "
                 "ADD COLUMN fidelity TEXT NOT NULL DEFAULT 'full'"
             )
+        if "backend" not in cols:
+            self._conn.execute(
+                "ALTER TABLE evaluations "
+                "ADD COLUMN backend TEXT NOT NULL DEFAULT ''"
+            )
 
     # -- writing ------------------------------------------------------------
 
@@ -181,8 +188,8 @@ class RunStore:
             )
             self._conn.executemany(
                 "INSERT INTO evaluations (run_id, idx, config, runtime, "
-                "compile_time, elapsed, error, cache_hit, fidelity) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                "compile_time, elapsed, error, cache_hit, fidelity, backend) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 [
                     (
                         run_id,
@@ -194,6 +201,7 @@ class RunStore:
                         t.error,
                         1 if t.cache_hit else 0,
                         getattr(t, "fidelity", "full"),
+                        getattr(t, "backend", ""),
                     )
                     for i, t in enumerate(trials)
                 ],
@@ -264,7 +272,7 @@ class RunStore:
     def evaluations(self, run_id: str) -> list[StoredEvaluation]:
         rows = self._conn.execute(
             "SELECT idx, config, runtime, compile_time, elapsed, error, cache_hit, "
-            "fidelity FROM evaluations WHERE run_id=? ORDER BY idx",
+            "fidelity, backend FROM evaluations WHERE run_id=? ORDER BY idx",
             (run_id,),
         ).fetchall()
         return [
@@ -277,6 +285,7 @@ class RunStore:
                 error=r[5],
                 cache_hit=bool(r[6]),
                 fidelity=r[7] or "full",
+                backend=r[8] or "",
             )
             for r in rows
         ]

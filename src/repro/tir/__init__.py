@@ -14,6 +14,7 @@ from repro.tir.stmt import (
     BufferStore,
     SeqStmt,
     IfThenElse,
+    LetStmt,
     Evaluate,
     Allocate,
     PrimFunc,
@@ -22,7 +23,15 @@ from repro.tir.stmt import (
     visit_stmt,
 )
 from repro.tir.lower import lower
-from repro.tir.transform import simplify_func, unroll_loops, simplify_stmt, count_loops
+from repro.tir.transform import (
+    simplify_func,
+    unroll_loops,
+    simplify_stmt,
+    count_loops,
+    hoist_loop_invariants,
+    extract_common_subexprs,
+    optimize_for_codegen,
+)
 from repro.tir.analysis import validate_func, hoist_guards
 
 __all__ = [
@@ -33,6 +42,7 @@ __all__ = [
     "BufferStore",
     "SeqStmt",
     "IfThenElse",
+    "LetStmt",
     "Evaluate",
     "Allocate",
     "PrimFunc",
@@ -44,6 +54,9 @@ __all__ = [
     "simplify_stmt",
     "unroll_loops",
     "count_loops",
+    "hoist_loop_invariants",
+    "extract_common_subexprs",
+    "optimize_for_codegen",
     "validate_func",
     "hoist_guards",
 ]

@@ -23,6 +23,7 @@ from repro.tir.stmt import (
     Evaluate,
     For,
     IfThenElse,
+    LetStmt,
     PrimFunc,
     SeqStmt,
     Stmt,
@@ -97,6 +98,13 @@ def _validate_stmt(stmt: Stmt, bound: set[Var], buffers: dict[str, Buffer]) -> N
         inner = dict(buffers)
         inner[stmt.buffer.name] = stmt.buffer
         _validate_stmt(stmt.body, bound, inner)
+    elif isinstance(stmt, LetStmt):
+        if stmt.var in bound:
+            raise LoweringError(
+                f"let variable {stmt.var.name} rebound on the same path"
+            )
+        _validate_expr(stmt.value, bound, buffers)
+        _validate_stmt(stmt.body, bound | {stmt.var}, buffers)
     else:
         raise LoweringError(f"validate: unhandled statement {type(stmt).__name__}")
 
@@ -155,5 +163,10 @@ def _hoist_once(stmt: Stmt) -> tuple[Stmt, bool]:
         body, changed = _hoist_once(stmt.body)
         if changed:
             return Allocate(stmt.buffer, body), True
+        return stmt, False
+    if isinstance(stmt, LetStmt):
+        body, changed = _hoist_once(stmt.body)
+        if changed:
+            return LetStmt(stmt.var, stmt.value, body), True
         return stmt, False
     return stmt, False

@@ -48,6 +48,7 @@ from repro.tir.stmt import (
     Evaluate,
     For,
     IfThenElse,
+    LetStmt,
     PrimFunc,
     SeqStmt,
     Stmt,
@@ -148,6 +149,15 @@ class _Codegen:
                 self.indent -= 1
         elif isinstance(s, Evaluate):
             self.emit(self.expr(s.value))
+        elif isinstance(s, LetStmt):
+            self.emit(f"{self.var(s.var)} = {self.expr(s.value)}")
+            # A binding computed from a vector lane is itself lane-shaped.
+            is_vec = any(id(v) in self.vector_vars for v in all_vars(s.value))
+            if is_vec:
+                self.vector_vars.add(id(s.var))
+            self.stmt(s.body)
+            if is_vec:
+                self.vector_vars.discard(id(s.var))
         elif isinstance(s, Allocate):
             name = self.buf(s.buffer.name)
             self.emit(f"{name} = np.zeros({s.buffer.shape!r}, dtype={s.buffer.dtype!r})")
@@ -270,13 +280,21 @@ def codegen_python(func: PrimFunc) -> str:
     return _Codegen(func).generate()
 
 
-def build_callable(func: PrimFunc):
+def build_callable(func: PrimFunc, optimize: bool = True):
     """Compile the generated Python source; returns a function over NumPy arrays.
+
+    ``optimize`` runs the backend-side scalar passes (loop-invariant code
+    motion + common-subexpression extraction) before emission; the arithmetic
+    performed is identical, so results stay bit-for-bit the same.
 
     Raises :class:`CodegenUnsupported` when the PrimFunc contains constructs the
     Python backend cannot vectorize — callers should fall back to
     :class:`repro.tir.interp.TIRInterpreter`.
     """
+    if optimize:
+        from repro.tir.transform import optimize_for_codegen
+
+        func = optimize_for_codegen(func)
     source = codegen_python(func)
     namespace: dict[str, object] = {"np": np}
     code = compile(source, f"<codegen:{func.name}>", "exec")

@@ -1,0 +1,586 @@
+"""Tensorized Python/NumPy codegen: collapse whole loop nests into array ops.
+
+The vectorized-python backend (:mod:`repro.tir.codegen_py`) turns only the
+single innermost ``vectorized`` axis into NumPy arithmetic; every outer loop
+remains an interpreted Python ``for``. This backend collapses *entire*
+constant-extent loop nests — data-parallel and reduction axes alike — into
+broadcast arithmetic, masked scatter stores, and an ``einsum`` fast path for
+sum-of-products reductions, so a blocked kernel executes a handful of NumPy
+calls per outer block instead of millions of Python iterations.
+
+Strategy per loop nest rooted at a ``For``:
+
+1. Walk the chain of constant-extent loops (peeling else-less guards) down to
+   a single ``BufferStore``. If the iteration box exceeds the memory cap the
+   outermost loop is emitted as a Python ``for`` and the walk retries on the
+   body — the largest suffix of the nest that fits is collapsed.
+2. Collapsed loop variables become reshaped ``np.arange`` arrays broadcast
+   over the box. Variables appearing in the store's indices are *data* axes;
+   the rest are *reduction* axes.
+3. Guards split by the variables they mention: reduction-axis guards fold
+   lanes to the combine identity (``np.where``), data-axis guards select
+   which flat buffer positions are written. Guards mixing both kinds are
+   unsupported (fall back a tier).
+4. Reduction updates ``buf[i] = combine(buf[i], rest)`` require structurally
+   injective data indices (mixed-radix affine criterion, or ``v//c``/``v%c``
+   pairs) so a flat fancy-indexed ``+=`` touches each cell once.
+
+Anything outside this fragment raises :class:`CodegenUnsupported`; the build
+ladder in :mod:`repro.runtime.module` then falls back to the
+vectorized-python backend and finally the interpreter.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.te.expr import (
+    Add,
+    And,
+    Expr,
+    FloorDiv,
+    FloorMod,
+    IntImm,
+    Mul,
+    Sub,
+    Var,
+    all_vars,
+    post_order_visit,
+    structural_equal,
+)
+from repro.tir.codegen_py import CodegenUnsupported, _Codegen
+from repro.tir.stmt import BufferLoad, BufferStore, For, IfThenElse, PrimFunc
+from repro.tir.transform import _loaded_buffers
+
+#: Largest number of iteration-box elements a collapsed nest may materialize.
+DEFAULT_MAX_BOX = 1 << 23  # 8M elements (~64 MB of float64 temporaries)
+
+_ASCII = "abcdefghijklmnopqrstuvwxyz"
+
+
+def max_box_elements() -> int:
+    """Memory cap for collapsed nests (``REPRO_TENSOR_MAX_BOX`` overrides)."""
+    try:
+        return int(os.environ.get("REPRO_TENSOR_MAX_BOX", DEFAULT_MAX_BOX))
+    except ValueError:
+        return DEFAULT_MAX_BOX
+
+
+def _flatten_and(cond: Expr) -> list[Expr]:
+    if isinstance(cond, And):
+        return _flatten_and(cond.a) + _flatten_and(cond.b)
+    return [cond]
+
+
+def _strides(shape: tuple[int, ...]) -> list[int]:
+    out = [1] * len(shape)
+    for i in range(len(shape) - 2, -1, -1):
+        out[i] = out[i + 1] * shape[i + 1]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Structural injectivity of index maps
+# ---------------------------------------------------------------------------
+
+
+def _affine_coeffs(e: Expr, data_ids: set[int]) -> "dict[int, int] | None":
+    """Coefficients of the collapsed data vars in ``e``, treating any subtree
+    without data vars as an opaque constant. None when not affine."""
+    if not any(id(v) in data_ids for v in all_vars(e)):
+        return {}
+    if isinstance(e, Var):
+        return {id(e): 1}
+    if isinstance(e, (Add, Sub)):
+        a = _affine_coeffs(e.a, data_ids)
+        b = _affine_coeffs(e.b, data_ids)
+        if a is None or b is None:
+            return None
+        sign = -1 if isinstance(e, Sub) else 1
+        out = dict(a)
+        for k, c in b.items():
+            out[k] = out.get(k, 0) + sign * c
+        return {k: c for k, c in out.items() if c != 0}
+    if isinstance(e, Mul):
+        if isinstance(e.b, IntImm):
+            inner, scale = _affine_coeffs(e.a, data_ids), e.b.value
+        elif isinstance(e.a, IntImm):
+            inner, scale = _affine_coeffs(e.b, data_ids), e.a.value
+        else:
+            return None
+        if inner is None:
+            return None
+        return {k: c * scale for k, c in inner.items() if c * scale != 0}
+    return None
+
+
+def _divmod_pattern(e: Expr, data_ids: set[int]) -> "tuple[str, int, int] | None":
+    """Match ``v // c`` or ``v % c`` over a collapsed data var."""
+    if isinstance(e, (FloorDiv, FloorMod)):
+        if (
+            isinstance(e.a, Var)
+            and id(e.a) in data_ids
+            and isinstance(e.b, IntImm)
+            and e.b.value > 0
+        ):
+            kind = "div" if isinstance(e, FloorDiv) else "mod"
+            return kind, id(e.a), e.b.value
+    return None
+
+
+def indices_injective(
+    indices: tuple[Expr, ...],
+    data_ids: set[int],
+    extents: dict[int, int],
+) -> bool:
+    """True when distinct data-var assignments provably hit distinct cells.
+
+    Each data var must be consumed by exactly one index (affine, mixed-radix
+    coefficient criterion) or by exactly one ``v//c`` + ``v%c`` pair across
+    two indices. Conservative: False means "could not prove", not "aliases".
+    """
+    used: dict[int, int] = {}  # var id -> count of indices touching it
+    divmods: dict[int, set[str]] = {}
+    for idx in indices:
+        dm = _divmod_pattern(idx, data_ids)
+        if dm is not None:
+            kind, vid, _c = dm
+            divmods.setdefault(vid, set())
+            if kind in divmods[vid]:
+                return False  # same half twice: v//c in two indices
+            divmods[vid].add(kind)
+            used[vid] = used.get(vid, 0) + 1
+            continue
+        coeffs = _affine_coeffs(idx, data_ids)
+        if coeffs is None:
+            return False
+        for vid in coeffs:
+            used[vid] = used.get(vid, 0) + 1
+        # Mixed-radix criterion over |coeff|: sorted ascending, each
+        # coefficient must exceed the largest value expressible below it.
+        ordered = sorted(
+            ((abs(c), extents[vid]) for vid, c in coeffs.items())
+        )
+        reach = 0
+        for c, n in ordered:
+            if c <= reach:
+                return False
+            reach += c * (n - 1)
+    for vid in data_ids:
+        halves = divmods.get(vid)
+        if halves is not None and halves != {"div", "mod"}:
+            return False
+        if used.get(vid, 0) != (2 if halves else 1):
+            # A data var shared by two unrelated indices (or absent — absent
+            # cannot happen: absent vars classify as reduction axes).
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# The codegen
+# ---------------------------------------------------------------------------
+
+
+class _TensorCodegen(_Codegen):
+    """Emit Python/NumPy source collapsing whole loop nests into array ops."""
+
+    def __init__(self, func: PrimFunc, max_box: int | None = None) -> None:
+        super().__init__(func)
+        self.max_box = max_box if max_box is not None else max_box_elements()
+        self.collapsed = 0
+        self._tmp = 0
+        self._override: dict[int, str] = {}
+        # id(var) -> (axis, extent) while emitting a collapsed nest's value.
+        self._lane_axes: dict[int, tuple[int, int]] | None = None
+        self._lane_rank = 0
+        self._lane_guarded = False
+
+    # -- naming --------------------------------------------------------
+
+    def var(self, v: Var) -> str:
+        name = self._override.get(id(v))
+        if name is not None:
+            return name
+        return super().var(v)
+
+    def _fresh(self, suffix: str) -> str:
+        name = f"_t{self._tmp}_{suffix}"
+        self.used.add(name)
+        return name
+
+    # -- loop handling -------------------------------------------------
+
+    def _for(self, s: For) -> None:
+        nest = self._collapsible_nest(s)
+        if nest is not None:
+            self._emit_collapsed(*nest)
+            return
+        v = self.var(s.loop_var)
+        lo = self.expr(s.min)
+        n = self.expr(s.extent)
+        self.emit(f"for {v} in range({lo}, {lo} + {n}):")
+        self.indent += 1
+        self.stmt(s.body)
+        self.indent -= 1
+
+    def _collapsible_nest(self, s: For):
+        """The full constant-extent chain from ``s`` down to one store, or
+        None (caller emits a Python loop and retries on the body)."""
+        loops: list[For] = []
+        guards: list[Expr] = []
+        cur = s
+        while True:
+            if isinstance(cur, For) and isinstance(cur.extent, IntImm):
+                if cur.extent.value <= 0:
+                    return None
+                loops.append(cur)
+                cur = cur.body
+            elif isinstance(cur, IfThenElse) and cur.else_case is None and loops:
+                guards.extend(_flatten_and(cur.condition))
+                cur = cur.then_case
+            else:
+                break
+        if not loops or not isinstance(cur, BufferStore):
+            return None
+        box = 1
+        for f in loops:
+            box *= f.extent.value
+        if box > self.max_box:
+            return None
+        return loops, guards, cur
+
+    # -- collapsed emission --------------------------------------------
+
+    def _emit_collapsed(
+        self, loops: list[For], guards: list[Expr], store: BufferStore
+    ) -> None:
+        self._tmp += 1
+        p = f"_t{self._tmp}"
+        axes = {id(f.loop_var): k for k, f in enumerate(loops)}
+        extents = [f.extent.value for f in loops]
+        box = tuple(extents)
+        m = len(loops)
+
+        idx_ids = {
+            id(v) for i in store.indices for v in all_vars(i) if id(v) in axes
+        }
+        data_axes = [k for k, f in enumerate(loops) if id(f.loop_var) in idx_ids]
+        red_axes = [k for k in range(m) if k not in data_axes]
+        data_ids = {id(loops[k].loop_var) for k in data_axes}
+        ds = tuple(extents[k] for k in data_axes)
+
+        # Classify the store: plain elementwise vs reduction update.
+        value = store.value
+        kind = None
+        if red_axes:
+            reduced = self._reduction_rest(store)
+            if reduced is None:
+                raise CodegenUnsupported(
+                    "collapsed axis missing from store indices on a "
+                    "non-reduction store"
+                )
+            kind, value = reduced
+            if store.buffer.name in _loaded_buffers(value):
+                raise CodegenUnsupported(
+                    "reduction rest reads the store's own buffer"
+                )
+            if not indices_injective(
+                store.indices, data_ids, {id(f.loop_var): f.extent.value for f in loops}
+            ):
+                raise CodegenUnsupported(
+                    "cannot prove reduction store indices injective"
+                )
+        elif store.buffer.name in _loaded_buffers(value):
+            # Read-modify-write elementwise: the collapsed form reads every
+            # lane before writing any, so it is only faithful when each lane
+            # touches its own cell — every self-load must read exactly the
+            # stored cell and the store indices must be injective.
+            if not _self_loads_match(store) or not indices_injective(
+                store.indices, data_ids, {id(f.loop_var): f.extent.value for f in loops}
+            ):
+                raise CodegenUnsupported(
+                    "elementwise store reads other cells of its own buffer"
+                )
+
+        # Split the guards.
+        red_ids = {id(loops[k].loop_var) for k in red_axes}
+        python_guards: list[Expr] = []
+        data_guards: list[Expr] = []
+        value_guards: list[Expr] = []
+        for g in guards:
+            ids = {id(v) for v in all_vars(g) if id(v) in axes}
+            if not ids:
+                python_guards.append(g)
+            elif ids <= data_ids:
+                data_guards.append(g)
+            elif ids <= red_ids:
+                value_guards.append(g)
+            else:
+                raise CodegenUnsupported(
+                    "guard mixes data-axis and reduction-axis variables"
+                )
+
+        base_indent = self.indent
+        if python_guards:
+            conds = " and ".join(self.expr(g) for g in python_guards)
+            self.emit(f"if {conds}:")
+            self.indent += 1
+
+        # Full-box lane arrays (value layout) for every collapsed var.
+        for k, f in enumerate(loops):
+            shape = tuple(extents[k] if j == k else 1 for j in range(m))
+            lo = self.expr(f.min)
+            self.emit(
+                f"{self.var(f.loop_var)} = "
+                f"({lo} + np.arange({extents[k]})).reshape({shape!r})"
+            )
+
+        # Evaluate the value (and reduction-axis masks) over the full box.
+        self._lane_axes = {
+            id(f.loop_var): (k, extents[k]) for k, f in enumerate(loops)
+        }
+        self._lane_rank = m
+        self._lane_guarded = bool(data_guards or value_guards)
+        red = self._fresh("red")
+        emitted = False
+        if red_axes and kind == "sum" and not value_guards:
+            emitted = self._try_einsum(red, value, axes, extents, data_axes)
+        if not emitted:
+            val = self._fresh("val")
+            self.emit(f"{val} = {self.expr(value)}")
+            if value_guards:
+                conds = " & ".join(
+                    f"np.broadcast_to({self.expr(g)}, {box!r})"
+                    for g in value_guards
+                )
+                vm = self._fresh("vmask")
+                self.emit(f"{vm} = {conds}")
+                ident = _combine_identity(kind or "sum", store.buffer.dtype)
+                self.emit(f"{val} = np.where({vm}, {val}, {ident})")
+            if red_axes:
+                op = {"sum": "sum", "max": "max", "min": "min"}[kind]
+                self.emit(
+                    f"{red} = np.broadcast_to(np.asarray({val}), {box!r})"
+                    f".{op}(axis={tuple(red_axes)!r})"
+                )
+            else:
+                self.emit(f"{red} = np.broadcast_to(np.asarray({val}), {box!r})")
+        self._lane_axes = None
+        self._lane_rank = 0
+        self._lane_guarded = False
+
+        # Data-layout arrays for the store indices and data masks.
+        for pos, k in enumerate(data_axes):
+            f = loops[k]
+            dshape = tuple(ds[p] if p == pos else 1 for p in range(len(ds)))
+            dname = self._name_for(
+                hash(("dlane", id(f.loop_var))), f.loop_var.name + "_d"
+            )
+            lo = self.expr(f.min)
+            self.emit(
+                f"{dname} = ({lo} + np.arange({extents[k]})).reshape({dshape!r})"
+            )
+            self._override[id(f.loop_var)] = dname
+        try:
+            st = _strides(store.buffer.shape)
+            flat_terms = []
+            for i, idx in enumerate(store.indices):
+                src = self.expr(idx)
+                flat_terms.append(src if st[i] == 1 else f"({src}) * {st[i]}")
+            flat = self._fresh("flat")
+            self.emit(
+                f"{flat} = np.broadcast_to({' + '.join(flat_terms)}, {ds!r})"
+            )
+            dm = ""
+            if data_guards:
+                conds = " & ".join(
+                    f"np.broadcast_to({self.expr(g)}, {ds!r})" for g in data_guards
+                )
+                dm = self._fresh("dmask")
+                self.emit(f"{dm} = ({conds}).ravel()")
+        finally:
+            for k in data_axes:
+                self._override.pop(id(loops[k].loop_var), None)
+
+        buf = self.buf(store.buffer.name)
+        tgt = f"{flat}.ravel()[{dm}]" if dm else f"{flat}.ravel()"
+        vals = f"{red}.ravel()[{dm}]" if dm else f"{red}.ravel()"
+        if not red_axes or kind is None:
+            self.emit(f"{buf}.flat[{tgt}] = {vals}")
+        elif kind == "sum":
+            self.emit(f"{buf}.flat[{tgt}] += {vals}")
+        else:
+            op = "np.maximum" if kind == "max" else "np.minimum"
+            self.emit(f"{buf}.flat[{tgt}] = {op}({buf}.flat[{tgt}], {vals})")
+
+        if python_guards:
+            self.indent = base_indent
+        self.collapsed += 1
+
+    def _try_einsum(
+        self,
+        red: str,
+        value: Expr,
+        axes: dict[int, int],
+        extents: list[int],
+        data_axes: list[int],
+    ) -> bool:
+        """Sum-of-two-factors fast path: ``einsum`` contracts the reduction
+        axes directly (BLAS-backed for matmul-like nests)."""
+        if not isinstance(value, Mul):
+            return False
+        factors = (value.a, value.b)
+        axsets = []
+        for f in factors:
+            s = sorted({axes[id(v)] for v in all_vars(f) if id(v) in axes})
+            if not s:
+                return False  # scalar factor: the generic path handles it
+            axsets.append(s)
+        if set(axsets[0]) | set(axsets[1]) != set(axes.values()):
+            return False  # an axis appears in neither factor
+        subs = []
+        srcs = []
+        for f, axs in zip(factors, axsets):
+            compact = tuple(extents[a] for a in axs)
+            srcs.append(
+                f"np.asarray({self.expr(f)}).reshape({compact!r})"
+            )
+            subs.append("".join(_ASCII[a] for a in axs))
+        out = "".join(_ASCII[a] for a in data_axes)
+        self.emit(
+            f"{red} = np.einsum('{subs[0]},{subs[1]}->{out}', "
+            f"{srcs[0]}, {srcs[1]}, optimize=True)"
+        )
+        return True
+
+    # -- expressions ----------------------------------------------------
+
+    def expr(self, e: Expr) -> str:
+        if (
+            self._lane_axes is not None
+            and not self._override
+            and isinstance(e, BufferLoad)
+        ):
+            if self._lane_guarded:
+                # Guarded lanes are discarded (identity-folded or unselected)
+                # but still *evaluated*; clamp lane-bearing indices so the
+                # gather never reads out of bounds.
+                parts = []
+                for dim, idx in enumerate(e.indices):
+                    src = self.expr(idx)
+                    if any(id(v) in self._lane_axes for v in all_vars(idx)):
+                        hi = e.buffer.shape[dim] - 1
+                        src = f"np.clip({src}, 0, {hi})"
+                    parts.append(src)
+                return f"{self.buf(e.buffer.name)}[{', '.join(parts)}]"
+            # Slice fast path for loads whose indices are (shifted) bare lane
+            # vars: a strided view instead of a fancy-indexed gather.
+            src = self._slice_load(e)
+            if src is not None:
+                return src
+        return super().expr(e)
+
+    def _slice_load(self, e) -> "str | None":
+        lanes = self._lane_axes
+        slices: list[str] = []
+        var_axes: list[tuple[int, int]] = []  # (axis, extent)
+        seen: set[int] = set()
+        for dim, idx in enumerate(e.indices):
+            shift, v = _shifted_var(idx, lanes)
+            if v is None:
+                if any(id(x) in lanes for x in all_vars(idx)):
+                    return None  # lane var in a non-sliceable position
+                slices.append(self.expr(idx))
+                continue
+            if id(v) in seen:
+                return None
+            seen.add(id(v))
+            axis, n = lanes[id(v)]
+            var_axes.append((axis, n))
+            start = "0" if shift is None else f"({self.expr(shift)})"
+            slices.append(f"{start}:{start} + {n}")
+        if not var_axes:
+            return None
+        order = sorted(range(len(var_axes)), key=lambda i: var_axes[i][0])
+        shape = [1] * self._lane_rank
+        for axis, n in var_axes:
+            shape[axis] = n
+        src = f"{self.buf(e.buffer.name)}[{', '.join(slices)}]"
+        if order != list(range(len(var_axes))):
+            perm = tuple(order)
+            src = f"np.transpose({src}, {perm!r})"
+        return f"{src}.reshape({tuple(shape)!r})"
+
+
+def _self_loads_match(store: BufferStore) -> bool:
+    """Every load of the store's own buffer reads exactly the stored cell."""
+    ok = True
+
+    def _visit(e: Expr) -> None:
+        nonlocal ok
+        if isinstance(e, BufferLoad) and e.buffer.name == store.buffer.name:
+            if len(e.indices) != len(store.indices) or not all(
+                structural_equal(a, b)
+                for a, b in zip(e.indices, store.indices)
+            ):
+                ok = False
+
+    post_order_visit(store.value, _visit)
+    return ok
+
+
+def _shifted_var(idx: Expr, lanes: dict) -> tuple["Expr | None", "Var | None"]:
+    """Match ``v`` or ``expr + v`` / ``v + expr`` with exactly one lane var."""
+    if isinstance(idx, Var) and id(idx) in lanes:
+        return None, idx
+    if isinstance(idx, Add):
+        for v, other in ((idx.a, idx.b), (idx.b, idx.a)):
+            if (
+                isinstance(v, Var)
+                and id(v) in lanes
+                and not any(id(x) in lanes for x in all_vars(other))
+            ):
+                return other, v
+    return None, None
+
+
+def _combine_identity(kind: str, dtype: str) -> str:
+    if kind == "sum":
+        return "0"
+    if dtype.startswith("float"):
+        return "-np.inf" if kind == "max" else "np.inf"
+    info = np.iinfo(dtype)
+    return repr(info.min if kind == "max" else info.max)
+
+
+def codegen_tensor(func: PrimFunc, max_box: int | None = None) -> tuple[str, int]:
+    """Emit tensorized source for a PrimFunc; returns (source, nests collapsed).
+
+    Raises :class:`CodegenUnsupported` when nothing collapses (running this
+    backend would be pure interpreter-speed Python) or a store/guard shape is
+    outside the supported fragment.
+    """
+    gen = _TensorCodegen(func, max_box)
+    source = gen.generate()
+    if gen.collapsed == 0:
+        raise CodegenUnsupported("no collapsible loop nests")
+    return source, gen.collapsed
+
+
+def build_callable_tensor(func: PrimFunc, max_box: int | None = None):
+    """Compile the tensorized source; returns a function over NumPy arrays.
+
+    The returned callable carries ``__source__`` (the generated code) and
+    ``__collapsed__`` (how many loop nests were tensorized).
+    """
+    source, collapsed = codegen_tensor(func, max_box)
+    namespace: dict[str, object] = {"np": np}
+    code = compile(source, f"<codegen_tensor:{func.name}>", "exec")
+    exec(code, namespace)  # noqa: S102 - compiling our own generated source
+    fn = namespace[func.name]
+    fn.__source__ = source  # type: ignore[attr-defined]
+    fn.__collapsed__ = collapsed  # type: ignore[attr-defined]
+    return fn

@@ -45,6 +45,7 @@ from repro.tir.stmt import (
     Evaluate,
     For,
     IfThenElse,
+    LetStmt,
     PrimFunc,
     SeqStmt,
     Stmt,
@@ -132,6 +133,10 @@ class TIRInterpreter:
             bufs[stmt.buffer.name] = np.zeros(stmt.buffer.shape, dtype=stmt.buffer.dtype)
             self._exec(stmt.body, env, bufs)
             del bufs[stmt.buffer.name]
+        elif isinstance(stmt, LetStmt):
+            env[stmt.var] = self._eval(stmt.value, env, bufs)
+            self._exec(stmt.body, env, bufs)
+            env.pop(stmt.var, None)
         else:
             raise ExecutionError(f"interpreter: unhandled statement {type(stmt).__name__}")
 

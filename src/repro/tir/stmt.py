@@ -124,6 +124,23 @@ class SeqStmt(Stmt):
         self.stmts = flat
 
 
+class LetStmt(Stmt):
+    """``let var = value in body`` — bind a scalar expression to a name.
+
+    Lowering never emits ``LetStmt``; the codegen-side optimisation passes
+    (:func:`repro.tir.transform.hoist_loop_invariants` and
+    :func:`repro.tir.transform.extract_common_subexprs`) introduce bindings so
+    repeated or loop-invariant subexpressions are computed once.
+    """
+
+    __slots__ = ("var", "value", "body")
+
+    def __init__(self, var: Var, value: Expr, body: Stmt) -> None:
+        self.var = var
+        self.value = value
+        self.body = body
+
+
 class IfThenElse(Stmt):
     __slots__ = ("condition", "then_case", "else_case")
 
@@ -186,6 +203,8 @@ def visit_stmt(stmt: Stmt, fvisit: Callable[[Stmt], None]) -> None:
             visit_stmt(stmt.else_case, fvisit)
     elif isinstance(stmt, Allocate):
         visit_stmt(stmt.body, fvisit)
+    elif isinstance(stmt, LetStmt):
+        visit_stmt(stmt.body, fvisit)
 
 
 def stmt_to_str(stmt: Stmt, indent: int = 0) -> str:
@@ -208,6 +227,10 @@ def stmt_to_str(stmt: Stmt, indent: int = 0) -> str:
         return out
     if isinstance(stmt, Evaluate):
         return f"{pad}eval {stmt.value!r}"
+    if isinstance(stmt, LetStmt):
+        return f"{pad}let {stmt.var.name} = {stmt.value!r}\n" + stmt_to_str(
+            stmt.body, indent
+        )
     if isinstance(stmt, Allocate):
         return (
             f"{pad}alloc {stmt.buffer.name}{list(stmt.buffer.shape)}\n"

@@ -1,8 +1,15 @@
-"""TIR transformation passes: simplification, loop unrolling, statistics.
+"""TIR transformation passes: simplification, loop unrolling, statistics,
+loop-invariant code motion, and common-subexpression extraction.
 
 These mirror (a small slice of) TVM's lowering pipeline. ``simplify`` does constant
 folding and algebraic identity cleanup; ``unroll_loops`` expands loops marked
-``unrolled`` whose extent is a constant.
+``unrolled`` whose extent is a constant. ``hoist_loop_invariants`` and
+``extract_common_subexprs`` introduce :class:`~repro.tir.stmt.LetStmt`
+bindings so repeated scalar work is computed once; they run inside the
+executable backends (see :func:`repro.tir.codegen_py.build_callable` and
+:mod:`repro.tir.codegen_tensor`), not in the default ``simplify_func``
+pipeline, so cached/lowered PrimFuncs and the Swing featurizer never see
+``LetStmt`` nodes.
 """
 
 from __future__ import annotations
@@ -10,6 +17,7 @@ from __future__ import annotations
 from repro.common.errors import LoweringError
 from repro.te.expr import (
     Add,
+    Div,
     Expr,
     FloatImm,
     FloorDiv,
@@ -18,15 +26,19 @@ from repro.te.expr import (
     Mul,
     Sub,
     Var,
+    all_vars,
     const,
+    structural_equal,
     substitute,
 )
 from repro.tir.stmt import (
     Allocate,
+    BufferLoad,
     BufferStore,
     Evaluate,
     For,
     IfThenElse,
+    LetStmt,
     PrimFunc,
     SeqStmt,
     Stmt,
@@ -120,6 +132,8 @@ def simplify_stmt(stmt: Stmt) -> Stmt:
         return Evaluate(simplify_expr(stmt.value))
     if isinstance(stmt, Allocate):
         return Allocate(stmt.buffer, simplify_stmt(stmt.body))
+    if isinstance(stmt, LetStmt):
+        return LetStmt(stmt.var, simplify_expr(stmt.value), simplify_stmt(stmt.body))
     raise LoweringError(f"simplify: unhandled statement {type(stmt).__name__}")
 
 
@@ -153,6 +167,12 @@ def _subst_stmt(stmt: Stmt, var: Var, value: Expr) -> Stmt:
         return Evaluate(substitute(stmt.value, mapping))
     if isinstance(stmt, Allocate):
         return Allocate(stmt.buffer, _subst_stmt(stmt.body, var, value))
+    if isinstance(stmt, LetStmt):
+        return LetStmt(
+            stmt.var,
+            substitute(stmt.value, mapping),
+            _subst_stmt(stmt.body, var, value),
+        )
     raise LoweringError(f"substitute: unhandled statement {type(stmt).__name__}")
 
 
@@ -191,6 +211,8 @@ def unroll_loops(stmt: Stmt, max_steps: int = MAX_UNROLL_STEPS) -> Stmt:
         )
     if isinstance(stmt, Allocate):
         return Allocate(stmt.buffer, unroll_loops(stmt.body, max_steps))
+    if isinstance(stmt, LetStmt):
+        return LetStmt(stmt.var, stmt.value, unroll_loops(stmt.body, max_steps))
     return stmt
 
 
@@ -204,6 +226,318 @@ def simplify_func(func: PrimFunc, unroll: bool = True, validate: bool = True) ->
     if unroll:
         body = unroll_loops(body)
         body = simplify_stmt(body)
+    out = PrimFunc(func.name, func.params, body, func.attrs)
+    if validate:
+        validate_func(out)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Loop-invariant code motion + common-subexpression extraction
+# ---------------------------------------------------------------------------
+#
+# Both passes introduce LetStmt bindings and are applied by the executable
+# backends just before code generation (see ``optimize_for_codegen``). They
+# never change the arithmetic performed — only how often it is performed — so
+# results stay bit-identical with the unoptimized function.
+
+_DIV_NODES = (Div, FloorDiv, FloorMod)
+
+
+def _expr_key(e: Expr):
+    """Hashable structural key: equal keys imply structural equality
+    (Vars compare by identity, immediates by value, loads by buffer name)."""
+    t = type(e)
+    if t is Var:
+        return ("var", id(e))
+    children = e.children()
+    if not children:
+        return (t.__name__, getattr(e, "value", None), getattr(e, "dtype", None))
+    buf = getattr(e, "buffer", None)
+    op = getattr(e, "op", None)
+    return (
+        t.__name__,
+        buf.name if buf is not None else None,
+        op if isinstance(op, str) else None,
+        getattr(e, "dtype", None),
+    ) + tuple(_expr_key(c) for c in children)
+
+
+def _expr_size(e: Expr) -> int:
+    return 1 + sum(_expr_size(c) for c in e.children())
+
+
+def _has_var_or_load(e: Expr) -> bool:
+    if isinstance(e, (Var, BufferLoad)):
+        return True
+    return any(_has_var_or_load(c) for c in e.children())
+
+
+def _loaded_buffers(e: Expr) -> set[str]:
+    out: set[str] = set()
+
+    def _visit(x: Expr) -> None:
+        if isinstance(x, BufferLoad):
+            out.add(x.buffer.name)
+        for c in x.children():
+            _visit(c)
+
+    _visit(e)
+    return out
+
+
+def _written_buffers(stmt: Stmt) -> set[str]:
+    """Buffers stored to (or allocated — scoped) anywhere inside ``stmt``."""
+    out: set[str] = set()
+
+    def _visit(s: Stmt) -> None:
+        if isinstance(s, BufferStore):
+            out.add(s.buffer.name)
+        elif isinstance(s, Allocate):
+            out.add(s.buffer.name)
+
+    visit_stmt(stmt, _visit)
+    return out
+
+
+def _safe_to_speculate(e: Expr) -> bool:
+    """True when evaluating ``e`` unconditionally cannot fault: no buffer
+    loads (a guard may exist to keep indices in bounds) and no division with
+    a possibly-zero denominator."""
+    if isinstance(e, BufferLoad):
+        return False
+    if isinstance(e, _DIV_NODES):
+        b = e.b
+        if not (isinstance(b, (IntImm, FloatImm)) and b.value != 0):
+            return False
+    return all(_safe_to_speculate(c) for c in e.children())
+
+
+def _map_exprs(s: Stmt, fn) -> Stmt:
+    """Rebuild ``s`` applying ``fn`` to every expression root."""
+    if isinstance(s, For):
+        return For(s.loop_var, fn(s.min), fn(s.extent), s.kind, _map_exprs(s.body, fn), s.thread_tag)
+    if isinstance(s, BufferStore):
+        return BufferStore(s.buffer, fn(s.value), tuple(fn(i) for i in s.indices))
+    if isinstance(s, SeqStmt):
+        return SeqStmt([_map_exprs(x, fn) for x in s.stmts])
+    if isinstance(s, IfThenElse):
+        return IfThenElse(
+            fn(s.condition),
+            _map_exprs(s.then_case, fn),
+            _map_exprs(s.else_case, fn) if s.else_case is not None else None,
+        )
+    if isinstance(s, Evaluate):
+        return Evaluate(fn(s.value))
+    if isinstance(s, Allocate):
+        return Allocate(s.buffer, _map_exprs(s.body, fn))
+    if isinstance(s, LetStmt):
+        return LetStmt(s.var, fn(s.value), _map_exprs(s.body, fn))
+    raise LoweringError(f"map_exprs: unhandled statement {type(s).__name__}")
+
+
+def _subst_structural(e: Expr, key, var: Var, hits: list[int]) -> Expr:
+    """Replace every subexpression whose key equals ``key`` with ``var``."""
+    if _expr_key(e) == key:
+        hits[0] += 1
+        return var
+    children = e.children()
+    if not children:
+        return e
+    new = tuple(_subst_structural(c, key, var, hits) for c in children)
+    if all(a is b for a, b in zip(new, children)):
+        return e
+    return e.rebuild_with(new)
+
+
+class _FreshVars:
+    def __init__(self, prefix: str) -> None:
+        self.prefix = prefix
+        self.n = 0
+
+    def new(self, dtype: str) -> Var:
+        v = Var(f"{self.prefix}{self.n}", dtype if dtype in ("int32", "int64", "float32", "float64", "bool") else "int32")
+        self.n += 1
+        return v
+
+
+def _collect_invariants(
+    body: Stmt, loop_var: Var, forbidden_bufs: set[str]
+) -> dict[object, Expr]:
+    """Maximal compound subexpressions of ``body`` that reference no variable
+    bound at or below the loop, in deterministic first-seen order."""
+    found: dict[object, Expr] = {}
+
+    def scan_expr(e: Expr, bound: set, guarded: bool) -> None:
+        if e.children():
+            if (
+                all(v not in bound for v in all_vars(e))
+                and _has_var_or_load(e)
+                and not (_loaded_buffers(e) & forbidden_bufs)
+                and (not guarded or _safe_to_speculate(e))
+            ):
+                found.setdefault(_expr_key(e), e)
+                return
+        for c in e.children():
+            scan_expr(c, bound, guarded)
+
+    def scan_stmt(s: Stmt, bound: set, guarded: bool) -> None:
+        if isinstance(s, For):
+            scan_expr(s.min, bound, guarded)
+            scan_expr(s.extent, bound, guarded)
+            scan_stmt(s.body, bound | {s.loop_var}, guarded)
+        elif isinstance(s, LetStmt):
+            scan_expr(s.value, bound, guarded)
+            scan_stmt(s.body, bound | {s.var}, guarded)
+        elif isinstance(s, BufferStore):
+            for i in s.indices:
+                scan_expr(i, bound, guarded)
+            scan_expr(s.value, bound, guarded)
+        elif isinstance(s, SeqStmt):
+            for sub in s.stmts:
+                scan_stmt(sub, bound, guarded)
+        elif isinstance(s, IfThenElse):
+            scan_expr(s.condition, bound, guarded)
+            scan_stmt(s.then_case, bound, True)
+            if s.else_case is not None:
+                scan_stmt(s.else_case, bound, True)
+        elif isinstance(s, Evaluate):
+            scan_expr(s.value, bound, guarded)
+        elif isinstance(s, Allocate):
+            scan_stmt(s.body, bound, guarded)
+
+    scan_stmt(body, {loop_var}, False)
+    return found
+
+
+def hoist_loop_invariants(stmt: Stmt) -> Stmt:
+    """Loop-invariant code motion: bind compound subexpressions that do not
+    depend on a loop's variable to a ``LetStmt`` just above that loop.
+
+    Processes loops innermost-first, so an expression invariant to several
+    nested loops migrates to the outermost level where it is still valid.
+    Expressions under an ``IfThenElse`` are hoisted only when unconditional
+    evaluation cannot fault (no loads, no division by a non-constant).
+    """
+    return _licm(stmt, _FreshVars("licm"))
+
+
+def _licm(s: Stmt, fresh: _FreshVars) -> Stmt:
+    if isinstance(s, For):
+        body = _licm(s.body, fresh)
+        forbidden = _written_buffers(body)
+        cands = _collect_invariants(body, s.loop_var, forbidden)
+        lets: list[tuple[Var, Expr]] = []
+        for key, e in sorted(
+            cands.items(), key=lambda kv: -_expr_size(kv[1])
+        ):
+            v = fresh.new(getattr(e, "dtype", "int32"))
+            hits = [0]
+            new_body = _map_exprs(
+                body, lambda ex, key=key, v=v, hits=hits: _subst_structural(ex, key, v, hits)
+            )
+            if hits[0] == 0:  # swallowed by an earlier, larger candidate
+                continue
+            body = new_body
+            lets.append((v, e))
+        out: Stmt = For(s.loop_var, s.min, s.extent, s.kind, body, s.thread_tag)
+        for v, e in reversed(lets):
+            out = LetStmt(v, e, out)
+        return out
+    if isinstance(s, SeqStmt):
+        return SeqStmt([_licm(x, fresh) for x in s.stmts])
+    if isinstance(s, IfThenElse):
+        return IfThenElse(
+            s.condition,
+            _licm(s.then_case, fresh),
+            _licm(s.else_case, fresh) if s.else_case is not None else None,
+        )
+    if isinstance(s, Allocate):
+        return Allocate(s.buffer, _licm(s.body, fresh))
+    if isinstance(s, LetStmt):
+        return LetStmt(s.var, s.value, _licm(s.body, fresh))
+    return s
+
+
+def extract_common_subexprs(stmt: Stmt) -> Stmt:
+    """Bind subexpressions that occur two or more times within a single store
+    to a ``LetStmt`` immediately above it.
+
+    Safe by construction: a store evaluates its whole right-hand side and all
+    indices before writing, so binding any of those pieces first cannot change
+    semantics. Loads of the store's *own* buffer are left in place — the
+    backends pattern-match ``buf[i] = combine(buf[i], rest)`` reduction
+    updates on the raw tree.
+    """
+    return _cse(stmt, _FreshVars("cse"))
+
+
+def _count_subexprs(e: Expr, skip_buffer: str, counts: dict, exprs: dict) -> None:
+    if e.children() and _has_var_or_load(e):
+        if not (isinstance(e, BufferLoad) and e.buffer.name == skip_buffer):
+            key = _expr_key(e)
+            counts[key] = counts.get(key, 0) + 1
+            exprs.setdefault(key, e)
+    for c in e.children():
+        _count_subexprs(c, skip_buffer, counts, exprs)
+
+
+def _cse(s: Stmt, fresh: _FreshVars) -> Stmt:
+    if isinstance(s, BufferStore):
+        counts: dict = {}
+        exprs: dict = {}
+        for i in s.indices:
+            _count_subexprs(i, s.buffer.name, counts, exprs)
+        _count_subexprs(s.value, s.buffer.name, counts, exprs)
+        repeated = [
+            (key, exprs[key]) for key, c in counts.items() if c >= 2
+        ]
+        if not repeated:
+            return s
+        repeated.sort(key=lambda kv: -_expr_size(kv[1]))
+        out: Stmt = s
+        pending: list[tuple[Var, Expr]] = []
+        for key, e in repeated:
+            v = fresh.new(getattr(e, "dtype", "int32"))
+            hits = [0]
+            sub = lambda ex, key=key, v=v, hits=hits: _subst_structural(ex, key, v, hits)
+            new_out = _map_exprs(out, sub)
+            new_pending = [(pv, sub(pe)) for pv, pe in pending]
+            if hits[0] < 2:  # occurrences swallowed by a larger binding
+                continue
+            out, pending = new_out, new_pending
+            pending.append((v, e))
+        for v, e in pending:
+            out = LetStmt(v, e, out)
+        return out
+    if isinstance(s, For):
+        return For(s.loop_var, s.min, s.extent, s.kind, _cse(s.body, fresh), s.thread_tag)
+    if isinstance(s, SeqStmt):
+        return SeqStmt([_cse(x, fresh) for x in s.stmts])
+    if isinstance(s, IfThenElse):
+        return IfThenElse(
+            s.condition,
+            _cse(s.then_case, fresh),
+            _cse(s.else_case, fresh) if s.else_case is not None else None,
+        )
+    if isinstance(s, Allocate):
+        return Allocate(s.buffer, _cse(s.body, fresh))
+    if isinstance(s, LetStmt):
+        return LetStmt(s.var, s.value, _cse(s.body, fresh))
+    return s
+
+
+def optimize_for_codegen(func: PrimFunc, validate: bool = True) -> PrimFunc:
+    """Backend-side optimisation pipeline: LICM then CSE.
+
+    Applied by the executable code generators just before emission. Kept out
+    of :func:`simplify_func` so lowered PrimFuncs (the build cache's pickled
+    artifact, the Swing featurizer's input) never contain ``LetStmt`` nodes.
+    """
+    from repro.tir.analysis import validate_func
+
+    body = hoist_loop_invariants(func.body)
+    body = extract_common_subexprs(body)
     out = PrimFunc(func.name, func.params, body, func.attrs)
     if validate:
         validate_func(out)

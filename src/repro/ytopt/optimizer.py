@@ -65,6 +65,9 @@ class Optimizer:
         self._y: list[float] = []
         self._configs: list[Configuration] = []
         self._told: set[Configuration] = set()
+        # Hashed encoded rows mirroring _told: dedup in the suggest hot path
+        # compares row bytes instead of hashing configuration dicts.
+        self._told_keys: set[bytes] = set()
         self._asked: list[Configuration] = []
         self._since_fit = 0
         self._fitted = False
@@ -95,8 +98,21 @@ class Optimizer:
         """
         if n < 1:
             raise TuningError(f"batch size must be >= 1, got {n}")
-        lie = min(self._y) if self._y else 1.0
-        picks: list[Configuration] = []
+        if not self._y:
+            # No real observation yet: there is no incumbent to lie with, and
+            # a made-up constant would anchor the surrogate's scale. All picks
+            # are random anyway in this phase — sample unseen directly,
+            # excluding earlier picks of this batch.
+            picks = []
+            picked: set[Configuration] = set()
+            for _ in range(n):
+                config = self._sample_unseen(exclude=picked)
+                picked.add(config)
+                picks.append(config)
+                self._asked.append(config)
+            return picks
+        lie = min(self._y)
+        picks = []
         for _ in range(n):
             config = self.ask()
             picks.append(config)
@@ -110,6 +126,7 @@ class Optimizer:
         self._y.pop()
         config = self._configs.pop()
         self._told.discard(config)
+        self._told_keys.discard(config.get_array().tobytes())
         self._fitted = False  # surrogate saw lies: force a clean refit
 
     def tell(self, config: "Configuration | Mapping[str, int]", cost: float) -> None:
@@ -118,10 +135,12 @@ class Optimizer:
             config = Configuration(self.space, dict(config))
         if not np.isfinite(cost):
             raise TuningError(f"cost must be finite, got {cost}")
-        self._X.append(config.get_array())
+        arr = config.get_array()
+        self._X.append(arr)
         self._y.append(float(cost))
         self._configs.append(config)
         self._told.add(config)
+        self._told_keys.add(arr.tobytes())
         self._since_fit += 1
 
     def best(self) -> tuple[dict[str, int], float]:
@@ -156,12 +175,43 @@ class Optimizer:
 
     # -- internals ----------------------------------------------------------
 
-    def _sample_unseen(self) -> Configuration:
+    #: Finite spaces up to this size are enumerated outright when rejection
+    #: sampling keeps colliding — a duplicate proposal wastes a whole
+    #: measurement, enumeration costs microseconds.
+    _ENUMERATE_LIMIT = 8192
+
+    def _sample_unseen(
+        self, exclude: "set[Configuration] | frozenset" = frozenset()
+    ) -> Configuration:
+        def fresh(c: Configuration) -> bool:
+            return c not in self._told and c not in exclude
+
         for _ in range(64):
             c = self.space.sample_configuration()
-            if c not in self._told:
+            if fresh(c):
                 return c
-        return self.space.sample_configuration()
+        # 64 straight collisions: the space is either nearly exhausted or
+        # small. Enumerate small finite spaces and pick an unseen config
+        # directly instead of silently proposing a duplicate.
+        size = self.space.size()
+        if np.isfinite(size) and size <= self._ENUMERATE_LIMIT:
+            remaining = [
+                c for c in self.space.enumerate_configurations() if fresh(c)
+            ]
+            if remaining:
+                return remaining[int(self._rng.integers(len(remaining)))]
+            # Fully exhausted: duplicates are unavoidable; re-sample so long
+            # runs on tiny spaces keep making progress instead of crashing.
+            return self.space.sample_configuration()
+        # Huge space: keep drawing — deterministic given the space RNG state.
+        for _ in range(4096):
+            c = self.space.sample_configuration()
+            if fresh(c):
+                return c
+        raise TuningError(
+            "could not sample an unseen configuration after 4160 draws; "
+            "the space appears to be exhausted"
+        )
 
     def _maybe_refit(self) -> None:
         if not self._fitted or self._since_fit >= self.refit_interval:
@@ -180,23 +230,37 @@ class Optimizer:
                 )
 
     def _suggest(self) -> Configuration:
+        """Vectorized candidate scoring.
+
+        The pool is drawn in one batch (identical RNG stream to per-call
+        sampling), deduplicated by hashed encoded rows — the encoding is
+        injective per hyperparameter and inactive slots are out-of-range, so
+        row equality coincides with configuration equality — and scored with
+        a single surrogate predict over the preassembled matrix.
+        """
         candidates: list[Configuration] = []
-        seen: set[Configuration] = set(self._told)
+        rows: list[np.ndarray] = []
+        seen: set[bytes] = set(self._told_keys)
         # Global exploration pool.
-        for _ in range(self.n_candidates):
-            c = self.space.sample_configuration()
-            if c not in seen:
-                seen.add(c)
+        batch, X = self.space.sample_configuration_batch(self.n_candidates)
+        for i, c in enumerate(batch):
+            key = X[i].tobytes()
+            if key not in seen:
+                seen.add(key)
                 candidates.append(c)
+                rows.append(X[i])
         # Local pool around the best few incumbents (exploitation candidates).
         if self._y:
             order = np.argsort(self._y)[:3]
             budget = self.n_candidates + self.n_neighbor_candidates
             for idx in order:
                 for c in self.space.neighbors(self._configs[int(idx)], self._rng):
-                    if c not in seen:
-                        seen.add(c)
+                    arr = c.get_array()
+                    key = arr.tobytes()
+                    if key not in seen:
+                        seen.add(key)
                         candidates.append(c)
+                        rows.append(arr)
                         if len(candidates) >= budget:
                             break
                 if len(candidates) >= budget:
@@ -204,8 +268,7 @@ class Optimizer:
         if not candidates:
             return self._sample_unseen()
 
-        X = np.vstack([c.get_array() for c in candidates])
-        mean, std = self.surrogate.predict(X)
+        mean, std = self.surrogate.predict(np.vstack(rows))
         scores = self.acquisition.score(mean, std, best_y=float(np.min(self._log_y())))
         return candidates[int(np.argmin(scores))]
 

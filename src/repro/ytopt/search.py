@@ -224,6 +224,7 @@ class AMBS:
                             error=result.error,
                             cache_hit=bool(result.extra.get("cache_hit")),
                             fidelity=result.fidelity,
+                            backend=result.backend,
                         )
                     )
             remaining -= len(configs)

@@ -158,3 +158,34 @@ class TestConstant:
         assert hp.is_legal(42) and not hp.is_legal(41)
         assert hp.size() == 1.0
         assert hp.neighbors(42, rng) == []
+
+
+class TestSampleEncoded:
+    """`sample_encoded` == (`sample`, `encode`) on the same RNG stream.
+
+    The batch-sampling hot path relies on both halves: the value/encoding
+    pair must match the two-call form exactly, and the RNG must advance by
+    the same amount so seeded trajectories are unchanged.
+    """
+
+    HPS = [
+        OrdinalHyperparameter("o", [1, 2, 4, 8, 16]),
+        OrdinalHyperparameter("one", [7]),
+        CategoricalHyperparameter("c", ["a", "b", "c"]),
+        CategoricalHyperparameter("w", ["a", "b", "c"], weights=[0.6, 0.3, 0.1]),
+        UniformIntegerHyperparameter("i", 3, 40),
+        UniformFloatHyperparameter("f", 0.5, 2.5),
+        Constant("k", 42),
+    ]
+
+    @pytest.mark.parametrize("hp", HPS, ids=lambda h: h.name)
+    def test_matches_sample_then_encode(self, hp):
+        r1 = np.random.default_rng(123)
+        r2 = np.random.default_rng(123)
+        for _ in range(200):
+            v1, e1 = hp.sample_encoded(r1)
+            v2 = hp.sample(r2)
+            assert v1 == v2
+            assert e1 == hp.encode(v2)
+        # Streams stayed in lockstep: the next raw draw agrees.
+        assert r1.integers(1 << 30) == r2.integers(1 << 30)

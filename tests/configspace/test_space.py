@@ -172,6 +172,80 @@ class TestEncoding:
         assert c1 in {c2}
 
 
+class TestBatchSampling:
+    """`sample_configuration_batch` is a drop-in for n sequential samples.
+
+    Identical values, identical encodings, and — critically for seeded tuner
+    trajectories — an identical RNG stream: the draw *after* a batch must
+    equal the draw after the same number of sequential samples.
+    """
+
+    @staticmethod
+    def _uniform_space(seed=None):
+        # Equal cardinalities + no weights: the single-fused-draw fast path.
+        cs = ConfigurationSpace(seed=seed)
+        cs.add_hyperparameters(
+            [OrdinalHyperparameter(f"P{i}", [1, 2, 4, 8]) for i in range(3)]
+        )
+        return cs
+
+    def _assert_batch_matches_sequential(self, make_space, n=50):
+        batch_cs = make_space(11)
+        configs, X = batch_cs.sample_configuration_batch(n)
+        seq_cs = make_space(11)
+        expected = [seq_cs.sample_configuration() for _ in range(n)]
+        assert [c.get_dictionary() for c in configs] == [
+            c.get_dictionary() for c in expected
+        ]
+        for i, c in enumerate(expected):
+            np.testing.assert_array_equal(X[i], c.get_array())
+            np.testing.assert_array_equal(configs[i].get_array(), c.get_array())
+        # Post-batch RNG state: the next sequential draw agrees.
+        assert (
+            batch_cs.sample_configuration().get_dictionary()
+            == seq_cs.sample_configuration().get_dictionary()
+        )
+
+    def test_fused_path_matches_sequential(self):
+        self._assert_batch_matches_sequential(self._uniform_space)
+
+    def test_mixed_cardinality_matches_sequential(self):
+        self._assert_batch_matches_sequential(_flat_space)
+
+    def test_conditional_matches_sequential(self):
+        self._assert_batch_matches_sequential(_conditional_space)
+
+    def test_weighted_categorical_matches_sequential(self):
+        def make(seed):
+            cs = ConfigurationSpace(seed=seed)
+            cs.add_hyperparameters(
+                [
+                    CategoricalHyperparameter(
+                        "w", ["a", "b", "c"], weights=[0.7, 0.2, 0.1]
+                    ),
+                    CategoricalHyperparameter("u", ["x", "y", "z"]),
+                ]
+            )
+            return cs
+
+        self._assert_batch_matches_sequential(make)
+
+    def test_rows_are_memoized_arrays(self):
+        cs = self._uniform_space(0)
+        configs, X = cs.sample_configuration_batch(4)
+        for i, c in enumerate(configs):
+            assert c.get_array() is c.get_array()  # memoized, not recomputed
+            np.testing.assert_array_equal(c.get_array(), cs.encode(c.get_dictionary()))
+
+    def test_batch_size_validation(self):
+        with pytest.raises(SpaceError):
+            _flat_space(seed=0).sample_configuration_batch(-1)
+
+    def test_empty_batch(self):
+        configs, X = _flat_space(seed=0).sample_configuration_batch(0)
+        assert configs == [] and X.shape == (0, 2)
+
+
 class TestNeighbors:
     def test_single_param_changed(self):
         cs = _flat_space(seed=0)

@@ -16,8 +16,26 @@ def built(matmul):
 
 
 class TestBuild:
-    def test_codegen_backend_default(self, built):
-        assert built.backend == "codegen"
+    def test_tensor_backend_default(self, built):
+        assert built.backend == "tensor"
+
+    def test_backend_ladder_pins_start_tier(self, matmul):
+        A, B, C = matmul
+        mod = build(te.create_schedule(C.op), [A, B, C], backend="codegen")
+        assert mod.backend == "codegen"
+        mod = build(te.create_schedule(C.op), [A, B, C], backend="interp")
+        assert mod.backend == "interp"
+
+    def test_backend_env_override(self, matmul, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "codegen")
+        A, B, C = matmul
+        mod = build(te.create_schedule(C.op), [A, B, C])
+        assert mod.backend == "codegen"
+
+    def test_unknown_backend_rejected(self, matmul):
+        A, B, C = matmul
+        with pytest.raises(ReproError):
+            build(te.create_schedule(C.op), [A, B, C], backend="cuda")
 
     def test_interp_target(self, matmul):
         A, B, C = matmul

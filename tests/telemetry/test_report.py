@@ -144,8 +144,9 @@ class TestGoldenReport:
             text = evaluation_count_table(store, "lu", "large")
         lines = text.splitlines()
         ytopt_row = next(l for l in lines if "ytopt" in l)
-        # 3 evals, 1 failure, 1 cache hit, 0 pruned, 0 promoted, seed 0
-        assert ytopt_row.split()[-6:] == ["3", "1", "1", "0", "0", "0"]
+        # 3 evals, 1 failure, 1 cache hit, 0 pruned, 0 promoted, no backend
+        # recorded ("-"), seed 0
+        assert ytopt_row.split()[-7:] == ["3", "1", "1", "0", "0", "-", "0"]
 
 
 def regenerate_golden() -> None:  # pragma: no cover - maintenance helper

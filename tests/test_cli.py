@@ -142,8 +142,10 @@ class TestFidelityFlags:
         table = out[out.index("Evaluations — lu / large"):]
         ytopt_row = next(l for l in table.splitlines() if l.startswith("ytopt"))
         fields = ytopt_row.split()
-        pruned, promoted = int(fields[-3]), int(fields[-2])
+        # Columns: ... pruned, promoted, backend, seed
+        pruned, promoted = int(fields[-4]), int(fields[-3])
         assert pruned > 0 and promoted > 0
+        assert fields[-2] == "swing"  # backend tier recorded per trial
 
     def test_warm_start_flag_round_trips(self, tmp_path, capsys):
         db = tmp_path / "runs.sqlite"

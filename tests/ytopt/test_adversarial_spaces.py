@@ -49,6 +49,59 @@ class TestTinySpaces:
         assert opt.best()[0] == {"a": 10}
 
 
+class TestUnseenSampling:
+    """`_sample_unseen` on small finite spaces: enumerate, don't collide.
+
+    Rejection sampling alone would eventually propose duplicates while unseen
+    configurations remain; the enumeration fallback guarantees every point of
+    a small space is proposed exactly once before any repeat.
+    """
+
+    @staticmethod
+    def _space(seed=0):
+        cs = ConfigurationSpace(seed=seed)
+        cs.add_hyperparameters(
+            [
+                OrdinalHyperparameter("a", [1, 2, 3, 4]),
+                OrdinalHyperparameter("b", [10, 20, 30]),
+            ]
+        )
+        return cs
+
+    def test_no_duplicates_until_space_exhausted(self):
+        cs = self._space(seed=0)
+        opt = Optimizer(cs, n_initial_points=12, seed=0)
+        seen = set()
+        for _ in range(12):  # exactly the space size
+            c = opt.ask()
+            key = (c["a"], c["b"])
+            assert key not in seen, f"duplicate {key} before exhaustion"
+            seen.add(key)
+            opt.tell(c, float(c["a"] + c["b"]))
+        assert len(seen) == 12
+        # Exhausted: the next ask re-samples (a duplicate) instead of raising.
+        c = opt.ask()
+        assert (c["a"], c["b"]) in seen
+
+    def test_enumeration_fallback_is_deterministic(self):
+        def run():
+            opt = Optimizer(self._space(seed=3), n_initial_points=12, seed=3)
+            out = []
+            for _ in range(12):
+                c = opt.ask()
+                out.append((c["a"], c["b"]))
+                opt.tell(c, 1.0 + c["a"])
+            return out
+
+        assert run() == run()
+
+    def test_batch_exclude_respects_unseen(self):
+        # One batch covering the whole space: every pick distinct.
+        opt = Optimizer(self._space(seed=1), n_initial_points=12, seed=1)
+        batch = opt.ask_batch(12)
+        assert len({(c["a"], c["b"]) for c in batch}) == 12
+
+
 class TestConditionalSpaces:
     def _space(self, seed=0):
         cs = ConfigurationSpace(seed=seed)

@@ -60,6 +60,32 @@ class TestAskBatch:
         with pytest.raises(TuningError):
             Optimizer(_space(), seed=0).ask_batch(0)
 
+    def test_no_lie_before_first_observation(self):
+        """With an empty history there is no incumbent to lie with: the first
+        batch is pure unseen sampling — the surrogate must never be touched
+        and no phantom tell may remain."""
+
+        class _Untouchable:
+            def fit(self, X, y):
+                raise AssertionError("surrogate fit before any real tell")
+
+            def predict(self, X):
+                raise AssertionError("surrogate predict before any real tell")
+
+        opt = Optimizer(_space(seed=7), surrogate=_Untouchable(),
+                        n_initial_points=2, seed=7)
+        batch = opt.ask_batch(8)  # larger than n_initial_points on purpose
+        assert len({(c["a"], c["b"]) for c in batch}) == 8
+        assert opt.n_told == 0
+
+    def test_first_batch_matches_sequential_asks(self):
+        # Pure unseen sampling: the batch is the same configs sequential
+        # ask() would have produced from the same seed.
+        batch = Optimizer(_space(seed=4), n_initial_points=8, seed=4).ask_batch(6)
+        opt = Optimizer(_space(seed=4), n_initial_points=8, seed=4)
+        seq = [opt.ask() for _ in range(6)]
+        assert [dict(c) for c in batch] == [dict(c) for c in seq]
+
     def test_model_phase_batch(self):
         # Batch asks in the model phase must work after the surrogate is fit.
         opt = Optimizer(_space(seed=3), n_initial_points=3, seed=3)

@@ -58,7 +58,7 @@ class TestPlopper:
         sched, args = plopper.build({"P0": 4, "P1": 2})
         assert len(args) == 3
         mod = build(sched, args)
-        assert mod.backend in ("codegen", "interp")
+        assert mod.backend in ("tensor", "codegen", "interp")
 
     def test_executes_correctly(self, rng):
         import numpy as np
