@@ -9,6 +9,11 @@ Installed as the ``repro`` console script::
     repro ablation kappa
     repro report --db results/runs.sqlite       # paper tables from the store
     repro compare old.sqlite new.sqlite         # regression diff of two stores
+    repro serve --root results/service          # multi-tenant tuning server
+    repro submit --kernel lu --size large --max-evals 100 --wait
+    repro status [--job-id JOB]                 # server / job state as JSON
+    repro watch JOB                             # stream a job's event lines
+    repro merge --root results/service          # offline shard merge
 
 All simulated experiments run against the calibrated Swing/A100 model and are
 fully reproducible via ``--seed``. ``tune`` and ``experiment`` record
@@ -23,7 +28,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import math
 import sys
 from collections.abc import Sequence
 
@@ -101,24 +105,9 @@ def _telemetry_from_args(
     return Telemetry(sinks=sinks)
 
 
-def _finite_or_none(x: float) -> float | None:
-    return x if math.isfinite(x) else None
-
-
 def _run_payload(run) -> dict:
-    """A JSON-safe summary of one TunerRun."""
-    return {
-        "tuner": run.tuner,
-        "kernel": run.kernel,
-        "size": run.size_name,
-        "best_runtime": run.best_runtime,
-        "best_config": run.best_config,
-        "n_evals": run.n_evals,
-        "total_time": run.total_time,
-        "trajectory": [
-            [round(t, 6), _finite_or_none(rt)] for t, rt in run.trajectory
-        ],
-    }
+    """A JSON-safe summary of one TunerRun (the shared CLI/service contract)."""
+    return run.to_payload()
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
@@ -263,6 +252,129 @@ def _cmd_autoschedule(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- tuning service ---------------------------------------------------------
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the tuning server until SIGINT/SIGTERM or a shutdown request."""
+    import asyncio
+    import signal
+
+    from repro.service import ServerConfig, ServerQuotas, TuningServer
+
+    config = ServerConfig(
+        root=args.root,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        quotas=ServerQuotas(
+            max_evals=args.max_evals,
+            max_queued=args.max_queued,
+            session_timeout=args.session_timeout,
+        ),
+        retries=args.retries,
+        allow_fault_injection=args.allow_fault_injection,
+    )
+
+    async def serve() -> None:
+        server = TuningServer(config)
+        await server.start()
+        host, port = server.address
+        print(
+            f"tuning server listening on {host}:{port} "
+            f"({config.workers} workers, root {config.root})",
+            file=sys.stderr,
+        )
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(
+                sig, lambda: loop.create_task(server.stop(drain=True))
+            )
+        await server.wait_stopped()
+        print(
+            f"server stopped; shards merged into {server.store.merged_path}",
+            file=sys.stderr,
+        )
+
+    asyncio.run(serve())
+    return 0
+
+
+def _service_client(args: argparse.Namespace):
+    from repro.service import ServiceClient
+
+    return ServiceClient.from_root(args.root)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one job; exits non-zero if the server rejects it."""
+    from repro.service import JobRejected
+
+    spec = {
+        "kernel": args.kernel,
+        "size": args.size,
+        "tuner": args.tuner,
+        "max_evals": args.max_evals,
+        "seed": args.seed,
+        "jobs": args.jobs,
+        "timeout": args.timeout,
+        "repeats": args.repeats,
+        "probe_repeats": args.probe_repeats,
+        "promote_margin": args.promote_margin,
+        "prune": args.prune,
+        "prune_threshold": args.prune_threshold,
+        "warm_start_db": args.warm_start_db,
+    }
+    client = _service_client(args)
+    try:
+        if args.wait:
+            record = client.submit_and_wait(spec)
+        else:
+            record = client.submit(spec)
+    except JobRejected as exc:
+        print(f"rejected: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(record, indent=2, sort_keys=True))
+    if args.wait and record["state"] != "done":
+        return 1
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    payload = _service_client(args).status(args.job_id)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """Stream one job's event lines; exit code reflects the job's outcome."""
+    final = None
+    for item in _service_client(args).watch(args.job_id):
+        if isinstance(item, dict):
+            final = item
+        else:
+            print(item)
+    if final is None or final["state"] != "done":
+        state = final["state"] if final else "unknown"
+        error = (final or {}).get("error")
+        print(f"job finished {state}" + (f": {error}" if error else ""),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    """Offline shard merge (e.g. after an unclean server exit)."""
+    from repro.service import ShardedRunStore
+
+    store = ShardedRunStore(args.root)
+    merged = store.merge(compact=args.compact)
+    with RunStore(merged) as s:
+        n = len(s.runs())
+    print(f"{n} run(s) in {merged}")
+    return 0
+
+
 def _cmd_ablation(args: argparse.Namespace) -> int:
     from repro.experiments import ablations
 
@@ -398,6 +510,70 @@ def build_parser() -> argparse.ArgumentParser:
     p_auto.add_argument("--trials", type=int, default=64)
     p_auto.add_argument("--seed", type=int, default=0)
 
+    p_serve = sub.add_parser(
+        "serve", help="run the multi-tenant tuning server"
+    )
+    p_serve.add_argument("--root", default="results/service",
+                         help="server state directory: shards/, traces/, "
+                         "merged.sqlite, server.json (default results/service)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (default 0 = OS-assigned; the bound "
+                         "port is written to <root>/server.json)")
+    p_serve.add_argument("--workers", type=int, default=4, metavar="N",
+                         help="concurrent tuning sessions (default 4)")
+    p_serve.add_argument("--max-evals", type=int, default=500, metavar="N",
+                         help="quota: reject jobs asking for more evaluations")
+    p_serve.add_argument("--max-queued", type=int, default=64, metavar="N",
+                         help="quota: reject submissions once this many jobs "
+                         "are queued")
+    p_serve.add_argument("--session-timeout", type=float, default=None,
+                         metavar="S",
+                         help="quota: cancel any session running longer than "
+                         "this wall-clock budget (default: unlimited)")
+    p_serve.add_argument("--retries", type=int, default=1, metavar="N",
+                         help="re-run a crashed session this many times before "
+                         "failing the job (default 1)")
+    p_serve.add_argument("--allow-fault-injection", action="store_true",
+                         help="accept test-battery fault directives in job "
+                         "specs (never enable in real deployments)")
+
+    p_sub = sub.add_parser("submit", help="submit one tuning job to a server")
+    p_sub.add_argument("--root", default="results/service",
+                       help="server root (reads <root>/server.json)")
+    p_sub.add_argument("--kernel", required=True, choices=["3mm", "lu", "cholesky"])
+    p_sub.add_argument("--size", required=True,
+                       choices=["mini", "small", "medium", "large", "extralarge"])
+    p_sub.add_argument("--tuner", default="ytopt", choices=list(ALL_TUNERS))
+    p_sub.add_argument("--max-evals", type=int, default=100)
+    p_sub.add_argument("--seed", type=int, default=0)
+    p_sub.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="parallel measurement width inside the session")
+    p_sub.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-trial kernel wall-clock budget in seconds")
+    p_sub.add_argument("--wait", action="store_true",
+                       help="block until the job finishes; exit 0 only if it "
+                       "completed successfully")
+    _add_fidelity_args(p_sub)
+
+    p_stat = sub.add_parser("status", help="query a tuning server")
+    p_stat.add_argument("--root", default="results/service")
+    p_stat.add_argument("--job-id", default=None,
+                        help="one job's record (default: whole-server summary)")
+
+    p_watch = sub.add_parser(
+        "watch", help="stream a job's telemetry events (replay + live follow)"
+    )
+    p_watch.add_argument("--root", default="results/service")
+    p_watch.add_argument("job_id", help="job to watch (from submit/status)")
+
+    p_merge = sub.add_parser(
+        "merge", help="fold session shards into <root>/merged.sqlite offline"
+    )
+    p_merge.add_argument("--root", default="results/service")
+    p_merge.add_argument("--compact", action="store_true",
+                         help="delete shard files after a successful merge")
+
     p_abl = sub.add_parser("ablation", help="run a design-choice ablation")
     p_abl.add_argument(
         "which", choices=["kappa", "surrogate", "init", "measure", "autoscheduler"]
@@ -417,6 +593,11 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "autoschedule": _cmd_autoschedule,
     "ablation": _cmd_ablation,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "watch": _cmd_watch,
+    "merge": _cmd_merge,
 }
 
 

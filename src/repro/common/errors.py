@@ -28,3 +28,7 @@ class SpaceError(ReproError):
 
 class TuningError(ReproError):
     """A tuner was misused (tell before ask, exhausted space, ...)."""
+
+
+class ServiceError(ReproError):
+    """A tuning-service operation failed (bad job, server unreachable, ...)."""

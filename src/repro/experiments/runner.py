@@ -11,74 +11,32 @@ semantics follow each system's defaults:
   ``number=3`` averaged runs per configuration (plus per-batch overhead);
 * AutoTVM-XGB is capped at :data:`PAPER_XGB_TRIAL_CAP` (56) evaluations,
   reproducing the stall the paper reports.
+
+The per-run machinery — evaluator construction, tuner dispatch, telemetry
+bracketing — lives in :class:`repro.service.session.TuningSession`; this
+module is the thin experiment driver over it. ``TunerRun``, ``ALL_TUNERS``
+and ``make_evaluator`` are re-exported here for backward compatibility.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.autotvm import (
-    GATuner,
-    GridSearchTuner,
-    Measurer,
-    RandomTuner,
-    XGBTuner,
-    measure_option,
-    task_from_benchmark,
-    PAPER_XGB_TRIAL_CAP,
-)
-from repro.common.errors import TuningError
-from repro.common.timing import VirtualClock
-from repro.configspace import space_hash
-from repro.core.framework import AutotuneConfig, BayesianAutotuner
+from repro.autotvm import PAPER_XGB_TRIAL_CAP
 from repro.kernels.registry import KernelBenchmark, get_benchmark
-from repro.runtime.fidelity import AdaptiveRepeatPolicy, MultiFidelityEvaluator
-from repro.runtime.measure import Evaluator
-from repro.swing import SwingEvaluator, SwingPerformanceModel
-from repro.telemetry.context import get_telemetry
-from repro.telemetry.events import RunFinished, RunStarted, make_run_id
-from repro.telemetry.meta import run_metadata
-from repro.ytopt.warmstart import WarmStart
-
-#: Display names, matching the paper's figure legends.
-ALL_TUNERS = (
-    "ytopt",
-    "AutoTVM-Random",
-    "AutoTVM-GridSearch",
-    "AutoTVM-GA",
-    "AutoTVM-XGB",
+from repro.service.jobs import JobSpec
+from repro.service.session import (  # noqa: F401 - re-exported names
+    ALL_TUNERS,
+    _AUTOTVM_CLASSES,
+    TunerRun,
+    TuningSession,
+    make_evaluator,
 )
+from repro.swing import SwingPerformanceModel
 
-_AUTOTVM_CLASSES = {
-    "AutoTVM-Random": RandomTuner,
-    "AutoTVM-GridSearch": GridSearchTuner,
-    "AutoTVM-GA": GATuner,
-    "AutoTVM-XGB": XGBTuner,
-}
-
-
-@dataclass
-class TunerRun:
-    """One tuner's full autotuning run."""
-
-    tuner: str
-    kernel: str
-    size_name: str
-    best_config: dict[str, int]
-    best_runtime: float
-    n_evals: int
-    total_time: float
-    #: (process time at completion, measured runtime) per evaluation.
-    trajectory: list[tuple[float, float]] = field(default_factory=list)
-
-    def best_so_far(self) -> list[float]:
-        out: list[float] = []
-        cur = float("inf")
-        for _, rt in self.trajectory:
-            cur = min(cur, rt)
-            out.append(cur)
-        return out
+#: Backward-compatible alias for the pre-service private helper name.
+_make_evaluator = make_evaluator
 
 
 @dataclass
@@ -96,27 +54,6 @@ class ExperimentResult:
 
     def fastest_process(self) -> TunerRun:
         return min(self.runs.values(), key=lambda r: r.total_time)
-
-
-def _make_evaluator(
-    benchmark: KernelBenchmark,
-    for_autotvm: bool,
-    model: SwingPerformanceModel | None,
-    seed: int,
-    timeout: float | None = None,
-    repeats: int = 1,
-) -> SwingEvaluator:
-    return SwingEvaluator(
-        benchmark.profile,
-        model=model
-        if model is not None
-        else SwingPerformanceModel(seed_tag=f"swing-v1-seed{seed}"),
-        clock=VirtualClock(),
-        number=3 if for_autotvm else 1,
-        repeat=repeats,
-        compile_parallelism=8 if for_autotvm else 1,
-        timeout=timeout,
-    )
 
 
 def run_tuner(
@@ -149,154 +86,33 @@ def run_tuner(
     ``promote_margin`` of the incumbent. ``prune`` enables ytopt's
     surrogate-guided pruning, and ``warm_start_db`` points at a telemetry run
     store whose matching prior trials pre-train the ytopt surrogate.
-    """
-    if jobs < 1:
-        raise TuningError(f"jobs must be >= 1, got {jobs}")
-    if repeats < 1:
-        raise TuningError(f"repeats must be >= 1, got {repeats}")
-    if tuner != "ytopt" and tuner not in _AUTOTVM_CLASSES:
-        raise TuningError(f"unknown tuner {tuner!r}; known: {ALL_TUNERS}")
 
-    tel = get_telemetry()
-    evaluator: Evaluator = _make_evaluator(
-        benchmark,
-        for_autotvm=tuner != "ytopt",
-        model=model,
-        seed=seed,
-        timeout=timeout,
-        repeats=repeats,
-    )
-    clock = evaluator.clock
-    if probe_repeats is not None:
-        evaluator = MultiFidelityEvaluator(
-            evaluator,
-            policy=AdaptiveRepeatPolicy(
-                probe_repeats=probe_repeats, promote_margin=promote_margin
-            ),
+    This is the single-run front door for in-process callers; it builds a
+    one-shot :class:`~repro.service.session.TuningSession` reporting to the
+    ambient telemetry. Long-running multi-session use goes through
+    :class:`repro.service.server.TuningServer` instead.
+    """
+    session = TuningSession(
+        JobSpec(
+            kernel=benchmark.kernel,
+            size=benchmark.size_name,
+            tuner=tuner,
+            max_evals=max_evals,
+            seed=seed,
             jobs=jobs,
-        )
-    warm = None
-    if warm_start_db is not None and tuner == "ytopt":
-        warm = WarmStart.from_store(
-            warm_start_db,
-            benchmark.kernel,
-            benchmark.size_name,
-            benchmark.config_space(seed=seed),
-        )
-    run_id = make_run_id(benchmark.kernel, benchmark.size_name, tuner, seed)
-    if tel.enabled:
-        tel.emit(
-            RunStarted(
-                run_id=run_id,
-                kernel=benchmark.kernel,
-                size_name=benchmark.size_name,
-                tuner=tuner,
-                seed=seed,
-                max_evals=max_evals,
-                metadata=run_metadata(
-                    seed=seed,
-                    extra={
-                        "max_evals": max_evals,
-                        "jobs": jobs,
-                        "timeout": timeout,
-                        "xgb_trial_cap": xgb_trial_cap if tuner == "AutoTVM-XGB" else None,
-                        "space_hash": space_hash(benchmark.config_space(seed=seed)),
-                        "repeats": repeats,
-                        "probe_repeats": probe_repeats,
-                        "promote_margin": promote_margin if probe_repeats else None,
-                        "prune": prune,
-                        "prune_threshold": prune_threshold if prune else None,
-                        "warm_start": len(warm) if warm is not None else None,
-                    },
-                ),
-            )
-        )
-    with tel.span("tuner_run", clock=clock):
-        run = _run_tuner_inner(
-            benchmark,
-            tuner,
-            evaluator,
-            max_evals,
-            seed,
-            xgb_trial_cap,
-            jobs,
+            timeout=timeout,
             repeats=repeats,
+            probe_repeats=probe_repeats,
+            promote_margin=promote_margin,
             prune=prune,
             prune_threshold=prune_threshold,
-            warm_start=warm,
-        )
-    if tel.enabled:
-        tel.emit(
-            RunFinished(
-                run_id=run_id,
-                best_runtime=run.best_runtime,
-                best_config=run.best_config,
-                n_evals=run.n_evals,
-                total_time=run.total_time,
-            )
-        )
-    return run
-
-
-def _run_tuner_inner(
-    benchmark: KernelBenchmark,
-    tuner: str,
-    evaluator: Evaluator,
-    max_evals: int,
-    seed: int,
-    xgb_trial_cap: int | None,
-    jobs: int,
-    repeats: int = 1,
-    prune: bool = False,
-    prune_threshold: float = 1.25,
-    warm_start: WarmStart | None = None,
-) -> TunerRun:
-    if tuner == "ytopt":
-        bo = BayesianAutotuner(
-            benchmark.config_space(seed=seed),
-            evaluator,
-            config=AutotuneConfig(
-                max_evals=max_evals,
-                seed=seed,
-                batch_size=jobs,
-                jobs=jobs,
-                prune=prune,
-                prune_threshold=prune_threshold,
-            ),
-            name=benchmark.name,
-            warm_start=warm_start,
-        )
-        result = bo.run()
-        return TunerRun(
-            tuner=tuner,
-            kernel=benchmark.kernel,
-            size_name=benchmark.size_name,
-            best_config=result.best_config,
-            best_runtime=result.best_runtime,
-            n_evals=result.n_evals,
-            total_time=result.total_elapsed,
-            trajectory=result.database.trajectory(),
-        )
-
-    cls = _AUTOTVM_CLASSES[tuner]
-    task = task_from_benchmark(benchmark, evaluator)
-    if cls is XGBTuner:
-        t = XGBTuner(task, trial_cap=xgb_trial_cap, seed=seed)
-    else:
-        t = cls(task, seed=seed)
-    measurer = Measurer(evaluator, measure_option(jobs=jobs, repeat=repeats))
-    records = t.tune(n_trial=max_evals, measurer=measurer)
-    best_config, best_runtime = t.best()
-    return TunerRun(
-        tuner=tuner,
-        kernel=benchmark.kernel,
-        size_name=benchmark.size_name,
-        best_config={k: int(v) for k, v in best_config.items()},
-        best_runtime=best_runtime,
-        n_evals=len(records),
-        total_time=records[-1].timestamp if records else 0.0,
-        trajectory=[(r.timestamp, r.mean_cost if r.ok else float("inf")) for r in records],
+            warm_start_db=warm_start_db,
+        ),
+        benchmark=benchmark,
+        model=model,
+        xgb_trial_cap=xgb_trial_cap,
     )
+    return session.run()
 
 
 def run_experiment(

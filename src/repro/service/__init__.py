@@ -1,0 +1,48 @@
+"""Tuning-as-a-service: a multi-tenant front end over the autotuning stack.
+
+Layers, bottom-up:
+
+* :mod:`~repro.service.session` — :class:`TuningSession`, one tuner run as a
+  first-class object owning its evaluator, optimizer, telemetry, and store
+  handles (the CLI's ``repro tune`` is a thin wrapper over one session);
+* :mod:`~repro.service.jobs` — job specs, quotas, and lifecycle records;
+* :mod:`~repro.service.shards` — per-session SQLite shards plus the
+  deterministic merge into one report-ready store;
+* :mod:`~repro.service.server` — the asyncio server: bounded worker pool,
+  retries, quota watchdogs, and live watch streaming;
+* :mod:`~repro.service.protocol` / :mod:`~repro.service.client` — the
+  newline-JSON wire protocol and its synchronous client.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.jobs import JobRecord, JobRejected, JobSpec, JobState, ServerQuotas
+from repro.service.server import ServerConfig, TuningServer
+from repro.service.session import (
+    FaultInjector,
+    GuardedEvaluator,
+    InjectedFault,
+    SessionCancelled,
+    TunerRun,
+    TuningSession,
+    make_evaluator,
+)
+from repro.service.shards import ShardedRunStore
+
+__all__ = [
+    "FaultInjector",
+    "GuardedEvaluator",
+    "InjectedFault",
+    "JobRecord",
+    "JobRejected",
+    "JobSpec",
+    "JobState",
+    "ServerConfig",
+    "ServerQuotas",
+    "ServiceClient",
+    "SessionCancelled",
+    "ShardedRunStore",
+    "TunerRun",
+    "TuningServer",
+    "TuningSession",
+    "make_evaluator",
+]

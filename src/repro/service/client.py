@@ -1,0 +1,126 @@
+"""Synchronous client for the tuning server's newline-JSON TCP protocol.
+
+One connection per request keeps the client trivially robust: there is no
+connection state to resynchronize after an error, and a dead server is
+detected on the next call instead of mid-stream. ``watch`` holds its single
+connection open for the duration of the stream.
+
+Most callers construct the client from the server's root directory
+(:meth:`ServiceClient.from_root`), which reads the ``server.json`` address
+file ``repro serve`` writes on startup.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Iterator
+
+from repro.common.errors import ServiceError
+from repro.service import protocol
+from repro.service.jobs import JobRejected
+
+
+class ServiceClient:
+    """Talk to a running :class:`~repro.service.server.TuningServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    @classmethod
+    def from_root(cls, root, timeout: float = 30.0) -> "ServiceClient":
+        """Connect to the server whose address file lives under ``root``."""
+        host, port = protocol.read_address_file(root)
+        return cls(host, port, timeout=timeout)
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        try:
+            return socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach tuning server at {self.host}:{self.port}: {exc}"
+            ) from exc
+
+    @staticmethod
+    def _check(response: dict[str, Any]) -> dict[str, Any]:
+        if not response.get("ok", False):
+            message = response.get("error", "unknown server error")
+            if response.get("rejected"):
+                raise JobRejected(message)
+            raise ServiceError(message)
+        return response
+
+    def _request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        with self._connect() as sock:
+            sock.sendall(protocol.encode_line(payload))
+            with sock.makefile("rb") as fh:
+                line = fh.readline()
+        if not line:
+            raise ServiceError("server closed the connection without replying")
+        return self._check(protocol.decode_line(line))
+
+    # -- operations ---------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self._request({"op": "ping"}).get("pong"))
+
+    def submit(self, job: dict[str, Any]) -> dict[str, Any]:
+        """Submit one job spec; returns the queued job record."""
+        return self._request({"op": "submit", "job": job})["job"]
+
+    def submit_and_wait(self, job: dict[str, Any]) -> dict[str, Any]:
+        """Submit and block until the job is terminal; returns the final record."""
+        with self._connect() as sock:
+            sock.settimeout(None)  # tuning may far outlast the connect timeout
+            sock.sendall(protocol.encode_line({"op": "submit", "job": job, "wait": True}))
+            with sock.makefile("rb") as fh:
+                first = fh.readline()
+                if not first:
+                    raise ServiceError("server closed the connection without replying")
+                self._check(protocol.decode_line(first))
+                final = fh.readline()
+        if not final:
+            raise ServiceError("server dropped the connection before the job finished")
+        return self._check(protocol.decode_line(final))["job"]
+
+    def status(self, job_id: str | None = None) -> dict[str, Any]:
+        payload: dict[str, Any] = {"op": "status"}
+        if job_id is not None:
+            payload["job_id"] = job_id
+        return self._request(payload)
+
+    def watch(self, job_id: str) -> Iterator["str | dict[str, Any]"]:
+        """Stream a job's event lines; the last item is the final job record.
+
+        Yields each telemetry event as its raw JSON **string** (byte-identical
+        to the session's trace file), then the terminal :class:`dict` job
+        record as the final item.
+        """
+        with self._connect() as sock:
+            sock.settimeout(None)
+            sock.sendall(protocol.encode_line({"op": "watch", "job_id": job_id}))
+            with sock.makefile("rb") as fh:
+                header = fh.readline()
+                if not header:
+                    raise ServiceError("server closed the connection without replying")
+                self._check(protocol.decode_line(header))
+                for raw in fh:
+                    line = raw.decode("utf-8").rstrip("\n")
+                    payload = protocol.decode_line(line)
+                    if payload.get("end"):
+                        yield self._check(payload)["job"]
+                        return
+                    yield line
+        raise ServiceError("watch stream ended without a terminal job record")
+
+    def merge(self) -> dict[str, Any]:
+        """Ask the server to fold finished shards into the merged store now."""
+        return self._request({"op": "merge"})
+
+    def shutdown(self, drain: bool = True) -> None:
+        self._request({"op": "shutdown", "drain": drain})

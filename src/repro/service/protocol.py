@@ -1,0 +1,95 @@
+"""Newline-JSON wire protocol shared by the tuning server and its clients.
+
+Every request is **one** JSON object on **one** line; every response is one
+JSON line too, except ``watch``, which streams:
+
+.. code-block:: text
+
+    → {"op": "submit", "job": {"kernel": "lu", "size": "small", ...}}
+    ← {"ok": true, "job": {...job record...}}
+
+    → {"op": "status"}                      # or {"op": "status", "job_id": ...}
+    ← {"ok": true, "jobs": [{...}, ...]}    # or {"ok": true, "job": {...}}
+
+    → {"op": "watch", "job_id": "job-0001-..."}
+    ← {"ok": true, "streaming": true}
+    ← {"event": "run_started", ...}         # re-emitted telemetry bus events,
+    ← {"event": "trial_measured", ...}      # byte-identical to the session's
+    ← ...                                   # JSONL trace sink
+    ← {"ok": true, "end": true, "job": {...final record...}}
+
+    → {"op": "merge"}                       # fold finished shards now
+    ← {"ok": true, "merged": "<path>", "runs": N}
+
+    → {"op": "ping"}  /  {"op": "shutdown"}
+    ← {"ok": true, ...}
+
+Errors are ``{"ok": false, "error": "..."}`` (plus ``"rejected": true`` when a
+submission failed validation or quota — the signal ``repro submit`` turns into
+a non-zero exit code). The server writes its bound address to
+``<root>/server.json`` on startup so clients can find it by ``--root`` alone.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.common.errors import ServiceError
+
+#: Requests the server understands.
+OPS = ("ping", "submit", "status", "watch", "merge", "shutdown")
+
+#: Name of the address discovery file the server writes under its root.
+ADDRESS_FILE = "server.json"
+
+
+def encode_line(payload: dict[str, Any]) -> bytes:
+    """One protocol message as wire bytes (JSON + newline)."""
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_line(line: "bytes | str") -> dict[str, Any]:
+    """Parse one wire line into a message dict."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8")
+    line = line.strip()
+    if not line:
+        raise ServiceError("empty protocol line")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ServiceError(f"malformed protocol line: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ServiceError(
+            f"protocol messages must be JSON objects, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def error_response(message: str, rejected: bool = False) -> dict[str, Any]:
+    out: dict[str, Any] = {"ok": False, "error": message}
+    if rejected:
+        out["rejected"] = True
+    return out
+
+
+def write_address_file(root: "str | Path", host: str, port: int) -> Path:
+    """Record the server's bound address for ``--root``-based discovery."""
+    path = Path(root) / ADDRESS_FILE
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({"host": host, "port": port}, sort_keys=True) + "\n")
+    return path
+
+
+def read_address_file(root: "str | Path") -> tuple[str, int]:
+    """The (host, port) a server under ``root`` is listening on."""
+    path = Path(root) / ADDRESS_FILE
+    if not path.exists():
+        raise ServiceError(
+            f"no running server found under {root} (missing {ADDRESS_FILE}; "
+            "start one with 'repro serve')"
+        )
+    payload = json.loads(path.read_text())
+    return str(payload["host"]), int(payload["port"])

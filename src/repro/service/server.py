@@ -1,0 +1,445 @@
+"""TuningServer: a long-running asyncio front end over many TuningSessions.
+
+The event loop owns job intake, quota admission, scheduling, watch streaming,
+and lifecycle bookkeeping; the actual tuning runs on a bounded pool of worker
+tasks, each driving one :class:`~repro.service.session.TuningSession` in a
+thread (``asyncio.to_thread``). Sessions are fully isolated from one another:
+each gets its own evaluator/optimizer (fresh virtual clock, private RNGs), its
+own shard of the run store (:class:`~repro.service.shards.ShardedRunStore`),
+its own JSONL trace, and its own context-local telemetry — which is why N
+concurrent sessions produce byte-identical trajectories to the same sessions
+run serially.
+
+Fault containment, in order of blast radius:
+
+* a **crashed sink** inside one session is quarantined by that session's own
+  event bus — the session completes, the server never notices;
+* a **crashed session** (worker exception mid-wave) is retried up to
+  ``ServerConfig.retries`` times with a fresh session (same seed → same
+  trajectory); persistent failure marks the job failed and discards its shard
+  — no partial run ever reaches the merged store (the store sink only commits
+  on ``RunFinished``);
+* a **slow/stuck session** is cancelled by the quota watchdog
+  (``ServerQuotas.session_timeout``): cooperative cancellation between
+  measurements, shard discarded, every other session keeps running;
+* the **server** itself only stops on explicit shutdown, which drains or
+  cancels sessions and runs the shard merge so ``<root>/merged.sqlite`` is
+  ready for ``repro report``.
+
+Clients reach the server over the newline-JSON TCP protocol
+(:mod:`repro.service.protocol`); in-process callers (tests, embedding
+applications) use the async methods directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, AsyncIterator
+
+from repro.common.errors import ServiceError
+from repro.service import protocol
+from repro.service.jobs import JobRecord, JobRejected, JobSpec, JobState, ServerQuotas
+from repro.service.session import SessionCancelled, TuningSession
+from repro.service.shards import ShardedRunStore
+from repro.telemetry.bus import Sink
+from repro.telemetry.events import Event
+from repro.telemetry.sinks import event_line
+
+
+@dataclass
+class ServerConfig:
+    """Everything one server instance needs to know."""
+
+    root: Path
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = let the OS pick; the bound port lands in server.json
+    workers: int = 4
+    quotas: ServerQuotas = field(default_factory=ServerQuotas)
+    #: How many times a crashed session is re-run before the job fails.
+    retries: int = 1
+    #: Accept test-battery ``fault`` directives in job specs.
+    allow_fault_injection: bool = False
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        if self.workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {self.workers}")
+        if self.retries < 0:
+            raise ServiceError(f"retries must be >= 0, got {self.retries}")
+
+
+class _BroadcastSink(Sink):
+    """Re-emit one session's bus events into the server's watch buffer.
+
+    Runs on the session thread; hands each serialized line to the event loop
+    (``call_soon_threadsafe`` keeps per-session ordering), where it is
+    appended to the job's replay buffer and watchers are woken. Uses the same
+    :func:`~repro.telemetry.sinks.event_line` serialization as the JSONL
+    trace sink, so the watched stream is byte-identical to the trace file.
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop, append) -> None:
+        self._loop = loop
+        self._append = append
+
+    def handle(self, event: Event) -> None:
+        line = event_line(event)
+        try:
+            self._loop.call_soon_threadsafe(self._append, line)
+        except RuntimeError:  # loop already closed (server torn down mid-run)
+            pass
+
+
+class TuningServer:
+    """Async multi-tenant tuning service (see module docstring)."""
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.config = config
+        self.store = ShardedRunStore(config.root)
+        self.trace_dir = Path(config.root) / "traces"
+        self.jobs: dict[str, JobRecord] = {}
+        self._signals: dict[str, asyncio.Event] = {}
+        self._sessions: dict[str, TuningSession] = {}
+        self._queue: asyncio.Queue[JobRecord] = asyncio.Queue()
+        self._workers: list[asyncio.Task] = []
+        self._tcp: asyncio.base_events.Server | None = None
+        self._seq = 0
+        self._stopping = False
+        self._stopped = asyncio.Event()
+        self.address: tuple[str, int] | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self, serve_tcp: bool = True) -> None:
+        """Spin up the worker pool (and, by default, the TCP listener)."""
+        self.trace_dir.mkdir(parents=True, exist_ok=True)
+        loop = asyncio.get_running_loop()
+        self._workers = [
+            loop.create_task(self._worker(), name=f"tuning-worker-{i}")
+            for i in range(self.config.workers)
+        ]
+        if serve_tcp:
+            self._tcp = await asyncio.start_server(
+                self._handle_connection, self.config.host, self.config.port
+            )
+            host, port = self._tcp.sockets[0].getsockname()[:2]
+            self.address = (host, port)
+            protocol.write_address_file(self.config.root, host, port)
+
+    async def stop(self, drain: bool = True, merge: bool = True) -> None:
+        """Shut down: stop intake, settle sessions, merge shards.
+
+        ``drain=True`` lets running and queued sessions finish; ``drain=False``
+        cancels queued jobs immediately and cooperatively cancels running
+        sessions. Either way the worker pool is retired and (with ``merge``)
+        every finished shard is folded into ``<root>/merged.sqlite``.
+        """
+        if self._stopping:
+            await self._stopped.wait()
+            return
+        self._stopping = True
+        if self._tcp is not None:
+            self._tcp.close()
+            await self._tcp.wait_closed()
+        if not drain:
+            for session in list(self._sessions.values()):
+                session.cancel("server shutting down")
+            pending: list[JobRecord] = []
+            while not self._queue.empty():
+                pending.append(self._queue.get_nowait())
+                self._queue.task_done()
+            for job in pending:
+                self._finish_job(job, JobState.CANCELLED, "server shutting down")
+        await self._queue.join()
+        for worker in self._workers:
+            worker.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        if merge:
+            await asyncio.to_thread(self.store.merge)
+        address_file = Path(self.config.root) / protocol.ADDRESS_FILE
+        if address_file.exists():
+            address_file.unlink()
+        self._stopped.set()
+
+    async def wait_stopped(self) -> None:
+        await self._stopped.wait()
+
+    # -- job intake ---------------------------------------------------------
+
+    def submit(self, payload: "dict[str, Any] | JobSpec") -> JobRecord:
+        """Admit one job (validation + quotas); raises :class:`JobRejected`."""
+        if self._stopping:
+            raise JobRejected("server is shutting down")
+        try:
+            spec = (
+                payload
+                if isinstance(payload, JobSpec)
+                else JobSpec.from_dict(payload)
+            )
+            spec.validate()
+        except (TypeError, ValueError) as exc:
+            raise JobRejected(f"malformed job spec: {exc}") from exc
+        if spec.fault is not None and not self.config.allow_fault_injection:
+            raise JobRejected(
+                "fault injection is disabled on this server "
+                "(start with allow_fault_injection=True to use it)"
+            )
+        self.config.quotas.admit(spec, queued=self._queue.qsize())
+        self._seq += 1
+        job = JobRecord(
+            job_id=f"job-{self._seq:04d}-{spec.kernel}-{spec.size}-"
+            f"{spec.tuner}-seed{spec.seed}",
+            spec=spec,
+            submitted_ts=time.time(),
+        )
+        self.jobs[job.job_id] = job
+        self._signals[job.job_id] = asyncio.Event()
+        self._queue.put_nowait(job)
+        return job
+
+    def status(self, job_id: str | None = None) -> dict[str, Any]:
+        """The ``repro status`` payload: one job, or the whole server."""
+        if job_id is not None:
+            job = self.jobs.get(job_id)
+            if job is None:
+                raise ServiceError(f"unknown job {job_id!r}")
+            return {"job": job.to_dict()}
+        states: dict[str, int] = {}
+        for job in self.jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "jobs": [job.to_dict() for job in self.jobs.values()],
+            "states": states,
+            "queued": self._queue.qsize(),
+            "workers": self.config.workers,
+            "quotas": {
+                "max_evals": self.config.quotas.max_evals,
+                "max_queued": self.config.quotas.max_queued,
+                "session_timeout": self.config.quotas.session_timeout,
+            },
+        }
+
+    async def watch(self, job_id: str) -> AsyncIterator[str]:
+        """Stream one job's event lines: full replay, then live follow.
+
+        Yields every line the session's bus has emitted from the beginning
+        (so late watchers see the whole stream) and completes when the job
+        reaches a terminal state.
+        """
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        signal = self._signals[job_id]
+        idx = 0
+        while True:
+            while idx < len(job.events):
+                yield job.events[idx]
+                idx += 1
+            if job.terminal:
+                return
+            signal.clear()
+            await signal.wait()
+
+    async def wait_terminal(self, job_id: str) -> JobRecord:
+        """Block until the job finishes (any terminal state)."""
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        signal = self._signals[job_id]
+        while not job.terminal:
+            signal.clear()
+            if job.terminal:
+                break
+            await signal.wait()
+        return job
+
+    # -- execution ----------------------------------------------------------
+
+    async def _worker(self) -> None:
+        while True:
+            job = await self._queue.get()
+            try:
+                await self._execute(job)
+            finally:
+                self._queue.task_done()
+
+    async def _execute(self, job: JobRecord) -> None:
+        loop = asyncio.get_running_loop()
+        spec = job.spec
+        job.state = JobState.RUNNING
+        job.started_ts = time.time()
+        self._notify(job)
+        shard = self.store.shard_path(job.job_id)
+        trace = self.trace_dir / f"{job.job_id}.jsonl"
+        broadcast = _BroadcastSink(loop, lambda line, j=job: self._append_event(j, line))
+        last_error: str | None = None
+        for attempt in range(1, self.config.retries + 2):
+            job.attempts = attempt
+            watchdog: asyncio.TimerHandle | None = None
+            try:
+                session = TuningSession(
+                    spec,
+                    store_path=str(shard),
+                    trace_path=str(trace),
+                    extra_sinks=[broadcast],
+                    attempt=attempt,
+                )
+            except Exception as exc:  # noqa: BLE001 - a spec the session
+                # rejects (bad fault mode, unreadable warm-start DB) fails the
+                # job; it must never take the worker down.
+                self._discard(job, shard)
+                self._finish_job(
+                    job, JobState.FAILED, f"{type(exc).__name__}: {exc}"
+                )
+                return
+            self._sessions[job.job_id] = session
+            timeout = self.config.quotas.session_timeout
+            if timeout is not None:
+                watchdog = loop.call_later(
+                    timeout,
+                    session.cancel,
+                    f"session quota of {timeout:g}s wall-clock exceeded",
+                )
+            try:
+                run = await asyncio.to_thread(session.run)
+            except SessionCancelled as exc:
+                self._discard(job, shard)
+                self._finish_job(job, JobState.CANCELLED, str(exc))
+                return
+            except Exception as exc:  # noqa: BLE001 - any session crash is
+                # contained here: retry with a fresh session, then fail the
+                # job; the server and its other sessions keep running.
+                last_error = f"{type(exc).__name__}: {exc}"
+                continue
+            else:
+                job.shard = str(shard)
+                job.trace = str(trace)
+                self._finish_job(job, JobState.DONE, None, result=run.to_payload())
+                return
+            finally:
+                if watchdog is not None:
+                    watchdog.cancel()
+                self._sessions.pop(job.job_id, None)
+        self._discard(job, shard)
+        self._finish_job(
+            job,
+            JobState.FAILED,
+            f"session crashed on all {self.config.retries + 1} attempt(s); "
+            f"last error: {last_error}",
+        )
+
+    def _discard(self, job: JobRecord, shard: Path) -> None:
+        """Drop a failed/cancelled job's shard so it can never reach the merge."""
+        self.store.discard_shard(job.job_id)
+        job.shard = None
+
+    def _finish_job(
+        self,
+        job: JobRecord,
+        state: str,
+        error: str | None,
+        result: "dict[str, Any] | None" = None,
+    ) -> None:
+        job.state = state
+        job.error = error
+        job.result = result
+        job.finished_ts = time.time()
+        self._notify(job)
+
+    def _append_event(self, job: JobRecord, line: str) -> None:
+        job.events.append(line)
+        self._notify(job)
+
+    def _notify(self, job: JobRecord) -> None:
+        signal = self._signals.get(job.job_id)
+        if signal is not None:
+            signal.set()
+
+    # -- TCP front end ------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            line = await reader.readline()
+            if not line:
+                return
+            try:
+                request = protocol.decode_line(line)
+                await self._dispatch(request, writer)
+            except JobRejected as exc:
+                writer.write(protocol.encode_line(
+                    protocol.error_response(str(exc), rejected=True)
+                ))
+            except ServiceError as exc:
+                writer.write(protocol.encode_line(protocol.error_response(str(exc))))
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to clean up beyond the socket
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _dispatch(
+        self, request: dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        op = request.get("op")
+        if op == "ping":
+            writer.write(protocol.encode_line({"ok": True, "pong": True}))
+        elif op == "submit":
+            payload = request.get("job")
+            if not isinstance(payload, dict):
+                raise JobRejected("submit needs a 'job' object")
+            job = self.submit(payload)
+            writer.write(protocol.encode_line({"ok": True, "job": job.to_dict()}))
+            if request.get("wait"):
+                await writer.drain()
+                final = await self.wait_terminal(job.job_id)
+                writer.write(
+                    protocol.encode_line(
+                        {"ok": True, "end": True, "job": final.to_dict()}
+                    )
+                )
+        elif op == "status":
+            writer.write(
+                protocol.encode_line({"ok": True, **self.status(request.get("job_id"))})
+            )
+        elif op == "watch":
+            job_id = request.get("job_id")
+            if not job_id:
+                raise ServiceError("watch needs a 'job_id'")
+            stream = self.watch(job_id)  # validates before the streaming header
+            writer.write(protocol.encode_line({"ok": True, "streaming": True}))
+            await writer.drain()
+            async for line in stream:
+                writer.write(line.encode("utf-8") + b"\n")
+                await writer.drain()
+            final = self.jobs[job_id]
+            writer.write(
+                protocol.encode_line({"ok": True, "end": True, "job": final.to_dict()})
+            )
+        elif op == "merge":
+            merged = await asyncio.to_thread(self.store.merge)
+            from repro.telemetry.store import RunStore
+
+            with RunStore(merged) as store:
+                n_runs = len(store.runs())
+            writer.write(
+                protocol.encode_line({"ok": True, "merged": str(merged), "runs": n_runs})
+            )
+        elif op == "shutdown":
+            writer.write(protocol.encode_line({"ok": True, "stopping": True}))
+            await writer.drain()
+            asyncio.get_running_loop().create_task(
+                self.stop(drain=bool(request.get("drain", True)))
+            )
+        else:
+            raise ServiceError(
+                f"unknown op {op!r}; known: {', '.join(protocol.OPS)}"
+            )

@@ -1,0 +1,89 @@
+"""Sharded run store: per-session SQLite shards + a deterministic merge.
+
+Hundreds of concurrent sessions writing one SQLite file contend on its single
+writer lock. The service sidesteps the contention entirely: every session
+commits to its **own** shard DB (``<root>/shards/<job_id>.sqlite``, written by
+the session's private :class:`~repro.telemetry.store.StoreSink`), and a
+merge/compact step folds the shards into one merged store
+(``<root>/merged.sqlite``) that is byte-compatible with everything built on
+:class:`~repro.telemetry.store.RunStore` — ``repro report``, ``repro
+compare``, and warm-start all read it unchanged.
+
+The merge itself is :meth:`RunStore.merge_from`: latest-wins per
+(kernel, size, tuner, seed) identity under a *total* order, so merging shards
+in any order converges on the same store and re-merging is a no-op (the
+properties the service test battery proves).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.common.errors import ServiceError
+from repro.telemetry.store import RunStore
+
+#: Sidecar files SQLite keeps next to a WAL-mode database.
+_SQLITE_SIDECARS = ("-wal", "-shm", "-journal")
+
+
+class ShardedRunStore:
+    """Directory of per-session run-store shards with a merge/compact step."""
+
+    def __init__(self, root: "str | Path") -> None:
+        self.root = Path(root)
+        self.shard_dir = self.root / "shards"
+        self.shard_dir.mkdir(parents=True, exist_ok=True)
+        self.merged_path = self.root / "merged.sqlite"
+
+    # -- shard lifecycle ----------------------------------------------------
+
+    def shard_path(self, session_id: str) -> Path:
+        """Where the given session's shard lives (exists or not)."""
+        if "/" in session_id or session_id.startswith("."):
+            raise ServiceError(f"invalid session id {session_id!r}")
+        return self.shard_dir / f"{session_id}.sqlite"
+
+    def open_shard(self, session_id: str) -> RunStore:
+        """Open (creating if needed) one session's private shard."""
+        return RunStore(self.shard_path(session_id))
+
+    def shards(self) -> list[Path]:
+        """Every shard present, in deterministic (name-sorted) order."""
+        return sorted(self.shard_dir.glob("*.sqlite"))
+
+    def discard_shard(self, session_id: str) -> bool:
+        """Delete one shard and its SQLite sidecar files (crash/cancel
+        cleanup); returns whether a shard file existed."""
+        path = self.shard_path(session_id)
+        existed = path.exists()
+        if existed:
+            path.unlink()
+        for suffix in _SQLITE_SIDECARS:
+            sidecar = Path(str(path) + suffix)
+            if sidecar.exists():
+                sidecar.unlink()
+        return existed
+
+    # -- merge / compact ----------------------------------------------------
+
+    def merge(self, dest: "str | Path | None" = None, compact: bool = False) -> Path:
+        """Fold every shard into the merged store; returns its path.
+
+        Merging is incremental — the existing merged store keeps runs whose
+        shard has since been compacted away — and idempotent. ``compact=True``
+        deletes each shard after it is folded in, leaving the merged store as
+        the single artifact.
+        """
+        dest_path = Path(dest) if dest is not None else self.merged_path
+        with RunStore(dest_path) as merged:
+            for shard in self.shards():
+                if shard.resolve() == dest_path.resolve():
+                    continue
+                with RunStore(shard) as store:
+                    merged.merge_from(store)
+        if compact:
+            for shard in self.shards():
+                if shard.resolve() == dest_path.resolve():
+                    continue
+                self.discard_shard(shard.stem)
+        return dest_path

@@ -31,6 +31,7 @@ from repro.telemetry.context import (
     NullTelemetry,
     Telemetry,
     get_telemetry,
+    scoped_telemetry,
     set_telemetry,
     telemetry_session,
 )
@@ -58,7 +59,7 @@ from repro.telemetry.metrics import (
     MetricsSink,
     format_metrics_summary,
 )
-from repro.telemetry.sinks import ConsoleSink, JsonlSink, RecordingSink
+from repro.telemetry.sinks import ConsoleSink, JsonlSink, RecordingSink, event_line
 from repro.telemetry.spans import Tracer
 from repro.telemetry.store import RunStore, StoredEvaluation, StoredRun, StoreSink
 
@@ -68,6 +69,7 @@ __all__ = [
     "NullTelemetry",
     "NULL_TELEMETRY",
     "get_telemetry",
+    "scoped_telemetry",
     "set_telemetry",
     "telemetry_session",
     # bus + events
@@ -98,6 +100,7 @@ __all__ = [
     "ConsoleSink",
     "JsonlSink",
     "RecordingSink",
+    "event_line",
     "RunStore",
     "StoreSink",
     "StoredRun",

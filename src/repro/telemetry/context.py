@@ -18,10 +18,22 @@ touches RNG state or the virtual clock, so enabling it cannot perturb a search.
 
 :func:`telemetry_session` installs a real :class:`Telemetry` for the duration
 of a ``with`` block and closes its sinks on exit.
+
+Two installation scopes exist:
+
+* :func:`set_telemetry` / :func:`telemetry_session` — the **process-wide
+  default**, what the CLI installs around a run; every thread sees it.
+* :func:`scoped_telemetry` — a **context-local override** (a
+  :class:`contextvars.ContextVar`), what the tuning service installs inside
+  each session worker thread. Overrides shadow the process default only in
+  the context (thread / asyncio task) that set them, so concurrent
+  :class:`~repro.service.session.TuningSession` threads each report to their
+  own isolated bus/metrics/store without seeing each other's events.
 """
 
 from __future__ import annotations
 
+import contextvars
 from contextlib import contextmanager
 from typing import Iterator
 
@@ -91,20 +103,54 @@ class NullTelemetry:
 
 NULL_TELEMETRY = NullTelemetry()
 
+#: The process-wide default (set_telemetry / telemetry_session).
 _active: "Telemetry | NullTelemetry" = NULL_TELEMETRY
+
+#: Context-local override (scoped_telemetry); None means "no override, use
+#: the process default". New threads start with an empty context, so an
+#: override never leaks across threads.
+_scoped: "contextvars.ContextVar[Telemetry | NullTelemetry | None]" = (
+    contextvars.ContextVar("repro_telemetry_scope", default=None)
+)
 
 
 def get_telemetry() -> "Telemetry | NullTelemetry":
-    """The currently active telemetry context (NULL_TELEMETRY if none)."""
+    """The currently active telemetry context (NULL_TELEMETRY if none).
+
+    A :func:`scoped_telemetry` override in the calling context wins; otherwise
+    the process-wide default installed by :func:`set_telemetry` applies.
+    """
+    scoped = _scoped.get()
+    if scoped is not None:
+        return scoped
     return _active
 
 
 def set_telemetry(telemetry: "Telemetry | NullTelemetry | None") -> "Telemetry | NullTelemetry":
-    """Install a new active context; returns the previous one."""
+    """Install a new process-wide default context; returns the previous one."""
     global _active
     previous = _active
     _active = telemetry if telemetry is not None else NULL_TELEMETRY
     return previous
+
+
+@contextmanager
+def scoped_telemetry(
+    telemetry: "Telemetry | NullTelemetry | None",
+) -> Iterator["Telemetry | NullTelemetry"]:
+    """Override the active context for this thread/task only.
+
+    Unlike :func:`telemetry_session` this neither touches the process-wide
+    default nor closes the telemetry on exit — the caller owns the object's
+    lifecycle. Passing None pins the block to disabled telemetry even when a
+    process-wide default is installed.
+    """
+    active = telemetry if telemetry is not None else NULL_TELEMETRY
+    token = _scoped.set(active)
+    try:
+        yield active
+    finally:
+        _scoped.reset(token)
 
 
 @contextmanager

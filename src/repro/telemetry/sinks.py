@@ -27,6 +27,16 @@ def _jsonable(value: Any) -> Any:
     return repr(value)
 
 
+def event_line(event: Event) -> str:
+    """One event as its canonical JSON line (no trailing newline).
+
+    This is the single serialization both the JSONL trace sink and the tuning
+    service's ``repro watch`` stream use, which is what makes a watched event
+    stream byte-identical to the session's trace file.
+    """
+    return json.dumps(_jsonable(event.to_dict()), sort_keys=True)
+
+
 class JsonlSink(Sink):
     """Append every event as one JSON line (the machine-readable trace).
 
@@ -46,8 +56,7 @@ class JsonlSink(Sink):
         return self._fh
 
     def handle(self, event: Event) -> None:
-        line = json.dumps(_jsonable(event.to_dict()), sort_keys=True)
-        self._file().write(line + "\n")
+        self._file().write(event_line(event) + "\n")
         self.n_written += 1
 
     def close(self) -> None:

@@ -24,6 +24,7 @@ in-process state.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import sqlite3
 from dataclasses import dataclass, field
@@ -113,14 +114,40 @@ class StoredRun:
     metadata: dict[str, Any] = field(default_factory=dict)
 
 
-class RunStore:
-    """SQLite-backed archive of tuner runs (see module docstring)."""
+#: How long a connection waits on a competing writer before giving up
+#: (seconds). Applied both as sqlite3's connect timeout and as the
+#: ``busy_timeout`` pragma, so concurrent sessions/processes retry instead of
+#: failing instantly with "database is locked".
+BUSY_TIMEOUT = 10.0
 
-    def __init__(self, path: "str | Path") -> None:
+
+class RunStore:
+    """SQLite-backed archive of tuner runs (see module docstring).
+
+    Every connection opens in WAL journal mode with a ``busy_timeout``:
+    write-ahead logging lets readers proceed while a writer commits, and the
+    busy timeout makes competing writers queue rather than raise — the two
+    settings that keep concurrent tuning sessions (and parallel test runs)
+    from flaking on a shared store file.
+    """
+
+    def __init__(self, path: "str | Path", busy_timeout: float = BUSY_TIMEOUT) -> None:
         self.path = Path(path)
         if self.path.parent and not self.path.parent.exists():
             self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._conn = sqlite3.connect(str(self.path))
+        # check_same_thread=False: a store opened on one thread may be handed
+        # whole to another (the tuning service builds sessions on the event
+        # loop, then runs each in a worker thread). Access is still serial —
+        # one session, one thread at a time — which is the contract sqlite
+        # actually needs.
+        self._conn = sqlite3.connect(
+            str(self.path), timeout=busy_timeout, check_same_thread=False
+        )
+        self._conn.execute(f"PRAGMA busy_timeout={int(busy_timeout * 1000)}")
+        try:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+        except sqlite3.OperationalError:  # pragma: no cover - e.g. read-only fs
+            pass  # rollback journal still works, just with coarser locking
         self._conn.executescript(_SCHEMA)
         self._migrate()
         self._conn.commit()
@@ -296,6 +323,122 @@ class RunStore:
             "SELECT DISTINCT kernel, size_name FROM runs ORDER BY kernel, size_name"
         ).fetchall()
         return [(r[0], r[1]) for r in rows]
+
+    # -- merging ------------------------------------------------------------
+
+    @staticmethod
+    def _canonical(run: StoredRun, evals: list[StoredEvaluation]) -> str:
+        """A content fingerprint of one run + its evaluations (tie-breaker)."""
+        return json.dumps(
+            {
+                "run": dataclasses.astuple(run),
+                "evals": [dataclasses.astuple(e) for e in evals],
+            },
+            sort_keys=True,
+            default=repr,
+        )
+
+    @classmethod
+    def _recency_key(
+        cls, run: StoredRun, evals: list[StoredEvaluation]
+    ) -> tuple[float, float, str]:
+        """Total order deciding which of two same-identity runs is 'latest'.
+
+        Primarily wall-clock recency (finish, then start timestamp); the
+        content fingerprint breaks exact-timestamp ties so a merge resolves
+        identically no matter which shard arrives first.
+        """
+        return (
+            run.finished_ts if run.finished_ts is not None else float("-inf"),
+            run.started_ts if run.started_ts is not None else float("-inf"),
+            cls._canonical(run, evals),
+        )
+
+    def _replace_run(self, run: StoredRun, evals: list[StoredEvaluation]) -> None:
+        """Overwrite the stored run of ``run``'s identity with ``run`` verbatim."""
+        with self._conn:
+            old = self._conn.execute(
+                "SELECT run_id FROM runs WHERE kernel=? AND size_name=? "
+                "AND tuner=? AND seed IS ?",
+                (run.kernel, run.size_name, run.tuner, run.seed),
+            ).fetchall()
+            for (old_id,) in old:
+                self._conn.execute("DELETE FROM evaluations WHERE run_id=?", (old_id,))
+            self._conn.execute(
+                "DELETE FROM runs WHERE kernel=? AND size_name=? AND tuner=? "
+                "AND seed IS ?",
+                (run.kernel, run.size_name, run.tuner, run.seed),
+            )
+            self._conn.execute("DELETE FROM evaluations WHERE run_id=?", (run.run_id,))
+            self._conn.execute(
+                "INSERT INTO runs (run_id, kernel, size_name, tuner, seed, "
+                "max_evals, best_runtime, best_config, n_evals, total_time, "
+                "error, started_ts, finished_ts, metadata) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    run.run_id,
+                    run.kernel,
+                    run.size_name,
+                    run.tuner,
+                    run.seed,
+                    run.max_evals,
+                    run.best_runtime,
+                    json.dumps(run.best_config, sort_keys=True),
+                    run.n_evals,
+                    run.total_time,
+                    run.error,
+                    run.started_ts,
+                    run.finished_ts,
+                    json.dumps(run.metadata, sort_keys=True, default=repr),
+                ),
+            )
+            self._conn.executemany(
+                "INSERT INTO evaluations (run_id, idx, config, runtime, "
+                "compile_time, elapsed, error, cache_hit, fidelity, backend) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                [
+                    (
+                        run.run_id,
+                        e.index,
+                        json.dumps(e.config, sort_keys=True),
+                        e.runtime,
+                        e.compile_time,
+                        e.elapsed,
+                        e.error,
+                        1 if e.cache_hit else 0,
+                        e.fidelity,
+                        e.backend,
+                    )
+                    for e in evals
+                ],
+            )
+
+    def merge_from(self, other: "RunStore") -> int:
+        """Fold every run of ``other`` into this store; returns runs adopted.
+
+        Latest-wins per identity — exactly the semantics of serial
+        :meth:`save_run` writes ordered by finish time — decided by
+        :meth:`_recency_key`, which is a *total* order over run content. That
+        makes the merge deterministic and order-independent (merging shards in
+        any order converges on the same store) and idempotent (re-merging an
+        already-merged shard adopts nothing).
+        """
+        adopted = 0
+        for run in other.runs():
+            evals = other.evaluations(run.run_id)
+            try:
+                existing = self.get_run(run.kernel, run.size_name, run.tuner, run.seed)
+            except ReproError:
+                existing = None
+            if existing is not None:
+                existing_evals = self.evaluations(existing.run_id)
+                if self._recency_key(run, evals) <= self._recency_key(
+                    existing, existing_evals
+                ):
+                    continue
+            self._replace_run(run, evals)
+            adopted += 1
+        return adopted
 
     def close(self) -> None:
         self._conn.close()

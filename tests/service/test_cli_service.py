@@ -1,0 +1,162 @@
+"""CLI surface of the tuning service: serve / submit / status / watch / merge.
+
+These run the real console entry points in subprocesses against a live
+``repro serve`` — the full wire path a user exercises.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _cli(*args, timeout=120):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True, text=True, env=_env(), timeout=timeout,
+    )
+
+
+@pytest.fixture
+def server(tmp_path):
+    """A live ``repro serve`` subprocess rooted at tmp_path."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--root", str(tmp_path),
+         "--workers", "2", "--max-evals", "50"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=_env(),
+    )
+    address_file = tmp_path / "server.json"
+    deadline = time.time() + 30
+    while not address_file.exists():
+        if proc.poll() is not None:
+            raise RuntimeError(f"serve died: {proc.stderr.read()}")
+        if time.time() > deadline:
+            proc.kill()
+            raise RuntimeError("serve never wrote server.json")
+        time.sleep(0.05)
+    yield proc
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=60)
+
+
+class TestSubmitRoundTrip:
+    def test_submit_wait_json_contract(self, tmp_path, server):
+        res = _cli("submit", "--root", str(tmp_path), "--kernel", "lu",
+                   "--size", "large", "--max-evals", "5", "--seed", "0",
+                   "--wait")
+        assert res.returncode == 0, res.stderr
+        record = json.loads(res.stdout)
+        assert record["state"] == "done"
+        assert record["spec"]["kernel"] == "lu"
+        assert record["spec"]["max_evals"] == 5
+        assert record["attempts"] == 1
+        assert record["job_id"].startswith("job-")
+        result = record["result"]
+        assert set(result) == {"tuner", "kernel", "size", "best_runtime",
+                               "best_config", "n_evals", "total_time",
+                               "trajectory"}
+        assert result["n_evals"] == 5
+        assert len(result["trajectory"]) == 5
+
+    def test_submit_matches_local_tune_json(self, tmp_path, server, capsys):
+        """The service's result payload is the same contract — and the same
+        bytes — as ``repro tune --json`` for the same spec."""
+        assert main(["tune", "--kernel", "lu", "--size", "large",
+                     "--max-evals", "5", "--seed", "3", "--json"]) == 0
+        local = json.loads(capsys.readouterr().out)
+        res = _cli("submit", "--root", str(tmp_path), "--kernel", "lu",
+                   "--size", "large", "--max-evals", "5", "--seed", "3",
+                   "--wait")
+        assert res.returncode == 0, res.stderr
+        remote = json.loads(res.stdout)["result"]
+        assert json.dumps(remote, sort_keys=True) == json.dumps(
+            local, sort_keys=True
+        )
+
+    def test_over_quota_submission_exits_nonzero(self, tmp_path, server):
+        res = _cli("submit", "--root", str(tmp_path), "--kernel", "lu",
+                   "--size", "large", "--max-evals", "999")
+        assert res.returncode == 2
+        assert "rejected" in res.stderr
+        assert "quota" in res.stderr
+
+    def test_no_server_exits_nonzero(self, tmp_path):
+        res = _cli("submit", "--root", str(tmp_path / "nowhere"),
+                   "--kernel", "lu", "--size", "large")
+        assert res.returncode == 1
+        assert "no running server" in res.stderr
+
+
+class TestStatusAndWatch:
+    def test_status_whole_server_and_single_job(self, tmp_path, server):
+        sub = _cli("submit", "--root", str(tmp_path), "--kernel", "lu",
+                   "--size", "large", "--max-evals", "4", "--wait")
+        job_id = json.loads(sub.stdout)["job_id"]
+        whole = _cli("status", "--root", str(tmp_path))
+        assert whole.returncode == 0
+        payload = json.loads(whole.stdout)
+        assert payload["states"] == {"done": 1}
+        assert payload["workers"] == 2
+        single = _cli("status", "--root", str(tmp_path), "--job-id", job_id)
+        assert json.loads(single.stdout)["job"]["job_id"] == job_id
+
+    def test_watch_stream_equals_trace_golden(self, tmp_path, server):
+        """`repro watch` output is byte-identical to the session's JSONL
+        trace file — the golden-file contract of the event stream."""
+        sub = _cli("submit", "--root", str(tmp_path), "--kernel", "lu",
+                   "--size", "large", "--max-evals", "5", "--seed", "0",
+                   "--wait")
+        record = json.loads(sub.stdout)
+        watch = _cli("watch", "--root", str(tmp_path), record["job_id"])
+        assert watch.returncode == 0, watch.stderr
+        golden = Path(record["trace"]).read_text()
+        assert watch.stdout == golden
+        events = [json.loads(line)["event"]
+                  for line in watch.stdout.splitlines()]
+        assert events[0] == "run_started"
+        assert events[-1] == "run_finished"
+
+    def test_watch_unknown_job_exits_nonzero(self, tmp_path, server):
+        res = _cli("watch", "--root", str(tmp_path), "job-0042-bogus")
+        assert res.returncode == 1
+
+
+class TestServeLifecycle:
+    def test_sigterm_drains_and_merges(self, tmp_path, server):
+        sub = _cli("submit", "--root", str(tmp_path), "--kernel", "lu",
+                   "--size", "large", "--max-evals", "4", "--wait")
+        assert sub.returncode == 0
+        server.send_signal(signal.SIGTERM)
+        server.wait(timeout=60)
+        assert server.returncode == 0
+        assert not (tmp_path / "server.json").exists()
+        merged = tmp_path / "merged.sqlite"
+        assert merged.exists()
+        report = _cli("report", "--db", str(merged))
+        assert report.returncode == 0
+        assert "lu / large" in report.stdout
+
+    def test_offline_merge_command(self, tmp_path, server):
+        _cli("submit", "--root", str(tmp_path), "--kernel", "lu",
+             "--size", "large", "--max-evals", "4", "--wait")
+        res = _cli("merge", "--root", str(tmp_path))
+        assert res.returncode == 0
+        assert "1 run(s)" in res.stdout

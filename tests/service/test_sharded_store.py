@@ -1,0 +1,208 @@
+"""Sharded run store: the merge is order-independent, idempotent, and equal
+to serial single-DB writes — proven property-based over random run batches."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.service import ShardedRunStore
+from repro.telemetry import (
+    RunFinished,
+    RunStarted,
+    RunStore,
+    TrialMeasured,
+    make_run_id,
+)
+from repro.telemetry.report import report_text
+
+
+def make_run(kernel, size, tuner, seed, best, ts):
+    """One synthetic (RunStarted, RunFinished, trials) triple at time ``ts``."""
+    started = RunStarted(
+        run_id=make_run_id(kernel, size, tuner, seed),
+        kernel=kernel,
+        size_name=size,
+        tuner=tuner,
+        seed=seed,
+        max_evals=2,
+        metadata={"seed": seed},
+    )
+    started.ts = float(ts)
+    finished = RunFinished(
+        run_id=started.run_id,
+        best_runtime=best,
+        # P0..P5 so report formatting works for every kernel in the grid
+        best_config={f"P{i}": 8 for i in range(6)},
+        n_evals=2,
+        total_time=best * 4,
+    )
+    finished.ts = float(ts) + 0.5
+    trials = [
+        TrialMeasured(config={"P0": 4}, runtime=best * 2, compile_time=0.1,
+                      elapsed=best * 2),
+        TrialMeasured(config={"P0": 8}, runtime=best, compile_time=0.1,
+                      elapsed=best * 4),
+    ]
+    return started, finished, trials
+
+
+def store_dump(path):
+    """Every row of a run store, in canonical comparable form."""
+    with RunStore(path) as store:
+        runs = sorted(
+            (r for r in store.runs()), key=lambda r: (r.kernel, r.size_name,
+                                                      r.tuner, r.seed or -1)
+        )
+        return [
+            (
+                r.run_id, r.kernel, r.size_name, r.tuner, r.seed, r.max_evals,
+                r.best_runtime, r.best_config, r.n_evals, r.total_time,
+                r.error, r.started_ts, r.finished_ts,
+                [(e.index, e.config, e.runtime, e.elapsed, e.error)
+                 for e in store.evaluations(r.run_id)],
+            )
+            for r in runs
+        ]
+
+
+# One synthetic run: identity drawn from a small grid (so identity collisions
+# actually happen), plus a distinct best runtime per draw.
+run_params = st.tuples(
+    st.sampled_from(["lu", "3mm"]),
+    st.sampled_from(["large", "extralarge"]),
+    st.sampled_from(["ytopt", "AutoTVM-GA"]),
+    st.integers(min_value=0, max_value=2),
+    st.floats(min_value=0.5, max_value=9.5, allow_nan=False),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    batch=st.lists(run_params, min_size=1, max_size=8),
+    shard_of=st.lists(st.integers(min_value=0, max_value=3), min_size=8,
+                      max_size=8),
+    order=st.permutations(list(range(4))),
+)
+def test_any_merge_order_equals_serial_writes(tmp_path_factory, batch,
+                                              shard_of, order):
+    """Partition random runs across shards arbitrarily; merging the shards in
+    ANY order produces exactly the store serial save_run calls produce —
+    same rows and same ``repro report`` bytes."""
+    tmp = tmp_path_factory.mktemp("merge")
+    runs = [
+        make_run(k, s, t, seed, best, ts=i)  # increasing ts = serial order
+        for i, (k, s, t, seed, best) in enumerate(batch)
+    ]
+
+    serial = tmp / "serial.sqlite"
+    with RunStore(serial) as store:
+        for started, finished, trials in runs:
+            store.save_run(started, finished, trials)
+
+    root = tmp / "service"
+    sharded = ShardedRunStore(root)
+    shards = [sharded.open_shard(f"shard-{i}") for i in range(4)]
+    try:
+        for (started, finished, trials), idx in zip(runs, shard_of):
+            shards[idx].save_run(started, finished, trials)
+    finally:
+        for s in shards:
+            s.close()
+
+    merged = tmp / "merged.sqlite"
+    with RunStore(merged) as dest:
+        for idx in order:
+            with sharded.open_shard(f"shard-{idx}") as shard:
+                dest.merge_from(shard)
+
+    assert store_dump(merged) == store_dump(serial)
+    assert report_text_of(merged) == report_text_of(serial)
+
+
+def report_text_of(path):
+    with RunStore(path) as store:
+        return report_text(store)
+
+
+@settings(max_examples=25, deadline=None)
+@given(batch=st.lists(run_params, min_size=1, max_size=6))
+def test_remerge_is_idempotent(tmp_path_factory, batch):
+    """Folding the same shard in twice adopts nothing and changes nothing."""
+    tmp = tmp_path_factory.mktemp("idem")
+    shard_path = tmp / "shard.sqlite"
+    with RunStore(shard_path) as shard:
+        for i, (k, s, t, seed, best) in enumerate(batch):
+            shard.save_run(*make_run(k, s, t, seed, best, ts=i))
+
+    merged = tmp / "merged.sqlite"
+    with RunStore(merged) as dest, RunStore(shard_path) as shard:
+        first = dest.merge_from(shard)
+        assert first >= 1
+        before = store_dump(merged)
+        assert dest.merge_from(shard) == 0
+    assert store_dump(merged) == before
+
+
+def test_timestamp_tie_breaks_identically_both_ways(tmp_path):
+    """Same identity, same timestamps, different content: both merge orders
+    pick the same winner (the recency key is a total order)."""
+    a = make_run("lu", "large", "ytopt", 0, best=1.0, ts=5)
+    b = make_run("lu", "large", "ytopt", 0, best=2.0, ts=5)
+    dumps = []
+    for first, second in [(a, b), (b, a)]:
+        root = tmp_path / f"case-{dumps and 'ba' or 'ab'}"
+        root.mkdir()
+        for name, run in [("one", first), ("two", second)]:
+            with RunStore(root / f"{name}.sqlite") as s:
+                s.save_run(*run)
+        with RunStore(root / "merged.sqlite") as dest:
+            for name in ["one", "two"]:
+                with RunStore(root / f"{name}.sqlite") as s:
+                    dest.merge_from(s)
+        dump = store_dump(root / "merged.sqlite")
+        assert len(dump) == 1
+        dumps.append(dump)
+    assert dumps[0] == dumps[1]
+
+
+def test_newer_run_wins_regardless_of_merge_order(tmp_path):
+    old = make_run("lu", "large", "ytopt", 0, best=3.0, ts=1)
+    new = make_run("lu", "large", "ytopt", 0, best=1.0, ts=2)
+    for order, names in [((old, new), "old-first"), ((new, old), "new-first")]:
+        root = tmp_path / names
+        root.mkdir()
+        with RunStore(root / "merged.sqlite") as dest:
+            for i, run in enumerate(order):
+                with RunStore(root / f"s{i}.sqlite") as s:
+                    s.save_run(*run)
+                    dest.merge_from(s)
+            (winner,) = dest.runs()
+            assert winner.best_runtime == pytest.approx(1.0)
+
+
+def test_sharded_merge_and_compact(tmp_path):
+    sharded = ShardedRunStore(tmp_path)
+    for i in range(3):
+        with sharded.open_shard(f"job-{i}") as shard:
+            shard.save_run(*make_run("lu", "large", "ytopt", i, best=float(i + 1),
+                                     ts=i))
+    merged = sharded.merge(compact=True)
+    assert merged == tmp_path / "merged.sqlite"
+    assert sharded.shards() == []  # compacted away
+    with RunStore(merged) as store:
+        assert len(store.runs()) == 3
+    # incremental: merging again with no shards keeps the adopted runs
+    sharded.merge()
+    with RunStore(merged) as store:
+        assert len(store.runs()) == 3
+
+
+def test_shard_path_rejects_traversal(tmp_path):
+    from repro.common.errors import ServiceError
+
+    sharded = ShardedRunStore(tmp_path)
+    with pytest.raises(ServiceError):
+        sharded.shard_path("../escape")
+    with pytest.raises(ServiceError):
+        sharded.shard_path(".hidden")

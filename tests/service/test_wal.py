@@ -1,0 +1,111 @@
+"""Run-store SQLite hygiene: WAL journal mode, busy timeout, and a
+two-process write hammer that must never raise 'database is locked'."""
+
+from __future__ import annotations
+
+import multiprocessing
+import sqlite3
+
+import pytest
+
+from repro.telemetry import (
+    RunFinished,
+    RunStarted,
+    RunStore,
+    TrialMeasured,
+    make_run_id,
+)
+
+
+class TestConnectionPragmas:
+    def test_wal_journal_mode(self, tmp_path):
+        store = RunStore(tmp_path / "runs.sqlite")
+        (mode,) = store._conn.execute("PRAGMA journal_mode").fetchone()
+        store.close()
+        assert mode.lower() == "wal"
+
+    def test_busy_timeout_set(self, tmp_path):
+        store = RunStore(tmp_path / "runs.sqlite")
+        (ms,) = store._conn.execute("PRAGMA busy_timeout").fetchone()
+        store.close()
+        assert ms == 10_000
+
+    def test_busy_timeout_override(self, tmp_path):
+        store = RunStore(tmp_path / "runs.sqlite", busy_timeout=2.5)
+        (ms,) = store._conn.execute("PRAGMA busy_timeout").fetchone()
+        store.close()
+        assert ms == 2_500
+
+    def test_cross_thread_handoff_allowed(self, tmp_path):
+        """A store built on one thread is usable from another (the service
+        builds sessions on the event loop and runs them in workers)."""
+        import threading
+
+        store = RunStore(tmp_path / "runs.sqlite")
+        errors = []
+
+        def use():
+            try:
+                store.runs()
+            except Exception as exc:  # pragma: no cover - the failure path
+                errors.append(exc)
+
+        t = threading.Thread(target=use)
+        t.start()
+        t.join()
+        store.close()
+        assert errors == []
+
+
+def _hammer(path: str, tag: int, n_writes: int, out: multiprocessing.Queue):
+    """Write ``n_writes`` runs into the shared store as fast as possible."""
+    try:
+        store = RunStore(path)
+        for i in range(n_writes):
+            seed = tag * 1000 + i
+            started = RunStarted(
+                run_id=make_run_id("lu", "large", "ytopt", seed),
+                kernel="lu",
+                size_name="large",
+                tuner="ytopt",
+                seed=seed,
+                max_evals=1,
+                metadata={"seed": seed},
+            )
+            finished = RunFinished(
+                run_id=started.run_id,
+                best_runtime=1.0 + i,
+                best_config={"P0": 8, "P1": 8},
+                n_evals=1,
+                total_time=2.0,
+            )
+            trials = [TrialMeasured(config={"P0": 8}, runtime=1.0 + i,
+                                    compile_time=0.1, elapsed=2.0)]
+            store.save_run(started, finished, trials)
+        store.close()
+        out.put(("ok", tag))
+    except sqlite3.OperationalError as exc:  # the flake WAL must prevent
+        out.put(("locked", f"{tag}: {exc}"))
+    except Exception as exc:  # pragma: no cover - unexpected failure detail
+        out.put(("error", f"{tag}: {type(exc).__name__}: {exc}"))
+
+
+@pytest.mark.slow
+def test_two_process_hammer_never_locks(tmp_path):
+    """Two processes writing the same store concurrently: every write lands,
+    nobody sees 'database is locked' (WAL + busy_timeout regression test)."""
+    path = str(tmp_path / "shared.sqlite")
+    RunStore(path).close()  # create the schema before the race starts
+    n_writes = 40
+    ctx = multiprocessing.get_context("spawn")
+    out: multiprocessing.Queue = ctx.Queue()
+    procs = [ctx.Process(target=_hammer, args=(path, tag, n_writes, out))
+             for tag in (1, 2)]
+    for p in procs:
+        p.start()
+    results = [out.get(timeout=120) for _ in procs]
+    for p in procs:
+        p.join(timeout=120)
+    assert all(status == "ok" for status, _ in results), results
+    with RunStore(path) as store:
+        assert len(store.runs()) == 2 * n_writes
