@@ -9,6 +9,8 @@ Installed as the ``repro`` console script::
     repro ablation kappa
     repro report --db results/runs.sqlite       # paper tables from the store
     repro compare old.sqlite new.sqlite         # regression diff of two stores
+    repro transfer fit --db results/runs.sqlite # fit the corpus meta-surrogate
+    repro transfer inspect --db runs.sqlite     # corpus / descriptor summary
     repro serve --root results/service          # multi-tenant tuning server
     repro submit --kernel lu --size large --max-evals 100 --wait
     repro status [--job-id JOB]                 # server / job state as JSON
@@ -129,6 +131,9 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             prune=args.prune,
             prune_threshold=args.prune_threshold,
             warm_start_db=args.warm_start_db,
+            transfer_db=args.transfer_db,
+            transfer_bias=args.transfer_bias,
+            label=args.label,
         )
         console.info(
             f"{run.tuner} on {benchmark.name}: best {run.best_runtime:.4g}s at "
@@ -172,6 +177,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             prune=args.prune,
             prune_threshold=args.prune_threshold,
             warm_start_db=args.warm_start_db,
+            transfer_db=args.transfer_db,
+            transfer_bias=args.transfer_bias,
         )
         console.info(f"{figures} — {kernel}/{size}")
         console.info(process_summary_table(result))
@@ -200,8 +207,53 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.telemetry.report import report_text
 
     with RunStore(args.db) as store:
-        text = report_text(store, kernel=args.kernel, size_name=args.size)
+        text = report_text(
+            store,
+            kernel=args.kernel,
+            size_name=args.size,
+            to_best=args.to_best,
+            tolerance=args.tolerance,
+        )
     print(text)
+    return 0
+
+
+def _cmd_transfer(args: argparse.Namespace) -> int:
+    """Fit or inspect the run-store transfer corpus / meta-surrogate."""
+    from pathlib import Path
+
+    from repro.transfer import MetaSurrogate, TransferCorpus
+
+    exclude = None
+    if args.exclude:
+        if "/" not in args.exclude:
+            print("--exclude expects KERNEL/SIZE (e.g. lu/large)", file=sys.stderr)
+            return 2
+        kernel, size = args.exclude.split("/", 1)
+        exclude = (kernel, size)
+    if args.action == "inspect":
+        corpus = TransferCorpus.from_store(
+            args.db, tuner=args.tuner, exclude=exclude
+        )
+        print(json.dumps(corpus.summary(), indent=2, sort_keys=True))
+        return 0
+    meta, corpus = MetaSurrogate.fit_or_load(
+        args.db, exclude=exclude, tuner=args.tuner, seed=args.seed
+    )
+    store = Path(args.db)
+    cache_dir = store if store.is_dir() else store.parent
+    model_path = cache_dir / f"meta-{meta.info.fingerprint}.pkl"
+    print(
+        json.dumps(
+            {
+                "model": str(model_path),
+                "meta": meta.summary(),
+                "corpus": corpus.summary(),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    )
     return 0
 
 
@@ -324,6 +376,9 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         "prune": args.prune,
         "prune_threshold": args.prune_threshold,
         "warm_start_db": args.warm_start_db,
+        "transfer_from": args.transfer_db,
+        "transfer_bias": args.transfer_bias,
+        "label": args.label,
     }
     client = _service_client(args)
     try:
@@ -418,8 +473,26 @@ def _add_fidelity_args(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--warm-start-db", default=None, metavar="PATH",
                        help="ytopt: pre-train the surrogate from matching "
                        "prior runs (same kernel, size, and space hash) in this "
-                       "telemetry run store; loaded records count toward the "
-                       "evaluation budget")
+                       "telemetry run store or service shard root; loaded "
+                       "records count toward the evaluation budget")
+
+
+def _add_transfer_args(parser: argparse.ArgumentParser, with_label: bool) -> None:
+    group = parser.add_argument_group("transfer learning")
+    group.add_argument("--transfer-db", default=None, metavar="PATH",
+                       help="ytopt: seed the initial design from a "
+                       "meta-surrogate fit on this run store's *other* tasks "
+                       "(the target kernel/size is excluded from the fit)")
+    group.add_argument("--transfer-bias", type=float, default=0.5,
+                       metavar="W",
+                       help="weight of the decaying meta-surrogate bias on "
+                       "acquisition scores after the seeded initial design "
+                       "(default 0.5; 0 seeds the initial design only)")
+    if with_label:
+        group.add_argument("--label", default=None, metavar="NAME",
+                           help="store the run under this identity instead of "
+                           "the tuner name (A/B variants side by side, e.g. "
+                           "ytopt-cold / ytopt-transfer)")
 
 
 def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
@@ -466,6 +539,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-trial kernel wall-clock budget in seconds "
                         "(timed-out trials are recorded as failed)")
     _add_fidelity_args(p_tune)
+    _add_transfer_args(p_tune, with_label=True)
     _add_telemetry_args(p_tune)
 
     p_exp = sub.add_parser("experiment", help="run a full 5-tuner paper experiment")
@@ -478,6 +552,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--timeout", type=float, default=None, metavar="S",
                        help="per-trial kernel wall-clock budget in seconds")
     _add_fidelity_args(p_exp)
+    _add_transfer_args(p_exp, with_label=False)
     _add_telemetry_args(p_exp)
 
     p_report = sub.add_parser(
@@ -489,6 +564,33 @@ def build_parser() -> argparse.ArgumentParser:
                           help="restrict to one kernel (default: all stored)")
     p_report.add_argument("--size", default=None,
                           help="restrict to one problem size")
+    p_report.add_argument("--to-best", action="store_true",
+                          help="append the sample-efficiency table: evaluations "
+                          "each run needed to get within --tolerance of the "
+                          "best stored runtime")
+    p_report.add_argument("--tolerance", type=float, default=0.05,
+                          metavar="FRAC",
+                          help="the --to-best band around the best runtime "
+                          "(default 0.05)")
+
+    p_transfer = sub.add_parser(
+        "transfer",
+        help="fit/inspect the cross-task meta-surrogate over a run store",
+    )
+    p_transfer.add_argument("action", choices=["fit", "inspect"],
+                            help="fit: train (or load the cached) "
+                            "meta-surrogate; inspect: corpus summary only")
+    p_transfer.add_argument("--db", default="results/runs.sqlite",
+                            help="run store (SQLite file or service shard root)")
+    p_transfer.add_argument("--exclude", default=None, metavar="KERNEL/SIZE",
+                            help="drop one task from the corpus before fitting "
+                            "(the leave-task-out honesty switch; use the task "
+                            "you intend to seed)")
+    p_transfer.add_argument("--tuner", default=None,
+                            help="restrict corpus runs to one tuner "
+                            "(default: all measured runs)")
+    p_transfer.add_argument("--seed", type=int, default=0,
+                            help="meta-surrogate forest seed (default 0)")
 
     p_cmp = sub.add_parser(
         "compare", help="diff two run stores and flag regressions"
@@ -555,6 +657,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="block until the job finishes; exit 0 only if it "
                        "completed successfully")
     _add_fidelity_args(p_sub)
+    _add_transfer_args(p_sub, with_label=True)
 
     p_stat = sub.add_parser("status", help="query a tuning server")
     p_stat.add_argument("--root", default="results/service")
@@ -591,6 +694,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "report": _cmd_report,
     "compare": _cmd_compare,
+    "transfer": _cmd_transfer,
     "autoschedule": _cmd_autoschedule,
     "ablation": _cmd_ablation,
     "serve": _cmd_serve,

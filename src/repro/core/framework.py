@@ -82,6 +82,11 @@ class BayesianAutotuner:
         surrogate: Surrogate | None = None,
         name: str = "tvm-bo",
         warm_start=None,
+        #: A :class:`repro.transfer.TransferSeed` (or None): seeds the
+        #: optimizer's initial design from the run-store corpus and biases
+        #: early acquisition by ``transfer_bias``.
+        transfer_seed=None,
+        transfer_bias: float = 0.0,
     ) -> None:
         self.config = config if config is not None else AutotuneConfig()
         self.problem = TuningProblem(space, evaluator, name=name)
@@ -95,6 +100,8 @@ class BayesianAutotuner:
             acquisition=LowerConfidenceBound(kappa=self.config.kappa),
             n_initial_points=self.config.n_initial_points,
             seed=self.config.seed,
+            transfer_seed=transfer_seed,
+            transfer_bias=transfer_bias,
         )
         # warm_start accepts a WarmStart loader or a bare PerformanceDatabase.
         warm_db = getattr(warm_start, "database", warm_start)

@@ -71,6 +71,9 @@ def run_tuner(
     prune: bool = False,
     prune_threshold: float = 1.25,
     warm_start_db: "str | None" = None,
+    transfer_db: "str | None" = None,
+    transfer_bias: float = 0.5,
+    label: "str | None" = None,
 ) -> TunerRun:
     """Run one tuner on one benchmark under the simulated Swing backend.
 
@@ -86,6 +89,13 @@ def run_tuner(
     ``promote_margin`` of the incumbent. ``prune`` enables ytopt's
     surrogate-guided pruning, and ``warm_start_db`` points at a telemetry run
     store whose matching prior trials pre-train the ytopt surrogate.
+
+    ``transfer_db`` points at a run store (file or service shard root) whose
+    *cross-task* corpus fits a meta-surrogate that seeds ytopt's initial
+    design and biases early acquisition by ``transfer_bias`` (see
+    :mod:`repro.transfer`); the benchmark's own (kernel, size) is excluded
+    from the fit. ``label`` overrides the identity the run is stored under,
+    so A/B variants of one tuner coexist in a single store.
 
     This is the single-run front door for in-process callers; it builds a
     one-shot :class:`~repro.service.session.TuningSession` reporting to the
@@ -107,6 +117,9 @@ def run_tuner(
             prune=prune,
             prune_threshold=prune_threshold,
             warm_start_db=warm_start_db,
+            transfer_from=transfer_db,
+            transfer_bias=transfer_bias,
+            label=label,
         ),
         benchmark=benchmark,
         model=model,
@@ -130,8 +143,14 @@ def run_experiment(
     prune: bool = False,
     prune_threshold: float = 1.25,
     warm_start_db: "str | None" = None,
+    transfer_db: "str | None" = None,
+    transfer_bias: float = 0.5,
 ) -> ExperimentResult:
-    """Run all requested tuners on one (kernel, size) experiment."""
+    """Run all requested tuners on one (kernel, size) experiment.
+
+    ``transfer_db`` applies to the ytopt tuner only (AutoTVM tuners have no
+    surrogate initial design to seed); it is silently skipped for the rest.
+    """
     benchmark = get_benchmark(kernel, size_name)
     runs = {
         t: run_tuner(
@@ -148,6 +167,8 @@ def run_experiment(
             prune=prune,
             prune_threshold=prune_threshold,
             warm_start_db=warm_start_db,
+            transfer_db=transfer_db if t == "ytopt" else None,
+            transfer_bias=transfer_bias,
         )
         for t in tuners
     }

@@ -61,6 +61,17 @@ class JobSpec:
     prune: bool = False
     prune_threshold: float = 1.25
     warm_start_db: str | None = None
+    #: Transfer learning: a run store (file or shard root) whose corpus fits
+    #: the meta-surrogate that seeds this session (ytopt only). The session's
+    #: own (kernel, size) is excluded from the fit — leave-task-out honesty.
+    transfer_from: str | None = None
+    #: Weight of the decaying meta-surrogate bias on acquisition scores after
+    #: the seeded initial design; 0 seeds the initial design only.
+    transfer_bias: float = 0.5
+    #: Store/display identity override (e.g. "ytopt-transfer"): lets A/B
+    #: variants of one tuner land side-by-side in a single run store without
+    #: colliding on the (kernel, size, tuner, seed) identity key.
+    label: str | None = None
     fault: dict[str, Any] | None = None
 
     def validate(self) -> None:
@@ -94,6 +105,17 @@ class JobSpec:
             raise JobRejected(
                 f"probe_repeats must be >= 1, got {self.probe_repeats}"
             )
+        if self.transfer_bias < 0:
+            raise JobRejected(
+                f"transfer_bias must be >= 0, got {self.transfer_bias}"
+            )
+        if self.transfer_from is not None and self.tuner != "ytopt":
+            raise JobRejected(
+                f"transfer_from only applies to the ytopt tuner, not "
+                f"{self.tuner!r}"
+            )
+        if self.label is not None and not self.label.strip():
+            raise JobRejected("label must be a non-empty string when given")
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)

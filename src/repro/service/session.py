@@ -286,13 +286,22 @@ class TuningSession:
             raise TuningError(f"repeats must be >= 1, got {spec.repeats}")
         if spec.tuner != "ytopt" and spec.tuner not in _AUTOTVM_CLASSES:
             raise TuningError(f"unknown tuner {spec.tuner!r}; known: {ALL_TUNERS}")
+        if spec.transfer_from is not None and spec.tuner != "ytopt":
+            raise TuningError(
+                f"transfer_from only applies to the ytopt tuner, not "
+                f"{spec.tuner!r}"
+            )
         self.spec = spec
         self.attempt = attempt
         self.benchmark = (
             benchmark if benchmark is not None else get_benchmark(spec.kernel, spec.size)
         )
+        #: Identity the run is stored/displayed under — the spec label when
+        #: given (A/B variants of one tuner in one store), else the tuner.
+        self.display_tuner = spec.label if spec.label else spec.tuner
         self.run_id = make_run_id(
-            self.benchmark.kernel, self.benchmark.size_name, spec.tuner, spec.seed
+            self.benchmark.kernel, self.benchmark.size_name, self.display_tuner,
+            spec.seed,
         )
         self.xgb_trial_cap = xgb_trial_cap
         self._fault = FaultInjector(spec.fault, attempt=attempt)
@@ -331,6 +340,24 @@ class TuningSession:
                 self.benchmark.config_space(seed=spec.seed),
             )
 
+        self.transfer_seed = None
+        if spec.transfer_from is not None and spec.tuner == "ytopt":
+            # Imported lazily: repro.transfer pulls in the meta-surrogate
+            # stack, which plain (non-transfer) sessions never need.
+            from repro.transfer import MetaSurrogate, TransferSeed
+
+            meta, _corpus = MetaSurrogate.fit_or_load(
+                spec.transfer_from,
+                exclude=(self.benchmark.kernel, self.benchmark.size_name),
+                seed=spec.seed,
+            )
+            self.transfer_seed = TransferSeed(
+                meta,
+                self.benchmark.kernel,
+                self.benchmark.size_name,
+                seed=spec.seed,
+            )
+
         # -- the session's own search stack --------------------------------
         self.autotuner: BayesianAutotuner | None = None
         self.optimizer = None
@@ -350,6 +377,8 @@ class TuningSession:
                 ),
                 name=self.benchmark.name,
                 warm_start=self.warm_start,
+                transfer_seed=self.transfer_seed,
+                transfer_bias=spec.transfer_bias,
             )
             self.optimizer = self.autotuner.optimizer
         else:
@@ -434,7 +463,7 @@ class TuningSession:
                     run_id=self.run_id,
                     kernel=self.benchmark.kernel,
                     size_name=self.benchmark.size_name,
-                    tuner=spec.tuner,
+                    tuner=self.display_tuner,
                     seed=spec.seed,
                     max_evals=spec.max_evals,
                     metadata=run_metadata(
@@ -461,6 +490,13 @@ class TuningSession:
                             "warm_start": len(self.warm_start)
                             if self.warm_start is not None
                             else None,
+                            "label": spec.label,
+                            "transfer": self.transfer_seed.summary()
+                            if self.transfer_seed is not None
+                            else None,
+                            "transfer_bias": spec.transfer_bias
+                            if self.transfer_seed is not None
+                            else None,
                         },
                     ),
                 )
@@ -484,7 +520,7 @@ class TuningSession:
         if self.autotuner is not None:
             result = self.autotuner.run()
             return TunerRun(
-                tuner=self.spec.tuner,
+                tuner=self.display_tuner,
                 kernel=benchmark.kernel,
                 size_name=benchmark.size_name,
                 best_config=result.best_config,
@@ -498,7 +534,7 @@ class TuningSession:
         )
         best_config, best_runtime = self._autotvm_tuner.best()
         return TunerRun(
-            tuner=self.spec.tuner,
+            tuner=self.display_tuner,
             kernel=benchmark.kernel,
             size_name=benchmark.size_name,
             best_config={k: int(v) for k, v in best_config.items()},

@@ -61,7 +61,13 @@ from repro.telemetry.metrics import (
 )
 from repro.telemetry.sinks import ConsoleSink, JsonlSink, RecordingSink, event_line
 from repro.telemetry.spans import Tracer
-from repro.telemetry.store import RunStore, StoredEvaluation, StoredRun, StoreSink
+from repro.telemetry.store import (
+    RunStore,
+    StoredEvaluation,
+    StoredRun,
+    StoreSink,
+    resolve_store_paths,
+)
 
 __all__ = [
     # context
@@ -105,6 +111,7 @@ __all__ = [
     "StoreSink",
     "StoredRun",
     "StoredEvaluation",
+    "resolve_store_paths",
     # metadata
     "run_metadata",
     "git_sha",

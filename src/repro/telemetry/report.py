@@ -31,7 +31,9 @@ def _trajectory(store: RunStore, run: StoredRun) -> list[tuple[float, float]]:
     in-process tables byte for byte.
     """
     evals = store.evaluations(run.run_id)
-    if run.tuner == "ytopt":
+    # startswith, not equality: labelled ytopt variants ("ytopt-transfer",
+    # "ytopt-cold", ...) store through the same database path as plain ytopt.
+    if run.tuner.startswith("ytopt"):
         return [(e.elapsed, e.runtime) for e in evals]
     return [(e.elapsed, e.runtime if e.ok else float("inf")) for e in evals]
 
@@ -102,10 +104,88 @@ def evaluation_count_table(store: RunStore, kernel: str, size_name: str) -> str:
     )
 
 
-def report_text(
-    store: RunStore, kernel: str | None = None, size_name: str | None = None
+def evals_to_within(
+    trajectory: "list[tuple[float, float]]",
+    target: float,
+    tolerance: float = 0.05,
+) -> int | None:
+    """Evaluations until the best-so-far runtime is within ``tolerance`` of
+    ``target`` (1-based count), or None if the run never got there.
+
+    The sample-efficiency metric of the transfer-learning evaluation: a
+    seeded search that reaches within 5% of the known best in fewer
+    evaluations converted its prior into real budget savings, whatever its
+    final best happened to be.
+    """
+    if target <= 0 or not math.isfinite(target):
+        raise ReproError(f"target runtime must be positive and finite, got {target}")
+    if tolerance < 0:
+        raise ReproError(f"tolerance must be >= 0, got {tolerance}")
+    limit = target * (1.0 + tolerance)
+    best = math.inf
+    for i, (_, runtime) in enumerate(trajectory, 1):
+        best = min(best, runtime)
+        if best <= limit:
+            return i
+    return None
+
+
+def evals_to_best_table(
+    store: RunStore, kernel: str, size_name: str, tolerance: float = 0.05
 ) -> str:
-    """The full ``repro report`` text for every matching stored experiment."""
+    """Per-run sample efficiency against the best runtime any run found.
+
+    The reference is the smallest stored best runtime across every tuner of
+    this (kernel, size) — the "known best" the 5% band is drawn around.
+    """
+    from repro.common.tabulate import format_table
+
+    stored = store.runs(kernel=kernel, size_name=size_name)
+    if not stored:
+        raise ReproError(f"no stored runs for {kernel}/{size_name} in {store.path}")
+    finite = [r.best_runtime for r in stored if math.isfinite(r.best_runtime)]
+    if not finite:
+        raise ReproError(
+            f"no finite best runtime stored for {kernel}/{size_name}; "
+            f"cannot anchor the within-{tolerance:.0%} band"
+        )
+    target = min(finite)
+    rows = []
+    for run in stored:
+        n = evals_to_within(_trajectory(store, run), target, tolerance)
+        rows.append(
+            [
+                run.tuner,
+                run.metadata.get("seed", run.seed),
+                f"{run.best_runtime:.4g}",
+                n if n is not None else "never",
+                run.n_evals,
+            ]
+        )
+    rows.sort(key=lambda r: (str(r[0]), str(r[1])))
+    return format_table(
+        rows,
+        headers=["tuner", "seed", "best (s)", f"evals to {tolerance:.0%}", "evals"],
+        title=(
+            f"Evals to within {tolerance:.0%} of best "
+            f"({target:.4g}s) — {kernel} / {size_name}"
+        ),
+    )
+
+
+def report_text(
+    store: RunStore,
+    kernel: str | None = None,
+    size_name: str | None = None,
+    to_best: bool = False,
+    tolerance: float = 0.05,
+) -> str:
+    """The full ``repro report`` text for every matching stored experiment.
+
+    ``to_best`` appends the sample-efficiency table
+    (:func:`evals_to_best_table`) to each experiment section; off by default
+    so existing report output stays byte-identical.
+    """
     from repro.experiments.figures import min_runtime_table, process_summary_table
 
     pairs = [
@@ -121,15 +201,14 @@ def report_text(
     sections = []
     for k, s in pairs:
         result = experiment_from_store(store, k, s)
-        sections.append(
-            "\n\n".join(
-                [
-                    process_summary_table(result),
-                    min_runtime_table(result),
-                    evaluation_count_table(store, k, s),
-                ]
-            )
-        )
+        tables = [
+            process_summary_table(result),
+            min_runtime_table(result),
+            evaluation_count_table(store, k, s),
+        ]
+        if to_best:
+            tables.append(evals_to_best_table(store, k, s, tolerance=tolerance))
+        sections.append("\n\n".join(tables))
     return "\n\n".join(sections)
 
 

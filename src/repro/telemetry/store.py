@@ -121,6 +121,45 @@ class StoredRun:
 BUSY_TIMEOUT = 10.0
 
 
+def resolve_store_paths(path: "str | Path") -> list[Path]:
+    """Expand a run-store argument into the concrete SQLite file(s) behind it.
+
+    Accepts every shape the CLI flags (``--db``, ``--warm-start-db``,
+    ``--transfer-db``) see in practice:
+
+    * a plain SQLite file — returned as-is;
+    * a service root directory (:class:`repro.service.shards.ShardedRunStore`
+      layout): ``<root>/merged.sqlite`` plus any not-yet-compacted shard DBs
+      under ``<root>/shards/`` — merge-on-read, so readers never need a merge
+      step first. A run present in both the merged store and a shard is the
+      *same* run (same run_id); readers deduplicate by run_id;
+    * a bare directory of ``*.sqlite`` files (ad-hoc archives).
+
+    Raises :class:`ReproError` when the path does not exist or the directory
+    holds no run-store files at all.
+    """
+    p = Path(path)
+    if not p.exists():
+        raise ReproError(f"run store not found: {p}")
+    if p.is_file():
+        return [p]
+    out: list[Path] = []
+    merged = p / "merged.sqlite"
+    if merged.exists():
+        out.append(merged)
+    shard_dir = p / "shards"
+    if shard_dir.is_dir():
+        out.extend(sorted(shard_dir.glob("*.sqlite")))
+    if not out:  # ad-hoc directory of store files
+        out = sorted(q for q in p.glob("*.sqlite") if q.is_file())
+    if not out:
+        raise ReproError(
+            f"no run-store files under {p} (expected merged.sqlite, "
+            f"shards/*.sqlite, or *.sqlite)"
+        )
+    return out
+
+
 class RunStore:
     """SQLite-backed archive of tuner runs (see module docstring).
 

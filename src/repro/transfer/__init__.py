@@ -1,0 +1,45 @@
+"""Transfer learning across the run-store corpus.
+
+Every tuning session archived in a telemetry run store is evidence about how
+tile configurations map to runtime. The subsystems here turn that corpus into
+a head start for *new* tasks — new kernels, new problem sizes, new spaces —
+instead of limiting reuse to :class:`~repro.ytopt.warmstart.WarmStart`'s
+strict same-space replay:
+
+* :mod:`~repro.transfer.descriptors` — deterministic task feature vectors
+  embedding every (kernel, size, space) into one shared feature space, plus a
+  space-independent fixed-width configuration encoding;
+* :mod:`~repro.transfer.corpus` — scan a run store (single file, merged
+  store, or service shard root), join descriptors to stored evaluations, and
+  assemble the (task ⊕ config) → runtime training matrix;
+* :mod:`~repro.transfer.meta` — the corpus meta-surrogate: a Random Forest
+  over task ⊕ config features predicting runtime for unseen (task, config)
+  pairs, serialized content-hashed next to the store;
+* :mod:`~repro.transfer.seed` — :class:`TransferSeed`: rank a new space's
+  candidates by meta-surrogate LCB to (a) replace the optimizer's random
+  initial design and (b) optionally bias acquisition scores early on.
+
+The contract with honesty: a meta-surrogate *never* trains on the task it
+seeds (:meth:`MetaSurrogate.fit_or_load` excludes the target task), so every
+transfer result measures genuine cross-task generalization. Same-task reuse
+is warm-start's job.
+"""
+
+from repro.transfer.corpus import TaskSamples, TransferCorpus
+from repro.transfer.descriptors import (
+    DESCRIPTOR_VERSION,
+    N_PARAM_SLOTS,
+    TaskDescriptor,
+)
+from repro.transfer.meta import MetaSurrogate
+from repro.transfer.seed import TransferSeed
+
+__all__ = [
+    "DESCRIPTOR_VERSION",
+    "N_PARAM_SLOTS",
+    "TaskDescriptor",
+    "TaskSamples",
+    "TransferCorpus",
+    "MetaSurrogate",
+    "TransferSeed",
+]

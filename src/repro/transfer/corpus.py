@@ -1,0 +1,207 @@
+"""Assemble the transfer-learning training corpus from archived runs.
+
+:class:`TransferCorpus` scans a run store — a single SQLite file, a merged
+service store, or a whole shard root (via
+:func:`repro.telemetry.store.resolve_store_paths`) — and joins each stored
+evaluation to its task's :class:`~repro.transfer.descriptors.TaskDescriptor`,
+yielding the (task-features ⊕ config-features) → runtime matrix the
+meta-surrogate trains on.
+
+What gets in:
+
+* successful, *measured* evaluations only — failed rows and ``"pruned"`` rows
+  (surrogate estimates, not measurements) are dropped, exactly like
+  warm-start;
+* runs whose stored ``space_hash`` matches the task's *current* space — a
+  run recorded against a since-reshaped space would mis-encode;
+* one row per distinct (task, configuration) — duplicates across seeds,
+  shards, and merged-plus-shard overlap keep their first occurrence.
+
+The corpus carries a deterministic :meth:`fingerprint` over everything that
+influenced the matrix (descriptor version, run ids, per-run record counts),
+which is what content-hashes the serialized meta-surrogate next to the store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.errors import ReproError
+from repro.transfer.descriptors import DESCRIPTOR_VERSION, TaskDescriptor
+
+
+@dataclass
+class TaskSamples:
+    """Per-task bookkeeping: what one (kernel, size) contributed."""
+
+    descriptor: TaskDescriptor
+    n_runs: int = 0
+    n_records: int = 0
+    run_ids: list[str] = field(default_factory=list)
+    best_runtime: float = float("inf")
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.descriptor.kernel, self.descriptor.size_name)
+
+
+class TransferCorpus:
+    """The joined training set over every usable stored evaluation."""
+
+    def __init__(self, source: str = "") -> None:
+        self.source = source
+        self.tasks: dict[tuple[str, str], TaskSamples] = {}
+        self.skipped_runs = 0  # stale space hash / unknown kernel
+        self.skipped_records = 0  # pruned, failed, duplicate
+        self._rows: list[np.ndarray] = []
+        self._y: list[float] = []
+        self._task_of_row: list[tuple[str, str]] = []
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_store(
+        cls,
+        store_path: "str | Path",
+        tuner: str | None = None,
+        exclude: "tuple[str, str] | None" = None,
+        max_records_per_task: int | None = None,
+    ) -> "TransferCorpus":
+        """Scan ``store_path`` and build the corpus.
+
+        ``tuner`` restricts which runs contribute (None = any tuner's
+        measurements — unlike warm-start, cross-tuner evidence is safe here
+        because the meta-surrogate only *ranks* candidates). ``exclude``
+        drops one (kernel, size) task wholesale — the leave-task-out switch
+        that keeps transfer evaluation honest. ``max_records_per_task`` caps
+        each task's contribution so one over-tuned kernel cannot drown the
+        rest.
+        """
+        from repro.telemetry.store import RunStore, resolve_store_paths
+
+        corpus = cls(source=str(store_path))
+        seen_runs: set[str] = set()
+        seen_configs: set[tuple[tuple[str, str], tuple]] = set()
+        descriptors: dict[tuple[str, str], TaskDescriptor | None] = {}
+        for store_file in resolve_store_paths(store_path):
+            with RunStore(store_file) as store:
+                for run in store.runs(tuner=tuner):
+                    if run.run_id in seen_runs:
+                        continue  # merged store + leftover shard overlap
+                    seen_runs.add(run.run_id)
+                    key = (run.kernel, run.size_name)
+                    if exclude is not None and key == tuple(exclude):
+                        continue
+                    if key not in descriptors:
+                        try:
+                            descriptors[key] = TaskDescriptor.from_task(*key)
+                        except ReproError:
+                            descriptors[key] = None  # unknown kernel/size
+                    desc = descriptors[key]
+                    if desc is None or (
+                        run.metadata.get("space_hash") not in (None, desc.space_hash)
+                    ):
+                        corpus.skipped_runs += 1
+                        continue
+                    corpus._scan_run(
+                        desc, run, store, seen_configs, max_records_per_task
+                    )
+        return corpus
+
+    def _scan_run(self, desc, run, store, seen_configs, cap) -> None:
+        key = (desc.kernel, desc.size_name)
+        samples = self.tasks.get(key)
+        if samples is None:
+            samples = self.tasks[key] = TaskSamples(descriptor=desc)
+        samples.n_runs += 1
+        samples.run_ids.append(run.run_id)
+        for ev in store.evaluations(run.run_id):
+            cfg_key = (key, tuple(sorted(ev.config.items())))
+            if (
+                not ev.ok
+                or ev.fidelity == "pruned"
+                or ev.runtime <= 0
+                or cfg_key in seen_configs
+                or (cap is not None and samples.n_records >= cap)
+            ):
+                self.skipped_records += 1
+                continue
+            seen_configs.add(cfg_key)
+            self._rows.append(
+                np.hstack([desc.vector(), desc.encode_config(ev.config)])
+            )
+            self._y.append(ev.runtime)
+            self._task_of_row.append(key)
+            samples.n_records += 1
+            samples.best_runtime = min(samples.best_runtime, ev.runtime)
+
+    # -- the training matrix -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._y)
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.tasks)
+
+    def matrix(self) -> tuple[np.ndarray, np.ndarray]:
+        """(X, y): joined feature rows and measured runtimes."""
+        if not self._y:
+            width = (
+                TaskDescriptor.task_feature_len()
+                + TaskDescriptor.config_feature_len()
+            )
+            return np.empty((0, width)), np.empty(0)
+        return np.vstack(self._rows), np.asarray(self._y, dtype=float)
+
+    def task_of_row(self) -> list[tuple[str, str]]:
+        """Row → (kernel, size) provenance, aligned with :meth:`matrix`."""
+        return list(self._task_of_row)
+
+    def fingerprint(self) -> str:
+        """Deterministic content hash of everything that shaped the matrix.
+
+        Covers the descriptor version, each contributing task's descriptor
+        digest, and each task's sorted run ids and record count — so two
+        scans of the same data (even via different shard layouts) fingerprint
+        identically, and any new run, merge adoption, or feature-layout bump
+        changes the hash.
+        """
+        h = hashlib.sha256()
+        h.update(f"corpus-v{DESCRIPTOR_VERSION}".encode())
+        for key in sorted(self.tasks):
+            s = self.tasks[key]
+            h.update(
+                "|".join(
+                    [
+                        s.descriptor.digest(),
+                        str(s.n_records),
+                        *sorted(s.run_ids),
+                    ]
+                ).encode()
+            )
+        return h.hexdigest()[:16]
+
+    def summary(self) -> dict:
+        """JSON-safe description for ``repro transfer inspect``."""
+        return {
+            "source": self.source,
+            "n_tasks": self.n_tasks,
+            "n_records": len(self),
+            "skipped_runs": self.skipped_runs,
+            "skipped_records": self.skipped_records,
+            "fingerprint": self.fingerprint(),
+            "tasks": {
+                f"{k}/{s}": {
+                    "runs": t.n_runs,
+                    "records": t.n_records,
+                    "best_runtime": t.best_runtime,
+                    "descriptor": t.descriptor.digest(),
+                }
+                for (k, s), t in sorted(self.tasks.items())
+            },
+        }

@@ -1,0 +1,247 @@
+"""Task descriptors: embed every (kernel, size, space) into one feature space.
+
+A meta-surrogate can only generalize across tasks if tasks from different
+kernels and problem sizes share a feature representation. Two encodings live
+here, both **deterministic** — same task, same bytes, in any process, before
+or after a store merge (asserted by the descriptor test battery):
+
+* the **task vector** (:meth:`TaskDescriptor.vector`) — problem shape
+  (log2 stage dims), work intensity (FLOP and byte estimates from the
+  kernel's stage profile, i.e. the TE graph's matmul decomposition, and their
+  roofline ratio), and space shape (parameter count, log2 cardinality, and a
+  per-slot summary of each hyperparameter's tile bounds);
+* the **config encoding** (:meth:`TaskDescriptor.encode_config`) — a
+  fixed-width, space-independent view of one configuration: per parameter
+  slot, the tile's position in log2-magnitude terms and its rank within the
+  candidate list. ``P0=50`` of a 400-config solver space and ``P3=40`` of the
+  228M-config 3mm space land in comparable coordinates.
+
+Hyperparameters are assigned to :data:`N_PARAM_SLOTS` fixed slots in sorted
+name order; absent slots carry the :data:`ABSENT` sentinel, outside every
+active feature's range, so tree surrogates can split tasks apart by arity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ReproError
+
+#: Bump when the feature layout changes: serialized meta-surrogates embed the
+#: version, and a mismatch refuses to load instead of silently misaligning.
+DESCRIPTOR_VERSION = 1
+
+#: Fixed parameter-slot count. The paper's largest space (3mm) has 6 tunable
+#: parameters; 8 leaves headroom for PolyBench kernels beyond the case study.
+N_PARAM_SLOTS = 8
+
+#: Slot value for features of parameters a task does not have (all active
+#: encodings are >= 0).
+ABSENT = -1.0
+
+#: How many leading stage dimensions (sorted descending) the task vector
+#: carries.
+_N_DIM_FEATURES = 4
+
+#: Features per parameter slot in the task vector:
+#: (present, log2 max candidate, log2 min candidate, log2 candidate count).
+_TASK_SLOT_FEATURES = 4
+
+#: Features per parameter slot in the config encoding:
+#: (log2-magnitude position, candidate-rank position).
+_CONFIG_SLOT_FEATURES = 2
+
+
+def _log2(x: float) -> float:
+    return float(math.log2(x)) if x > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class TaskDescriptor:
+    """Deterministic embedding of one tuning task.
+
+    Construct via :meth:`from_task` (kernel registry lookup) rather than by
+    hand — the constructor trusts its inputs. Instances are immutable,
+    hashable by identity fields, and picklable (they ride inside serialized
+    meta-surrogates).
+    """
+
+    kernel: str
+    size_name: str
+    space_hash: str
+    #: Tunable parameter names in sorted order — the slot assignment.
+    param_names: tuple[str, ...]
+    #: Candidate value lists per parameter, ascending (the Table 1 lists).
+    candidates: tuple[tuple[int, ...], ...]
+    #: Stage dims (sorted descending, padded/truncated to _N_DIM_FEATURES).
+    dims: tuple[int, ...]
+    n_stages: int
+    flops: float
+    bytes_moved: float
+
+    def __post_init__(self) -> None:
+        if len(self.param_names) > N_PARAM_SLOTS:
+            raise ReproError(
+                f"task {self.kernel}/{self.size_name} has "
+                f"{len(self.param_names)} parameters; descriptor supports at "
+                f"most {N_PARAM_SLOTS} (bump N_PARAM_SLOTS + DESCRIPTOR_VERSION)"
+            )
+        if len(self.param_names) != len(self.candidates):
+            raise ReproError("param_names and candidates disagree in length")
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_task(cls, kernel: str, size_name: str) -> "TaskDescriptor":
+        """Build the descriptor for a registered (kernel, size) benchmark.
+
+        FLOP and byte totals come from the kernel's
+        :class:`~repro.swing.profile.KernelProfile` stages — the same
+        matmul-stage decomposition of the TE graph the Swing model prices —
+        so work intensity is consistent with what the corpus runtimes
+        measured.
+        """
+        from repro.configspace import space_hash
+        from repro.kernels.registry import get_benchmark
+
+        bench = get_benchmark(kernel, size_name)
+        profile = bench.profile
+        flops = 0.0
+        bytes_moved = 0.0
+        dims: list[int] = []
+        for st in profile.stages:
+            flops += st.flops * st.launches
+            # One read of each operand tile stream plus a write of the output
+            # per launch — a deliberate lower-bound traffic model; only the
+            # *ratios* across tasks matter to the surrogate.
+            bytes_moved += (
+                (st.m * st.k + st.k * st.n + 2.0 * st.m * st.n)
+                * profile.dtype_bytes
+                * st.launches
+            )
+            dims.extend((st.m, st.n, st.k))
+        dims = sorted(set(dims), reverse=True)[:_N_DIM_FEATURES]
+        dims += [0] * (_N_DIM_FEATURES - len(dims))
+        names = tuple(sorted(bench.params))
+        return cls(
+            kernel=kernel,
+            size_name=size_name,
+            space_hash=space_hash(bench.config_space()),
+            param_names=names,
+            candidates=tuple(tuple(bench.candidates[p]) for p in names),
+            dims=tuple(dims),
+            n_stages=len(profile.stages),
+            flops=flops,
+            bytes_moved=bytes_moved,
+        )
+
+    # -- task features -------------------------------------------------------
+
+    @property
+    def n_params(self) -> int:
+        return len(self.param_names)
+
+    @property
+    def log2_space_size(self) -> float:
+        return float(sum(_log2(len(c)) for c in self.candidates))
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOP/byte estimate — the roofline coordinate of the task."""
+        return self.flops / self.bytes_moved if self.bytes_moved else 0.0
+
+    def vector(self) -> np.ndarray:
+        """The task feature vector (read-only float64, fixed length)."""
+        feats = [
+            float(self.n_params),
+            self.log2_space_size,
+            float(self.n_stages),
+            math.log10(self.flops) if self.flops > 0 else 0.0,
+            math.log10(self.bytes_moved) if self.bytes_moved > 0 else 0.0,
+            _log2(self.arithmetic_intensity),
+        ]
+        feats.extend(_log2(d) for d in self.dims)
+        for slot in range(N_PARAM_SLOTS):
+            if slot < self.n_params:
+                cands = self.candidates[slot]
+                feats.extend(
+                    (1.0, _log2(max(cands)), _log2(min(cands)), _log2(len(cands)))
+                )
+            else:
+                feats.extend((ABSENT,) * _TASK_SLOT_FEATURES)
+        out = np.asarray(feats, dtype=np.float64)
+        out.setflags(write=False)
+        return out
+
+    @classmethod
+    def task_feature_len(cls) -> int:
+        return 6 + _N_DIM_FEATURES + N_PARAM_SLOTS * _TASK_SLOT_FEATURES
+
+    @classmethod
+    def config_feature_len(cls) -> int:
+        return N_PARAM_SLOTS * _CONFIG_SLOT_FEATURES
+
+    def digest(self) -> str:
+        """Content hash of the descriptor (stable across processes)."""
+        h = hashlib.sha256()
+        h.update(f"v{DESCRIPTOR_VERSION}|{self.kernel}|{self.size_name}|"
+                 f"{self.space_hash}".encode())
+        h.update(self.vector().tobytes())
+        return h.hexdigest()[:16]
+
+    # -- config features -----------------------------------------------------
+
+    def encode_config(self, config: Mapping[str, int]) -> np.ndarray:
+        """Fixed-width, space-independent encoding of one configuration.
+
+        Per slot: the tile's log2 magnitude normalized by the slot's log2
+        upper bound (where this tile sits between 1 and the full extent), and
+        its rank within the candidate list (how deep into the sorted
+        candidates it is). Unknown parameter names raise — a config from a
+        differently-named space must not silently encode as zeros.
+        """
+        out = np.full(self.config_feature_len(), ABSENT, dtype=np.float64)
+        slot_of = {name: i for i, name in enumerate(self.param_names)}
+        for name, value in config.items():
+            try:
+                slot = slot_of[name]
+            except KeyError:
+                raise ReproError(
+                    f"config parameter {name!r} unknown to task "
+                    f"{self.kernel}/{self.size_name} "
+                    f"(has {', '.join(self.param_names)})"
+                ) from None
+            cands = self.candidates[slot]
+            v = float(value)
+            span = _log2(max(cands))
+            out[slot * _CONFIG_SLOT_FEATURES] = _log2(v) / span if span else 0.0
+            rank = float(np.searchsorted(np.asarray(cands, dtype=float), v))
+            out[slot * _CONFIG_SLOT_FEATURES + 1] = (
+                rank / (len(cands) - 1) if len(cands) > 1 else 0.0
+            )
+        out.setflags(write=False)
+        return out
+
+    def encode_configs(self, configs: Sequence[Mapping[str, int]]) -> np.ndarray:
+        """Stacked :meth:`encode_config` rows — ``(len(configs), width)``."""
+        if not configs:
+            return np.empty((0, self.config_feature_len()), dtype=np.float64)
+        return np.vstack([self.encode_config(c) for c in configs])
+
+    def joined_rows(self, configs: Sequence[Mapping[str, int]]) -> np.ndarray:
+        """Task-vector ⊕ config-encoding rows — the meta-surrogate's X."""
+        cfg = self.encode_configs(configs)
+        task = np.broadcast_to(self.vector(), (cfg.shape[0], self.task_feature_len()))
+        return np.hstack([task, cfg])
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskDescriptor({self.kernel}/{self.size_name}, "
+            f"{self.n_params} params, 2^{self.log2_space_size:.1f} configs, "
+            f"{self.arithmetic_intensity:.1f} flop/byte)"
+        )

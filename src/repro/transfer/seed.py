@@ -1,0 +1,169 @@
+"""Turn a fitted meta-surrogate into a head start for one new task.
+
+:class:`TransferSeed` ranks candidate configurations of the *target* space by
+the meta-surrogate's predicted runtime (optionally a lower confidence bound,
+``kappa > 0``) and exposes two hand-off points into the optimizer:
+
+* :meth:`initial_design` — the top-ranked configurations, consumed by
+  :class:`repro.ytopt.optimizer.Optimizer` in place of its random initial
+  design (``transfer_seed=``), so the first measurements land where the
+  corpus says fast configurations live;
+* :meth:`score` — meta-LCB scores for an arbitrary candidate list, which the
+  optimizer blends into its acquisition ranking as a decaying prior bias
+  (``transfer_bias=``) after the initial phase.
+
+Candidate generation uses the seeder's **own** deterministic RNG, never the
+session's configuration-space RNG: a transfer-seeded run and a cold run draw
+identical random streams for everything the seeder does not explicitly
+replace, which keeps A/B trajectory comparisons honest. Small spaces are
+enumerated outright; large ones are covered by a fixed-size random pool.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+from itertools import product
+
+import numpy as np
+
+from repro.common.errors import ReproError
+from repro.transfer.descriptors import TaskDescriptor
+from repro.transfer.meta import MetaSurrogate
+
+#: Spaces up to this many configurations are ranked exhaustively.
+ENUMERATE_LIMIT = 8192
+
+#: Pool size drawn from larger spaces before ranking.
+DEFAULT_POOL = 4096
+
+#: The initial design picks from the top ``DIVERSIFY_FACTOR * n`` ranked
+#: candidates, spread by farthest-point traversal, rather than the raw top-n.
+DIVERSIFY_FACTOR = 8
+
+
+class TransferSeed:
+    """Ranked candidate seeds for one (kernel, size), from a meta-surrogate."""
+
+    def __init__(
+        self,
+        meta: MetaSurrogate,
+        kernel: str,
+        size_name: str,
+        seed: int = 0,
+        kappa: float = 0.0,
+        pool_size: int = DEFAULT_POOL,
+        enforce_exclusion: bool = True,
+    ) -> None:
+        """Rank the target space immediately (construction does the work).
+
+        ``kappa`` is the LCB exploration weight; the default 0 ranks by
+        predicted mean alone. That is deliberate: a seeder should *exploit*
+        the corpus (the in-session optimizer supplies its own exploration),
+        and a positive kappa steers seeds toward configurations the
+        meta-surrogate knows least about — the opposite of a head start.
+
+        ``enforce_exclusion`` (default on) refuses a meta-surrogate that
+        trained on the very task it is about to seed — the leave-task-out
+        honesty contract. Disable only for deliberate same-task reuse
+        experiments, where warm-start is usually the better tool anyway.
+        """
+        if pool_size < 1:
+            raise ReproError(f"pool_size must be >= 1, got {pool_size}")
+        self.meta = meta
+        self.kernel = kernel
+        self.size_name = size_name
+        self.seed = seed
+        self.kappa = kappa
+        self.descriptor = TaskDescriptor.from_task(kernel, size_name)
+        if enforce_exclusion:
+            meta.assert_excludes(kernel, size_name)
+        self._rng = np.random.default_rng(seed)
+        self._pool = self._build_pool(pool_size)
+        mean, std = meta.predict(self.descriptor, self._pool)
+        self._lcb = mean - kappa * std
+        self._order = np.argsort(self._lcb, kind="stable")
+
+    # -- candidate pool ------------------------------------------------------
+
+    def _build_pool(self, pool_size: int) -> "list[dict[str, int]]":
+        names = self.descriptor.param_names
+        cands = self.descriptor.candidates
+        space_size = 1
+        for c in cands:
+            space_size *= len(c)
+        if space_size <= ENUMERATE_LIMIT:
+            return [
+                dict(zip(names, combo)) for combo in product(*cands)
+            ]
+        pool: list[dict[str, int]] = []
+        seen: set[tuple[int, ...]] = set()
+        # Draw index tuples, not dicts: dedup on the tuple is cheap, and the
+        # space is vastly larger than the pool so collisions are rare.
+        draws = 0
+        while len(pool) < pool_size:
+            combo = tuple(
+                int(c[int(self._rng.integers(len(c)))]) for c in cands
+            )
+            draws += 1
+            if combo in seen:
+                if draws > pool_size * 64:
+                    break  # pathological; keep what we have
+                continue
+            seen.add(combo)
+            pool.append(dict(zip(names, combo)))
+        return pool
+
+    # -- hand-off points -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    def initial_design(self, n: int) -> "list[dict[str, int]]":
+        """``n`` diversified picks from the best-ranked configurations.
+
+        Exploit first, hedge second: the leading ``ceil(n/2)`` picks are the
+        straight top of the ranking — if the corpus is right about this task,
+        the band is hit within a handful of evaluations. The remaining picks
+        greedily spread across the top ``DIVERSIFY_FACTOR * n`` shortlist by
+        farthest-point traversal in the config-encoding space (each pick
+        maximizes its distance to everything already picked), so a wrong
+        prior does not waste the whole design on one region. Deterministic
+        (stable ranking, first-index tie-breaks), no RNG involved.
+        """
+        if n < 0:
+            raise ReproError(f"initial design size must be >= 0, got {n}")
+        if n == 0 or not self._pool:
+            return []
+        shortlist = [int(i) for i in self._order[: max(n * DIVERSIFY_FACTOR, n)]]
+        enc = self.descriptor.encode_configs([self._pool[i] for i in shortlist])
+        n_exploit = min((n + 1) // 2, len(shortlist))
+        chosen = list(range(n_exploit))  # the ranking's own top picks lead
+        while len(chosen) < min(n, len(shortlist)):
+            dist = np.full(len(shortlist), np.inf)
+            for j in chosen:
+                dist = np.minimum(dist, np.linalg.norm(enc - enc[j], axis=1))
+            dist[chosen] = -np.inf
+            chosen.append(int(np.argmax(dist)))
+        return [dict(self._pool[shortlist[j]]) for j in chosen]
+
+    def score(self, configs: Sequence[Mapping[str, int]]) -> np.ndarray:
+        """Meta-LCB per config (log-runtime units; lower = predicted faster)."""
+        mean, std = self.meta.predict(self.descriptor, [dict(c) for c in configs])
+        return mean - self.kappa * std
+
+    def summary(self) -> dict:
+        """JSON-safe provenance for run metadata and ``transfer inspect``."""
+        best = self._pool[int(self._order[0])] if self._pool else None
+        return {
+            "kernel": self.kernel,
+            "size_name": self.size_name,
+            "descriptor": self.descriptor.digest(),
+            "pool": len(self._pool),
+            "meta_fingerprint": self.meta.info.fingerprint if self.meta.info else None,
+            "meta_tasks": (
+                [f"{k}/{s}" for k, s in self.meta.info.tasks] if self.meta.info else []
+            ),
+            "top_config": best,
+            "top_lcb": float(self._lcb[self._order[0]]) if self._pool else math.nan,
+        }

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Mapping
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -26,6 +27,9 @@ from repro.telemetry.context import get_telemetry
 from repro.telemetry.events import SurrogateFitted
 from repro.ytopt.acquisition import AcquisitionFunction, LowerConfidenceBound
 from repro.ytopt.surrogate import RandomForestSurrogate, Surrogate
+
+if TYPE_CHECKING:  # avoid repro.transfer <-> repro.ytopt import cycle
+    from repro.transfer.seed import TransferSeed
 
 
 class Optimizer:
@@ -41,6 +45,13 @@ class Optimizer:
         n_neighbor_candidates: int = 32,
         refit_interval: int = 1,
         seed: int | None = None,
+        #: Transfer learning (see :class:`repro.transfer.TransferSeed`): the
+        #: seeder's top-ranked configurations replace the random initial
+        #: design, and — when ``transfer_bias`` > 0 — its meta-surrogate
+        #: scores are blended into acquisition ranking with a weight that
+        #: decays as real observations accumulate.
+        transfer_seed: "TransferSeed | None" = None,
+        transfer_bias: float = 0.0,
     ) -> None:
         if n_initial_points < 1:
             raise TuningError(f"n_initial_points must be >= 1, got {n_initial_points}")
@@ -57,6 +68,11 @@ class Optimizer:
         self.n_candidates = n_candidates
         self.n_neighbor_candidates = n_neighbor_candidates
         self.refit_interval = refit_interval
+        if transfer_bias < 0:
+            raise TuningError(f"transfer_bias must be >= 0, got {transfer_bias}")
+        self.transfer_seed = transfer_seed
+        self.transfer_bias = transfer_bias
+        self._seed_queue: "list[dict[str, int]] | None" = None
         self._rng = ensure_rng(seed)
         if seed is not None:
             self.space.seed(seed)
@@ -81,6 +97,13 @@ class Optimizer:
     def ask(self) -> Configuration:
         """Propose the next configuration to evaluate."""
         if self.n_told < self.n_initial_points:
+            config = self._next_seeded()
+            if config is None:
+                config = self._sample_unseen()
+        elif self._degenerate_history():
+            # Constant observed costs (single-point spaces, all-failure runs):
+            # the surrogate refuses to fit (see RandomForestSurrogate.fit) and
+            # could not rank candidates anyway — keep exploring at random.
             config = self._sample_unseen()
         else:
             self._maybe_refit()
@@ -106,7 +129,9 @@ class Optimizer:
             picks = []
             picked: set[Configuration] = set()
             for _ in range(n):
-                config = self._sample_unseen(exclude=picked)
+                config = self._next_seeded(exclude=picked)
+                if config is None:
+                    config = self._sample_unseen(exclude=picked)
                 picked.add(config)
                 picks.append(config)
                 self._asked.append(config)
@@ -163,6 +188,8 @@ class Optimizer:
         """
         if self.n_told < self.n_initial_points:
             return None
+        if self._degenerate_history():
+            return None  # constant costs: nothing for a surrogate to rank
         self._maybe_refit()  # ask_batch retracts lies and clears _fitted
         if not isinstance(config, Configuration):
             config = Configuration(self.space, dict(config))
@@ -179,6 +206,31 @@ class Optimizer:
     #: sampling keeps colliding — a duplicate proposal wastes a whole
     #: measurement, enumeration costs microseconds.
     _ENUMERATE_LIMIT = 8192
+
+    def _next_seeded(
+        self, exclude: "set[Configuration] | frozenset" = frozenset()
+    ) -> Configuration | None:
+        """Pop the next unused transfer-seeded configuration, if any.
+
+        The queue is the seeder's ranked initial design (best predicted
+        first), sized to the initial-design budget. Configurations already
+        told — warm-start records, resumed runs — are skipped rather than
+        re-proposed. Returns None once exhausted (or with no seeder), which
+        sends the caller to the usual random path; the session space RNG is
+        never consulted for a seeded pick, so cold and seeded runs stay
+        stream-compatible for everything past the initial design.
+        """
+        if self.transfer_seed is None:
+            return None
+        if self._seed_queue is None:
+            self._seed_queue = self.transfer_seed.initial_design(
+                self.n_initial_points
+            )
+        while self._seed_queue:
+            config = Configuration(self.space, self._seed_queue.pop(0))
+            if config not in self._told and config not in exclude:
+                return config
+        return None
 
     def _sample_unseen(
         self, exclude: "set[Configuration] | frozenset" = frozenset()
@@ -212,6 +264,10 @@ class Optimizer:
             "could not sample an unseen configuration after 4160 draws; "
             "the space appears to be exhausted"
         )
+
+    def _degenerate_history(self) -> bool:
+        """True when the observed costs cannot train a surrogate (all equal)."""
+        return len(self._y) < 2 or all(v == self._y[0] for v in self._y)
 
     def _maybe_refit(self) -> None:
         if not self._fitted or self._since_fit >= self.refit_interval:
@@ -270,7 +326,37 @@ class Optimizer:
 
         mean, std = self.surrogate.predict(np.vstack(rows))
         scores = self.acquisition.score(mean, std, best_y=float(np.min(self._log_y())))
+        scores = self._apply_transfer_bias(scores, candidates)
         return candidates[int(np.argmin(scores))]
+
+    #: Per-observation decay of the transfer prior's weight past the initial
+    #: design: after ~15 real measurements the in-session surrogate has seen
+    #: enough of *this* task that the cross-task prior should stop steering.
+    _TRANSFER_DECAY = 0.85
+
+    def _apply_transfer_bias(
+        self, scores: np.ndarray, candidates: "list[Configuration]"
+    ) -> np.ndarray:
+        """Blend the meta-surrogate prior into the acquisition ranking.
+
+        The prior is standardized across the candidate pool (the meta model
+        predicts a different machine-scale than the live measurements, so only
+        its *ranking* is trusted) and added with weight
+        ``transfer_bias * decay^(n_told - n_initial_points)`` — strong right
+        after the initial design, gone a couple dozen evaluations later.
+        """
+        if self.transfer_seed is None or self.transfer_bias <= 0:
+            return scores
+        weight = self.transfer_bias * (
+            self._TRANSFER_DECAY ** max(0, self.n_told - self.n_initial_points)
+        )
+        if weight < 1e-3:
+            return scores
+        prior = self.transfer_seed.score([c.get_dictionary() for c in candidates])
+        spread = float(prior.std())
+        if spread <= 0:
+            return scores
+        return scores + weight * (prior - float(prior.mean())) / spread
 
     def _log_y(self) -> np.ndarray:
         y = np.asarray(self._y)

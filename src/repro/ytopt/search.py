@@ -82,6 +82,13 @@ class AMBS:
         #: start with a matching budget replays the stored result without
         #: re-measuring anything.
         warm_start: PerformanceDatabase | None = None,
+        #: Transfer learning (see :class:`repro.transfer.TransferSeed`): seeds
+        #: the default optimizer's initial design with corpus-ranked
+        #: configurations and biases early acquisition. Ignored when an
+        #: explicit ``optimizer`` is passed — configure that optimizer
+        #: directly instead.
+        transfer_seed=None,
+        transfer_bias: float = 0.0,
     ) -> None:
         if max_evals < 1:
             raise TuningError(f"max_evals must be >= 1, got {max_evals}")
@@ -99,10 +106,20 @@ class AMBS:
         if prune_overhead < 0:
             raise TuningError(f"prune_overhead must be >= 0, got {prune_overhead}")
         self.problem = problem
+        if optimizer is not None and transfer_seed is not None:
+            raise TuningError(
+                "pass transfer_seed either to AMBS (default optimizer) or to "
+                "an explicit Optimizer, not both"
+            )
         self.optimizer = (
             optimizer
             if optimizer is not None
-            else Optimizer(problem.space, seed=seed)
+            else Optimizer(
+                problem.space,
+                seed=seed,
+                transfer_seed=transfer_seed,
+                transfer_bias=transfer_bias,
+            )
         )
         self.max_evals = max_evals
         self.max_time = max_time

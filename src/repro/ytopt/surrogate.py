@@ -64,7 +64,24 @@ class RandomForestSurrogate(_LogCostMixin, Surrogate):
         self._fitted = False
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> None:
-        self._model.fit(X, self._transform(np.asarray(y, dtype=float)))
+        y = np.asarray(y, dtype=float)
+        # A degenerate corpus cannot train a useful forest: one sample gives
+        # every tree the same leaf (zero variance everywhere), and constant
+        # targets make the LCB acquisition a coin flip while looking fitted.
+        # Fail loudly instead of letting NaN/zero-variance predictions poison
+        # the search (meta-surrogates over tiny corpora hit this first).
+        if y.size < 2:
+            raise ReproError(
+                f"degenerate training corpus: {y.size} sample(s); a random "
+                f"forest surrogate needs at least 2 observations"
+            )
+        if np.all(y == y.flat[0]):
+            raise ReproError(
+                f"degenerate training corpus: all {y.size} costs equal "
+                f"{y.flat[0]:.6g}; the surrogate cannot rank configurations "
+                f"from constant targets"
+            )
+        self._model.fit(X, self._transform(y))
         self._fitted = True
 
     def predict(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

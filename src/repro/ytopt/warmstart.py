@@ -59,14 +59,21 @@ class WarmStart:
         tuner: str | None = "ytopt",
         max_records: int | None = None,
     ) -> "WarmStart":
-        """Load every matching prior trial from the SQLite store at ``store_path``.
+        """Load every matching prior trial archived at ``store_path``.
+
+        ``store_path`` may be a single SQLite store or a service shard root
+        (the :class:`~repro.service.shards.ShardedRunStore` layout):
+        directories resolve through
+        :func:`repro.telemetry.store.resolve_store_paths` to the merged store
+        plus any un-compacted shard DBs, read merge-on-read style with run_id
+        deduplication — no offline ``repro merge`` required first.
 
         ``tuner`` restricts which runs are trusted (default: only prior ytopt
         runs — pass None to accept any tuner's measurements). ``max_records``
         caps how many records are kept (earliest runs first), so a huge
         archive cannot swamp the surrogate.
         """
-        from repro.telemetry.store import RunStore
+        from repro.telemetry.store import RunStore, resolve_store_paths
 
         path = Path(store_path)
         if not path.exists():
@@ -77,33 +84,38 @@ class WarmStart:
             kernel=kernel, size_name=size_name, database=db, source=str(path)
         )
         seen: set[tuple] = set()
-        with RunStore(path) as store:
-            for run in store.runs(kernel=kernel, size_name=size_name, tuner=tuner):
-                stored_hash = run.metadata.get("space_hash")
-                if stored_hash != expected_hash:
-                    ws.skipped_runs += 1
-                    continue
-                ws.matched_runs += 1
-                ws.run_ids.append(run.run_id)
-                for ev in store.evaluations(run.run_id):
-                    key = tuple(sorted(ev.config.items()))
-                    if ev.fidelity == "pruned" or key in seen:
-                        ws.skipped_records += 1
+        seen_runs: set[str] = set()
+        for store_file in resolve_store_paths(path):
+            with RunStore(store_file) as store:
+                for run in store.runs(kernel=kernel, size_name=size_name, tuner=tuner):
+                    if run.run_id in seen_runs:
+                        continue  # merged store + leftover shard: same run
+                    seen_runs.add(run.run_id)
+                    stored_hash = run.metadata.get("space_hash")
+                    if stored_hash != expected_hash:
+                        ws.skipped_runs += 1
                         continue
-                    if max_records is not None and len(db) >= max_records:
-                        ws.skipped_records += 1
-                        continue
-                    seen.add(key)
-                    db._records.append(
-                        EvaluationRecord(
-                            index=len(db),
-                            config=dict(ev.config),
-                            runtime=ev.runtime,
-                            compile_time=ev.compile_time,
-                            elapsed=ev.elapsed,
-                            tuner=run.tuner,
-                            error=ev.error,
-                            fidelity=ev.fidelity,
+                    ws.matched_runs += 1
+                    ws.run_ids.append(run.run_id)
+                    for ev in store.evaluations(run.run_id):
+                        key = tuple(sorted(ev.config.items()))
+                        if ev.fidelity == "pruned" or key in seen:
+                            ws.skipped_records += 1
+                            continue
+                        if max_records is not None and len(db) >= max_records:
+                            ws.skipped_records += 1
+                            continue
+                        seen.add(key)
+                        db._records.append(
+                            EvaluationRecord(
+                                index=len(db),
+                                config=dict(ev.config),
+                                runtime=ev.runtime,
+                                compile_time=ev.compile_time,
+                                elapsed=ev.elapsed,
+                                tuner=run.tuner,
+                                error=ev.error,
+                                fidelity=ev.fidelity,
+                            )
                         )
-                    )
         return ws

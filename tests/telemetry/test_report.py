@@ -10,6 +10,8 @@ from repro.common.errors import ReproError
 from repro.telemetry import RunFinished, RunStarted, RunStore, TrialMeasured, make_run_id
 from repro.telemetry.report import (
     compare_stores,
+    evals_to_best_table,
+    evals_to_within,
     evaluation_count_table,
     experiment_from_store,
     report_text,
@@ -197,3 +199,59 @@ class TestCompare:
         base, cand = self._stores(tmp_path, candidate_best=1.0)
         with pytest.raises(ReproError, match="threshold"):
             compare_stores(base, cand, threshold=0.0)
+
+
+class TestEvalsToWithin:
+    def test_counts_first_banded_eval_one_based(self):
+        traj = [(1.0, 5.0), (2.0, 2.0), (3.0, 1.04), (4.0, 0.9)]
+        assert evals_to_within(traj, target=1.0, tolerance=0.05) == 3
+
+    def test_best_so_far_not_instantaneous(self):
+        # A later slow eval does not un-hit the band.
+        traj = [(1.0, 1.0), (2.0, 50.0)]
+        assert evals_to_within(traj, target=1.0) == 1
+
+    def test_never_reaching_returns_none(self):
+        assert evals_to_within([(1.0, 9.0), (2.0, 8.0)], target=1.0) is None
+
+    def test_empty_trajectory_never_reaches(self):
+        assert evals_to_within([], target=1.0) is None
+
+    def test_zero_tolerance_demands_the_target_itself(self):
+        traj = [(1.0, 1.0001), (2.0, 1.0)]
+        assert evals_to_within(traj, target=1.0, tolerance=0.0) == 2
+
+    def test_invalid_target_and_tolerance(self):
+        with pytest.raises(ReproError, match="target"):
+            evals_to_within([(1.0, 1.0)], target=0.0)
+        with pytest.raises(ReproError, match="target"):
+            evals_to_within([(1.0, 1.0)], target=float("inf"))
+        with pytest.raises(ReproError, match="tolerance"):
+            evals_to_within([(1.0, 1.0)], target=1.0, tolerance=-0.1)
+
+
+class TestEvalsToBestTable:
+    def test_table_anchors_on_cross_tuner_best(self, tmp_path):
+        with build_golden_store(tmp_path / "g.sqlite") as store:
+            text = evals_to_best_table(store, "lu", "large")
+        lines = text.splitlines()
+        # Known best is ytopt's 0.0123; AutoTVM-GA's best 0.0456 is far
+        # outside the 5% band -> "never".
+        assert "0.0123" in lines[0]
+        ytopt_row = next(l for l in lines if l.startswith("ytopt"))
+        autotvm_row = next(l for l in lines if l.startswith("AutoTVM-GA"))
+        assert ytopt_row.split()[-2] == "3"
+        assert autotvm_row.split()[-2] == "never"
+
+    def test_missing_runs_raise(self, tmp_path):
+        with RunStore(tmp_path / "r.sqlite") as store:
+            with pytest.raises(ReproError, match="no stored runs"):
+                evals_to_best_table(store, "lu", "large")
+
+    def test_report_text_unchanged_unless_opted_in(self, tmp_path):
+        with build_golden_store(tmp_path / "g.sqlite") as store:
+            plain = report_text(store)
+            banded = report_text(store, to_best=True)
+        assert plain == GOLDEN.read_text()  # default output untouched
+        assert "Evals to within" not in plain
+        assert "Evals to within" in banded

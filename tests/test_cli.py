@@ -218,3 +218,51 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestTransfer:
+    def _corpus(self, db, capsys):
+        for kernel in ("lu", "cholesky"):
+            assert main(["tune", "--kernel", kernel, "--size", "large",
+                         "--tuner", "ytopt", "--max-evals", "6", "--seed", "1",
+                         "--quiet", "--db", str(db)]) == 0
+        capsys.readouterr()
+
+    def test_inspect_then_fit_then_seeded_tune(self, tmp_path, capsys):
+        import json
+
+        db = tmp_path / "runs.sqlite"
+        self._corpus(db, capsys)
+
+        assert main(["transfer", "inspect", "--db", str(db)]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["n_tasks"] == 2 and summary["n_records"] == 12
+
+        assert main(["transfer", "fit", "--db", str(db),
+                     "--exclude", "3mm/large"]) == 0
+        fitted = json.loads(capsys.readouterr().out)
+        assert fitted["meta"]["excluded"] == "3mm/large"
+        from pathlib import Path
+
+        assert Path(fitted["model"]).exists()
+
+        # Transfer-seeded tune of a task the corpus never saw.
+        assert main(["tune", "--kernel", "3mm", "--size", "large",
+                     "--tuner", "ytopt", "--max-evals", "4", "--seed", "0",
+                     "--quiet", "--transfer-db", str(db),
+                     "--label", "ytopt-transfer"]) == 0
+        assert "best" in capsys.readouterr().out
+
+    def test_bad_exclude_format_rejected(self, tmp_path, capsys):
+        db = tmp_path / "runs.sqlite"
+        self._corpus(db, capsys)
+        assert main(["transfer", "fit", "--db", str(db),
+                     "--exclude", "nonsense"]) == 2
+
+    def test_transfer_db_requires_ytopt_tuner(self, tmp_path, capsys):
+        db = tmp_path / "runs.sqlite"
+        self._corpus(db, capsys)
+        rc = main(["tune", "--kernel", "lu", "--size", "large",
+                   "--tuner", "AutoTVM-GA", "--max-evals", "4", "--quiet",
+                   "--transfer-db", str(db)])
+        assert rc != 0

@@ -1,0 +1,166 @@
+"""Corpus assembly: store scanning, hygiene filters, and merge invariance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.configspace import space_hash
+from repro.experiments import run_tuner
+from repro.kernels import get_benchmark
+from repro.service.shards import ShardedRunStore
+from repro.telemetry import (
+    RunFinished,
+    RunStarted,
+    RunStore,
+    StoreSink,
+    Telemetry,
+    TrialMeasured,
+    telemetry_session,
+)
+from repro.transfer import TaskDescriptor, TransferCorpus
+
+
+def _archive(db_path, specs):
+    """Archive quick ytopt runs: specs = [(kernel, size, seed, evals), ...]."""
+    tel = Telemetry(sinks=[StoreSink(RunStore(db_path), own_store=True)])
+    with telemetry_session(tel):  # closes tel (and the store) on exit
+        for kernel, size, seed, evals in specs:
+            run_tuner(get_benchmark(kernel, size), "ytopt",
+                      max_evals=evals, seed=seed)
+
+
+def _manual_run(store, kernel, size, seed, trials, hash_value=None, tuner="ytopt"):
+    if hash_value is None:
+        hash_value = space_hash(get_benchmark(kernel, size).config_space())
+    run_id = f"{kernel}:{size}:{tuner}:seed{seed}"
+    store.save_run(
+        RunStarted(
+            run_id=run_id, kernel=kernel, size_name=size, tuner=tuner,
+            seed=seed, max_evals=len(trials),
+            metadata={"space_hash": hash_value},
+        ),
+        RunFinished(
+            run_id=run_id,
+            best_runtime=min(t.runtime for t in trials),
+            best_config=trials[0].config,
+            n_evals=len(trials),
+            total_time=trials[-1].elapsed,
+        ),
+        trials,
+    )
+    return run_id
+
+
+def _trial(config, runtime, elapsed, fidelity="full", error=None):
+    return TrialMeasured(config=config, runtime=runtime, compile_time=0.1,
+                        elapsed=elapsed, fidelity=fidelity, error=error)
+
+
+class TestFromStore:
+    def test_joins_descriptors_to_evaluations(self, tmp_path):
+        db = tmp_path / "runs.sqlite"
+        _archive(db, [("lu", "large", 0, 8), ("cholesky", "large", 0, 8)])
+        corpus = TransferCorpus.from_store(db)
+        assert corpus.n_tasks == 2
+        assert len(corpus) == 16
+        X, y = corpus.matrix()
+        assert X.shape == (
+            16,
+            TaskDescriptor.task_feature_len() + TaskDescriptor.config_feature_len(),
+        )
+        assert (y > 0).all()
+        assert set(corpus.task_of_row()) == {("lu", "large"), ("cholesky", "large")}
+
+    def test_exclude_drops_the_target_task(self, tmp_path):
+        db = tmp_path / "runs.sqlite"
+        _archive(db, [("lu", "large", 0, 6), ("cholesky", "large", 0, 6)])
+        corpus = TransferCorpus.from_store(db, exclude=("lu", "large"))
+        assert list(corpus.tasks) == [("cholesky", "large")]
+        assert len(corpus) == 6
+
+    def test_pruned_failed_and_duplicate_rows_are_skipped(self, tmp_path):
+        db = tmp_path / "runs.sqlite"
+        with RunStore(db) as store:
+            _manual_run(store, "lu", "large", 0, [
+                _trial({"P0": 8, "P1": 8}, 1.0, 1.0),
+                _trial({"P0": 10, "P1": 8}, 2.0, 2.0, fidelity="pruned"),
+                _trial({"P0": 16, "P1": 8}, 1.5, 3.0, error="boom"),
+                _trial({"P0": 8, "P1": 8}, 1.1, 4.0),  # duplicate config
+            ])
+        corpus = TransferCorpus.from_store(db)
+        assert len(corpus) == 1
+        assert corpus.skipped_records == 3
+
+    def test_stale_space_hash_skips_the_run(self, tmp_path):
+        db = tmp_path / "runs.sqlite"
+        with RunStore(db) as store:
+            _manual_run(store, "lu", "large", 0,
+                        [_trial({"P0": 8, "P1": 8}, 1.0, 1.0)],
+                        hash_value="00ddeadbeef0")
+        corpus = TransferCorpus.from_store(db)
+        assert len(corpus) == 0
+        assert corpus.skipped_runs == 1
+
+    def test_unknown_kernel_rows_are_skipped_not_fatal(self, tmp_path):
+        db = tmp_path / "runs.sqlite"
+        with RunStore(db) as store:
+            _manual_run(store, "gemm", "large", 0,
+                        [_trial({"P0": 8}, 1.0, 1.0)], hash_value="ffff")
+            _manual_run(store, "lu", "large", 0,
+                        [_trial({"P0": 8, "P1": 8}, 1.0, 1.0)])
+        corpus = TransferCorpus.from_store(db)
+        assert list(corpus.tasks) == [("lu", "large")]
+        assert corpus.skipped_runs == 1
+
+    def test_max_records_per_task_caps_contribution(self, tmp_path):
+        db = tmp_path / "runs.sqlite"
+        _archive(db, [("lu", "large", 0, 10)])
+        corpus = TransferCorpus.from_store(db, max_records_per_task=4)
+        assert len(corpus) == 4
+
+    def test_missing_store_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            TransferCorpus.from_store(tmp_path / "nope.sqlite")
+
+
+class TestMergeInvariance:
+    def test_fingerprint_identical_across_shards_and_merged(self, tmp_path):
+        """Scanning shard files directly == scanning the merged store."""
+        root = tmp_path / "service"
+        sharded = ShardedRunStore(root)
+        with sharded.open_shard("s1") as s1:
+            _manual_run(s1, "lu", "large", 0,
+                        [_trial({"P0": 8, "P1": 8}, 1.0, 1.0)])
+        with sharded.open_shard("s2") as s2:
+            _manual_run(s2, "cholesky", "large", 0,
+                        [_trial({"P0": 10, "P1": 8}, 2.0, 1.0)])
+        from_shards = TransferCorpus.from_store(root)
+        sharded.merge(compact=True)
+        from_merged = TransferCorpus.from_store(root)
+        assert from_shards.fingerprint() == from_merged.fingerprint()
+        assert len(from_shards) == len(from_merged) == 2
+        # Descriptor digests (the feature layout) also survive the merge.
+        for key, samples in from_shards.tasks.items():
+            assert samples.descriptor.digest() == (
+                from_merged.tasks[key].descriptor.digest()
+            )
+
+    def test_merged_plus_leftover_shard_is_deduplicated(self, tmp_path):
+        root = tmp_path / "service"
+        sharded = ShardedRunStore(root)
+        with sharded.open_shard("s1") as s1:
+            _manual_run(s1, "lu", "large", 0,
+                        [_trial({"P0": 8, "P1": 8}, 1.0, 1.0)])
+        sharded.merge(compact=False)  # shard remains next to merged.sqlite
+        corpus = TransferCorpus.from_store(root)
+        assert len(corpus) == 1  # run seen once, not twice
+        assert corpus.tasks[("lu", "large")].n_runs == 1
+
+    def test_fingerprint_changes_with_new_evidence(self, tmp_path):
+        db = tmp_path / "runs.sqlite"
+        _archive(db, [("lu", "large", 0, 4)])
+        before = TransferCorpus.from_store(db).fingerprint()
+        _archive(db, [("cholesky", "large", 0, 4)])
+        after = TransferCorpus.from_store(db).fingerprint()
+        assert before != after

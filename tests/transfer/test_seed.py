@@ -1,0 +1,146 @@
+"""TransferSeed: deterministic ranking, exclusion honesty, optimizer wiring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ReproError
+from repro.kernels import get_benchmark
+from repro.transfer import MetaSurrogate, TransferCorpus, TransferSeed
+from repro.ytopt import Optimizer
+
+from tests.transfer.test_corpus import _archive
+
+
+@pytest.fixture(scope="module")
+def meta(tmp_path_factory):
+    """A meta-surrogate fit on lu+cholesky/large, honest for any other task."""
+    db = tmp_path_factory.mktemp("seedcorpus") / "runs.sqlite"
+    _archive(db, [("lu", "large", 0, 10), ("cholesky", "large", 0, 10)])
+    return MetaSurrogate(seed=0).fit(TransferCorpus.from_store(db))
+
+
+@pytest.fixture(scope="module")
+def meta_excl_lu(tmp_path_factory):
+    db = tmp_path_factory.mktemp("seedcorpus2") / "runs.sqlite"
+    _archive(db, [("lu", "large", 0, 10), ("cholesky", "large", 0, 10),
+                  ("cholesky", "extralarge", 0, 10)])
+    corpus = TransferCorpus.from_store(db, exclude=("lu", "large"))
+    return MetaSurrogate(seed=0).fit(corpus, excluded=("lu", "large"))
+
+
+class TestRanking:
+    def test_small_space_is_enumerated(self, meta_excl_lu):
+        ts = TransferSeed(meta_excl_lu, "lu", "large", seed=0)
+        space = get_benchmark("lu", "large")
+        expected = 1
+        for cands in space.candidates.values():
+            expected *= len(cands)
+        assert len(ts) == expected
+
+    def test_large_space_uses_bounded_pool(self, meta_excl_lu):
+        ts = TransferSeed(meta_excl_lu, "3mm", "large", seed=0, pool_size=256)
+        assert len(ts) == 256
+        assert len({tuple(sorted(c.items())) for c in ts._pool}) == 256
+
+    def test_deterministic_across_instances(self, meta_excl_lu):
+        a = TransferSeed(meta_excl_lu, "3mm", "large", seed=7, pool_size=128)
+        b = TransferSeed(meta_excl_lu, "3mm", "large", seed=7, pool_size=128)
+        assert a.initial_design(8) == b.initial_design(8)
+        assert a.summary() == b.summary()
+
+    def test_initial_design_distinct_and_valid(self, meta_excl_lu):
+        ts = TransferSeed(meta_excl_lu, "lu", "large", seed=0)
+        design = ts.initial_design(10)
+        assert len(design) == 10
+        assert len({tuple(sorted(c.items())) for c in design}) == 10
+        bench = get_benchmark("lu", "large")
+        for config in design:
+            for name, value in config.items():
+                assert value in bench.candidates[name]
+
+    def test_exploit_first_then_spread(self, meta_excl_lu):
+        """Leading half = straight top ranks; back half diversifies."""
+        ts = TransferSeed(meta_excl_lu, "lu", "large", seed=0)
+        design = ts.initial_design(10)
+        top = [dict(ts._pool[i]) for i in ts._order[:5]]
+        assert design[:5] == top
+
+    def test_score_matches_ranking(self, meta_excl_lu):
+        ts = TransferSeed(meta_excl_lu, "lu", "large", seed=0)
+        design = ts.initial_design(4)
+        scores = ts.score(design)
+        assert scores.shape == (4,)
+        # Exploit picks come back in ascending predicted-cost order.
+        assert np.all(np.diff(scores[:2]) >= 0)
+
+    def test_invalid_pool_size(self, meta_excl_lu):
+        with pytest.raises(ReproError, match="pool_size"):
+            TransferSeed(meta_excl_lu, "lu", "large", pool_size=0)
+
+    def test_negative_design_size(self, meta_excl_lu):
+        ts = TransferSeed(meta_excl_lu, "lu", "large", seed=0)
+        with pytest.raises(ReproError, match=">= 0"):
+            ts.initial_design(-1)
+
+
+class TestExclusionHonesty:
+    def test_refuses_task_the_meta_trained_on(self, meta):
+        with pytest.raises(ReproError, match="refusing to seed"):
+            TransferSeed(meta, "lu", "large", seed=0)
+
+    def test_opt_out_for_deliberate_reuse(self, meta):
+        ts = TransferSeed(meta, "lu", "large", seed=0, enforce_exclusion=False)
+        assert len(ts.initial_design(3)) == 3
+
+    def test_unseen_task_is_fine(self, meta):
+        ts = TransferSeed(meta, "3mm", "large", seed=0, pool_size=64)
+        assert ts.summary()["meta_tasks"] == ["cholesky/large", "lu/large"]
+
+
+class TestOptimizerWiring:
+    def test_seeded_configs_are_the_first_asks(self, meta_excl_lu):
+        ts = TransferSeed(meta_excl_lu, "lu", "large", seed=0)
+        bench = get_benchmark("lu", "large")
+        opt = Optimizer(bench.config_space(seed=0), n_initial_points=6,
+                        seed=0, transfer_seed=ts)
+        design = ts.initial_design(6)
+        for expected in design:
+            config = opt.ask()
+            assert dict(config) == expected
+            opt.tell(config, 1.0 + expected["P0"] / 1000.0)
+
+    def test_post_seed_asks_leave_the_design(self, meta_excl_lu):
+        ts = TransferSeed(meta_excl_lu, "lu", "large", seed=0)
+        bench = get_benchmark("lu", "large")
+        opt = Optimizer(bench.config_space(seed=0), n_initial_points=3,
+                        seed=0, transfer_seed=ts, transfer_bias=0.5)
+        seeded = {tuple(sorted(c.items())) for c in ts.initial_design(3)}
+        for _ in range(3):
+            c = opt.ask()
+            opt.tell(c, float(c["P0"]))
+        c = opt.ask()  # model-guided phase; must not re-propose a seed
+        assert tuple(sorted(dict(c).items())) not in seeded
+        opt.tell(c, float(c["P0"]))
+
+    def test_negative_bias_rejected(self, meta_excl_lu):
+        from repro.common.errors import TuningError
+
+        ts = TransferSeed(meta_excl_lu, "lu", "large", seed=0)
+        bench = get_benchmark("lu", "large")
+        with pytest.raises(TuningError):
+            Optimizer(bench.config_space(seed=0), seed=0,
+                      transfer_seed=ts, transfer_bias=-0.1)
+
+    def test_cold_stream_unchanged_by_transfer_module_import(self):
+        """A cold optimizer asks identically whether or not transfer exists."""
+        bench = get_benchmark("lu", "large")
+        a = Optimizer(bench.config_space(seed=5), n_initial_points=4, seed=5)
+        b = Optimizer(bench.config_space(seed=5), n_initial_points=4, seed=5,
+                      transfer_seed=None, transfer_bias=0.0)
+        for _ in range(4):
+            ca, cb = a.ask(), b.ask()
+            assert dict(ca) == dict(cb)
+            a.tell(ca, 1.0)
+            b.tell(cb, 1.0)

@@ -81,3 +81,30 @@ class TestDummySurrogate:
         mean, std = s.predict(X[:6])
         assert np.allclose(mean, mean[0])
         assert np.allclose(std, 1.0)
+
+
+class TestDegenerateCorpusGuard:
+    """RF fit refuses corpora it cannot learn from, loudly and early."""
+
+    def test_single_sample_refused(self):
+        with pytest.raises(ReproError, match="at least 2 observations"):
+            RandomForestSurrogate(seed=0).fit(
+                np.ones((1, 3)), np.asarray([1.0])
+            )
+
+    def test_empty_corpus_refused(self):
+        with pytest.raises(ReproError, match="0 sample"):
+            RandomForestSurrogate(seed=0).fit(
+                np.empty((0, 3)), np.empty(0)
+            )
+
+    def test_constant_targets_refused(self, data):
+        X, _ = data
+        with pytest.raises(ReproError, match="constant targets"):
+            RandomForestSurrogate(seed=0).fit(X, np.full(X.shape[0], 2.5))
+
+    def test_two_distinct_samples_fit_fine(self):
+        s = RandomForestSurrogate(seed=0)
+        s.fit(np.asarray([[0.0], [1.0]]), np.asarray([1.0, 2.0]))
+        mean, std = s.predict(np.asarray([[0.5]]))
+        assert np.isfinite(mean).all() and np.isfinite(std).all()

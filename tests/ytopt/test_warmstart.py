@@ -213,3 +213,79 @@ class TestRoundTrip:
             bench, "AutoTVM-GA", max_evals=6, seed=0, warm_start_db=str(db)
         )
         assert warm.trajectory == cold.trajectory
+
+
+class TestShardRootResolution:
+    """--warm-start-db can point at a service shard root, not just a file."""
+
+    def _hash(self):
+        return space_hash(get_benchmark("lu", "large").config_space())
+
+    def test_unmerged_shards_are_discovered(self, tmp_path):
+        from repro.service.shards import ShardedRunStore
+
+        root = tmp_path / "service"
+        sharded = ShardedRunStore(root)
+        with sharded.open_shard("s1") as s1:
+            _manual_run(s1, 0, [_trial({"P0": 8, "P1": 8}, 1.0, 1.0)],
+                        self._hash())
+        with sharded.open_shard("s2") as s2:
+            _manual_run(s2, 1, [_trial({"P0": 10, "P1": 8}, 2.0, 1.0)],
+                        self._hash())
+        ws = WarmStart.from_store(
+            root, "lu", "large", get_benchmark("lu", "large").config_space()
+        )
+        assert len(ws) == 2
+
+    def test_merged_plus_leftover_shard_deduplicates(self, tmp_path):
+        from repro.service.shards import ShardedRunStore
+
+        root = tmp_path / "service"
+        sharded = ShardedRunStore(root)
+        with sharded.open_shard("s1") as s1:
+            _manual_run(s1, 0, [_trial({"P0": 8, "P1": 8}, 1.0, 1.0)],
+                        self._hash())
+        sharded.merge(compact=False)  # shard file stays beside merged.sqlite
+        ws = WarmStart.from_store(
+            root, "lu", "large", get_benchmark("lu", "large").config_space()
+        )
+        assert len(ws) == 1
+
+
+class TestCrossKernelLeakage:
+    """lu and cholesky share a (shape-derived) space hash at equal size.
+
+    The hash alone therefore cannot tell their archives apart — the kernel
+    filter is the leakage barrier, and this pins it: cholesky warm-start must
+    refuse lu history even though every hash matches. (Cross-kernel transfer
+    is the transfer subsystem's job, which goes through task descriptors,
+    not through warm-start replay.)
+    """
+
+    def test_same_size_solver_spaces_share_a_hash(self):
+        assert space_hash(
+            get_benchmark("lu", "large").config_space()
+        ) == space_hash(get_benchmark("cholesky", "large").config_space())
+
+    def test_warmstart_still_refuses_the_other_kernel(self, tmp_path):
+        db = tmp_path / "runs.sqlite"
+        hv = space_hash(get_benchmark("lu", "large").config_space())
+        with RunStore(db) as store:
+            _manual_run(store, 0, [_trial({"P0": 8, "P1": 8}, 1.0, 1.0)], hv,
+                        kernel="lu")
+        ws = WarmStart.from_store(
+            db, "cholesky", "large",
+            get_benchmark("cholesky", "large").config_space(),
+        )
+        assert len(ws) == 0
+
+    def test_matching_kernel_still_loads(self, tmp_path):
+        db = tmp_path / "runs.sqlite"
+        hv = space_hash(get_benchmark("lu", "large").config_space())
+        with RunStore(db) as store:
+            _manual_run(store, 0, [_trial({"P0": 8, "P1": 8}, 1.0, 1.0)], hv,
+                        kernel="lu")
+        ws = WarmStart.from_store(
+            db, "lu", "large", get_benchmark("lu", "large").config_space()
+        )
+        assert len(ws) == 1
