@@ -2,7 +2,8 @@
 
 Installed as the ``repro`` console script::
 
-    repro info                                  # list kernels, sizes, tuners
+    repro info                                  # the paper's kernels and tuners
+    repro list                                  # full plugin registry (7x7)
     repro table1                                # regenerate Table 1
     repro tune --kernel lu --size large --tuner ytopt --max-evals 100
     repro experiment lu-large --evals 100 --csv results/lu-large.csv
@@ -67,6 +68,46 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print()
     print("Tuners: " + ", ".join(ALL_TUNERS))
     print("Experiments: " + ", ".join(EXPERIMENT_FIGURES))
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    """Everything the pluggable registry knows (benchmarks × tuners)."""
+    from repro.bench import benchmark_entries, tuner_specs
+
+    bench_rows = []
+    for entry in benchmark_entries():
+        bench_rows.append([
+            entry.kernel,
+            " ".join(entry.sizes),
+            f"{space_size(entry.kernel, 'medium'):,}",
+            entry.description,
+        ])
+    tuner_rows = [[s.name, s.family, s.description] for s in tuner_specs()]
+    if getattr(args, "json", False):
+        print(json.dumps({
+            "benchmarks": [
+                {"kernel": e.kernel, "sizes": list(e.sizes),
+                 "description": e.description, "tags": list(e.tags)}
+                for e in benchmark_entries()
+            ],
+            "tuners": [
+                {"name": s.name, "family": s.family, "description": s.description}
+                for s in tuner_specs()
+            ],
+        }, indent=2))
+        return 0
+    print(format_table(
+        bench_rows,
+        headers=["benchmark", "sizes", "space@medium", "description"],
+        title=f"Registered benchmarks ({len(bench_rows)})",
+    ))
+    print()
+    print(format_table(
+        tuner_rows,
+        headers=["tuner", "family", "description"],
+        title=f"Registered tuners ({len(tuner_rows)})",
+    ))
     return 0
 
 
@@ -158,15 +199,34 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     try:
         kernel, size, figures = EXPERIMENT_FIGURES[args.name]
     except KeyError:
-        print(f"unknown experiment {args.name!r}; known: "
-              f"{', '.join(EXPERIMENT_FIGURES)}", file=sys.stderr)
-        return 2
+        # Any registered "<kernel>-<size>" pair runs as a custom experiment.
+        from repro.bench import benchmark_entry, benchmark_names
+
+        kernel, _, size = args.name.rpartition("-")
+        if kernel in benchmark_names() and size in benchmark_entry(kernel).sizes:
+            figures = f"custom pair {kernel}/{size}"
+        else:
+            print(f"unknown experiment {args.name!r}; known: "
+                  f"{', '.join(EXPERIMENT_FIGURES)} or any registered "
+                  f"<kernel>-<size> pair (see `repro list`)", file=sys.stderr)
+            return 2
+    tuners = tuple(ALL_TUNERS)
+    if args.tuners:
+        from repro.bench import tuner_names
+
+        tuners = tuple(t.strip() for t in args.tuners.split(",") if t.strip())
+        unknown = [t for t in tuners if t not in tuner_names()]
+        if unknown:
+            print(f"unknown tuner(s): {', '.join(unknown)}; known: "
+                  f"{', '.join(tuner_names())}", file=sys.stderr)
+            return 2
     console = _console_from_args(args)
     telemetry = _telemetry_from_args(args, console)
     with telemetry_session(telemetry) as tel:
         result = run_experiment(
             kernel,
             size,
+            tuners=tuners,
             max_evals=args.evals,
             seed=args.seed,
             jobs=args.jobs,
@@ -519,14 +579,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("info", help="list benchmarks, tuners, experiments")
+    from repro.bench import benchmark_names, tuner_names
+
+    bench_kernels = list(benchmark_names())
+    bench_tuners = list(tuner_names())
+
+    sub.add_parser("info", help="list the paper's benchmarks, tuners, experiments")
     sub.add_parser("table1", help="regenerate Table 1")
 
+    p_list = sub.add_parser(
+        "list", help="list every registered benchmark and tuner (plugin registry)"
+    )
+    p_list.add_argument("--json", action="store_true",
+                        help="machine-readable registry dump")
+
     p_tune = sub.add_parser("tune", help="run one tuner on one benchmark")
-    p_tune.add_argument("--kernel", required=True, choices=["3mm", "lu", "cholesky"])
+    p_tune.add_argument("--kernel", required=True, choices=bench_kernels)
     p_tune.add_argument("--size", required=True,
                         choices=["mini", "small", "medium", "large", "extralarge"])
-    p_tune.add_argument("--tuner", default="ytopt", choices=list(ALL_TUNERS))
+    p_tune.add_argument("--tuner", default="ytopt", choices=bench_tuners)
     p_tune.add_argument("--max-evals", type=int, default=100)
     p_tune.add_argument("--seed", type=int, default=0)
     p_tune.add_argument("--csv", help="write the evaluation trajectory here")
@@ -543,7 +614,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_args(p_tune)
 
     p_exp = sub.add_parser("experiment", help="run a full 5-tuner paper experiment")
-    p_exp.add_argument("name", help=f"one of: {', '.join(EXPERIMENT_FIGURES)}")
+    p_exp.add_argument("name", help=f"one of: {', '.join(EXPERIMENT_FIGURES)}; "
+                       "or any registered <kernel>-<size> pair (see `repro list`)")
+    p_exp.add_argument("--tuners", default=None, metavar="T1,T2,...",
+                       help="comma-separated tuner subset (default: the paper's "
+                       "five; any registered tuner accepted)")
     p_exp.add_argument("--evals", type=int, default=100)
     p_exp.add_argument("--seed", type=int, default=0)
     p_exp.add_argument("--csv", help="write all trajectories here")
@@ -643,10 +718,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sub = sub.add_parser("submit", help="submit one tuning job to a server")
     p_sub.add_argument("--root", default="results/service",
                        help="server root (reads <root>/server.json)")
-    p_sub.add_argument("--kernel", required=True, choices=["3mm", "lu", "cholesky"])
+    p_sub.add_argument("--kernel", required=True, choices=bench_kernels)
     p_sub.add_argument("--size", required=True,
                        choices=["mini", "small", "medium", "large", "extralarge"])
-    p_sub.add_argument("--tuner", default="ytopt", choices=list(ALL_TUNERS))
+    p_sub.add_argument("--tuner", default="ytopt", choices=bench_tuners)
     p_sub.add_argument("--max-evals", type=int, default=100)
     p_sub.add_argument("--seed", type=int, default=0)
     p_sub.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -689,6 +764,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 _COMMANDS = {
     "info": _cmd_info,
+    "list": _cmd_list,
     "table1": _cmd_table1,
     "tune": _cmd_tune,
     "experiment": _cmd_experiment,

@@ -32,3 +32,30 @@ class TuningError(ReproError):
 
 class ServiceError(ReproError):
     """A tuning-service operation failed (bad job, server unreachable, ...)."""
+
+
+class RegistryError(ReproError):
+    """A registry lookup failed (unknown benchmark, size, or tuner).
+
+    Carries the requested key and the available entries so callers (CLI,
+    service admission) can render an actionable message without re-querying
+    the registry.
+    """
+
+    def __init__(self, kind: str, requested: str, available: "list[str]") -> None:
+        self.kind = kind
+        self.requested = requested
+        self.available = sorted(available)
+        shown = ", ".join(self.available) if self.available else "(none registered)"
+        super().__init__(f"unknown {kind} {requested!r}; available: {shown}")
+
+    @classmethod
+    def duplicate(cls, kind: str, name: str) -> "RegistryError":
+        err = cls.__new__(cls)
+        ReproError.__init__(
+            err, f"{kind} {name!r} is already registered (pass replace=True)"
+        )
+        err.kind = kind
+        err.requested = name
+        err.available = []
+        return err

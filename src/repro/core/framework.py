@@ -87,22 +87,36 @@ class BayesianAutotuner:
         #: early acquisition by ``transfer_bias``.
         transfer_seed=None,
         transfer_bias: float = 0.0,
+        #: A fully built ask/tell optimizer (e.g. a
+        #: :class:`repro.ytopt.tpe.TPEOptimizer`). When given, the framework
+        #: drives it as-is — ``surrogate``/``transfer_seed`` must then be
+        #: configured on the optimizer itself, not here.
+        optimizer: "Optimizer | None" = None,
     ) -> None:
         self.config = config if config is not None else AutotuneConfig()
         self.problem = TuningProblem(space, evaluator, name=name)
-        self.optimizer = Optimizer(
-            space,
-            surrogate=(
-                surrogate
-                if surrogate is not None
-                else RandomForestSurrogate(seed=self.config.seed)
-            ),
-            acquisition=LowerConfidenceBound(kappa=self.config.kappa),
-            n_initial_points=self.config.n_initial_points,
-            seed=self.config.seed,
-            transfer_seed=transfer_seed,
-            transfer_bias=transfer_bias,
-        )
+        if optimizer is not None:
+            if surrogate is not None or transfer_seed is not None:
+                raise TuningError(
+                    "pass surrogate/transfer_seed either to BayesianAutotuner "
+                    "(default optimizer) or configure the explicit optimizer, "
+                    "not both"
+                )
+            self.optimizer = optimizer
+        else:
+            self.optimizer = Optimizer(
+                space,
+                surrogate=(
+                    surrogate
+                    if surrogate is not None
+                    else RandomForestSurrogate(seed=self.config.seed)
+                ),
+                acquisition=LowerConfidenceBound(kappa=self.config.kappa),
+                n_initial_points=self.config.n_initial_points,
+                seed=self.config.seed,
+                transfer_seed=transfer_seed,
+                transfer_bias=transfer_bias,
+            )
         # warm_start accepts a WarmStart loader or a bare PerformanceDatabase.
         warm_db = getattr(warm_start, "database", warm_start)
         self._search = AMBS(

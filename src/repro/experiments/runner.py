@@ -26,9 +26,9 @@ from dataclasses import dataclass
 from repro.autotvm import PAPER_XGB_TRIAL_CAP
 from repro.kernels.registry import KernelBenchmark, get_benchmark
 from repro.service.jobs import JobSpec
+from repro.bench.tuners import _AUTOTVM_CLASSES  # noqa: F401 - re-exported name
 from repro.service.session import (  # noqa: F401 - re-exported names
     ALL_TUNERS,
-    _AUTOTVM_CLASSES,
     TunerRun,
     TuningSession,
     make_evaluator,

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.common.errors import ReproError
+from repro.common.errors import RegistryError
 
 
 @dataclass(frozen=True)
@@ -28,6 +28,37 @@ class SolverSize:
     """LU / Cholesky operate on an N×N matrix."""
 
     n: int
+
+
+@dataclass(frozen=True)
+class GemmSize:
+    """gemm computes C(NI,NJ) += alpha·A(NI,NK)·B(NK,NJ)."""
+
+    ni: int
+    nj: int
+    nk: int
+
+
+@dataclass(frozen=True)
+class RankUpdateSize:
+    """syrk / trmm shapes: an (N,N) update built from an (N,M)-ish operand.
+
+    For syrk ``n`` is the output order and ``m`` the reduction depth; for trmm
+    ``n`` is the triangular order M and ``m`` the column count N of B (we keep
+    PolyBench's two numbers under one roof since both kernels are a square
+    update driven by a second extent).
+    """
+
+    n: int
+    m: int
+
+
+@dataclass(frozen=True)
+class StencilSize:
+    """jacobi-2d sweeps an N×N grid TSTEPS times."""
+
+    n: int
+    tsteps: int
 
 
 PROBLEM_SIZES: dict[str, dict[str, object]] = {
@@ -52,20 +83,47 @@ PROBLEM_SIZES: dict[str, dict[str, object]] = {
         "large": SolverSize(2000),
         "extralarge": SolverSize(4000),
     },
+    # PolyBench 4.2 defaults for the plugin-path kernels (repro.bench).
+    "gemm": {
+        "mini": GemmSize(20, 25, 30),
+        "small": GemmSize(60, 70, 80),
+        "medium": GemmSize(200, 220, 240),
+        "large": GemmSize(1000, 1100, 1200),
+        "extralarge": GemmSize(2000, 2300, 2600),
+    },
+    "syrk": {
+        "mini": RankUpdateSize(20, 30),
+        "small": RankUpdateSize(60, 80),
+        "medium": RankUpdateSize(200, 240),
+        "large": RankUpdateSize(1000, 1200),
+        "extralarge": RankUpdateSize(2000, 2600),
+    },
+    "trmm": {
+        "mini": RankUpdateSize(20, 30),
+        "small": RankUpdateSize(60, 80),
+        "medium": RankUpdateSize(200, 240),
+        "large": RankUpdateSize(1000, 1200),
+        "extralarge": RankUpdateSize(2000, 2600),
+    },
+    "jacobi2d": {
+        "mini": StencilSize(30, 20),
+        "small": StencilSize(90, 40),
+        "medium": StencilSize(250, 100),
+        "large": StencilSize(1300, 500),
+        "extralarge": StencilSize(2800, 1000),
+    },
 }
 
 
 def problem_size(kernel: str, size: str):
-    """Look up a preset, with a helpful error for typos."""
+    """Look up a preset; raises a typed :class:`RegistryError` for typos."""
     try:
         by_size = PROBLEM_SIZES[kernel]
     except KeyError:
-        raise ReproError(
-            f"unknown kernel {kernel!r}; known: {sorted(PROBLEM_SIZES)}"
-        ) from None
+        raise RegistryError("kernel", kernel, sorted(PROBLEM_SIZES)) from None
     try:
         return by_size[size]
     except KeyError:
-        raise ReproError(
-            f"unknown problem size {size!r} for {kernel}; known: {sorted(by_size)}"
+        raise RegistryError(
+            f"problem size for kernel {kernel!r}", size, sorted(by_size)
         ) from None

@@ -168,12 +168,21 @@ def _solver_benchmark(kernel: str, size_name: str) -> KernelBenchmark:
 
 
 def get_benchmark(kernel: str, size_name: str) -> KernelBenchmark:
-    """Look up (and construct) the benchmark for a kernel + problem size."""
+    """Look up (and construct) the benchmark for a kernel + problem size.
+
+    The paper's three kernels are built here; anything else is delegated to
+    the pluggable :mod:`repro.bench` registry (imported lazily to keep the
+    module cycle ``bench -> kernels`` one-directional at import time).
+    Unknown kernels and sizes raise the typed
+    :class:`~repro.common.errors.RegistryError` listing what is available.
+    """
     if kernel == "3mm":
         return _threemm_benchmark(size_name)
     if kernel in ("lu", "cholesky"):
         return _solver_benchmark(kernel, size_name)
-    raise ReproError(f"unknown kernel {kernel!r}; known: 3mm, lu, cholesky")
+    from repro.bench.registry import get_benchmark as bench_get_benchmark
+
+    return bench_get_benchmark(kernel, size_name)
 
 
 def list_benchmarks() -> list[tuple[str, str]]:

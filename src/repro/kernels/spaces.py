@@ -13,7 +13,14 @@ from __future__ import annotations
 from repro.common.divisors import divisors
 from repro.common.errors import SpaceError
 from repro.configspace import ConfigurationSpace, OrdinalHyperparameter
-from repro.kernels.problem_sizes import SolverSize, ThreeMMSize, problem_size
+from repro.kernels.problem_sizes import (
+    GemmSize,
+    RankUpdateSize,
+    SolverSize,
+    StencilSize,
+    ThreeMMSize,
+    problem_size,
+)
 
 #: Paper Table 1: parameter-space size for each (kernel, problem size).
 TABLE1_SPACE_SIZES: dict[tuple[str, str], int] = {
@@ -42,6 +49,21 @@ def param_candidates(kernel: str, size_name: str) -> dict[str, tuple[int, ...]]:
         }
     if kernel in ("lu", "cholesky"):
         assert isinstance(size, SolverSize)
+        d = tuple(divisors(size.n))
+        return {"P0": d, "P1": d}
+    if kernel == "gemm":
+        assert isinstance(size, GemmSize)
+        # P0 tiles the output rows (NI), P1 the output columns (NJ).
+        return {"P0": tuple(divisors(size.ni)), "P1": tuple(divisors(size.nj))}
+    if kernel in ("syrk", "trmm"):
+        assert isinstance(size, RankUpdateSize)
+        # Both tile the square update's (rows, cols); trmm's output is (M, N).
+        d = tuple(divisors(size.n))
+        if kernel == "trmm":
+            return {"P0": d, "P1": tuple(divisors(size.m))}
+        return {"P0": d, "P1": d}
+    if kernel == "jacobi2d":
+        assert isinstance(size, StencilSize)
         d = tuple(divisors(size.n))
         return {"P0": d, "P1": d}
     raise SpaceError(f"no parameter space defined for kernel {kernel!r}")

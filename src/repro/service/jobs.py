@@ -75,25 +75,29 @@ class JobSpec:
     fault: dict[str, Any] | None = None
 
     def validate(self) -> None:
-        """Raise :class:`JobRejected` unless this spec can run."""
-        from repro.experiments.runner import ALL_TUNERS
-        from repro.kernels import list_benchmarks
+        """Raise :class:`JobRejected` unless this spec can run.
 
-        known = list_benchmarks()
-        if (self.kernel, self.size) not in known:
-            kernels = sorted({k for k, _ in known})
-            sizes = sorted({s for k, s in known if k == self.kernel})
-            if self.kernel not in kernels:
-                raise JobRejected(
-                    f"unknown kernel {self.kernel!r}; known: {', '.join(kernels)}"
-                )
+        Admission is driven by the pluggable :mod:`repro.bench` registry, so
+        any registered (benchmark, tuner) pair — the paper's kernels, the
+        PolyBench plugins, and user registrations alike — is submittable.
+        """
+        from repro.bench import registry as bench_registry
+
+        kernels = bench_registry.benchmark_names()
+        if self.kernel not in kernels:
+            raise JobRejected(
+                f"unknown kernel {self.kernel!r}; known: {', '.join(kernels)}"
+            )
+        sizes = bench_registry.benchmark_entry(self.kernel).sizes
+        if self.size not in sizes:
             raise JobRejected(
                 f"unknown size {self.size!r} for kernel {self.kernel!r}; "
                 f"known: {', '.join(sizes)}"
             )
-        if self.tuner not in ALL_TUNERS:
+        tuners = bench_registry.tuner_names()
+        if self.tuner not in tuners:
             raise JobRejected(
-                f"unknown tuner {self.tuner!r}; known: {', '.join(ALL_TUNERS)}"
+                f"unknown tuner {self.tuner!r}; known: {', '.join(tuners)}"
             )
         if self.max_evals < 1:
             raise JobRejected(f"max_evals must be >= 1, got {self.max_evals}")

@@ -35,20 +35,13 @@ from collections.abc import Mapping
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.autotvm import (
-    GATuner,
-    GridSearchTuner,
-    Measurer,
-    RandomTuner,
-    XGBTuner,
-    measure_option,
-    task_from_benchmark,
-    PAPER_XGB_TRIAL_CAP,
-)
-from repro.common.errors import ServiceError, TuningError
+from repro.autotvm import Measurer, PAPER_XGB_TRIAL_CAP
+from repro.bench.protocols import TunerContext
+from repro.bench.registry import get_tuner, tuner_names
+from repro.common.errors import RegistryError, ServiceError, TuningError
 from repro.common.timing import VirtualClock
 from repro.configspace import space_hash
-from repro.core.framework import AutotuneConfig, BayesianAutotuner
+from repro.core.framework import BayesianAutotuner
 from repro.kernels.registry import KernelBenchmark, get_benchmark
 from repro.runtime.fidelity import AdaptiveRepeatPolicy, MultiFidelityEvaluator
 from repro.runtime.measure import Evaluator
@@ -62,7 +55,9 @@ from repro.telemetry.sinks import JsonlSink
 from repro.telemetry.store import RunStore, StoreSink
 from repro.ytopt.warmstart import WarmStart
 
-#: Display names, matching the paper's figure legends.
+#: Display names, matching the paper's figure legends. Experiments and the
+#: golden report tables default to exactly these five; the bench registry
+#: (:func:`repro.bench.tuner_names`) lists these plus the newer families.
 ALL_TUNERS = (
     "ytopt",
     "AutoTVM-Random",
@@ -70,13 +65,6 @@ ALL_TUNERS = (
     "AutoTVM-GA",
     "AutoTVM-XGB",
 )
-
-_AUTOTVM_CLASSES = {
-    "AutoTVM-Random": RandomTuner,
-    "AutoTVM-GridSearch": GridSearchTuner,
-    "AutoTVM-GA": GATuner,
-    "AutoTVM-XGB": XGBTuner,
-}
 
 
 class SessionCancelled(ServiceError):
@@ -284,9 +272,13 @@ class TuningSession:
             raise TuningError(f"jobs must be >= 1, got {spec.jobs}")
         if spec.repeats < 1:
             raise TuningError(f"repeats must be >= 1, got {spec.repeats}")
-        if spec.tuner != "ytopt" and spec.tuner not in _AUTOTVM_CLASSES:
-            raise TuningError(f"unknown tuner {spec.tuner!r}; known: {ALL_TUNERS}")
-        if spec.transfer_from is not None and spec.tuner != "ytopt":
+        try:
+            tuner_spec = get_tuner(spec.tuner)
+        except RegistryError:
+            raise TuningError(
+                f"unknown tuner {spec.tuner!r}; known: {tuple(tuner_names())}"
+            ) from None
+        if spec.transfer_from is not None and not tuner_spec.supports_transfer:
             raise TuningError(
                 f"transfer_from only applies to the ytopt tuner, not "
                 f"{spec.tuner!r}"
@@ -313,7 +305,7 @@ class TuningSession:
         # -- the session's own measurement stack ---------------------------
         inner: Evaluator = make_evaluator(
             self.benchmark,
-            for_autotvm=spec.tuner != "ytopt",
+            for_autotvm=tuner_spec.family == "autotvm",
             model=model,
             seed=spec.seed,
             timeout=spec.timeout,
@@ -332,7 +324,7 @@ class TuningSession:
         self.evaluator: Evaluator = GuardedEvaluator(inner, self)
 
         self.warm_start: WarmStart | None = None
-        if spec.warm_start_db is not None and spec.tuner == "ytopt":
+        if spec.warm_start_db is not None and tuner_spec.family == "bo":
             self.warm_start = WarmStart.from_store(
                 spec.warm_start_db,
                 self.benchmark.kernel,
@@ -341,7 +333,7 @@ class TuningSession:
             )
 
         self.transfer_seed = None
-        if spec.transfer_from is not None and spec.tuner == "ytopt":
+        if spec.transfer_from is not None and tuner_spec.supports_transfer:
             # Imported lazily: repro.transfer pulls in the meta-surrogate
             # stack, which plain (non-transfer) sessions never need.
             from repro.transfer import MetaSurrogate, TransferSeed
@@ -359,41 +351,29 @@ class TuningSession:
             )
 
         # -- the session's own search stack --------------------------------
-        self.autotuner: BayesianAutotuner | None = None
-        self.optimizer = None
-        self._autotvm_tuner = None
-        self._measurer: Measurer | None = None
-        if spec.tuner == "ytopt":
-            self.autotuner = BayesianAutotuner(
-                self.benchmark.config_space(seed=spec.seed),
-                self.evaluator,
-                config=AutotuneConfig(
-                    max_evals=spec.max_evals,
-                    seed=spec.seed,
-                    batch_size=spec.jobs,
-                    jobs=spec.jobs,
-                    prune=spec.prune,
-                    prune_threshold=spec.prune_threshold,
-                ),
-                name=self.benchmark.name,
+        # Built by the registered tuner family's factory (repro.bench); the
+        # bound tuner exposes its internals so the session keeps its
+        # historical attributes (.autotuner, .optimizer, ._autotvm_tuner).
+        self._bound = tuner_spec.factory(
+            TunerContext(
+                benchmark=self.benchmark,
+                evaluator=self.evaluator,
+                seed=spec.seed,
+                max_evals=spec.max_evals,
+                jobs=spec.jobs,
+                repeats=spec.repeats,
+                prune=spec.prune,
+                prune_threshold=spec.prune_threshold,
                 warm_start=self.warm_start,
                 transfer_seed=self.transfer_seed,
                 transfer_bias=spec.transfer_bias,
+                xgb_trial_cap=xgb_trial_cap,
             )
-            self.optimizer = self.autotuner.optimizer
-        else:
-            cls = _AUTOTVM_CLASSES[spec.tuner]
-            task = task_from_benchmark(self.benchmark, self.evaluator)
-            if cls is XGBTuner:
-                self._autotvm_tuner = XGBTuner(
-                    task, trial_cap=xgb_trial_cap, seed=spec.seed
-                )
-            else:
-                self._autotvm_tuner = cls(task, seed=spec.seed)
-            self._measurer = Measurer(
-                self.evaluator,
-                measure_option(jobs=spec.jobs, repeat=spec.repeats),
-            )
+        )
+        self.autotuner: BayesianAutotuner | None = self._bound.autotuner
+        self.optimizer = self._bound.optimizer
+        self._autotvm_tuner = self._bound.autotvm_tuner
+        self._measurer: Measurer | None = self._bound.measurer
 
         # -- the session's own telemetry / store handles --------------------
         self.store: RunStore | None = None
@@ -516,32 +496,14 @@ class TuningSession:
         return run
 
     def _run_inner(self) -> TunerRun:
-        benchmark = self.benchmark
-        if self.autotuner is not None:
-            result = self.autotuner.run()
-            return TunerRun(
-                tuner=self.display_tuner,
-                kernel=benchmark.kernel,
-                size_name=benchmark.size_name,
-                best_config=result.best_config,
-                best_runtime=result.best_runtime,
-                n_evals=result.n_evals,
-                total_time=result.total_elapsed,
-                trajectory=result.database.trajectory(),
-            )
-        records = self._autotvm_tuner.tune(
-            n_trial=self.spec.max_evals, measurer=self._measurer
-        )
-        best_config, best_runtime = self._autotvm_tuner.best()
+        outcome = self._bound.run()
         return TunerRun(
             tuner=self.display_tuner,
-            kernel=benchmark.kernel,
-            size_name=benchmark.size_name,
-            best_config={k: int(v) for k, v in best_config.items()},
-            best_runtime=best_runtime,
-            n_evals=len(records),
-            total_time=records[-1].timestamp if records else 0.0,
-            trajectory=[
-                (r.timestamp, r.mean_cost if r.ok else float("inf")) for r in records
-            ],
+            kernel=self.benchmark.kernel,
+            size_name=self.benchmark.size_name,
+            best_config=outcome.best_config,
+            best_runtime=outcome.best_runtime,
+            n_evals=outcome.n_evals,
+            total_time=outcome.total_time,
+            trajectory=outcome.trajectory,
         )

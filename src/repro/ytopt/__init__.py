@@ -9,9 +9,15 @@ performance database.
 """
 
 from repro.ytopt.problem import TuningProblem
-from repro.ytopt.surrogate import RandomForestSurrogate, GBTSurrogate, DummySurrogate
+from repro.ytopt.surrogate import (
+    RandomForestSurrogate,
+    GBTSurrogate,
+    DummySurrogate,
+    GaussianProcessSurrogate,
+)
 from repro.ytopt.acquisition import LowerConfidenceBound, ExpectedImprovement
 from repro.ytopt.optimizer import Optimizer
+from repro.ytopt.tpe import TPEOptimizer
 from repro.ytopt.database import PerformanceDatabase, EvaluationRecord
 from repro.ytopt.search import AMBS, SearchResult
 from repro.ytopt.warmstart import WarmStart
@@ -22,9 +28,11 @@ __all__ = [
     "RandomForestSurrogate",
     "GBTSurrogate",
     "DummySurrogate",
+    "GaussianProcessSurrogate",
     "LowerConfidenceBound",
     "ExpectedImprovement",
     "Optimizer",
+    "TPEOptimizer",
     "PerformanceDatabase",
     "EvaluationRecord",
     "AMBS",

@@ -126,6 +126,106 @@ class GBTSurrogate(_LogCostMixin, Surrogate):
         return preds.mean(axis=0), preds.std(axis=0)
 
 
+class GaussianProcessSurrogate(_LogCostMixin, Surrogate):
+    """Exact GP regression with an RBF kernel (pure numpy, deterministic).
+
+    The second surrogate family of the bench registry ("ytopt-gp"): unlike the
+    forest, the GP interpolates smoothly between observed tilings and its
+    predictive variance shrinks to zero at observed points, which makes the
+    LCB acquisition markedly more exploitative on the small solver spaces.
+
+    The lengthscale is set by the median-pairwise-distance heuristic at each
+    :meth:`fit` (no hyperparameter optimization — refits stay cheap and the
+    whole model is reproducible bit-for-bit from the training data). Inputs
+    are standardized per dimension, targets are centred and scaled; the
+    kernel matrix is solved by Cholesky with a fixed jitter.
+    """
+
+    def __init__(
+        self,
+        lengthscale: float | None = None,
+        signal_var: float = 1.0,
+        noise_var: float = 1e-4,
+        log_cost: bool = True,
+        seed: int | None = None,  # accepted for factory symmetry; unused
+    ) -> None:
+        _LogCostMixin.__init__(self, log_cost)
+        if signal_var <= 0 or noise_var <= 0:
+            raise ReproError("GP variances must be strictly positive")
+        if lengthscale is not None and lengthscale <= 0:
+            raise ReproError(f"lengthscale must be positive, got {lengthscale}")
+        self.lengthscale = lengthscale
+        self.signal_var = signal_var
+        self.noise_var = noise_var
+        self._fitted = False
+
+    @staticmethod
+    def _sqdist(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        aa = (A * A).sum(axis=1)[:, None]
+        bb = (B * B).sum(axis=1)[None, :]
+        return np.maximum(aa + bb - 2.0 * A @ B.T, 0.0)
+
+    def _kernel(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        return self.signal_var * np.exp(
+            -0.5 * self._sqdist(A, B) / (self._ell * self._ell)
+        )
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if y.size < 2:
+            raise ReproError(
+                f"degenerate training corpus: {y.size} sample(s); a GP "
+                f"surrogate needs at least 2 observations"
+            )
+        if np.all(y == y.flat[0]):
+            raise ReproError(
+                f"degenerate training corpus: all {y.size} costs equal "
+                f"{y.flat[0]:.6g}; the surrogate cannot rank configurations "
+                f"from constant targets"
+            )
+        yt = self._transform(y)
+        # Standardize inputs per dimension (constant dims collapse to zero).
+        self._x_mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        self._x_scale = np.where(scale > 0, scale, 1.0)
+        Xs = (X - self._x_mean) / self._x_scale
+        self._y_mean = float(yt.mean())
+        y_std = float(yt.std())
+        self._y_scale = y_std if y_std > 0 else 1.0
+        ys = (yt - self._y_mean) / self._y_scale
+
+        if self.lengthscale is not None:
+            self._ell = self.lengthscale
+        else:
+            d = np.sqrt(self._sqdist(Xs, Xs))
+            off = d[np.triu_indices(d.shape[0], k=1)]
+            pos = off[off > 0]
+            self._ell = float(np.median(pos)) if pos.size else 1.0
+
+        K = self._kernel(Xs, Xs)
+        K[np.diag_indices_from(K)] += self.noise_var
+        self._L = np.linalg.cholesky(K)
+        self._alpha = np.linalg.solve(
+            self._L.T, np.linalg.solve(self._L, ys)
+        )
+        self._Xs = Xs
+        self._fitted = True
+
+    def predict(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        if not self._fitted:
+            raise ReproError("surrogate predict() before fit()")
+        Xs = (np.asarray(X, dtype=float) - self._x_mean) / self._x_scale
+        Ks = self._kernel(Xs, self._Xs)
+        mean = Ks @ self._alpha
+        v = np.linalg.solve(self._L, Ks.T)
+        var = np.maximum(self.signal_var - (v * v).sum(axis=0), 1e-12)
+        return (
+            mean * self._y_scale + self._y_mean,
+            np.sqrt(var) * self._y_scale,
+        )
+
+
 class DummySurrogate(Surrogate):
     """No learning: constant mean, constant std. BO over it = random search.
 

@@ -1,0 +1,192 @@
+"""Tree-structured Parzen Estimator: the density-ratio tuner family.
+
+The third surrogate family of the bench registry ("ytopt-tpe"). Where the
+forest and GP model *cost as a function of configuration* and rank candidates
+by LCB, TPE (Bergstra et al., NeurIPS 2011) models *configurations as a
+function of cost*: observations are split at the γ-quantile into a good set
+and a bad set, each hyperparameter gets a smoothed categorical density over
+its candidate values under both sets, and the next proposal maximizes the
+density ratio l(x)/g(x) over candidates drawn from the good density.
+
+:class:`TPEOptimizer` is a drop-in for :class:`repro.ytopt.optimizer.Optimizer`
+— it implements the same ask / ask_batch / tell / best / predict_cost duck
+interface the AMBS loop drives, so it plugs straight into
+:class:`~repro.core.framework.BayesianAutotuner` and the tuning service.
+Finite ordinal/categorical spaces only (exactly the tiling spaces the paper
+tunes); every draw comes from the optimizer's own RNG, so runs are
+deterministic per seed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.common.errors import TuningError
+from repro.common.rng import ensure_rng
+from repro.configspace import Configuration, ConfigurationSpace
+
+
+class TPEOptimizer:
+    """Ask/tell TPE over a finite configuration space (minimizes cost)."""
+
+    def __init__(
+        self,
+        space: ConfigurationSpace,
+        n_initial_points: int = 10,
+        gamma: float = 0.25,
+        n_candidates: int = 64,
+        prior_weight: float = 1.0,
+        seed: int | None = None,
+    ) -> None:
+        if n_initial_points < 1:
+            raise TuningError(f"n_initial_points must be >= 1, got {n_initial_points}")
+        if not 0.0 < gamma < 1.0:
+            raise TuningError(f"gamma must be in (0, 1), got {gamma}")
+        if n_candidates < 1:
+            raise TuningError(f"n_candidates must be >= 1, got {n_candidates}")
+        if prior_weight <= 0:
+            raise TuningError(f"prior_weight must be positive, got {prior_weight}")
+        self.space = space
+        self.n_initial_points = n_initial_points
+        self.gamma = gamma
+        self.n_candidates = n_candidates
+        self.prior_weight = prior_weight
+        self._rng = ensure_rng(seed)
+        if seed is not None:
+            self.space.seed(seed)
+
+        self._params: list[tuple[str, list]] = []
+        for hp in space.get_hyperparameters():
+            values = getattr(hp, "_values", None)
+            if values is None:
+                raise TuningError(
+                    f"TPE supports finite ordinal/categorical spaces only; "
+                    f"hyperparameter {hp.name!r} is {type(hp).__name__}"
+                )
+            self._params.append((hp.name, list(values)))
+
+        self._configs: list[Configuration] = []
+        self._y: list[float] = []
+        self._told_keys: set[bytes] = set()
+
+    # -- API (the AMBS optimizer duck interface) --------------------------
+
+    @property
+    def n_told(self) -> int:
+        return len(self._y)
+
+    def ask(self) -> Configuration:
+        if self.n_told < self.n_initial_points:
+            return self._sample_unseen()
+        return self._suggest()
+
+    def ask_batch(self, n: int) -> list[Configuration]:
+        """Propose ``n`` distinct configurations (constant-liar batching)."""
+        if n < 1:
+            raise TuningError(f"batch size must be >= 1, got {n}")
+        picks: list[Configuration] = []
+        lie = min(self._y) if self._y else None
+        for _ in range(n):
+            if lie is None:
+                c = self._sample_unseen(exclude={p for p in picks})
+            else:
+                c = self.ask()
+                self.tell(c, lie)
+            picks.append(c)
+        if lie is not None:
+            for _ in picks:
+                self._retract_last()
+        return picks
+
+    def tell(self, config: "Configuration | Mapping[str, int]", cost: float) -> None:
+        if not isinstance(config, Configuration):
+            config = Configuration(self.space, dict(config))
+        if not np.isfinite(cost):
+            raise TuningError(f"cost must be finite, got {cost}")
+        self._configs.append(config)
+        self._y.append(float(cost))
+        self._told_keys.add(config.get_array().tobytes())
+
+    def _retract_last(self) -> None:
+        config = self._configs.pop()
+        self._y.pop()
+        key = config.get_array().tobytes()
+        if not any(c.get_array().tobytes() == key for c in self._configs):
+            self._told_keys.discard(key)
+
+    def best(self) -> tuple[dict[str, int], float]:
+        if not self._y:
+            raise TuningError("best() called before any tell()")
+        i = int(np.argmin(self._y))
+        return self._configs[i].get_dictionary(), self._y[i]
+
+    def predict_cost(self, config, z: float = 1.0) -> None:
+        """TPE has no cost regressor; surrogate pruning is a no-op."""
+        return None
+
+    # -- internals --------------------------------------------------------
+
+    def _sample_unseen(self, exclude: "set | frozenset" = frozenset()) -> Configuration:
+        excluded = {c.get_array().tobytes() for c in exclude}
+
+        def fresh(c: Configuration) -> bool:
+            key = c.get_array().tobytes()
+            return key not in self._told_keys and key not in excluded
+
+        for _ in range(64):
+            c = self.space.sample_configuration()
+            if fresh(c):
+                return c
+        remaining = [c for c in self.space.enumerate_configurations() if fresh(c)]
+        if remaining:
+            return remaining[int(self._rng.integers(len(remaining)))]
+        # Exhausted space: duplicates are unavoidable on long runs.
+        return self.space.sample_configuration()
+
+    def _densities(self) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Per-parameter smoothed categorical densities (good, bad)."""
+        order = np.argsort(self._y, kind="stable")
+        n_good = max(1, int(np.ceil(self.gamma * len(order))))
+        good_idx = set(int(i) for i in order[:n_good])
+        good_p: list[np.ndarray] = []
+        bad_p: list[np.ndarray] = []
+        for name, values in self._params:
+            index = {v: i for i, v in enumerate(values)}
+            g = np.full(len(values), self.prior_weight)
+            b = np.full(len(values), self.prior_weight)
+            for i, config in enumerate(self._configs):
+                slot = index.get(config[name])
+                if slot is None:  # inactive / conditional parameter
+                    continue
+                (g if i in good_idx else b)[slot] += 1.0
+            good_p.append(g / g.sum())
+            bad_p.append(b / b.sum())
+        return good_p, bad_p
+
+    def _suggest(self) -> Configuration:
+        good_p, bad_p = self._densities()
+        best_cfg: Configuration | None = None
+        best_ratio = -np.inf
+        seen: set[bytes] = set()
+        for _ in range(self.n_candidates):
+            values: dict[str, object] = {}
+            log_ratio = 0.0
+            for (name, cands), g, b in zip(self._params, good_p, bad_p):
+                slot = int(self._rng.choice(len(cands), p=g))
+                values[name] = cands[slot]
+                log_ratio += float(np.log(g[slot]) - np.log(b[slot]))
+            config = Configuration(self.space, values)
+            key = config.get_array().tobytes()
+            if key in seen:
+                continue
+            seen.add(key)
+            if key in self._told_keys:
+                continue  # duplicate measurements waste finite-space budget
+            if log_ratio > best_ratio:
+                best_ratio = log_ratio
+                best_cfg = config
+        if best_cfg is None:
+            return self._sample_unseen()
+        return best_cfg

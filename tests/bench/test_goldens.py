@@ -1,0 +1,61 @@
+"""Golden determinism for the new surrogate families (GP + TPE).
+
+The committed files under ``goldens/`` are seed-0 quick-preset trajectories
+(canonical JSON via :func:`repro.bench.conformance.trajectory_json`). A live
+run must reproduce them byte-for-byte — any drift in the GP fit, the TPE
+density split, the evaluator pricing, or the JSON canonicalization fails here
+first, with a diffable artifact.
+
+Regenerate intentionally with::
+
+    PYTHONPATH=src python - <<'PY'
+    from pathlib import Path
+    from repro.bench.conformance import QUICK, run_pair, trajectory_json
+    for kernel in ("gemm", "3mm"):
+        for tuner in ("ytopt-gp", "ytopt-tpe"):
+            run = run_pair(kernel, tuner, QUICK)
+            Path(f"tests/bench/goldens/{kernel}-{tuner}-seed0.json").write_text(
+                trajectory_json(run) + "\n")
+    PY
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.conformance import QUICK, run_pair, trajectory_json
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+GOLDEN_PAIRS = [
+    ("gemm", "ytopt-gp"),
+    ("gemm", "ytopt-tpe"),
+    ("3mm", "ytopt-gp"),
+    ("3mm", "ytopt-tpe"),
+]
+
+
+@pytest.mark.parametrize("kernel,tuner", GOLDEN_PAIRS)
+def test_seed0_trajectory_matches_golden_bytes(kernel, tuner):
+    golden_path = GOLDEN_DIR / f"{kernel}-{tuner}-seed0.json"
+    golden = golden_path.read_text()
+    live = trajectory_json(run_pair(kernel, tuner, QUICK)) + "\n"
+    assert live == golden, (
+        f"{kernel}/{tuner} seed-0 trajectory drifted from {golden_path.name}; "
+        f"if the change is intentional, regenerate the golden (see module "
+        f"docstring)"
+    )
+
+
+@pytest.mark.parametrize("kernel,tuner", GOLDEN_PAIRS)
+def test_golden_files_are_canonical_and_on_budget(kernel, tuner):
+    payload = json.loads((GOLDEN_DIR / f"{kernel}-{tuner}-seed0.json").read_text())
+    assert payload["kernel"] == kernel
+    assert payload["tuner"] == tuner
+    assert payload["n_evals"] == QUICK.max_evals
+    assert len(payload["trajectory"]) == QUICK.max_evals
+    # Canonical form: sorted keys, no whitespace (byte-comparable forever).
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    assert (GOLDEN_DIR / f"{kernel}-{tuner}-seed0.json").read_text() == (
+        canonical + "\n"
+    )

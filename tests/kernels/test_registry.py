@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.errors import ReproError
+from repro.common.errors import RegistryError, ReproError
 from repro.kernels import get_benchmark, list_benchmarks
 from repro.kernels.registry import PAPER_BEST_RUNTIMES
 
@@ -21,6 +21,35 @@ class TestRegistry:
     def test_unknown_kernel_rejected(self):
         with pytest.raises(ReproError):
             get_benchmark("stencil", "large")
+
+    def test_unknown_kernel_raises_typed_registry_error(self):
+        # Not a bare KeyError/ReproError: callers get the typed RegistryError
+        # carrying what was asked for and what exists.
+        with pytest.raises(RegistryError) as exc:
+            get_benchmark("stencil", "large")
+        assert exc.value.requested == "stencil"
+        assert "3mm" in exc.value.available
+        assert "stencil" in str(exc.value)
+
+    def test_unknown_size_raises_typed_registry_error(self):
+        with pytest.raises(RegistryError) as exc:
+            get_benchmark("3mm", "gigantic")
+        assert exc.value.requested == "gigantic"
+        assert "large" in exc.value.available
+
+    def test_unknown_size_for_delegated_plugin_kernel(self):
+        with pytest.raises(RegistryError) as exc:
+            get_benchmark("gemm", "gigantic")
+        assert exc.value.requested == "gigantic"
+        assert "mini" in exc.value.available
+
+    def test_problem_size_unknown_raises_typed_registry_error(self):
+        from repro.kernels import problem_size
+
+        with pytest.raises(RegistryError):
+            problem_size("nosuch", "mini")
+        with pytest.raises(RegistryError):
+            problem_size("gemm", "nosuch")
 
     def test_space_size_matches_profile_candidates(self):
         b = get_benchmark("3mm", "large")

@@ -13,6 +13,28 @@ class TestInfo:
         assert "ytopt" in out and "AutoTVM-GridSearch" in out
 
 
+class TestList:
+    def test_shows_full_registry(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for kernel in ("3mm", "lu", "cholesky", "gemm", "syrk", "trmm", "jacobi2d"):
+            assert kernel in out
+        for tuner in ("ytopt", "AutoTVM-XGB", "ytopt-gp", "ytopt-tpe"):
+            assert tuner in out
+        assert "Registered benchmarks (7" in out
+        assert "Registered tuners (7" in out
+
+    def test_json_dump(self, capsys):
+        import json
+
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["benchmarks"]) >= 7
+        assert len(payload["tuners"]) >= 7
+        kernels = {b["kernel"] for b in payload["benchmarks"]}
+        assert {"gemm", "syrk", "trmm", "jacobi2d"} <= kernels
+
+
 class TestTable1:
     def test_all_match(self, capsys):
         assert main(["table1"]) == 0
@@ -68,6 +90,25 @@ class TestExperiment:
     def test_unknown_experiment(self, capsys):
         assert main(["experiment", "fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+    def test_custom_registered_pair_with_tuner_subset(self, capsys):
+        rc = main(["experiment", "gemm-mini", "--evals", "12",
+                   "--tuners", "ytopt-gp,ytopt-tpe,AutoTVM-Random"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "custom pair gemm/mini" in out
+        assert "ytopt-gp" in out and "ytopt-tpe" in out
+        assert "AutoTVM-GridSearch" not in out  # subset respected
+
+    def test_unknown_tuner_in_subset(self, capsys):
+        assert main(["experiment", "gemm-mini", "--tuners", "nosuch"]) == 2
+        assert "unknown tuner" in capsys.readouterr().err
+
+    def test_plugin_kernel_via_tune(self, capsys):
+        rc = main(["tune", "--kernel", "jacobi2d", "--size", "mini",
+                   "--tuner", "ytopt-tpe", "--max-evals", "12"])
+        assert rc == 0
+        assert "jacobi2d-mini" in capsys.readouterr().out
 
 
 class TestAblation:

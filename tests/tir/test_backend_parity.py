@@ -17,8 +17,10 @@ import pytest
 
 from repro.kernels import problem_size
 from repro.kernels.cholesky import cholesky_trailing_update_tuned
+from repro.kernels.extra import gemm_tuned, syrk_tuned, trmm_tuned
 from repro.kernels.lu import lu_trailing_update_tuned
 from repro.kernels.registry import get_benchmark, list_benchmarks
+from repro.kernels.stencil import jacobi2d_tuned
 from repro.kernels.threemm import threemm_tuned
 from repro.runtime.module import BACKEND_TIERS, build_from_primfunc
 from repro.tir import lower, simplify_func
@@ -27,10 +29,16 @@ SEED = 1234
 N_CONFIGS = 4
 
 # Each family: (registered space to sample configs from, small-shape builder).
+# The PolyBench plugin kernels sample from their mini spaces (the conformance
+# preset) and run on mini-or-smaller shapes so the interpreter tier stays fast.
 FAMILIES = {
     "lu": ("lu", "large", lambda cfg: lu_trailing_update_tuned(24, 20, 8, cfg)),
     "cholesky": ("cholesky", "large", lambda cfg: cholesky_trailing_update_tuned(24, 8, cfg)),
     "3mm": ("3mm", "large", lambda cfg: threemm_tuned(problem_size("3mm", "mini"), cfg)),
+    "gemm": ("gemm", "mini", lambda cfg: gemm_tuned(20, 25, 30, cfg)),
+    "syrk": ("syrk", "mini", lambda cfg: syrk_tuned(20, 30, cfg)),
+    "trmm": ("trmm", "mini", lambda cfg: trmm_tuned(20, 30, cfg)),
+    "jacobi2d": ("jacobi2d", "mini", lambda cfg: jacobi2d_tuned(12, 2, cfg)),
 }
 
 

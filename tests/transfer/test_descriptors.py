@@ -40,8 +40,15 @@ class TestFromTask:
         assert 20 < d.log2_space_size < 35
 
     def test_unknown_kernel_raises(self):
+        # "gemm" is a registered bench plugin these days — pick a name that
+        # no registry (paper kernels or bench plugins) will ever resolve.
         with pytest.raises(ReproError):
-            TaskDescriptor.from_task("gemm", "large")
+            TaskDescriptor.from_task("fft", "large")
+
+    def test_plugin_kernel_gets_a_descriptor(self):
+        d = TaskDescriptor.from_task("gemm", "large")
+        assert d.param_names == ("P0", "P1")
+        assert d.flops > 0 and d.bytes_moved > 0
 
     def test_every_registered_benchmark_has_a_descriptor(self):
         for kernel, size in list_benchmarks():

@@ -108,3 +108,68 @@ class TestDegenerateCorpusGuard:
         s.fit(np.asarray([[0.0], [1.0]]), np.asarray([1.0, 2.0]))
         mean, std = s.predict(np.asarray([[0.5]]))
         assert np.isfinite(mean).all() and np.isfinite(std).all()
+
+
+class TestGaussianProcessSurrogate:
+    def test_predict_shapes(self, data):
+        from repro.ytopt import GaussianProcessSurrogate
+
+        X, y = data
+        s = GaussianProcessSurrogate()
+        s.fit(X, y)
+        mean, std = s.predict(X[:5])
+        assert mean.shape == std.shape == (5,)
+        assert (std >= 0).all()
+
+    def test_interpolates_training_points(self, data):
+        from repro.ytopt import GaussianProcessSurrogate
+
+        X, y = data
+        s = GaussianProcessSurrogate()
+        s.fit(X, y)
+        mean, std = s.predict(X)
+        # Small noise floor: near-exact interpolation, variance near zero.
+        assert np.allclose(mean, np.log(y), atol=0.05)
+        assert std.max() < 0.25
+
+    def test_deterministic_without_rng(self, data):
+        from repro.ytopt import GaussianProcessSurrogate
+
+        X, y = data
+        preds = []
+        for seed in (None, 0, 1234):  # seed accepted but unused
+            s = GaussianProcessSurrogate(seed=seed)
+            s.fit(X, y)
+            preds.append(s.predict(X[:10]))
+        for mean, std in preds[1:]:
+            np.testing.assert_array_equal(mean, preds[0][0])
+            np.testing.assert_array_equal(std, preds[0][1])
+
+    def test_variance_grows_away_from_data(self, data):
+        from repro.ytopt import GaussianProcessSurrogate
+
+        X, y = data
+        s = GaussianProcessSurrogate()
+        s.fit(X, y)
+        _, std_near = s.predict(X[:1])
+        _, std_far = s.predict(np.full((1, X.shape[1]), 25.0))
+        assert std_far[0] > std_near[0]
+
+    def test_degenerate_corpora_refused(self, data):
+        from repro.ytopt import GaussianProcessSurrogate
+
+        X, _ = data
+        with pytest.raises(ReproError):
+            GaussianProcessSurrogate().fit(np.ones((1, 3)), np.asarray([1.0]))
+        with pytest.raises(ReproError):
+            GaussianProcessSurrogate().fit(X, np.full(X.shape[0], 2.5))
+        with pytest.raises(ReproError):
+            GaussianProcessSurrogate().predict(X)  # before fit
+
+    def test_invalid_hyperparameters_refused(self):
+        from repro.ytopt import GaussianProcessSurrogate
+
+        with pytest.raises(ReproError):
+            GaussianProcessSurrogate(noise_var=0.0)
+        with pytest.raises(ReproError):
+            GaussianProcessSurrogate(lengthscale=-1.0)
