@@ -5,10 +5,11 @@ Not a pytest-benchmark file: run it directly. It produces two JSON documents
 ``BENCH_compiler.json`` / ``BENCH_search.json``):
 
 * **compiler** — for a fixed set of kernel instances, the wall time of one
-  kernel execution under each backend tier (``tensor`` / ``codegen`` /
-  ``interp``) plus the derived speedups, and the *coverage* of the tensorized
-  tier over the paper's registered benchmarks (the fraction of default builds
-  whose ladder lands on ``tensor`` instead of falling back).
+  kernel execution under each backend tier (``native`` / ``tensor`` /
+  ``codegen`` / ``interp``) plus the derived speedups, and the *coverage* of
+  the tensorized and native tiers over the paper's registered benchmarks
+  (the fraction of builds whose ladder lands on the pinned tier instead of
+  falling back).
 * **search** — the BO hot path: batched configuration sampling vs the
   sequential API, and two 100-step ask/tell loops on a large synthetic space
   with no kernel execution. The *overhead* loop swaps in ``DummySurrogate``
@@ -45,13 +46,24 @@ from repro.runtime.module import BACKEND_TIERS, build_from_primfunc
 from repro.tir import lower, simplify_func
 
 
-def _median_time(fn, repeats: int) -> float:
+def _best_time(fn, repeats: int) -> float:
+    # Fast calls (native runs these instances in microseconds, tensor in
+    # ~milliseconds) are batched so each sample spans >= ~10ms of work;
+    # single-call samples would be dominated by timer/dispatch noise. The
+    # *minimum* over repeats is reported — the least-noise estimator of the
+    # true cost, and the one that keeps the gated ratios stable when the
+    # machine is loaded (scheduler interference only ever adds time).
+    t0 = time.perf_counter()
+    fn()
+    once = time.perf_counter() - t0
+    inner = max(1, min(500, int(0.01 / once))) if once > 0 else 500
     times = []
     for _ in range(repeats):
         t0 = time.perf_counter()
-        fn()
-        times.append(time.perf_counter() - t0)
-    return float(np.median(times))
+        for _ in range(inner):
+            fn()
+        times.append((time.perf_counter() - t0) / inner)
+    return float(np.min(times))
 
 
 def _buffers(args, seed: int = 0) -> list[np.ndarray]:
@@ -74,7 +86,7 @@ def bench_case(name: str, sched, args, tiers, repeats: int) -> dict:
         mod(*bufs)  # warm-up (first call pays any lazy allocation)
         out["tiers"][tier] = {
             "selected": mod.backend,
-            "seconds": _median_time(lambda m=mod, b=bufs: m(*b), repeats),
+            "seconds": _best_time(lambda m=mod, b=bufs: m(*b), repeats),
         }
     t = out["tiers"]
     if "tensor" in t and "interp" in t:
@@ -82,6 +94,10 @@ def bench_case(name: str, sched, args, tiers, repeats: int) -> dict:
     if "tensor" in t and "codegen" in t:
         out["speedup_tensor_vs_codegen"] = (
             t["codegen"]["seconds"] / t["tensor"]["seconds"]
+        )
+    if "native" in t and "tensor" in t and t["native"]["selected"] == "native":
+        out["speedup_native_vs_tensor"] = (
+            t["tensor"]["seconds"] / t["native"]["seconds"]
         )
     return out
 
@@ -124,14 +140,24 @@ def default_config(bench) -> dict[str, int]:
 
 
 def tier_coverage() -> dict:
-    """Default-ladder tier per registered paper benchmark (build only, no run)."""
+    """Default-ladder tier per registered paper benchmark (build only, no run).
+
+    ``native_fraction`` is measured separately under an explicit ``native``
+    pin (the default ladder starts at ``tensor``): the fraction of registered
+    benchmarks the compiled-C tier covers outright without falling back.
+    """
     selected: dict[str, str] = {}
+    native_hits = 0
+    total = 0
     for kernel, size_name in list_benchmarks():
         bench = get_benchmark(kernel, size_name)
         sched, args = bench.schedule_builder(default_config(bench))
         func = simplify_func(lower(sched, args))
         mod = build_from_primfunc(func)
         selected[f"{kernel}/{size_name}"] = mod.backend
+        total += 1
+        if build_from_primfunc(func, backend="native").backend == "native":
+            native_hits += 1
     hits = sum(1 for tier in selected.values() if tier != "interp")
     return {
         "selected": selected,
@@ -139,6 +165,7 @@ def tier_coverage() -> dict:
         "tensor_fraction": sum(
             1 for tier in selected.values() if tier == "tensor"
         ) / len(selected),
+        "native_fraction": native_hits / total,
     }
 
 
@@ -149,9 +176,11 @@ def compiler_bench(preset: str, repeats: int) -> dict:
     if preset == "full":
         for name, (sched, args), _ in _full_cases():
             # The interpreter needs minutes on the large instances; the
-            # tensor-vs-codegen ratio is the quantity that tracks the tier's
-            # health there.
-            cases.append(bench_case(name, sched, args, ("tensor", "codegen"), repeats))
+            # native/tensor/codegen ratios are the quantities that track the
+            # executable tiers' health there.
+            cases.append(
+                bench_case(name, sched, args, ("native", "tensor", "codegen"), repeats)
+            )
     return {"preset": preset, "repeats": repeats,
             "cases": cases, "coverage": tier_coverage()}
 
@@ -236,7 +265,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--preset", choices=("quick", "full"), default="quick")
     parser.add_argument("--repeats", type=int, default=3,
-                        help="timing repeats per tier (median is reported)")
+                        help="timing repeats per tier (the minimum is reported)")
     parser.add_argument("--json", type=str, default=None,
                         help="write the combined result document to this path")
     opts = parser.parse_args(argv)

@@ -4,9 +4,9 @@
 Runs ``benchmarks/bench_backend_tiers.py`` (quick preset by default) and
 splits the result into the two committed baseline documents:
 
-* ``BENCH_compiler.json`` — per-case tier timings, tensor-vs-interp /
-  tensor-vs-codegen speedup ratios, and the tensorized tier's coverage over
-  the registered paper benchmarks;
+* ``BENCH_compiler.json`` — per-case tier timings, native-vs-tensor /
+  tensor-vs-interp / tensor-vs-codegen speedup ratios, and the tensorized
+  and native tiers' coverage over the registered paper benchmarks;
 * ``BENCH_search.json`` — batched-sampling speedup and the 100-eval
   ask-loop overhead / full-RF loop times.
 
@@ -14,11 +14,13 @@ Modes:
 
 * default — run the harness and (over)write both JSON files;
 * ``--check`` — run the harness and compare against the committed files
-  *without* rewriting them. Exits non-zero when the tensorized tier
-  regresses: any case's ``speedup_tensor_vs_interp`` (or ``_vs_codegen``)
-  below ``RATIO_FLOOR`` × baseline, or tier coverage dropping below the
-  baseline. Only dimensionless ratios are gated — absolute seconds do not
-  transfer across machines, so they are reported but never compared.
+  *without* rewriting them. Exits non-zero when an executable tier
+  regresses: any case's ``speedup_tensor_vs_interp`` / ``_vs_codegen`` /
+  ``speedup_native_vs_tensor`` below ``RATIO_FLOOR`` × baseline, tier
+  coverage dropping below the baseline, or the native tier losing to the
+  tensor tier (ratio < 1.0) on more than one of the paper-kernel gate cases.
+  Only dimensionless ratios are gated — absolute seconds do not transfer
+  across machines, so they are reported but never compared.
 
 Run:  python scripts/bench_to_json.py [--check] [--preset quick|full]
 """
@@ -42,9 +44,47 @@ RATIO_FLOOR = 0.8
 
 _RATIO_KEYS = ("speedup_tensor_vs_interp", "speedup_tensor_vs_codegen")
 
+# The native tier is gated *absolutely*, not against the committed baseline:
+# its per-call times are microseconds, so the native-vs-tensor ratio swings
+# far more run-to-run (and machine-to-machine) than the interp/codegen
+# ratios. The invariant that matters is that compiled C actually beats the
+# tensor tier (ratio >= 1.0) on at least NATIVE_MIN_WINS paper kernels.
+NATIVE_GATE_CASES = ("lu-96", "cholesky-96", "3mm-mini")
+NATIVE_MIN_WINS = 2
+
 
 def _write(path: Path, doc: dict) -> None:
     path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def merge_conservative(docs: list[dict]) -> dict:
+    """Fold N compiler-bench runs into one conservative baseline.
+
+    Every gated quantity (speedup ratios, coverage fractions) takes its
+    *minimum* across the runs, so the committed floor reflects the noise band
+    of the machine instead of one lucky sample; per-tier seconds take their
+    minimum too (the least-noise estimate). Non-numeric fields come from the
+    last run.
+    """
+    merged = json.loads(json.dumps(docs[-1]))
+    by_name = [{c["name"]: c for c in d.get("cases", [])} for d in docs]
+    for case in merged.get("cases", []):
+        runs = [m[case["name"]] for m in by_name if case["name"] in m]
+        for key in (*_RATIO_KEYS, "speedup_native_vs_tensor"):
+            vals = [r[key] for r in runs if key in r]
+            if vals and key in case:
+                case[key] = min(vals)
+        for tier, entry in case.get("tiers", {}).items():
+            entry["seconds"] = min(
+                r["tiers"][tier]["seconds"] for r in runs if tier in r.get("tiers", {})
+            )
+    cov = merged.get("coverage", {})
+    for key in ("coverage", "tensor_fraction", "native_fraction"):
+        vals = [d.get("coverage", {}).get(key) for d in docs]
+        vals = [v for v in vals if v is not None]
+        if vals and key in cov:
+            cov[key] = min(vals)
+    return merged
 
 
 def check(compiler: dict, search: dict) -> list[str]:
@@ -77,9 +117,23 @@ def check(compiler: dict, search: dict) -> list[str]:
                     f"{base[key]:.1f}x (floor {floor:.1f}x)"
                 )
 
+    # Machine-independent absolute gate: native beats tensor on at least
+    # NATIVE_MIN_WINS of the paper-kernel gate cases.
+    gated = [c for c in NATIVE_GATE_CASES if c in new_cases]
+    wins = sum(
+        1
+        for c in gated
+        if new_cases[c].get("speedup_native_vs_tensor", 0.0) >= 1.0
+    )
+    if gated and wins < NATIVE_MIN_WINS:
+        failures.append(
+            f"native tier beats tensor on only {wins}/{len(gated)} of "
+            f"{', '.join(gated)} (need >= {NATIVE_MIN_WINS})"
+        )
+
     base_cov = baseline.get("coverage", {})
     new_cov = compiler.get("coverage", {})
-    for key in ("coverage", "tensor_fraction"):
+    for key in ("coverage", "tensor_fraction", "native_fraction"):
         if new_cov.get(key, 0.0) < base_cov.get(key, 0.0):
             failures.append(
                 f"backend-tier {key} dropped: {new_cov.get(key)} < "
@@ -105,12 +159,23 @@ def main(argv=None) -> int:
         action="store_true",
         help="compare against the committed BENCH_*.json instead of rewriting",
     )
+    parser.add_argument(
+        "--runs", type=int, default=1,
+        help="when (re)writing baselines, run the harness this many times "
+        "and commit the minimum of every gated ratio — a conservative floor "
+        "that absorbs machine noise (ignored with --check)",
+    )
     opts = parser.parse_args(argv)
 
     from bench_backend_tiers import run  # noqa: E402 (sys.path set above)
 
     result = run(opts.preset, opts.repeats)
     compiler, search = result["compiler"], result["search"]
+    if not opts.check and opts.runs > 1:
+        docs = [compiler]
+        for _ in range(opts.runs - 1):
+            docs.append(run(opts.preset, opts.repeats)["compiler"])
+        compiler = merge_conservative(docs)
 
     if opts.check:
         failures = check(compiler, search)
@@ -127,7 +192,8 @@ def main(argv=None) -> int:
             print(f"  {case['name']}: {ratios}")
         cov = compiler["coverage"]
         print(f"  coverage {cov['coverage']:.2f}, tensor fraction "
-              f"{cov['tensor_fraction']:.2f}")
+              f"{cov['tensor_fraction']:.2f}, native fraction "
+              f"{cov.get('native_fraction', 0.0):.2f}")
         print(f"  ask overhead {search['ask_overhead_ms_per_eval']:.2f} ms/eval, "
               f"batch sampling {search['batch_sampling_speedup']:.1f}x")
         return 0

@@ -175,6 +175,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             transfer_db=args.transfer_db,
             transfer_bias=args.transfer_bias,
             label=args.label,
+            backend=args.backend,
         )
         console.info(
             f"{run.tuner} on {benchmark.name}: best {run.best_runtime:.4g}s at "
@@ -439,6 +440,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         "transfer_from": args.transfer_db,
         "transfer_bias": args.transfer_bias,
         "label": args.label,
+        "backend": args.backend,
     }
     client = _service_client(args)
     try:
@@ -609,6 +611,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--timeout", type=float, default=None, metavar="S",
                         help="per-trial kernel wall-clock budget in seconds "
                         "(timed-out trials are recorded as failed)")
+    p_tune.add_argument("--backend", default=None,
+                        choices=["native", "tensor", "codegen", "interp"],
+                        help="pin the execution tier for measurement builds "
+                        "(native = compiled C; lower tiers still apply as "
+                        "fallback; no effect under Swing simulation)")
     _add_fidelity_args(p_tune)
     _add_transfer_args(p_tune, with_label=True)
     _add_telemetry_args(p_tune)
@@ -728,6 +735,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="parallel measurement width inside the session")
     p_sub.add_argument("--timeout", type=float, default=None, metavar="S",
                        help="per-trial kernel wall-clock budget in seconds")
+    p_sub.add_argument("--backend", default=None,
+                       choices=["native", "tensor", "codegen", "interp"],
+                       help="pin the execution tier for measurement builds "
+                       "(validated at admission against the backend ladder)")
     p_sub.add_argument("--wait", action="store_true",
                        help="block until the job finishes; exit 0 only if it "
                        "completed successfully")

@@ -74,6 +74,7 @@ def run_tuner(
     transfer_db: "str | None" = None,
     transfer_bias: float = 0.5,
     label: "str | None" = None,
+    backend: "str | None" = None,
 ) -> TunerRun:
     """Run one tuner on one benchmark under the simulated Swing backend.
 
@@ -96,6 +97,12 @@ def run_tuner(
     :mod:`repro.transfer`); the benchmark's own (kernel, size) is excluded
     from the fit. ``label`` overrides the identity the run is stored under,
     so A/B variants of one tuner coexist in a single store.
+
+    ``backend`` pins the execution tier for measurement builds (recorded in
+    the job spec and validated against the backend ladder). Under Swing
+    simulation no executable module is ever built, so trajectories are
+    byte-identical across backend pins — the knob matters when a session is
+    measured for real through :class:`~repro.runtime.measure.LocalEvaluator`.
 
     This is the single-run front door for in-process callers; it builds a
     one-shot :class:`~repro.service.session.TuningSession` reporting to the
@@ -120,6 +127,7 @@ def run_tuner(
             transfer_from=transfer_db,
             transfer_bias=transfer_bias,
             label=label,
+            backend=backend,
         ),
         benchmark=benchmark,
         model=model,

@@ -57,9 +57,10 @@ class MeasureResult:
     (terminated early — costs are a low-fidelity estimate), or ``"pruned"``
     (never measured; ``costs`` carry a surrogate estimate).
 
-    ``backend`` records the execution tier that ran the kernel (``"tensor"``,
-    ``"codegen"``, ``"interp"``; ``"swing"`` for simulated measurement; empty
-    when no kernel ran, e.g. compile failures and surrogate-pruned trials).
+    ``backend`` records the execution tier that ran the kernel (``"native"``,
+    ``"tensor"``, ``"codegen"``, ``"interp"``; ``"swing"`` for simulated
+    measurement; empty when no kernel ran, e.g. compile failures and
+    surrogate-pruned trials).
     """
 
     config: dict[str, int]
@@ -109,7 +110,10 @@ class LocalEvaluator(Evaluator):
 
     Used by tests, the quickstart example, and any experiment small enough to
     execute natively. Input buffers are filled with deterministic random data;
-    output buffers are zeroed.
+    output buffers are zeroed. ``backend`` pins the starting tier of the
+    build ladder for every trial (``"native"``/``"tensor"``/``"codegen"``/
+    ``"interp"``; lower tiers still apply as per-function fallback), defaulting
+    to the process-wide :func:`~repro.runtime.module.default_backend`.
     """
 
     def __init__(
@@ -120,6 +124,7 @@ class LocalEvaluator(Evaluator):
         repeat: int = 1,
         seed: int | None = 0,
         validate: Callable[[Sequence[np.ndarray]], str | None] | None = None,
+        backend: str | None = None,
     ) -> None:
         if number < 1 or repeat < 1:
             raise ReproError("LocalEvaluator requires number >= 1 and repeat >= 1")
@@ -129,6 +134,7 @@ class LocalEvaluator(Evaluator):
         self.repeat = repeat
         self.seed = seed
         self.validate = validate
+        self.backend = backend
         self._start = time.perf_counter()
 
     def elapsed(self) -> float:
@@ -141,7 +147,7 @@ class LocalEvaluator(Evaluator):
         try:
             with tel.span("compile"):
                 sched, args = self.builder(cfg)
-                mod = build(sched, args, target=self.target)
+                mod = build(sched, args, target=self.target, backend=self.backend)
         except Exception as exc:  # noqa: BLE001 — any builder/compile failure
             # must become a failed MeasureResult, not kill the whole search;
             # kernels and user builders raise plain Exceptions, not just

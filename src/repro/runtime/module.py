@@ -11,6 +11,7 @@ import numpy as np
 from repro.common.errors import ExecutionError, ReproError
 from repro.te.schedule import Schedule
 from repro.te.tensor import Tensor
+from repro.tir.codegen_c import build_callable_native
 from repro.tir.codegen_py import CodegenUnsupported, build_callable
 from repro.tir.codegen_tensor import build_callable_tensor
 from repro.tir.interp import TIRInterpreter
@@ -21,17 +22,25 @@ from repro.runtime.ndarray import NDArray
 from repro.runtime.target import Target
 
 #: Backend tiers, fastest first. Each entry names a tier and how to build it.
-BACKEND_TIERS = ("tensor", "codegen", "interp")
+BACKEND_TIERS = ("native", "tensor", "codegen", "interp")
+
+#: The tier the ladder starts from when nothing pins one. ``native`` sits
+#: *above* this as tier 0 — opt in per build (``backend="native"``) or per
+#: process (``REPRO_BACKEND=native``), since it needs a host C toolchain.
+DEFAULT_TIER = "tensor"
 
 
 def default_backend() -> str:
     """The preferred backend tier (``REPRO_BACKEND`` env var overrides).
 
     ``tensor`` (the default) tries the tensorized NumPy backend first, then
-    the vectorized-python codegen, then the interpreter; ``codegen`` skips the
-    tensor tier; ``interp`` forces the reference interpreter.
+    the vectorized-python codegen, then the interpreter; ``native`` starts one
+    rung higher at the compiled-C tier (requires a C toolchain on the host —
+    missing/broken toolchains fall back to ``tensor`` with one warning);
+    ``codegen`` skips the tensor tier; ``interp`` forces the reference
+    interpreter.
     """
-    backend = os.environ.get("REPRO_BACKEND", "tensor").strip().lower()
+    backend = os.environ.get("REPRO_BACKEND", DEFAULT_TIER).strip().lower()
     if backend not in BACKEND_TIERS:
         raise ReproError(
             f"REPRO_BACKEND={backend!r} is not one of {BACKEND_TIERS}"
@@ -50,7 +59,7 @@ class Module:
         self.func = func
         self._entry = entry
         self.target = target
-        self.backend = backend  # "tensor", "codegen", or "interp"
+        self.backend = backend  # "native", "tensor", "codegen", or "interp"
 
     @property
     def name(self) -> str:
@@ -127,12 +136,13 @@ def build(
     """Lower a schedule and produce a runnable :class:`Module`.
 
     For the ``llvm`` target the backend ladder is walked fastest-tier first:
-    the tensorized NumPy backend (whole loop nests as array ops), then the
-    vectorized-python codegen, then the reference interpreter — falling back
-    per PrimFunc on :class:`CodegenUnsupported`. ``backend`` pins the starting
-    tier (``"tensor"``/``"codegen"``/``"interp"``; lower tiers still apply as
-    fallback), defaulting to :func:`default_backend`. The ``swing`` target
-    cannot be built into an executable module (there is no GPU here) — use
+    native compiled C (tier 0, opt-in), then the tensorized NumPy backend
+    (whole loop nests as array ops), then the vectorized-python codegen, then
+    the reference interpreter — falling back per PrimFunc on
+    :class:`CodegenUnsupported`. ``backend`` pins the starting tier
+    (``"native"``/``"tensor"``/``"codegen"``/``"interp"``; lower tiers still
+    apply as fallback), defaulting to :func:`default_backend`. The ``swing``
+    target cannot be built into an executable module (there is no GPU here) — use
     :class:`repro.swing.SwingEvaluator` for simulated measurement.
     """
     tgt = Target(target)
@@ -174,7 +184,9 @@ def build_from_primfunc(
     reason = ""
     for tier in ladder:
         try:
-            if tier == "tensor":
+            if tier == "native":
+                entry = build_callable_native(func)
+            elif tier == "tensor":
                 entry = build_callable_tensor(func)
             elif tier == "codegen":
                 entry = build_callable(func)

@@ -72,6 +72,11 @@ class JobSpec:
     #: variants of one tuner land side-by-side in a single run store without
     #: colliding on the (kernel, size, tuner, seed) identity key.
     label: str | None = None
+    #: Execution-backend tier pin for measurement builds ("native"/"tensor"/
+    #: "codegen"/"interp"); None defers to the process default. Only affects
+    #: real (llvm-target) measurement — the Swing-simulated path never builds
+    #: executable modules.
+    backend: str | None = None
     fault: dict[str, Any] | None = None
 
     def validate(self) -> None:
@@ -120,6 +125,14 @@ class JobSpec:
             )
         if self.label is not None and not self.label.strip():
             raise JobRejected("label must be a non-empty string when given")
+        if self.backend is not None:
+            from repro.runtime.module import BACKEND_TIERS
+
+            if self.backend not in BACKEND_TIERS:
+                raise JobRejected(
+                    f"unknown backend {self.backend!r}; known: "
+                    f"{', '.join(BACKEND_TIERS)}"
+                )
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)

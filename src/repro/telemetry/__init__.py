@@ -40,6 +40,7 @@ from repro.telemetry.events import (
     CacheHit,
     CacheMiss,
     Event,
+    NativeDisabled,
     PoolRebuilt,
     RunFinished,
     RunStarted,
@@ -91,6 +92,7 @@ __all__ = [
     "CacheMiss",
     "WorkerCrashed",
     "PoolRebuilt",
+    "NativeDisabled",
     "SurrogateFitted",
     "SpanClosed",
     "RunFinished",

@@ -184,6 +184,22 @@ class BackendSelected(Event):
 
 
 @dataclass
+class NativeDisabled(Event):
+    """The native C tier turned itself off for the rest of the process.
+
+    Emitted exactly once, on the first failed toolchain probe or compile
+    (``REPRO_CC`` pointing nowhere, no cc/gcc/clang on PATH, or the compiler
+    rejecting generated source). Every later build falls back to the tensor
+    tier without re-warning.
+    """
+
+    kind = "native_disabled"
+
+    compiler: str
+    reason: str
+
+
+@dataclass
 class SurrogateFitted(Event):
     """The Bayesian optimizer refit its surrogate model."""
 

@@ -33,6 +33,15 @@ from repro.tir.transform import (
     optimize_for_codegen,
 )
 from repro.tir.analysis import validate_func, hoist_guards
+from repro.tir.codegen_c import (
+    build_callable_native,
+    codegen_c,
+    find_toolchain,
+    native_cache,
+    native_disabled,
+    native_key,
+    source_key,
+)
 
 __all__ = [
     "Buffer",
@@ -59,4 +68,11 @@ __all__ = [
     "optimize_for_codegen",
     "validate_func",
     "hoist_guards",
+    "build_callable_native",
+    "codegen_c",
+    "find_toolchain",
+    "native_cache",
+    "native_disabled",
+    "native_key",
+    "source_key",
 ]

@@ -68,3 +68,26 @@ class TestLocalEvaluator:
         res = ev.evaluate({"P0": np.int64(4), "P1": np.int64(2)})
         assert res.ok
         assert isinstance(res.config["P0"], int)
+
+    def test_backend_pin_recorded_in_result(self):
+        ev = LocalEvaluator(_builder, seed=0, backend="interp")
+        res = ev.evaluate({"P0": 2, "P1": 2})
+        assert res.ok
+        assert res.backend == "interp"
+
+    def test_default_backend_is_tensor_tier(self):
+        res = LocalEvaluator(_builder, seed=0).evaluate({"P0": 2, "P1": 2})
+        assert res.backend == "tensor"
+
+    def test_native_pin_measures_native_when_toolchain_exists(self):
+        from repro.tir.codegen_c import NativeToolchainError, find_toolchain
+
+        try:
+            find_toolchain()
+        except NativeToolchainError:
+            pytest.skip("no C toolchain")
+        res = LocalEvaluator(_builder, seed=0, backend="native").evaluate(
+            {"P0": 2, "P1": 2}
+        )
+        assert res.ok
+        assert res.backend == "native"

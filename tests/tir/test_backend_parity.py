@@ -24,9 +24,16 @@ from repro.kernels.stencil import jacobi2d_tuned
 from repro.kernels.threemm import threemm_tuned
 from repro.runtime.module import BACKEND_TIERS, build_from_primfunc
 from repro.tir import lower, simplify_func
+from repro.tir.codegen_c import NativeToolchainError, find_toolchain
 
 SEED = 1234
 N_CONFIGS = 4
+
+try:
+    find_toolchain()
+    HAS_TOOLCHAIN = True
+except NativeToolchainError:  # pragma: no cover - CI images ship gcc
+    HAS_TOOLCHAIN = False
 
 # Each family: (registered space to sample configs from, small-shape builder).
 # The PolyBench plugin kernels sample from their mini spaces (the conformance
@@ -84,11 +91,19 @@ class TestTierOutputParity:
             # PrimFunc: a second build at each pin selects the same tier.
             for tier in BACKEND_TIERS:
                 assert build_from_primfunc(func, backend=tier).backend == selected[tier]
-            # The tensorized tier must cover the paper kernels outright.
+            # The tensorized tier must cover the paper kernels outright, and
+            # so must the native C tier whenever a toolchain exists.
             assert selected["tensor"] == "tensor", (
                 f"{family} {cfg}: tensor tier fell back to {selected['tensor']}"
             )
-            for tier in BACKEND_TIERS[1:]:
+            if HAS_TOOLCHAIN:
+                assert selected["native"] == "native", (
+                    f"{family} {cfg}: native tier fell back to "
+                    f"{selected['native']}"
+                )
+            for tier in BACKEND_TIERS:
+                if tier == "tensor":
+                    continue
                 np.testing.assert_allclose(
                     outputs[tier],
                     outputs["tensor"],

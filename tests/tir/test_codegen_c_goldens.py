@@ -1,0 +1,92 @@
+"""Golden C sources: the native emitter's output is locked byte-for-byte.
+
+Each golden is the full translation unit emitted for one paper kernel under
+its seed-0 configuration (drawn deterministically from the registered
+benchmark space), prefixed with a header recording the source content hash
+(:func:`repro.tir.codegen_c.source_key` — the same hash that keys the
+native build cache). Any change to the emitter, the LICM/CSE normalization,
+or the lowering of these kernels shows up as a byte diff here.
+
+Intentional changes regenerate the files::
+
+    pytest tests/tir/test_codegen_c_goldens.py --update-goldens
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.kernels import problem_size
+from repro.kernels.extra import gemm_tuned
+from repro.kernels.registry import get_benchmark
+from repro.kernels.stencil import jacobi2d_tuned
+from repro.kernels.threemm import threemm_tuned
+from repro.tir import lower, simplify_func
+from repro.tir.codegen_c import codegen_c, source_key
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+#: kernel → (registered space to draw the seed-0 config from, small-shape
+#: builder). Shapes match tests/tir/test_backend_parity.py so the goldens
+#: stay readable (a few hundred lines, not mega-loop nests).
+GOLDEN_CASES = {
+    "3mm": ("3mm", "large", lambda cfg: threemm_tuned(problem_size("3mm", "mini"), cfg)),
+    "gemm": ("gemm", "mini", lambda cfg: gemm_tuned(20, 25, 30, cfg)),
+    "jacobi2d": ("jacobi2d", "mini", lambda cfg: jacobi2d_tuned(12, 2, cfg)),
+}
+
+
+def _seed0_config(kernel: str, size_name: str) -> dict[str, int]:
+    bench = get_benchmark(kernel, size_name)
+    rng = np.random.default_rng(0)
+    return {
+        p: bench.candidates[p][int(rng.integers(len(bench.candidates[p])))]
+        for p in bench.params
+    }
+
+
+def _render_golden(name: str) -> str:
+    kernel, size_name, make = GOLDEN_CASES[name]
+    cfg = _seed0_config(kernel, size_name)
+    sched, args = make(cfg)
+    func = simplify_func(lower(sched, args))
+    source = codegen_c(func)
+    header = (
+        f"// golden: {name} seed-0 config {cfg!r}\n"
+        f"// source_key: {source_key(source)}\n"
+    )
+    return header + source
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_CASES))
+def test_golden_c_source(name, update_goldens):
+    rendered = _render_golden(name)
+    path = GOLDEN_DIR / f"{name}.c"
+    if update_goldens:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(rendered)
+        return
+    assert path.exists(), (
+        f"missing golden {path}; regenerate with --update-goldens"
+    )
+    committed = path.read_text()
+    assert committed == rendered, (
+        f"{name}: emitted C diverged from the committed golden; if the "
+        "change is intentional, regenerate with --update-goldens"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_CASES))
+def test_golden_header_hash_consistent(name):
+    """The committed header's source_key matches the committed body."""
+    path = GOLDEN_DIR / f"{name}.c"
+    assert path.exists(), f"missing golden {path}"
+    text = path.read_text()
+    lines = text.splitlines(keepends=True)
+    assert lines[1].startswith("// source_key: ")
+    recorded = lines[1].split(": ", 1)[1].strip()
+    body = "".join(lines[2:])
+    assert source_key(body) == recorded

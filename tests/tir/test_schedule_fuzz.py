@@ -5,17 +5,41 @@ reorder / unroll / vectorize / parallel) on a matmul stage; whatever nest
 results, the built module must still compute A @ B. This explores corners of
 lowering (guard placement, init-nest positioning, annotation interactions)
 no hand-written test enumerates.
+
+The three-way differential classes extend this to the full backend ladder:
+every fuzzed schedule (and every fuzzed config drawn from the registered
+benchmark spaces) is built under explicit ``native``, ``tensor``, and
+``interp`` pins, and all three outputs must agree. Schedule/config draws are
+shrinking-friendly — each decision is one small integer draw, so hypothesis
+minimizes a failing case to the shortest action sequence / lowest parameter
+indices that still disagree. ``REPRO_FUZZ_EXAMPLES`` widens the per-test
+example budget (CI's native-smoke job raises it to cover 200+ cases).
 """
+
+import os
 
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
 import repro.te as te
 from repro.common.errors import LoweringError, ScheduleError
+from repro.kernels.registry import get_benchmark
 from repro.runtime import build
+from repro.runtime.module import build_from_primfunc
+from repro.tir import lower, simplify_func
 from tests.conftest import make_matmul
+from tests.tir.test_backend_parity import FAMILIES, HAS_TOOLCHAIN, _buffers
 
 N, M, K = 12, 10, 8
+
+#: Example budget for the differential fuzz tests. The default keeps local
+#: runs quick; CI's native-smoke job sets REPRO_FUZZ_EXAMPLES=110 so the two
+#: three-way tests alone generate 220+ schedule×kernel cases.
+FUZZ_EXAMPLES = int(os.environ.get("REPRO_FUZZ_EXAMPLES", "25"))
+
+#: The differential tiers: the compiled-C tier, the production default, and
+#: the reference interpreter. ("codegen" is covered by test_backend_parity.)
+DIFF_TIERS = ("native", "tensor", "interp")
 
 
 def _apply_random_actions(s, stage, data) -> None:
@@ -87,3 +111,80 @@ class TestScheduleFuzz:
         mod_cg(a, b, c1)
         mod_in(a, b, c2)
         np.testing.assert_allclose(c1, c2, rtol=1e-6)
+
+
+class TestThreeWayDifferential:
+    """native ≡ tensor ≡ interp on fuzzed schedules and fuzzed configs."""
+
+    @settings(max_examples=FUZZ_EXAMPLES, deadline=None)
+    @given(data=st.data(), seed=st.integers(0, 10_000))
+    def test_random_schedules_all_tiers_agree(self, data, seed):
+        A, B, C = make_matmul(N, M, K)
+        s = te.create_schedule(C.op)
+        _apply_random_actions(s, s[C], data)
+        try:
+            mods = {t: build(s, [A, B, C], backend=t) for t in DIFF_TIERS}
+        except LoweringError:
+            return  # annotation stranded illegally; rejection is correct
+        if HAS_TOOLCHAIN:
+            assert mods["native"].backend == "native", (
+                f"native tier fell back to {mods['native'].backend}"
+            )
+        assert mods["interp"].backend == "interp"
+        rng = np.random.default_rng(seed)
+        a = rng.random((N, K)).astype("float32")
+        b = rng.random((K, M)).astype("float32")
+        outputs = {}
+        for tier, mod in mods.items():
+            c = np.zeros((N, M), dtype="float32")
+            mod(a.copy(), b.copy(), c)
+            outputs[tier] = c
+        for tier in DIFF_TIERS:
+            if tier == "tensor":
+                continue
+            np.testing.assert_allclose(
+                outputs[tier],
+                outputs["tensor"],
+                rtol=1e-4,
+                atol=1e-6,
+                err_msg=f"{tier} disagrees with tensor",
+            )
+
+    @settings(max_examples=FUZZ_EXAMPLES, deadline=None)
+    @given(data=st.data())
+    def test_random_configs_registered_kernels_agree(self, data):
+        family = data.draw(st.sampled_from(sorted(FAMILIES)), label="family")
+        kernel, size_name, make = FAMILIES[family]
+        bench = get_benchmark(kernel, size_name)
+        # One small index draw per tuning parameter: hypothesis shrinks a
+        # failing config toward the lowest candidate of each parameter.
+        cfg = {
+            p: bench.candidates[p][
+                data.draw(
+                    st.integers(0, len(bench.candidates[p]) - 1), label=p
+                )
+            ]
+            for p in bench.params
+        }
+        sched, args = make(cfg)
+        func = simplify_func(lower(sched, args))
+        outputs = {}
+        for tier in DIFF_TIERS:
+            mod = build_from_primfunc(func, backend=tier)
+            if tier == "native" and HAS_TOOLCHAIN:
+                assert mod.backend == "native", (
+                    f"{family} {cfg}: native fell back to {mod.backend}"
+                )
+            bufs = _buffers(args, np.random.default_rng(99))
+            mod(*bufs)
+            outputs[tier] = bufs[-1]
+        for tier in DIFF_TIERS:
+            if tier == "tensor":
+                continue
+            np.testing.assert_allclose(
+                outputs[tier],
+                outputs["tensor"],
+                rtol=1e-9,
+                atol=1e-12,
+                err_msg=f"{family} {cfg}: {tier} disagrees with tensor",
+            )
