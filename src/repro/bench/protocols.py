@@ -69,6 +69,9 @@ class TuneOutcome:
     total_time: float
     #: (process time at completion, measured runtime) per evaluation.
     trajectory: list[tuple[float, float]] = field(default_factory=list)
+    #: Stage accounting (compile/measure/search seconds) when the engine
+    #: tracked it — the ``overhead_breakdown`` column of ``repro report``.
+    overhead: dict[str, float] | None = None
 
 
 @dataclass
@@ -89,6 +92,13 @@ class TunerContext:
     repeats: int = 1
     prune: bool = False
     prune_threshold: float = 1.25
+    #: Pipelined execution (see :mod:`repro.pipeline`): overlap the surrogate
+    #: ask, a ``compile_jobs``-wide build pool with compile-ahead, and
+    #: measurement. ``refit_every`` selects the surrogate refit policy
+    #: (None = loop default; 0 = geometric schedule; 1 = every observation).
+    pipeline: bool = False
+    compile_jobs: "int | None" = None
+    refit_every: "int | None" = None
     warm_start: Any = None
     transfer_seed: Any = None
     transfer_bias: float = 0.0

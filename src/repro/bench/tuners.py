@@ -62,6 +62,7 @@ class BoundBO:
             n_evals=result.n_evals,
             total_time=result.total_elapsed,
             trajectory=result.database.trajectory(),
+            overhead=result.overhead,
         )
 
 
@@ -100,6 +101,9 @@ def _bo_config(ctx: TunerContext) -> AutotuneConfig:
         jobs=ctx.jobs,
         prune=ctx.prune,
         prune_threshold=ctx.prune_threshold,
+        pipeline=ctx.pipeline,
+        compile_jobs=ctx.compile_jobs,
+        refit_every=ctx.refit_every,
     )
 
 

@@ -176,6 +176,9 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             transfer_bias=args.transfer_bias,
             label=args.label,
             backend=args.backend,
+            pipeline=_resolve_pipeline(args),
+            compile_jobs=args.compile_jobs,
+            refit_every=args.refit_every,
         )
         console.info(
             f"{run.tuner} on {benchmark.name}: best {run.best_runtime:.4g}s at "
@@ -274,6 +277,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
             size_name=args.size,
             to_best=args.to_best,
             tolerance=args.tolerance,
+            overhead=args.overhead,
         )
     print(text)
     return 0
@@ -441,6 +445,9 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         "transfer_bias": args.transfer_bias,
         "label": args.label,
         "backend": args.backend,
+        "pipeline": _resolve_pipeline(args),
+        "compile_jobs": args.compile_jobs,
+        "refit_every": args.refit_every,
     }
     client = _service_client(args)
     try:
@@ -557,6 +564,32 @@ def _add_transfer_args(parser: argparse.ArgumentParser, with_label: bool) -> Non
                            "ytopt-cold / ytopt-transfer)")
 
 
+def _add_pipeline_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("pipelined execution")
+    group.add_argument("--pipeline", action="store_true",
+                       help="overlap the surrogate ask, a parallel build "
+                       "pool with compile-ahead speculation, and measurement "
+                       "(implied by --compile-jobs)")
+    group.add_argument("--no-pipeline", action="store_true",
+                       help="force the serial loop even when --compile-jobs "
+                       "is given")
+    group.add_argument("--compile-jobs", type=int, default=None, metavar="N",
+                       help="build-pool width for ahead-of-time native "
+                       "compiles (default: CPU count); implies --pipeline")
+    group.add_argument("--refit-every", type=int, default=None, metavar="K",
+                       help="surrogate refit policy: 1 = refit on every "
+                       "observation (byte-identical to the serial loop), "
+                       "0 = geometric schedule (dense early, sparse late); "
+                       "default: the loop's own policy")
+
+
+def _resolve_pipeline(args: argparse.Namespace) -> bool:
+    """--compile-jobs implies pipelining; --no-pipeline always wins."""
+    if args.no_pipeline:
+        return False
+    return bool(args.pipeline or args.compile_jobs is not None)
+
+
 def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
     group = parser.add_argument_group("telemetry")
     group.add_argument("--db", default=None, metavar="PATH",
@@ -616,6 +649,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="pin the execution tier for measurement builds "
                         "(native = compiled C; lower tiers still apply as "
                         "fallback; no effect under Swing simulation)")
+    _add_pipeline_args(p_tune)
     _add_fidelity_args(p_tune)
     _add_transfer_args(p_tune, with_label=True)
     _add_telemetry_args(p_tune)
@@ -654,6 +688,12 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="FRAC",
                           help="the --to-best band around the best runtime "
                           "(default 0.05)")
+    p_report.add_argument("--overhead", action="store_true",
+                          help="append the overhead_breakdown table: each "
+                          "run's wall time split into compile vs. measure "
+                          "vs. search seconds (engine-stamped when "
+                          "available, derived from evaluation rows "
+                          "otherwise)")
 
     p_transfer = sub.add_parser(
         "transfer",
@@ -742,6 +782,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sub.add_argument("--wait", action="store_true",
                        help="block until the job finishes; exit 0 only if it "
                        "completed successfully")
+    _add_pipeline_args(p_sub)
     _add_fidelity_args(p_sub)
     _add_transfer_args(p_sub, with_label=True)
 

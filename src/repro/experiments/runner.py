@@ -75,6 +75,9 @@ def run_tuner(
     transfer_bias: float = 0.5,
     label: "str | None" = None,
     backend: "str | None" = None,
+    pipeline: bool = False,
+    compile_jobs: "int | None" = None,
+    refit_every: "int | None" = None,
 ) -> TunerRun:
     """Run one tuner on one benchmark under the simulated Swing backend.
 
@@ -104,6 +107,14 @@ def run_tuner(
     byte-identical across backend pins — the knob matters when a session is
     measured for real through :class:`~repro.runtime.measure.LocalEvaluator`.
 
+    ``pipeline`` routes the run through the pipelined execution engine
+    (:mod:`repro.pipeline`): a ``compile_jobs``-wide compile-ahead build pool
+    overlapped with the surrogate ask and measurement, with ``refit_every``
+    selecting the surrogate refit policy (None/0 = geometric schedule, 1 =
+    refit every observation — the byte-identical escape hatch). Under Swing
+    simulation pipelining is a structural no-op on the trajectory; it pays
+    off on real native-tier measurement.
+
     This is the single-run front door for in-process callers; it builds a
     one-shot :class:`~repro.service.session.TuningSession` reporting to the
     ambient telemetry. Long-running multi-session use goes through
@@ -128,6 +139,9 @@ def run_tuner(
             transfer_bias=transfer_bias,
             label=label,
             backend=backend,
+            pipeline=pipeline,
+            compile_jobs=compile_jobs,
+            refit_every=refit_every,
         ),
         benchmark=benchmark,
         model=model,

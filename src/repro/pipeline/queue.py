@@ -1,0 +1,57 @@
+"""In-order completion gate for pipelined observations.
+
+Whatever order builds and measurements finish in, the optimizer must see
+``tell`` calls in ask order — the RF surrogate's fit consumes a persistent
+RNG and the acquisition ranks against the observed history, so reordering
+two observations changes every later proposal. The queue accepts
+``(sequence, item)`` completions in any order and releases items only in
+contiguous sequence order.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.errors import TuningError
+
+
+class OrderedTellQueue:
+    """Release completions in ask order, however they arrive.
+
+    ``put(seq, item)`` stores one completion and returns every item that is
+    now contiguous with the release cursor (possibly empty, possibly several
+    — the one that just unblocked a stalled run of successors). Sequence
+    numbers start at ``start`` and each must be used exactly once.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._next = start
+        self._pending: dict[int, Any] = {}
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the queue is waiting to release."""
+        return self._next
+
+    @property
+    def n_pending(self) -> int:
+        """Completions held back waiting for an earlier sequence number."""
+        return len(self._pending)
+
+    def put(self, seq: int, item: Any) -> list[Any]:
+        if seq < self._next or seq in self._pending:
+            raise TuningError(
+                f"duplicate or already-released sequence number {seq} "
+                f"(cursor at {self._next})"
+            )
+        self._pending[seq] = item
+        released: list[Any] = []
+        while self._next in self._pending:
+            released.append(self._pending.pop(self._next))
+            self._next += 1
+        return released
+
+    def __repr__(self) -> str:
+        return (
+            f"OrderedTellQueue(next={self._next}, pending={len(self._pending)})"
+        )

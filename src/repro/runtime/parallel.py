@@ -317,6 +317,28 @@ class ParallelEvaluator(Evaluator):
     def evaluate(self, params: Mapping[str, int]) -> MeasureResult:
         return self.evaluate_batch([params])[0]
 
+    def precompile(self, params: Mapping[str, int]) -> bool:
+        """Lower ``params``'s schedule into the shared build cache ahead of
+        measurement (compile-ahead). A later ``evaluate`` of the same
+        configuration ships the cached PrimFunc to its worker and skips the
+        lower/simplify pipeline — the dominant compile cost. The cache is
+        lock-protected, so build-pool threads may call this concurrently.
+        Returns True when a lowered function is cached; False when caching is
+        off or the build fails (``evaluate`` reproduces and records that)."""
+        if not self.use_cache:
+            return False
+        cfg = {k: int(v) for k, v in params.items()}
+        key = schedule_key(cfg, builder=self.builder, target=self.target)
+        if self.cache.peek(key) is not None:
+            return True
+        try:
+            sched, args = self.builder(cfg)
+            mod = build(sched, args, target=self.target)
+        except Exception:  # noqa: BLE001 — ahead-of-time builds never raise
+            return False
+        self.cache.put(key, mod.func)
+        return True
+
     def evaluate_batch(
         self, batch: Sequence[Mapping[str, int]]
     ) -> list[MeasureResult]:

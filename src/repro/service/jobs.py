@@ -77,6 +77,14 @@ class JobSpec:
     #: real (llvm-target) measurement — the Swing-simulated path never builds
     #: executable modules.
     backend: str | None = None
+    #: Pipelined execution (see :mod:`repro.pipeline`): overlap the surrogate
+    #: ask, a ``compile_jobs``-wide compile-ahead build pool, and
+    #: measurement. ``refit_every`` selects the surrogate refit policy
+    #: (None = loop default — geometric under the pipeline; 1 = every
+    #: observation, the byte-identical escape hatch; 0 = geometric).
+    pipeline: bool = False
+    compile_jobs: int | None = None
+    refit_every: int | None = None
     fault: dict[str, Any] | None = None
 
     def validate(self) -> None:
@@ -125,6 +133,14 @@ class JobSpec:
             )
         if self.label is not None and not self.label.strip():
             raise JobRejected("label must be a non-empty string when given")
+        if self.compile_jobs is not None and self.compile_jobs < 1:
+            raise JobRejected(
+                f"compile_jobs must be >= 1, got {self.compile_jobs}"
+            )
+        if self.refit_every is not None and self.refit_every < 0:
+            raise JobRejected(
+                f"refit_every must be >= 0, got {self.refit_every}"
+            )
         if self.backend is not None:
             from repro.runtime.module import BACKEND_TIERS
 

@@ -91,6 +91,11 @@ class TunerRun:
     total_time: float
     #: (process time at completion, measured runtime) per evaluation.
     trajectory: list[tuple[float, float]] = field(default_factory=list)
+    #: Stage accounting (compile/measure/search seconds) when the engine
+    #: tracked it; surfaced as the ``overhead_breakdown`` report column.
+    #: Real-clock timings, so deliberately NOT part of ``to_payload`` — the
+    #: payload is the deterministic contract two reruns compare byte-for-byte.
+    overhead: "dict[str, float] | None" = None
 
     def best_so_far(self) -> list[float]:
         out: list[float] = []
@@ -368,6 +373,9 @@ class TuningSession:
                 transfer_seed=self.transfer_seed,
                 transfer_bias=spec.transfer_bias,
                 xgb_trial_cap=xgb_trial_cap,
+                pipeline=spec.pipeline,
+                compile_jobs=spec.compile_jobs,
+                refit_every=spec.refit_every,
             )
         )
         self.autotuner: BayesianAutotuner | None = self._bound.autotuner
@@ -477,6 +485,11 @@ class TuningSession:
                             "transfer_bias": spec.transfer_bias
                             if self.transfer_seed is not None
                             else None,
+                            "pipeline": spec.pipeline,
+                            "compile_jobs": spec.compile_jobs
+                            if spec.pipeline
+                            else None,
+                            "refit_every": spec.refit_every,
                         },
                     ),
                 )
@@ -491,6 +504,7 @@ class TuningSession:
                     best_config=run.best_config,
                     n_evals=run.n_evals,
                     total_time=run.total_time,
+                    overhead=run.overhead,
                 )
             )
         return run
@@ -506,4 +520,5 @@ class TuningSession:
             n_evals=outcome.n_evals,
             total_time=outcome.total_time,
             trajectory=outcome.trajectory,
+            overhead=outcome.overhead,
         )

@@ -41,6 +41,7 @@ from repro.telemetry.events import (
     CacheMiss,
     Event,
     NativeDisabled,
+    PipelineStats,
     PoolRebuilt,
     RunFinished,
     RunStarted,
@@ -93,6 +94,7 @@ __all__ = [
     "WorkerCrashed",
     "PoolRebuilt",
     "NativeDisabled",
+    "PipelineStats",
     "SurrogateFitted",
     "SpanClosed",
     "RunFinished",

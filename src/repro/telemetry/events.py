@@ -224,7 +224,13 @@ class SpanClosed(Event):
 
 @dataclass
 class RunFinished(Event):
-    """A tuner run completed; carries the numbers the paper's tables report."""
+    """A tuner run completed; carries the numbers the paper's tables report.
+
+    ``overhead`` — when the engine accounted for its stages — breaks the
+    run's wall time into compile vs. measure vs. search seconds (the
+    ``overhead_breakdown`` column of ``repro report``); see
+    :meth:`repro.ytopt.AMBS.run` for the exact definitions.
+    """
 
     kind = "run_finished"
 
@@ -234,3 +240,33 @@ class RunFinished(Event):
     n_evals: int
     total_time: float
     error: str | None = None
+    overhead: dict[str, float] | None = None
+
+
+@dataclass
+class PipelineStats(Event):
+    """End-of-run counters of the pipelined execution engine.
+
+    ``hit_rate`` is the compile-ahead speculation hit rate (hits over scored
+    speculations); ``busy_seconds`` the build pool's worker-time integral
+    (exceeding wall time is the parallelism win); ``wait_seconds`` the
+    critical-path compile stall that survived pipelining; ``refits`` /
+    ``refits_skipped`` the surrogate fits performed vs. elided by the refit
+    schedule.
+    """
+
+    kind = "pipeline_stats"
+
+    jobs: int
+    submitted: int
+    completed: int
+    failures: int
+    speculative: int
+    spec_hits: int
+    spec_misses: int
+    hit_rate: float
+    busy_seconds: float
+    wait_seconds: float
+    occupancy_peak: int
+    refits: int = 0
+    refits_skipped: int = 0

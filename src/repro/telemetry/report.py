@@ -104,6 +104,62 @@ def evaluation_count_table(store: RunStore, kernel: str, size_name: str) -> str:
     )
 
 
+def overhead_breakdown_table(store: RunStore, kernel: str, size_name: str) -> str:
+    """Per-run wall-time split: compile vs. measure vs. search seconds.
+
+    Metadata-first: runs whose engine accounted its stages (the serial and
+    pipelined AMBS loops stamp an ``overhead_breakdown`` dict into the run
+    metadata) report the engine's own numbers, plus the pipeline counters when
+    present (compile-ahead hit rate, refits run vs. skipped). Older runs fall
+    back to a derivation from the evaluation rows — compile = Σ compile_time,
+    measure = Σ runtime, search = the process-time remainder — marked
+    ``derived`` so the two provenances are never confused.
+    """
+    from repro.common.tabulate import format_table
+
+    stored = store.runs(kernel=kernel, size_name=size_name)
+    if not stored:
+        raise ReproError(f"no stored runs for {kernel}/{size_name} in {store.path}")
+    rows = []
+    for run in stored:
+        meta = run.metadata.get("overhead_breakdown")
+        if isinstance(meta, dict) and "wall_seconds" in meta:
+            mode = str(meta.get("mode", "engine"))
+            compile_s = float(meta.get("compile_seconds", 0.0))
+            measure_s = float(meta.get("measure_seconds", 0.0))
+            search_s = float(meta.get("search_seconds", 0.0))
+            wall_s = float(meta.get("wall_seconds", 0.0))
+            if "spec_hit_rate" in meta:
+                mode += f" (hit {meta['spec_hit_rate']:.0%})"
+        else:
+            evals = store.evaluations(run.run_id)
+            compile_s = sum(e.compile_time for e in evals)
+            measure_s = sum(e.runtime for e in evals if math.isfinite(e.runtime))
+            wall_s = run.total_time
+            search_s = max(0.0, wall_s - compile_s - measure_s)
+            mode = "derived"
+        rows.append(
+            [
+                run.tuner,
+                run.metadata.get("seed", run.seed),
+                mode,
+                f"{compile_s:.2f}",
+                f"{measure_s:.2f}",
+                f"{search_s:.2f}",
+                f"{wall_s:.2f}",
+            ]
+        )
+    rows.sort(key=lambda r: (str(r[0]), str(r[1])))
+    return format_table(
+        rows,
+        headers=[
+            "tuner", "seed", "mode",
+            "compile (s)", "measure (s)", "search (s)", "wall (s)",
+        ],
+        title=f"Overhead breakdown — {kernel} / {size_name}",
+    )
+
+
 def evals_to_within(
     trajectory: "list[tuple[float, float]]",
     target: float,
@@ -179,12 +235,14 @@ def report_text(
     size_name: str | None = None,
     to_best: bool = False,
     tolerance: float = 0.05,
+    overhead: bool = False,
 ) -> str:
     """The full ``repro report`` text for every matching stored experiment.
 
     ``to_best`` appends the sample-efficiency table
-    (:func:`evals_to_best_table`) to each experiment section; off by default
-    so existing report output stays byte-identical.
+    (:func:`evals_to_best_table`) and ``overhead`` the wall-time split
+    (:func:`overhead_breakdown_table`) to each experiment section; both off
+    by default so existing report output stays byte-identical.
     """
     from repro.experiments.figures import min_runtime_table, process_summary_table
 
@@ -206,6 +264,8 @@ def report_text(
             min_runtime_table(result),
             evaluation_count_table(store, k, s),
         ]
+        if overhead:
+            tables.append(overhead_breakdown_table(store, k, s))
         if to_best:
             tables.append(evals_to_best_table(store, k, s, tolerance=tolerance))
         sections.append("\n\n".join(tables))

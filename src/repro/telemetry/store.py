@@ -223,6 +223,12 @@ class RunStore:
         latest trajectory per experiment.
         """
         run_id = started.run_id
+        metadata = dict(started.metadata)
+        if finished.overhead:
+            # Stage accounting travels on RunFinished (the engine only knows
+            # it at the end); fold it into the run's metadata JSON so
+            # ``repro report`` can break wall time into compile/measure/search.
+            metadata["overhead_breakdown"] = finished.overhead
         with self._conn:  # one transaction: run row + all evaluation rows
             self._conn.execute(
                 "DELETE FROM runs WHERE kernel=? AND size_name=? AND tuner=? "
@@ -249,7 +255,7 @@ class RunStore:
                     finished.error,
                     getattr(started, "ts", None),
                     getattr(finished, "ts", None),
-                    json.dumps(started.metadata, sort_keys=True, default=repr),
+                    json.dumps(metadata, sort_keys=True, default=repr),
                 ),
             )
             self._conn.executemany(

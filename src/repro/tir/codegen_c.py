@@ -42,6 +42,7 @@ import shutil
 import subprocess
 import tempfile
 import threading
+import uuid
 import warnings
 
 import numpy as np
@@ -424,6 +425,10 @@ COMPILER_CANDIDATES = ("cc", "gcc", "clang")
 
 _toolchain_lock = threading.Lock()
 _toolchain_cache: dict[str, Toolchain] = {}
+#: Negative probe cache: path -> error string. A missing/broken compiler is
+#: probed once per process, not once per build attempt — each failed probe
+#: costs a subprocess spawn (or a 30s timeout for a hung wrapper script).
+_toolchain_failures: dict[str, str] = {}
 
 
 def _probe_version(path: str) -> str:
@@ -459,11 +464,17 @@ def find_toolchain() -> Toolchain:
         path = cand if os.path.sep in cand else (shutil.which(cand) or cand)
         with _toolchain_lock:
             cached = _toolchain_cache.get(path)
+            failure = _toolchain_failures.get(path)
         if cached is not None:
             return cached
+        if failure is not None:
+            errors.append(failure)
+            continue
         try:
             version = _probe_version(path)
         except NativeToolchainError as exc:
+            with _toolchain_lock:
+                _toolchain_failures[path] = str(exc)
             errors.append(str(exc))
             continue
         tc = Toolchain(path, version)
@@ -562,6 +573,7 @@ def reset_native_runtime() -> None:
     global _disabled_reason, _cache, _workdir
     with _toolchain_lock:
         _toolchain_cache.clear()
+        _toolchain_failures.clear()
     with _cache_lock:
         _disabled_reason = None
         _cache = None
@@ -580,20 +592,40 @@ def compile_source(source: str, toolchain: Toolchain) -> str:
     so_path = os.path.join(workdir, f"{key}.so")
     if os.path.exists(so_path):
         return so_path
+    # Compile into writer-private temp names and publish with os.replace
+    # (atomic within the directory): concurrent compiles of the same key —
+    # the parallel build pool, or two processes sharing REPRO_NATIVE_DIR —
+    # can never observe a torn ``.so``; last writer wins with identical
+    # content-addressed bytes.
+    tag = f"{os.getpid()}.{uuid.uuid4().hex}.tmp"
     c_path = os.path.join(workdir, f"{key}.c")
-    with open(c_path, "w") as fh:
+    c_tmp = os.path.join(workdir, f"{key}.{tag}.c")
+    so_tmp = os.path.join(workdir, f"{key}.{tag}.so")
+    with open(c_tmp, "w") as fh:
         fh.write(source)
-    cmd = [toolchain.path, "-O2", "-fPIC", "-shared", "-o", so_path, c_path, "-lm"]
+    cmd = [toolchain.path, "-O2", "-fPIC", "-shared", "-o", so_tmp, c_tmp, "-lm"]
     try:
         proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
     except (OSError, subprocess.TimeoutExpired) as exc:
+        _unlink_quietly(c_tmp, so_tmp)
         raise NativeCompileError(f"compile failed: {exc}") from exc
-    if proc.returncode != 0 or not os.path.exists(so_path):
+    if proc.returncode != 0 or not os.path.exists(so_tmp):
+        _unlink_quietly(c_tmp, so_tmp)
         detail = (proc.stderr or proc.stdout).strip()
         raise NativeCompileError(
             f"{toolchain.path} exited {proc.returncode}: {detail[:500]}"
         )
+    os.replace(c_tmp, c_path)
+    os.replace(so_tmp, so_path)
     return so_path
+
+
+def _unlink_quietly(*paths: str) -> None:
+    for path in paths:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
 
 
 class _NativeEntry:

@@ -16,7 +16,7 @@ from repro.ytopt.surrogate import (
     GaussianProcessSurrogate,
 )
 from repro.ytopt.acquisition import LowerConfidenceBound, ExpectedImprovement
-from repro.ytopt.optimizer import Optimizer
+from repro.ytopt.optimizer import Optimizer, RefitSchedule
 from repro.ytopt.tpe import TPEOptimizer
 from repro.ytopt.database import PerformanceDatabase, EvaluationRecord
 from repro.ytopt.search import AMBS, SearchResult
@@ -32,6 +32,7 @@ __all__ = [
     "LowerConfidenceBound",
     "ExpectedImprovement",
     "Optimizer",
+    "RefitSchedule",
     "TPEOptimizer",
     "PerformanceDatabase",
     "EvaluationRecord",

@@ -32,6 +32,46 @@ if TYPE_CHECKING:  # avoid repro.transfer <-> repro.ytopt import cycle
     from repro.transfer.seed import TransferSeed
 
 
+class RefitSchedule:
+    """Geometric surrogate-refit schedule for the pipelined tuning loop.
+
+    Refit after every observation while the corpus is small (``n <=
+    dense_until`` — early fits are cheap and each observation moves the
+    model), then only when the corpus has grown by ``growth``× since the
+    last fit. A forest fit is O(n log n) per tree, so refitting every tell
+    makes the whole loop quadratic; the geometric schedule amortizes total
+    fit cost to O(n log n) while the model lags the data by at most a
+    constant factor.
+
+    Note the RF fit consumes its persistent RNG, so *skipping* fits changes
+    the random state later fits see: trajectories under a schedule are
+    deterministic but not identical to ``refit_every=1``. The escape hatch
+    for byte-identical trajectories is simply not installing a schedule
+    (``refit_every=1``), which is the default everywhere outside the
+    pipeline engine.
+    """
+
+    def __init__(self, dense_until: int = 32, growth: float = 1.5) -> None:
+        if dense_until < 1:
+            raise TuningError(f"dense_until must be >= 1, got {dense_until}")
+        if growth <= 1.0:
+            raise TuningError(f"growth must be > 1.0, got {growth}")
+        self.dense_until = dense_until
+        self.growth = growth
+
+    def due(self, n_told: int, fitted_at: int) -> bool:
+        """Should the surrogate refit at corpus size ``n_told``?
+
+        ``fitted_at`` is the corpus size of the last completed fit.
+        """
+        if n_told <= self.dense_until:
+            return True
+        return n_told >= int(np.ceil(fitted_at * self.growth))
+
+    def __repr__(self) -> str:
+        return f"RefitSchedule(dense_until={self.dense_until}, growth={self.growth:g})"
+
+
 class Optimizer:
     """Sequential model-based optimizer (minimizes the told cost)."""
 
@@ -44,6 +84,11 @@ class Optimizer:
         n_candidates: int = 1000,
         n_neighbor_candidates: int = 32,
         refit_interval: int = 1,
+        #: Optional :class:`RefitSchedule` gating model-phase refits (the
+        #: pipelined loop's amortized-fit mode). None — the default — keeps
+        #: the legacy behavior: refit every ``refit_interval`` observations,
+        #: byte-identical to all pre-pipeline trajectories.
+        refit_schedule: "RefitSchedule | None" = None,
         seed: int | None = None,
         #: Transfer learning (see :class:`repro.transfer.TransferSeed`): the
         #: seeder's top-ranked configurations replace the random initial
@@ -68,6 +113,7 @@ class Optimizer:
         self.n_candidates = n_candidates
         self.n_neighbor_candidates = n_neighbor_candidates
         self.refit_interval = refit_interval
+        self.refit_schedule = refit_schedule
         if transfer_bias < 0:
             raise TuningError(f"transfer_bias must be >= 0, got {transfer_bias}")
         self.transfer_seed = transfer_seed
@@ -87,6 +133,11 @@ class Optimizer:
         self._asked: list[Configuration] = []
         self._since_fit = 0
         self._fitted = False
+        self._fitted_at = 0  # corpus size at the last completed fit
+        self._speculating = False
+        self._spec_token: dict | None = None
+        self.n_refits = 0
+        self.n_refits_skipped = 0
 
     # -- API ------------------------------------------------------------
 
@@ -145,6 +196,175 @@ class Optimizer:
         for _ in picks:
             self._retract_last()
         return picks
+
+    def speculate(
+        self,
+        n: int = 1,
+        will_tell: int = 0,
+        exclude: "tuple[Configuration, ...] | list[Configuration]" = (),
+    ) -> list[Configuration] | None:
+        """Side-effect-free preview of the ask that follows ``will_tell`` tells.
+
+        The pipelined engine calls this while wave *k* is still measuring to
+        pre-compile wave *k+1*'s candidates. Returns the configuration(s) the
+        real ``ask()``/``ask_batch()`` is expected to propose once the
+        ``will_tell`` in-flight observations (``exclude``) land, or None when
+        the proposal provably depends on those pending values — a surrogate
+        refit is due, the initial/model phase boundary is being crossed, or
+        the surrogate is unfitted/degenerate. Every RNG stream, the asked
+        log, and the transfer-seed queue are snapshotted and restored, so a
+        speculation never perturbs the real trajectory; in particular the
+        surrogate is **never** fit here (``_maybe_refit`` raises if reached),
+        which is what keeps ``refit_every=1`` runs byte-identical with
+        pipelining on.
+        """
+        if n < 1:
+            raise TuningError(f"speculation width must be >= 1, got {n}")
+        n_after = self.n_told + will_tell
+        if (self.n_told < self.n_initial_points) != (n_after < self.n_initial_points):
+            return None  # the real ask crosses the random -> model boundary
+        if n_after >= self.n_initial_points:
+            if not self._fitted or self._degenerate_history():
+                return None
+            if self._refit_due_within(will_tell, n):
+                return None
+        elif n > 1 and not self._y and will_tell > 0:
+            # ask_batch branches on "any observation yet": by real-ask time
+            # the in-flight wave has landed and the constant-liar path runs
+            # instead of the cold path speculation would take here.
+            return None
+
+        exclude_keys = frozenset(c.get_array().tobytes() for c in exclude)
+        space_state = self.space._rng.bit_generator.state
+        rng_state = self._rng.bit_generator.state
+        asked_len = len(self._asked)
+        seed_queue = None if self._seed_queue is None else list(self._seed_queue)
+        fitted, since_fit = self._fitted, self._since_fit
+        self._speculating = True
+        self._spec_token = None
+        token = None
+        try:
+            if n > 1:
+                picks = self.ask_batch(n)
+            elif self.n_told < self.n_initial_points:
+                # Replicate ask()'s initial-design branch, additionally
+                # excluding the in-flight configurations — they will be in
+                # ``_told`` by the time the real ask runs.
+                excl = set(exclude)
+                config = self._next_seeded(exclude=excl)
+                if config is None:
+                    config = self._sample_unseen(exclude=excl)
+                picks = [config]
+            else:
+                picks = [self._suggest(exclude_keys=exclude_keys)]
+            # Everything confirm_speculation() needs to prove the real ask
+            # would replay this proposal exactly (see there for the argument).
+            token = {
+                "picks": list(picks),
+                "n_told": self.n_told,
+                "will_tell": will_tell,
+                "exclude_keys": exclude_keys,
+                "n_refits": self.n_refits,
+                "degenerate": self._degenerate_history(),
+                "min_y": min(self._y) if self._y else None,
+                "top3": self._top_incumbent_keys(),
+                "space_state": self.space._rng.bit_generator.state,
+                "rng_state": self._rng.bit_generator.state,
+                "seed_queue": (
+                    None if self._seed_queue is None else list(self._seed_queue)
+                ),
+            }
+        except TuningError:
+            picks = None
+        finally:
+            self._speculating = False
+            self.space._rng.bit_generator.state = space_state
+            self._rng.bit_generator.state = rng_state
+            del self._asked[asked_len:]
+            self._seed_queue = seed_queue
+            self._fitted, self._since_fit = fitted, since_fit
+        self._spec_token = token
+        return picks
+
+    def confirm_speculation(self, n: int = 1) -> list[Configuration] | None:
+        """Adopt the last speculation as the real ask, if provably identical.
+
+        A speculation is an RNG-snapshotted replay of the ask that follows the
+        in-flight wave; re-running that ask now would redo the exact same
+        candidate sampling and scoring whenever every input it reads is
+        unchanged since the speculation: the surrogate was not refit (and none
+        is due now), the observed minimum and the top-incumbent neighbor seeds
+        are the same configurations, the landed observations are exactly the
+        wave the speculation excluded, and no transfer prior re-weights the
+        ranking as ``n_told`` grows. Under those checks this method skips the
+        recomputation outright: it restores the *post*-speculation RNG/seed
+        states (identical to what the replay would produce), logs the picks as
+        asked, and returns them — taking the surrogate ask off the critical
+        path entirely. Any failed check returns None and the caller falls back
+        to a normal ``ask()``/``ask_batch()``, so this is a pure fast path,
+        never a behavior change.
+        """
+        token, self._spec_token = self._spec_token, None
+        if token is None or len(token["picks"]) != n:
+            return None
+        if self.n_told != token["n_told"] + token["will_tell"]:
+            return None
+        landed = {arr.tobytes() for arr in self._X[token["n_told"] :]}
+        if landed != set(token["exclude_keys"]):
+            return None
+        if self.transfer_seed is not None and self.transfer_bias > 0:
+            return None
+        if self.n_refits != token["n_refits"]:
+            return None
+        model_phase = self.n_told >= self.n_initial_points
+        if model_phase and self._degenerate_history() != token["degenerate"]:
+            return None
+        if model_phase and not token["degenerate"]:
+            if self._refit_due_within(0, n):
+                return None
+            if min(self._y) != token["min_y"]:
+                return None
+            if self._top_incumbent_keys() != token["top3"]:
+                return None
+        if any(
+            c.get_array().tobytes() in landed for c in token["picks"]
+        ):
+            return None  # the real ask would have deduplicated these away
+        self.space._rng.bit_generator.state = token["space_state"]
+        self._rng.bit_generator.state = token["rng_state"]
+        self._seed_queue = token["seed_queue"]
+        self._asked.extend(token["picks"])
+        if n > 1:
+            # Mirror ask_batch's net side effects: each lie bumps _since_fit
+            # and the final retraction forces a clean refit later.
+            self._since_fit += n
+            self._fitted = False
+        if model_phase and not token["degenerate"] and self.refit_schedule is not None:
+            self.n_refits_skipped += n  # the skipped _maybe_refit calls
+        return list(token["picks"])
+
+    def _top_incumbent_keys(self) -> tuple[bytes, ...]:
+        """Encoded keys of the incumbents ``_suggest`` seeds neighbors from,
+        in selection order — part of confirm_speculation's identity check."""
+        if not self._y:
+            return ()
+        order = np.argsort(self._y)[:3]
+        return tuple(self._configs[int(i)].get_array().tobytes() for i in order)
+
+    def _refit_due_within(self, first: int, count: int) -> bool:
+        """Would any of the next ``count`` asks refit, the first of which runs
+        after ``first`` more real observations? Conservative (may say True
+        when the fit would be skipped), never falsely False — the
+        ``_speculating`` guard in ``_maybe_refit`` backstops any miss."""
+        if not self._fitted:
+            return True
+        if self.refit_schedule is not None:
+            base = len(self._y) + first
+            return any(
+                self.refit_schedule.due(base + i, self._fitted_at)
+                for i in range(count)
+            )
+        return self._since_fit + first + count - 1 >= self.refit_interval
 
     def _retract_last(self) -> None:
         self._X.pop()
@@ -270,22 +490,42 @@ class Optimizer:
         return len(self._y) < 2 or all(v == self._y[0] for v in self._y)
 
     def _maybe_refit(self) -> None:
-        if not self._fitted or self._since_fit >= self.refit_interval:
-            tel = get_telemetry()
-            t0 = time.perf_counter()
-            with tel.span("fit"):
-                self.surrogate.fit(np.vstack(self._X), np.asarray(self._y))
-            self._fitted = True
-            self._since_fit = 0
-            if tel.enabled:
-                tel.emit(
-                    SurrogateFitted(
-                        n_samples=len(self._y),
-                        wall_time=time.perf_counter() - t0,
-                    )
+        if self._fitted and self._since_fit < self.refit_interval:
+            return
+        if (
+            self._fitted
+            and self.refit_schedule is not None
+            and not self.refit_schedule.due(len(self._y), self._fitted_at)
+        ):
+            if not self._speculating:
+                # Real skips are counted; speculative replays of the same
+                # decision are mirrored by confirm_speculation() instead.
+                self.n_refits_skipped += 1
+            return
+        if self._speculating:
+            # A fit inside speculate() would consume the surrogate's RNG and
+            # desynchronize every later real fit — speculation must abstain
+            # (see speculate()); reaching here means a guard was missed.
+            raise TuningError("surrogate refit attempted during speculation")
+        tel = get_telemetry()
+        t0 = time.perf_counter()
+        with tel.span("fit"):
+            self.surrogate.fit(np.vstack(self._X), np.asarray(self._y))
+        self._fitted = True
+        self._since_fit = 0
+        self._fitted_at = len(self._y)
+        self.n_refits += 1
+        if tel.enabled:
+            tel.emit(
+                SurrogateFitted(
+                    n_samples=len(self._y),
+                    wall_time=time.perf_counter() - t0,
                 )
+            )
 
-    def _suggest(self) -> Configuration:
+    def _suggest(
+        self, exclude_keys: "frozenset[bytes]" = frozenset()
+    ) -> Configuration:
         """Vectorized candidate scoring.
 
         The pool is drawn in one batch (identical RNG stream to per-call
@@ -293,10 +533,13 @@ class Optimizer:
         injective per hyperparameter and inactive slots are out-of-range, so
         row equality coincides with configuration equality — and scored with
         a single surrogate predict over the preassembled matrix.
+        ``exclude_keys`` extends the dedup set with encoded rows of in-flight
+        configurations (speculation: they are told by the real ask's time).
         """
         candidates: list[Configuration] = []
         rows: list[np.ndarray] = []
         seen: set[bytes] = set(self._told_keys)
+        seen.update(exclude_keys)
         # Global exploration pool.
         batch, X = self.space.sample_configuration_batch(self.n_candidates)
         for i, c in enumerate(batch):

@@ -11,6 +11,7 @@ wall-clock budget is exhausted.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 
 from repro.common.errors import TuningError
@@ -24,13 +25,22 @@ from repro.ytopt.problem import TuningProblem
 
 @dataclass
 class SearchResult:
-    """Outcome of a search run."""
+    """Outcome of a search run.
+
+    ``overhead`` breaks the run's wall time into stages (the
+    ``overhead_breakdown`` report column): ``search_seconds`` — ask/refit/
+    acquisition; ``compile_seconds`` — per-trial build cost on the critical
+    path (plus, pipelined, the seconds stalled on the build pool);
+    ``measure_seconds`` — kernel execution. Pipelined runs add the build-pool
+    counters (speculation hit rate, busy/wait seconds, occupancy).
+    """
 
     best_config: dict[str, int]
     best_runtime: float
     n_evals: int
     total_elapsed: float
     database: PerformanceDatabase
+    overhead: "dict[str, float] | None" = None
 
     def __repr__(self) -> str:
         return (
@@ -89,6 +99,19 @@ class AMBS:
         #: directly instead.
         transfer_seed=None,
         transfer_bias: float = 0.0,
+        #: Pipelined execution (see :mod:`repro.pipeline`): a
+        #: :class:`~repro.pipeline.PipelineConfig`, True for the defaults, or
+        #: None/False for the serial loop. The pipelined engine overlaps the
+        #: surrogate ask, a parallel native build pool with compile-ahead
+        #: speculation, and measurement, telling in ask order.
+        pipeline=None,
+        #: Surrogate refit policy for the *default* optimizer: None keeps the
+        #: legacy behavior (every observation serially; the geometric
+        #: schedule under the pipeline), ``0`` forces the geometric schedule,
+        #: ``1`` refits every observation (the byte-identical escape hatch),
+        #: ``k > 1`` every k observations. Ignored when an explicit
+        #: ``optimizer`` is passed — configure that optimizer directly.
+        refit_every: int | None = None,
     ) -> None:
         if max_evals < 1:
             raise TuningError(f"max_evals must be >= 1, got {max_evals}")
@@ -111,12 +134,37 @@ class AMBS:
                 "pass transfer_seed either to AMBS (default optimizer) or to "
                 "an explicit Optimizer, not both"
             )
+        from repro.pipeline.config import PipelineConfig  # lazy: import cycle
+
+        if pipeline is True:
+            pipeline = PipelineConfig()
+        elif pipeline is False:
+            pipeline = None
+        if pipeline is not None and refit_every is not None:
+            pipeline = PipelineConfig(
+                enabled=pipeline.enabled,
+                compile_jobs=pipeline.compile_jobs,
+                speculate=pipeline.speculate,
+                refit_every=refit_every,
+                dense_until=pipeline.dense_until,
+                growth=pipeline.growth,
+            )
+        self.pipeline = pipeline if (pipeline is not None and pipeline.enabled) else None
+        if self.pipeline is not None:
+            refit_interval, refit_schedule = self.pipeline.refit_settings()
+        elif refit_every is not None:
+            no_schedule = PipelineConfig(enabled=False, refit_every=refit_every)
+            refit_interval, refit_schedule = no_schedule.refit_settings()
+        else:
+            refit_interval, refit_schedule = 1, None
         self.optimizer = (
             optimizer
             if optimizer is not None
             else Optimizer(
                 problem.space,
                 seed=seed,
+                refit_interval=refit_interval,
+                refit_schedule=refit_schedule,
                 transfer_seed=transfer_seed,
                 transfer_bias=transfer_bias,
             )
@@ -132,6 +180,10 @@ class AMBS:
         self.prune_overhead = prune_overhead
         self.prune_z = prune_z
         self.n_pruned = 0
+        # Stage-seconds accumulators behind SearchResult.overhead.
+        self._search_wall = 0.0
+        self._measure_wall = 0.0
+        self._compile_sum = 0.0
         self._incumbent = math.inf  # best *measured* runtime (never an estimate)
         self._preloaded = 0
         self.database = PerformanceDatabase(name=f"{problem.name}:{tuner_name}")
@@ -195,57 +247,66 @@ class AMBS:
             )
         return result
 
-    def run(self) -> SearchResult:
-        """Execute the search; returns the best configuration found."""
-        tel = get_telemetry()
-        evaluator = self.problem.evaluator
-        clock = getattr(evaluator, "clock", None)
-        remaining = max(0, self.max_evals - self._preloaded)
-        while remaining > 0:
-            if self.max_time is not None and evaluator.elapsed() >= self.max_time:
-                break
-            n = min(self.batch_size, remaining)
-            with tel.span("acquisition", clock=clock):
-                configs = (
-                    [self.optimizer.ask()] if n == 1 else self.optimizer.ask_batch(n)
-                )  # Step 1
-                if clock is not None:
-                    clock.advance(self.optimizer_overhead)
-            results: list[MeasureResult | None] = [
-                self._try_prune(c, evaluator, clock) for c in configs
-            ]
-            to_measure = [c for c, r in zip(configs, results) if r is None]
-            with tel.span("measure", clock=clock):
-                if len(to_measure) == 1:
-                    measured = [self.problem.objective(to_measure[0])]  # Steps 2-4
-                elif to_measure:
-                    jobs = self.jobs if self.jobs is not None else len(to_measure)
-                    measured = self.problem.objective_batch(to_measure, jobs=jobs)
-                else:
-                    measured = []
-            it = iter(measured)
-            results = [r if r is not None else next(it) for r in results]
-            for config, result in zip(configs, results):
-                self.database.add(result, tuner=self.tuner_name)  # Step 5
-                cost = result.mean_cost if result.ok else FAILED_COST
-                self.optimizer.tell(config, cost)
-                if result.ok and not result.low_fidelity:
-                    self._incumbent = min(self._incumbent, result.mean_cost)
-                if tel.enabled:
-                    tel.emit(
-                        TrialMeasured(
-                            config=dict(result.config),
-                            runtime=result.mean_cost,
-                            compile_time=result.compile_time,
-                            elapsed=result.timestamp,
-                            error=result.error,
-                            cache_hit=bool(result.extra.get("cache_hit")),
-                            fidelity=result.fidelity,
-                            backend=result.backend,
-                        )
-                    )
-            remaining -= len(configs)
+    def _commit(self, config, result: MeasureResult, tel) -> None:
+        """Step 5 for one observation: database, tell, incumbent, event.
 
+        Shared by the serial loop and the pipelined engine (which calls it
+        through the in-order tell queue), so both record byte-identical
+        trajectories from identical measurements."""
+        self.database.add(result, tuner=self.tuner_name)
+        cost = result.mean_cost if result.ok else FAILED_COST
+        self.optimizer.tell(config, cost)
+        if result.ok and not result.low_fidelity:
+            self._incumbent = min(self._incumbent, result.mean_cost)
+        self._compile_sum += result.compile_time
+        if tel.enabled:
+            tel.emit(
+                TrialMeasured(
+                    config=dict(result.config),
+                    runtime=result.mean_cost,
+                    compile_time=result.compile_time,
+                    elapsed=result.timestamp,
+                    error=result.error,
+                    cache_hit=bool(result.extra.get("cache_hit")),
+                    fidelity=result.fidelity,
+                    backend=result.backend,
+                )
+            )
+
+    def measure(self, to_measure: list) -> list[MeasureResult]:
+        """Steps 2–4 for one wave (shared with the pipelined engine)."""
+        if len(to_measure) == 1:
+            return [self.problem.objective(to_measure[0])]
+        if to_measure:
+            jobs = self.jobs if self.jobs is not None else len(to_measure)
+            return self.problem.objective_batch(to_measure, jobs=jobs)
+        return []
+
+    @staticmethod
+    def _stamp(clock) -> float:
+        """Stage-accounting timestamp: virtual seconds under simulation (so
+        the breakdown's units match the stored compile/run costs), wall
+        seconds for real measurement."""
+        return clock.now if clock is not None else time.perf_counter()
+
+    def _overhead_breakdown(self, wall_total: float, **extra: float) -> dict:
+        """The per-run stage split behind the report's ``overhead_breakdown``
+        column. ``compile_seconds`` is critical-path build cost (what the
+        trials paid, plus any pipeline build-pool stall passed via
+        ``extra``); ``measure_seconds`` the measurement wall time net of
+        those builds; ``search_seconds`` ask + refit + acquisition."""
+        measure_net = max(0.0, self._measure_wall - self._compile_sum)
+        out = {
+            "mode": "pipelined" if self.pipeline is not None else "serial",
+            "search_seconds": round(self._search_wall, 6),
+            "compile_seconds": round(self._compile_sum + extra.pop("compile_stall", 0.0), 6),
+            "measure_seconds": round(measure_net, 6),
+            "wall_seconds": round(wall_total, 6),
+        }
+        out.update({k: (round(v, 6) if isinstance(v, float) else v) for k, v in extra.items()})
+        return out
+
+    def _finish(self, wall_total: float, **extra: float) -> SearchResult:
         best = self.database.best()
         return SearchResult(
             best_config=best.config,
@@ -253,4 +314,47 @@ class AMBS:
             n_evals=len(self.database),
             total_elapsed=self.database.total_elapsed(),
             database=self.database,
+            overhead=self._overhead_breakdown(wall_total, **extra),
         )
+
+    def run(self) -> SearchResult:
+        """Execute the search; returns the best configuration found."""
+        self._search_wall = 0.0
+        self._measure_wall = 0.0
+        self._compile_sum = 0.0
+        if self.pipeline is not None:
+            from repro.pipeline.engine import run_pipelined  # lazy: import cycle
+
+            return run_pipelined(self, self.pipeline)
+        tel = get_telemetry()
+        evaluator = self.problem.evaluator
+        clock = getattr(evaluator, "clock", None)
+        remaining = max(0, self.max_evals - self._preloaded)
+        t_start = time.perf_counter()
+        while remaining > 0:
+            if self.max_time is not None and evaluator.elapsed() >= self.max_time:
+                break
+            n = min(self.batch_size, remaining)
+            t0 = self._stamp(clock)
+            with tel.span("acquisition", clock=clock):
+                configs = (
+                    [self.optimizer.ask()] if n == 1 else self.optimizer.ask_batch(n)
+                )  # Step 1
+                if clock is not None:
+                    clock.advance(self.optimizer_overhead)
+            self._search_wall += self._stamp(clock) - t0
+            results: list[MeasureResult | None] = [
+                self._try_prune(c, evaluator, clock) for c in configs
+            ]
+            to_measure = [c for c, r in zip(configs, results) if r is None]
+            t0 = self._stamp(clock)
+            with tel.span("measure", clock=clock):
+                measured = self.measure(to_measure)  # Steps 2-4
+            self._measure_wall += self._stamp(clock) - t0
+            it = iter(measured)
+            results = [r if r is not None else next(it) for r in results]
+            for config, result in zip(configs, results):
+                self._commit(config, result, tel)  # Step 5
+            remaining -= len(configs)
+
+        return self._finish(time.perf_counter() - t_start)

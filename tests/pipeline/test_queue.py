@@ -1,0 +1,49 @@
+"""OrderedTellQueue: in-order release whatever the completion order."""
+
+import pytest
+
+from repro.common.errors import TuningError
+from repro.pipeline import OrderedTellQueue
+
+
+class TestOrderedTellQueue:
+    def test_in_order_releases_immediately(self):
+        q = OrderedTellQueue()
+        assert q.put(0, "a") == ["a"]
+        assert q.put(1, "b") == ["b"]
+        assert q.next_seq == 2
+        assert q.n_pending == 0
+
+    def test_out_of_order_buffers_then_flushes(self):
+        q = OrderedTellQueue()
+        assert q.put(2, "c") == []
+        assert q.put(1, "b") == []
+        assert q.n_pending == 2
+        # Completing seq 0 unblocks the whole stalled run, in ask order.
+        assert q.put(0, "a") == ["a", "b", "c"]
+        assert q.n_pending == 0
+        assert q.next_seq == 3
+
+    def test_interleaved_waves(self):
+        q = OrderedTellQueue()
+        released = []
+        for seq in (1, 0, 3, 5, 2, 4):
+            released.extend(q.put(seq, seq))
+        assert released == [0, 1, 2, 3, 4, 5]
+
+    def test_custom_start(self):
+        q = OrderedTellQueue(start=7)
+        assert q.put(8, "b") == []
+        assert q.put(7, "a") == ["a", "b"]
+
+    def test_duplicate_sequence_rejected(self):
+        q = OrderedTellQueue()
+        q.put(1, "b")
+        with pytest.raises(TuningError, match="duplicate"):
+            q.put(1, "b2")
+
+    def test_already_released_sequence_rejected(self):
+        q = OrderedTellQueue()
+        q.put(0, "a")
+        with pytest.raises(TuningError, match="duplicate or already-released"):
+            q.put(0, "again")

@@ -255,3 +255,55 @@ class TestEvalsToBestTable:
         assert plain == GOLDEN.read_text()  # default output untouched
         assert "Evals to within" not in plain
         assert "Evals to within" in banded
+
+
+class TestOverheadBreakdown:
+    def test_derived_fallback_from_evaluation_rows(self, tmp_path):
+        """Runs without engine-stamped overhead derive the split from the
+        stored evaluations and say so in the mode column."""
+        from repro.telemetry.report import overhead_breakdown_table
+
+        with build_golden_store(tmp_path / "g.sqlite") as store:
+            text = overhead_breakdown_table(store, "lu", "large")
+        assert "Overhead breakdown" in text
+        ytopt_row = next(l for l in text.splitlines() if "ytopt" in l)
+        assert "derived" in ytopt_row
+
+    def test_engine_stamp_round_trips_through_the_store(self, tmp_path):
+        """RunFinished.overhead lands in the run metadata and wins over the
+        derived fallback, pipeline counters included."""
+        from repro.telemetry.report import overhead_breakdown_table
+
+        overhead = {
+            "mode": "pipelined",
+            "search_seconds": 1.0,
+            "compile_seconds": 2.0,
+            "measure_seconds": 3.0,
+            "wall_seconds": 6.5,
+            "spec_hit_rate": 0.75,
+        }
+        with RunStore(tmp_path / "o.sqlite") as store:
+            started = RunStarted(
+                run_id=make_run_id("lu", "large", "ytopt", 0),
+                kernel="lu", size_name="large", tuner="ytopt", seed=0,
+                max_evals=2, metadata={"seed": 0},
+            )
+            finished = RunFinished(
+                run_id=started.run_id, best_runtime=1.0,
+                best_config={"P0": 16}, n_evals=2, total_time=6.5,
+                overhead=overhead,
+            )
+            store.save_run(started, finished, [_trial(1.0, 1.0), _trial(1.2, 2.0)])
+            run = store.runs(kernel="lu", size_name="large")[0]
+            assert run.metadata["overhead_breakdown"] == overhead
+            text = overhead_breakdown_table(store, "lu", "large")
+        row = next(l for l in text.splitlines() if "ytopt" in l)
+        assert "pipelined (hit 75%)" in row
+        assert "6.50" in row
+
+    def test_report_text_opt_in(self, tmp_path):
+        with build_golden_store(tmp_path / "g.sqlite") as store:
+            plain = report_text(store)
+            with_overhead = report_text(store, overhead=True)
+        assert "Overhead breakdown" not in plain
+        assert "Overhead breakdown" in with_overhead
